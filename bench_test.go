@@ -1,0 +1,318 @@
+package waterwheel
+
+// This file holds one regeneration target per table and figure of the
+// paper's evaluation (§VI), as indexed in DESIGN.md §4. Test* targets run
+// the experiment harness at a reduced scale and log the resulting table;
+// Benchmark* targets measure the underlying operation with testing.B.
+// Full-scale tables come from `go run ./cmd/wwbench -experiment all`.
+
+import (
+	"fmt"
+	"testing"
+
+	"waterwheel/internal/bench"
+	"waterwheel/internal/chunk"
+	"waterwheel/internal/core"
+	"waterwheel/internal/model"
+	"waterwheel/internal/workload"
+)
+
+// runExperiment executes a harness experiment and logs its table.
+func runExperiment(t *testing.T, id string, scale float64) {
+	t.Helper()
+	rep, err := bench.Run(id, bench.Options{Scale: scale, Seed: 42})
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	t.Logf("\n%s", rep)
+}
+
+// --- Table I ---
+
+func TestTable1Capabilities(t *testing.T) { runExperiment(t, "table1", 0.1) }
+
+// --- Figure 7: the three B+ trees ---
+
+func BenchmarkFig7aInsertThroughput(b *testing.B) {
+	g := workload.NewTDrive(workload.TDriveConfig{Seed: 1})
+	tuples := make([]model.Tuple, b.N)
+	for i := range tuples {
+		tuples[i] = g.Next()
+	}
+	for name, mk := range map[string]func() core.Index{
+		"template": func() core.Index {
+			return core.NewTemplateTree(core.TemplateConfig{Keys: model.KeyRange{Lo: 0, Hi: 1 << 32}, Leaves: 1024})
+		},
+		"concurrent": func() core.Index { return core.NewConcurrentTree(0, 0) },
+		"bulk":       func() core.Index { return core.NewBulkTree(0, 0) },
+	} {
+		b.Run(name, func(b *testing.B) {
+			idx := mk()
+			sub := tuples
+			if b.N < len(sub) {
+				sub = sub[:b.N]
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.Insert(sub[i%len(sub)])
+			}
+			if bt, ok := idx.(*core.BulkTree); ok {
+				bt.Build()
+			}
+		})
+	}
+}
+
+func TestFig7aInsertScaling(t *testing.T) { runExperiment(t, "fig7a", 0.1) }
+func TestFig7bBreakdown(t *testing.T)     { runExperiment(t, "fig7b", 0.1) }
+
+// --- Figures 8/9: mixed workloads ---
+
+func BenchmarkFig8Mixed(b *testing.B) {
+	for _, frac := range []float64{1.0, 0.75, 0.5} {
+		b.Run(fmt.Sprintf("insert%.0f%%", frac*100), func(b *testing.B) {
+			tree := core.NewTemplateTree(core.TemplateConfig{Keys: model.KeyRange{Lo: 0, Hi: 1 << 32}, Leaves: 512})
+			g := workload.NewTDrive(workload.TDriveConfig{Seed: 2})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tp := g.Next()
+				if float64(i%100)/100 < frac {
+					tree.Insert(tp)
+				} else {
+					tree.Range(model.KeyRange{Lo: tp.Key, Hi: tp.Key}, model.FullTimeRange(), nil,
+						func(*model.Tuple) bool { return true })
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig9MixedRead(b *testing.B) {
+	tree := core.NewTemplateTree(core.TemplateConfig{Keys: model.KeyRange{Lo: 0, Hi: 1 << 32}, Leaves: 512})
+	g := workload.NewTDrive(workload.TDriveConfig{Seed: 3})
+	keys := make([]model.Key, 100_000)
+	for i := range keys {
+		tp := g.Next()
+		keys[i] = tp.Key
+		tree.Insert(tp)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		tree.Range(model.KeyRange{Lo: k, Hi: k}, model.FullTimeRange(), nil,
+			func(*model.Tuple) bool { return true })
+	}
+}
+
+func TestFig8MixedThroughput(t *testing.T) { runExperiment(t, "fig8", 0.05) }
+func TestFig9MixedLatency(t *testing.T)    { runExperiment(t, "fig9", 0.05) }
+
+// --- Figure 10: template update latency ---
+
+func BenchmarkFig10TemplateUpdate(b *testing.B) {
+	g := workload.NewTDrive(workload.TDriveConfig{Seed: 4})
+	tuples := make([]model.Tuple, 100_000)
+	for i := range tuples {
+		tuples[i] = g.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tree := core.NewTemplateTree(core.TemplateConfig{Keys: model.KeyRange{Lo: 0, Hi: 1 << 32}, Leaves: 1024})
+		for j := range tuples {
+			tree.Insert(tuples[j])
+		}
+		b.StartTimer()
+		tree.UpdateTemplate()
+	}
+}
+
+func TestFig10TemplateUpdateLatency(t *testing.T) { runExperiment(t, "fig10", 0.1) }
+
+// --- Figure 11: chunk size effects ---
+
+func TestFig11aChunkSizeInsert(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated I/O sleeps")
+	}
+	runExperiment(t, "fig11a", 0.05)
+}
+
+func TestFig11bChunkSizeQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated I/O sleeps")
+	}
+	runExperiment(t, "fig11b", 0.2)
+}
+
+// --- Figure 12: adaptive key partitioning ---
+
+func TestFig12aAdaptivePartitionInsert(t *testing.T) { runExperiment(t, "fig12a", 0.05) }
+func TestFig12bAdaptivePartitionQuery(t *testing.T)  { runExperiment(t, "fig12b", 0.05) }
+
+// --- Figure 13: subquery dispatch policies ---
+
+func TestFig13DispatchPolicies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated I/O sleeps")
+	}
+	runExperiment(t, "fig13", 0.03)
+}
+
+// --- Figures 14/15/16: overall comparison ---
+
+func TestFig14QueryLatencyNetwork(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated I/O sleeps")
+	}
+	runExperiment(t, "fig14", 0.03)
+}
+
+func TestFig15InsertComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated I/O sleeps")
+	}
+	runExperiment(t, "fig15", 0.05)
+}
+
+func TestFig16QueryLatencyTDrive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated I/O sleeps")
+	}
+	runExperiment(t, "fig16", 0.03)
+}
+
+// --- Figure 17: scalability ---
+
+func TestFig17Scalability(t *testing.T) { runExperiment(t, "fig17", 0.05) }
+
+// --- Ablations (DESIGN.md §5) ---
+
+func BenchmarkAblationBloom(b *testing.B) {
+	// Chunk-leaf selection with and without time sketches on a chunk whose
+	// tuples arrive in two time bursts: min/max bounds cannot prune queries
+	// into the gap; the sketches can.
+	tree := core.NewTemplateTree(core.TemplateConfig{Keys: model.KeyRange{Lo: 0, Hi: 1 << 20}, Leaves: 256})
+	for i := 0; i < 200_000; i++ {
+		t := model.Timestamp(i % 10_000)
+		if i%2 == 1 {
+			t += 10_000_000
+		}
+		tree.Insert(model.Tuple{Key: model.Key(i % (1 << 20)), Time: t})
+	}
+	data, _, err := chunk.Build(tree.FlushReset(), chunk.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := chunk.ParseHeader(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gap := model.TimeRange{Lo: 5_000_000, Hi: 5_010_000} // inside the silent gap
+	for _, useBloom := range []bool{true, false} {
+		name := "bloom-on"
+		if !useBloom {
+			name = "bloom-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			kept := 0
+			for i := 0; i < b.N; i++ {
+				read, _ := h.SelectLeaves(model.FullKeyRange(), gap, useBloom)
+				kept += len(read)
+			}
+			b.ReportMetric(float64(kept)/float64(b.N), "leaves-kept/op")
+		})
+	}
+}
+
+func BenchmarkAblationTemplate(b *testing.B) {
+	// Flush+refill cost with the template retained vs rebuilt.
+	g := workload.NewTDrive(workload.TDriveConfig{Seed: 5})
+	tuples := make([]model.Tuple, 50_000)
+	for i := range tuples {
+		tuples[i] = g.Next()
+	}
+	for _, reuse := range []bool{true, false} {
+		name := "reuse"
+		if !reuse {
+			name = "rebuild"
+		}
+		b.Run(name, func(b *testing.B) {
+			tree := core.NewTemplateTree(core.TemplateConfig{Keys: model.KeyRange{Lo: 0, Hi: 1 << 32}, Leaves: 512})
+			for i := 0; i < b.N; i++ {
+				for j := range tuples {
+					tree.Insert(tuples[j])
+				}
+				tree.FlushReset()
+				if !reuse {
+					tree.UpdateTemplate()
+				}
+			}
+		})
+	}
+}
+
+func TestAblationBloom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated I/O sleeps")
+	}
+	runExperiment(t, "ablation-bloom", 0.03)
+}
+
+func TestAblationTemplateSystem(t *testing.T) { runExperiment(t, "ablation-template", 0.05) }
+
+func TestAblationLADAComponents(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated I/O sleeps")
+	}
+	runExperiment(t, "ablation-lada", 0.03)
+}
+
+func TestAblationSideStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated I/O sleeps")
+	}
+	runExperiment(t, "ablation-sidestore", 0.03)
+}
+
+// --- end-to-end throughput of the public API ---
+
+func BenchmarkDBInsert(b *testing.B) {
+	db, err := Open(Options{SyncIngest: true, ChunkBytes: 64 << 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	g := workload.NewTDrive(workload.TDriveConfig{Seed: 6})
+	tuples := make([]Tuple, 100_000)
+	for i := range tuples {
+		tuples[i] = g.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Insert(tuples[i%len(tuples)])
+	}
+}
+
+func BenchmarkDBQueryRecent(b *testing.B) {
+	db, err := Open(Options{SyncIngest: true, ChunkBytes: 1 << 20, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	g := workload.NewTDrive(workload.TDriveConfig{Seed: 7, EventsPerSecond: 10_000})
+	for i := 0; i < 200_000; i++ {
+		db.Insert(g.Next())
+	}
+	qg := workload.NewQueryGen(g.KeySpan(), 1)
+	now := g.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Query(Query{
+			Keys:  qg.KeyRange(0.1),
+			Times: workload.Recent(now, 5_000),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

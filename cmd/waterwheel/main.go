@@ -1,0 +1,68 @@
+// Command waterwheel runs an embedded Waterwheel deployment and serves it
+// over TCP (insert / query / flush / drain / stats), playing the role of
+// the paper's full Storm topology in a single process.
+//
+// Usage:
+//
+//	waterwheel -addr 127.0.0.1:7070 -nodes 4
+//
+// Clients connect with cmd/wwql or the library's waterwheel.Dial.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"waterwheel"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
+		nodes      = flag.Int("nodes", 1, "simulated cluster nodes")
+		chunkMB    = flag.Int64("chunk-mb", 16, "chunk size in MiB")
+		cacheMB    = flag.Int64("cache-mb", 1024, "query-server cache in MiB")
+		policy     = flag.String("policy", "lada", "dispatch policy: lada|hashing|shared-queue|round-robin")
+		balanceMs  = flag.Int64("balance-ms", 5000, "adaptive partitioning cadence (0 = off)")
+		syncIngest = flag.Bool("sync-ingest", false, "bypass the WAL (no crash recovery)")
+		simulateIO = flag.Bool("simulate-io", false, "charge HDFS-like latencies on chunk I/O")
+		dataDir    = flag.String("data-dir", "", "persist chunks/WAL/metadata here (survives restarts)")
+		seed       = flag.Int64("seed", 0, "placement/sampling seed")
+	)
+	flag.Parse()
+
+	db, err := waterwheel.Open(waterwheel.Options{
+		Nodes:                 *nodes,
+		ChunkBytes:            *chunkMB << 20,
+		CacheBytes:            *cacheMB << 20,
+		Policy:                *policy,
+		BalanceIntervalMillis: *balanceMs,
+		SyncIngest:            *syncIngest,
+		SimulateIO:            *simulateIO,
+		DataDir:               *dataDir,
+		Seed:                  *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waterwheel: open:", err)
+		os.Exit(1)
+	}
+	ns, err := db.Serve(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "waterwheel: listen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("waterwheel serving on %s (%d nodes, policy=%s)\n", ns.Addr, *nodes, *policy)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("waterwheel: shutting down")
+	ns.Close()
+	if err := db.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "waterwheel: close:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,137 @@
+// Command wwql is the query/insert client for a running waterwheel
+// server.
+//
+// Usage:
+//
+//	wwql -addr 127.0.0.1:7070 insert 42 1700000000000 hello
+//	wwql -addr 127.0.0.1:7070 query -keys 0:100 -times 0:2000000000000
+//	wwql -addr 127.0.0.1:7070 stats
+//	wwql -addr 127.0.0.1:7070 flush | drain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"waterwheel"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wwql: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseRange(s string) (lo, hi uint64, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want lo:hi, got %q", s)
+	}
+	lo, err = strconv.ParseUint(parts[0], 10, 64)
+	if err != nil {
+		return
+	}
+	hi, err = strconv.ParseUint(parts[1], 10, 64)
+	return
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fatalf("usage: wwql [-addr host:port] insert|query|stats|flush|drain ...")
+	}
+
+	cl, err := waterwheel.Dial(*addr)
+	if err != nil {
+		fatalf("dial %s: %v", *addr, err)
+	}
+	defer cl.Close()
+
+	switch args[0] {
+	case "insert":
+		if len(args) < 3 {
+			fatalf("usage: insert <key> <timestamp-ms> [payload]")
+		}
+		key, err := strconv.ParseUint(args[1], 10, 64)
+		if err != nil {
+			fatalf("bad key: %v", err)
+		}
+		ts, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			fatalf("bad timestamp: %v", err)
+		}
+		var payload []byte
+		if len(args) > 3 {
+			payload = []byte(args[3])
+		}
+		if err := cl.Insert(waterwheel.Tuple{
+			Key: waterwheel.Key(key), Time: waterwheel.Timestamp(ts), Payload: payload,
+		}); err != nil {
+			fatalf("insert: %v", err)
+		}
+		fmt.Println("ok")
+
+	case "query":
+		fs := flag.NewFlagSet("query", flag.ExitOnError)
+		keys := fs.String("keys", "", "key range lo:hi (default: all)")
+		times := fs.String("times", "", "time range lo:hi in ms (default: all)")
+		limit := fs.Int("limit", 20, "max tuples to print (0 = all)")
+		fs.Parse(args[1:])
+		q := waterwheel.Query{Keys: waterwheel.FullKeyRange(), Times: waterwheel.FullTimeRange()}
+		if *keys != "" {
+			lo, hi, err := parseRange(*keys)
+			if err != nil {
+				fatalf("bad -keys: %v", err)
+			}
+			q.Keys = waterwheel.KeyRange{Lo: waterwheel.Key(lo), Hi: waterwheel.Key(hi)}
+		}
+		if *times != "" {
+			lo, hi, err := parseRange(*times)
+			if err != nil {
+				fatalf("bad -times: %v", err)
+			}
+			q.Times = waterwheel.TimeRange{Lo: waterwheel.Timestamp(lo), Hi: waterwheel.Timestamp(hi)}
+		}
+		res, err := cl.Query(q)
+		if err != nil {
+			fatalf("query: %v", err)
+		}
+		fmt.Printf("%d tuples (%d subqueries, %d leaves read, %d pruned, %d bytes)\n",
+			len(res.Tuples), res.SubQueries, res.LeavesRead, res.LeavesSkipped, res.BytesRead)
+		for i := range res.Tuples {
+			if *limit > 0 && i >= *limit {
+				fmt.Printf("... %d more\n", len(res.Tuples)-i)
+				break
+			}
+			t := &res.Tuples[i]
+			fmt.Printf("key=%d time=%d payload=%q\n", t.Key, t.Time, t.Payload)
+		}
+
+	case "stats":
+		st, err := cl.Stats()
+		if err != nil {
+			fatalf("stats: %v", err)
+		}
+		fmt.Printf("ingested=%d buffered=%d chunks=%d schema-version=%d\n",
+			st.Ingested, st.Buffered, st.Chunks, st.SchemaVersion)
+
+	case "flush":
+		if err := cl.Flush(); err != nil {
+			fatalf("flush: %v", err)
+		}
+		fmt.Println("ok")
+
+	case "drain":
+		if err := cl.Drain(); err != nil {
+			fatalf("drain: %v", err)
+		}
+		fmt.Println("ok")
+
+	default:
+		fatalf("unknown command %q", args[0])
+	}
+}

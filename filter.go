@@ -1,0 +1,50 @@
+package waterwheel
+
+import "waterwheel/internal/model"
+
+// CmpOp is a comparison operator for filter predicates.
+type CmpOp = model.CmpOp
+
+// Comparison operators for filters.
+const (
+	EQ = model.CmpEQ
+	NE = model.CmpNE
+	LT = model.CmpLT
+	LE = model.CmpLE
+	GT = model.CmpGT
+	GE = model.CmpGE
+)
+
+// FilterTrue accepts every tuple (also what a nil filter does).
+func FilterTrue() *Filter { return model.True() }
+
+// FilterFalse rejects every tuple.
+func FilterFalse() *Filter { return model.False() }
+
+// And combines filters conjunctively.
+func And(fs ...*Filter) *Filter { return model.And(fs...) }
+
+// Or combines filters disjunctively.
+func Or(fs ...*Filter) *Filter { return model.Or(fs...) }
+
+// Not negates a filter.
+func Not(f *Filter) *Filter { return model.Not(f) }
+
+// KeyCmp compares the tuple key against v.
+func KeyCmp(op CmpOp, v Key) *Filter { return model.KeyCmp(op, v) }
+
+// TimeCmp compares the tuple timestamp against v.
+func TimeCmp(op CmpOp, v Timestamp) *Filter { return model.TimeCmp(op, v) }
+
+// PayloadU64 compares the big-endian uint64 at the given payload offset.
+func PayloadU64(offset uint32, op CmpOp, v uint64) *Filter {
+	return model.PayloadU64(offset, op, v)
+}
+
+// PayloadBytes compares payload bytes at the given offset against b.
+func PayloadBytes(offset uint32, op CmpOp, b []byte) *Filter {
+	return model.PayloadBytes(offset, op, b)
+}
+
+// KeyMod accepts tuples whose key ≡ rem (mod modulus).
+func KeyMod(modulus, rem uint64) *Filter { return model.KeyMod(modulus, rem) }

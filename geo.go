@@ -1,0 +1,51 @@
+package waterwheel
+
+import "waterwheel/internal/zorder"
+
+// GeoGrid maps geographic coordinates into the key domain via Z-ordering
+// (Morton codes), the preprocessing the paper applies to the T-Drive
+// workload: latitude/longitude become one-dimensional z-codes the B+ tree
+// can index, and a query rectangle becomes a handful of key ranges.
+type GeoGrid struct {
+	g *zorder.Grid
+}
+
+// NewGeoGrid creates a grid over a bounding box with 2^bits cells per
+// axis (bits clamped to [1, 32]).
+func NewGeoGrid(minLon, maxLon, minLat, maxLat float64, bits uint) *GeoGrid {
+	return &GeoGrid{g: zorder.NewGrid(minLon, maxLon, minLat, maxLat, bits)}
+}
+
+// Key z-encodes a point into the key domain.
+func (g *GeoGrid) Key(lon, lat float64) Key {
+	return Key(g.g.Key(lon, lat))
+}
+
+// CoverRect decomposes a geographic rectangle into at most maxRanges key
+// ranges whose union covers it. Issue one query per range, as the paper
+// does ("for each of the z-code intervals, the system issues a query").
+func (g *GeoGrid) CoverRect(lon0, lat0, lon1, lat1 float64, maxRanges int) []KeyRange {
+	ivs := g.g.CoverGeoRect(lon0, lat0, lon1, lat1, maxRanges)
+	out := make([]KeyRange, len(ivs))
+	for i, iv := range ivs {
+		out[i] = KeyRange{Lo: Key(iv.Lo), Hi: Key(iv.Hi)}
+	}
+	return out
+}
+
+// QueryGeoRect runs one query per covering key range and merges the
+// results.
+func (db *DB) QueryGeoRect(g *GeoGrid, lon0, lat0, lon1, lat1 float64, times TimeRange, filter *Filter) (*Result, error) {
+	ranges := g.CoverRect(lon0, lat0, lon1, lat1, 16)
+	merged := &Result{}
+	for _, kr := range ranges {
+		r, err := db.Query(Query{Keys: kr, Times: times, Filter: filter})
+		if err != nil {
+			return nil, err
+		}
+		merged.Merge(r)
+		merged.SubQueries += r.SubQueries
+	}
+	merged.SortTuples()
+	return merged, nil
+}

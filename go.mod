@@ -1,0 +1,3 @@
+module waterwheel
+
+go 1.22

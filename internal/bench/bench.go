@@ -1,0 +1,165 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation (§VI) — the three-way B+ tree
+// comparison, mixed workloads, template update latency, chunk-size
+// effects, adaptive key partitioning, subquery dispatch policies, the
+// overall comparison against the HBase-like and Druid-like baselines, and
+// scalability — plus ablations for the design choices DESIGN.md calls out.
+//
+// Each experiment is a Runner producing a Report (a text table mirroring
+// the paper's figure). Absolute numbers differ from the paper's testbed;
+// the shapes — who wins, by roughly what factor, where the knees fall —
+// are what the harness reproduces. Workload sizes scale with
+// Options.Scale so the full suite also runs quickly in CI.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Scale multiplies workload sizes (1.0 = the harness defaults, which
+	// finish each experiment in seconds; raise for more stable numbers).
+	Scale float64
+	// Seed drives all randomness.
+	Seed int64
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (o *Options) fill() {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+}
+
+// n scales a base count.
+func (o Options) n(base int) int {
+	v := int(float64(base) * o.Scale)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Report is one experiment's output table.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row, stringifying the cells.
+func (r *Report) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// String renders an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(r.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, note := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", note)
+	}
+	return b.String()
+}
+
+// Runner executes one experiment.
+type Runner func(Options) (*Report, error)
+
+// registry maps experiment ids to runners; populated by the per-figure
+// files' init functions.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	registry[id] = r
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opt Options) (*Report, error) {
+	opt.fill()
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(opt)
+}
+
+// RunAll executes every registered experiment in id order.
+func RunAll(opt Options) ([]*Report, error) {
+	var out []*Report
+	for _, id := range IDs() {
+		rep, err := Run(id, opt)
+		if err != nil {
+			return out, fmt.Errorf("bench: %s: %w", id, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

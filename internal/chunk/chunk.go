@@ -1,0 +1,468 @@
+// Package chunk defines Waterwheel's immutable data-chunk format: the
+// serialized form of a flushed in-memory template B+ tree (paper §III-A).
+// The layout keeps everything a subquery needs for pruning — leaf
+// boundaries, per-leaf extents, per-leaf time-range bloom sketches — in a
+// single contiguous header block, so a query server fetches the header
+// once (cacheable) and then reads only the leaf extents selected by the
+// key range and the bloom filters (§IV-B, §VI-B: "the data layout in our
+// data chunks allows the system to read only the needed leaf nodes").
+//
+// Layout:
+//
+//	[8B magic "WWCHUNK1"]
+//	[4B header length H]
+//	[fixed fields: count, minTime, maxTime, keyLo, keyHi, nLeaves, flags]
+//	[(nLeaves-1) × 8B leaf boundary keys]
+//	[nLeaves × leaf directory entries {offset, length, count, minT, maxT}]
+//	[nLeaves × {4B sketch length, sketch bytes}]
+//	[optional, flagSecondary: 4B attribute offset,
+//	 nLeaves × {4B filter length, filter bytes}]
+//	--- header ends at offset H ---
+//	[leaf 0 tuples][leaf 1 tuples]…   (model tuple encoding, key-sorted)
+package chunk
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"waterwheel/internal/bloom"
+	"waterwheel/internal/core"
+	"waterwheel/internal/model"
+)
+
+var magic = [8]byte{'W', 'W', 'C', 'H', 'U', 'N', 'K', '1'}
+
+// ErrCorrupt reports a malformed chunk.
+var ErrCorrupt = errors.New("chunk: corrupt data")
+
+const (
+	flagBloom = 1 << iota
+	flagSecondary
+)
+
+// SecondarySpec enables a secondary bloom index over a non-key,
+// non-temporal attribute — the extension the paper lists as future work
+// (§VIII: "add secondary index structure by bitmap and bloom filters, to
+// enable index retrieval on non-key and non-temporal attributes"). The
+// attribute is a big-endian uint64 payload field at a fixed offset; each
+// leaf records its values in a bloom filter so equality predicates on the
+// attribute can skip leaves.
+type SecondarySpec struct {
+	// Offset is the payload byte offset of the big-endian uint64 field.
+	Offset uint32
+}
+
+// BuildOptions tunes chunk construction.
+type BuildOptions struct {
+	// BucketMillis is the time mini-range width for leaf bloom sketches
+	// (default 1000 ms).
+	BucketMillis int64
+	// FPRate is the sketch false-positive target (default 0.01).
+	FPRate float64
+	// DisableBloom omits the sketches (ablation switch).
+	DisableBloom bool
+	// Secondary, when non-nil, adds per-leaf bloom filters over the given
+	// payload attribute.
+	Secondary *SecondarySpec
+}
+
+func (o *BuildOptions) fill() {
+	if o.BucketMillis <= 0 {
+		o.BucketMillis = 1000
+	}
+	if o.FPRate <= 0 || o.FPRate >= 1 {
+		o.FPRate = 0.01
+	}
+}
+
+// LeafInfo locates one leaf inside the chunk body.
+type LeafInfo struct {
+	// Offset/Length are absolute byte positions within the chunk.
+	Offset, Length int64
+	// Count is the number of tuples in the leaf.
+	Count int
+	// MinT/MaxT bound the leaf's timestamps (valid when Count > 0).
+	MinT, MaxT model.Timestamp
+}
+
+// Meta summarizes a chunk for the metadata server.
+type Meta struct {
+	Count            int
+	MinTime, MaxTime model.Timestamp
+	Keys             model.KeyRange
+	Leaves           int
+	// HeaderLen is the byte length of the header block.
+	HeaderLen int
+	// Size is the total chunk size in bytes.
+	Size int64
+}
+
+// Build serializes a flush snapshot into a chunk, returning the bytes and
+// metadata.
+func Build(snap *core.FlushSnapshot, opts BuildOptions) ([]byte, Meta, error) {
+	if snap == nil || snap.Count == 0 {
+		return nil, Meta{}, errors.New("chunk: empty snapshot")
+	}
+	opts.fill()
+	nLeaves := len(snap.Leaves)
+
+	// Encode leaf bodies and collect directory info.
+	dir := make([]LeafInfo, nLeaves)
+	sketches := make([][]byte, nLeaves)
+	secondary := make([][]byte, nLeaves)
+	var body []byte
+	for i, entries := range snap.Leaves {
+		start := len(body)
+		info := LeafInfo{Count: len(entries)}
+		if len(entries) > 0 {
+			info.MinT, info.MaxT = entries[0].Time, entries[0].Time
+		}
+		var sk *bloom.TimeSketch
+		if !opts.DisableBloom && len(entries) > 0 {
+			est := len(entries)/4 + 16
+			sk = bloom.NewTimeSketch(opts.BucketMillis, est, opts.FPRate)
+		}
+		var sec *bloom.Filter
+		if opts.Secondary != nil && len(entries) > 0 {
+			sec = bloom.NewWithEstimates(len(entries), opts.FPRate)
+		}
+		for j := range entries {
+			e := &entries[j]
+			body = model.AppendTuple(body, e)
+			if e.Time < info.MinT {
+				info.MinT = e.Time
+			}
+			if e.Time > info.MaxT {
+				info.MaxT = e.Time
+			}
+			if sk != nil {
+				sk.AddTime(int64(e.Time))
+			}
+			if sec != nil {
+				if v, ok := payloadU64(e.Payload, opts.Secondary.Offset); ok {
+					sec.Add(v)
+				}
+			}
+		}
+		info.Length = int64(len(body) - start)
+		dir[i] = info // Offset fixed up after the header size is known.
+		if sk != nil {
+			sketches[i] = sk.AppendTo(nil)
+		}
+		if sec != nil {
+			secondary[i] = sec.AppendTo(nil)
+		}
+	}
+
+	// Header size: magic(8) + hlen(4) + count(8) + minT(8) + maxT(8) +
+	// keyLo(8) + keyHi(8) + nLeaves(4) + flags(1) + bounds + dir + sketches.
+	const fixed = 8 + 4 + 8 + 8 + 8 + 8 + 8 + 4 + 1
+	hlen := fixed + (nLeaves-1)*8 + nLeaves*36
+	for _, s := range sketches {
+		hlen += 4 + len(s)
+	}
+	if opts.Secondary != nil {
+		hlen += 4 // attribute offset
+		for _, s := range secondary {
+			hlen += 4 + len(s)
+		}
+	}
+	// Fix up absolute leaf offsets.
+	off := int64(hlen)
+	for i := range dir {
+		dir[i].Offset = off
+		off += dir[i].Length
+	}
+
+	out := make([]byte, 0, hlen+len(body))
+	out = append(out, magic[:]...)
+	out = appendU32(out, uint32(hlen))
+	out = appendU64(out, uint64(snap.Count))
+	out = appendU64(out, uint64(snap.MinTime))
+	out = appendU64(out, uint64(snap.MaxTime))
+	out = appendU64(out, uint64(snap.Keys.Lo))
+	out = appendU64(out, uint64(snap.Keys.Hi))
+	out = appendU32(out, uint32(nLeaves))
+	flags := byte(0)
+	if !opts.DisableBloom {
+		flags |= flagBloom
+	}
+	if opts.Secondary != nil {
+		flags |= flagSecondary
+	}
+	out = append(out, flags)
+	for _, b := range snap.Bounds {
+		out = appendU64(out, uint64(b))
+	}
+	for _, d := range dir {
+		out = appendU64(out, uint64(d.Offset))
+		out = appendU64(out, uint64(d.Length))
+		out = appendU32(out, uint32(d.Count))
+		out = appendU64(out, uint64(d.MinT))
+		out = appendU64(out, uint64(d.MaxT))
+	}
+	for _, s := range sketches {
+		out = appendU32(out, uint32(len(s)))
+		out = append(out, s...)
+	}
+	if opts.Secondary != nil {
+		out = appendU32(out, opts.Secondary.Offset)
+		for _, s := range secondary {
+			out = appendU32(out, uint32(len(s)))
+			out = append(out, s...)
+		}
+	}
+	if len(out) != hlen {
+		return nil, Meta{}, fmt.Errorf("chunk: header size miscomputed: %d != %d", len(out), hlen)
+	}
+	out = append(out, body...)
+
+	meta := Meta{
+		Count:     snap.Count,
+		MinTime:   snap.MinTime,
+		MaxTime:   snap.MaxTime,
+		Keys:      snap.Keys,
+		Leaves:    nLeaves,
+		HeaderLen: hlen,
+		Size:      int64(len(out)),
+	}
+	return out, meta, nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	var t [4]byte
+	binary.BigEndian.PutUint32(t[:], v)
+	return append(b, t[:]...)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	var t [8]byte
+	binary.BigEndian.PutUint64(t[:], v)
+	return append(b, t[:]...)
+}
+
+// Header is the parsed header block of a chunk — the "template" caching
+// unit of the query servers.
+type Header struct {
+	Meta
+	// Bounds are the leaf separators (len = Leaves-1).
+	Bounds []model.Key
+	// Dir locates each leaf.
+	Dir []LeafInfo
+	// Sketches holds each leaf's time sketch (nil entries when bloom is
+	// disabled or the leaf is empty).
+	Sketches []*bloom.TimeSketch
+	// SecondaryOffset is the payload offset of the secondary-indexed
+	// attribute; valid only when HasSecondary.
+	SecondaryOffset uint32
+	// HasSecondary reports whether per-leaf secondary filters exist.
+	HasSecondary bool
+	// SecondaryFilters holds each leaf's secondary attribute filter (nil
+	// for empty leaves or when the index is absent).
+	SecondaryFilters []*bloom.Filter
+}
+
+// payloadU64 extracts the big-endian uint64 at the given payload offset.
+func payloadU64(p []byte, off uint32) (uint64, bool) {
+	if int(off)+8 > len(p) {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(p[off : off+8]), true
+}
+
+// PeekHeaderLen returns the header block length from a chunk prefix of at
+// least 12 bytes, so a reader can fetch exactly the header.
+func PeekHeaderLen(prefix []byte) (int, error) {
+	if len(prefix) < 12 {
+		return 0, fmt.Errorf("%w: short prefix", ErrCorrupt)
+	}
+	for i := range magic {
+		if prefix[i] != magic[i] {
+			return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		}
+	}
+	return int(binary.BigEndian.Uint32(prefix[8:12])), nil
+}
+
+// ParseHeader decodes the header block (buf must hold at least HeaderLen
+// bytes).
+func ParseHeader(buf []byte) (*Header, error) {
+	hlen, err := PeekHeaderLen(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < hlen {
+		return nil, fmt.Errorf("%w: header truncated (%d < %d)", ErrCorrupt, len(buf), hlen)
+	}
+	const fixed = 8 + 4 + 8 + 8 + 8 + 8 + 8 + 4 + 1
+	if hlen < fixed {
+		return nil, fmt.Errorf("%w: header too small", ErrCorrupt)
+	}
+	h := &Header{}
+	h.HeaderLen = hlen
+	h.Count = int(binary.BigEndian.Uint64(buf[12:20]))
+	h.MinTime = model.Timestamp(binary.BigEndian.Uint64(buf[20:28]))
+	h.MaxTime = model.Timestamp(binary.BigEndian.Uint64(buf[28:36]))
+	h.Keys.Lo = model.Key(binary.BigEndian.Uint64(buf[36:44]))
+	h.Keys.Hi = model.Key(binary.BigEndian.Uint64(buf[44:52]))
+	nLeaves := int(binary.BigEndian.Uint32(buf[52:56]))
+	flags := buf[56]
+	h.Leaves = nLeaves
+	if nLeaves < 1 || nLeaves > 1<<24 {
+		return nil, fmt.Errorf("%w: leaf count %d", ErrCorrupt, nLeaves)
+	}
+	pos := fixed
+	need := pos + (nLeaves-1)*8 + nLeaves*36
+	if hlen < need {
+		return nil, fmt.Errorf("%w: directory truncated", ErrCorrupt)
+	}
+	h.Bounds = make([]model.Key, nLeaves-1)
+	for i := range h.Bounds {
+		h.Bounds[i] = model.Key(binary.BigEndian.Uint64(buf[pos:]))
+		pos += 8
+	}
+	h.Dir = make([]LeafInfo, nLeaves)
+	var totalLen int64
+	expectOff := int64(hlen)
+	for i := range h.Dir {
+		h.Dir[i].Offset = int64(binary.BigEndian.Uint64(buf[pos:]))
+		h.Dir[i].Length = int64(binary.BigEndian.Uint64(buf[pos+8:]))
+		h.Dir[i].Count = int(binary.BigEndian.Uint32(buf[pos+16:]))
+		h.Dir[i].MinT = model.Timestamp(binary.BigEndian.Uint64(buf[pos+20:]))
+		h.Dir[i].MaxT = model.Timestamp(binary.BigEndian.Uint64(buf[pos+28:]))
+		pos += 36
+		// Leaf extents must tile the body contiguously in order; anything
+		// else is corruption that must not reach the read path.
+		if h.Dir[i].Length < 0 || h.Dir[i].Offset != expectOff {
+			return nil, fmt.Errorf("%w: leaf %d extent [%d,+%d) breaks body tiling at %d",
+				ErrCorrupt, i, h.Dir[i].Offset, h.Dir[i].Length, expectOff)
+		}
+		expectOff += h.Dir[i].Length
+		totalLen += h.Dir[i].Length
+	}
+	h.Size = int64(hlen) + totalLen
+	h.Sketches = make([]*bloom.TimeSketch, nLeaves)
+	if flags&flagBloom != 0 {
+		for i := 0; i < nLeaves; i++ {
+			if pos+4 > hlen {
+				return nil, fmt.Errorf("%w: sketch block truncated", ErrCorrupt)
+			}
+			slen := int(binary.BigEndian.Uint32(buf[pos:]))
+			pos += 4
+			if slen == 0 {
+				continue
+			}
+			if pos+slen > hlen {
+				return nil, fmt.Errorf("%w: sketch truncated", ErrCorrupt)
+			}
+			sk, _, err := bloom.DecodeTimeSketch(buf[pos : pos+slen])
+			if err != nil {
+				return nil, err
+			}
+			h.Sketches[i] = sk
+			pos += slen
+		}
+	}
+	h.SecondaryFilters = make([]*bloom.Filter, nLeaves)
+	if flags&flagSecondary != 0 {
+		if pos+4 > hlen {
+			return nil, fmt.Errorf("%w: secondary offset truncated", ErrCorrupt)
+		}
+		h.SecondaryOffset = binary.BigEndian.Uint32(buf[pos:])
+		h.HasSecondary = true
+		pos += 4
+		for i := 0; i < nLeaves; i++ {
+			if pos+4 > hlen {
+				return nil, fmt.Errorf("%w: secondary block truncated", ErrCorrupt)
+			}
+			slen := int(binary.BigEndian.Uint32(buf[pos:]))
+			pos += 4
+			if slen == 0 {
+				continue
+			}
+			if pos+slen > hlen {
+				return nil, fmt.Errorf("%w: secondary filter truncated", ErrCorrupt)
+			}
+			f, _, err := bloom.Decode(buf[pos : pos+slen])
+			if err != nil {
+				return nil, err
+			}
+			h.SecondaryFilters[i] = f
+			pos += slen
+		}
+	}
+	return h, nil
+}
+
+// SelectLeaves returns the indices of leaves a subquery must read for the
+// given key and time ranges, plus the number of key-overlapping leaves that
+// were pruned (by leaf time bounds or bloom sketches). Set useBloom=false
+// to ablate sketch pruning.
+func (h *Header) SelectLeaves(kr model.KeyRange, tr model.TimeRange, useBloom bool) (read []int, pruned int) {
+	return h.SelectLeavesFor(kr, tr, useBloom, nil)
+}
+
+// SelectLeavesFor extends SelectLeaves with an optional secondary
+// equality value: when the chunk carries a secondary attribute index and
+// secEQ is non-nil, leaves whose secondary filter cannot contain *secEQ
+// are pruned as well.
+func (h *Header) SelectLeavesFor(kr model.KeyRange, tr model.TimeRange, useBloom bool, secEQ *uint64) (read []int, pruned int) {
+	if !kr.IsValid() || !tr.IsValid() {
+		return nil, 0
+	}
+	lo := sort.Search(len(h.Bounds), func(i int) bool { return kr.Lo < h.Bounds[i] })
+	for i := lo; i < h.Leaves; i++ {
+		if i > 0 && h.Bounds[i-1] > kr.Hi {
+			break
+		}
+		d := h.Dir[i]
+		if d.Count == 0 {
+			continue
+		}
+		if d.MaxT < tr.Lo || d.MinT > tr.Hi {
+			pruned++
+			continue
+		}
+		if useBloom && h.Sketches[i] != nil && !h.Sketches[i].MayOverlap(int64(tr.Lo), int64(tr.Hi)) {
+			pruned++
+			continue
+		}
+		if secEQ != nil && h.HasSecondary && h.SecondaryFilters[i] != nil && !h.SecondaryFilters[i].MayContain(*secEQ) {
+			pruned++
+			continue
+		}
+		read = append(read, i)
+	}
+	return read, pruned
+}
+
+// DecodeLeaf decodes the tuples of one leaf body (the bytes at
+// Dir[i].Offset..+Length). Payloads alias buf.
+func DecodeLeaf(buf []byte) ([]model.Tuple, error) {
+	return model.DecodeTuples(buf)
+}
+
+// ScanLeaf visits the leaf's tuples matching the ranges and filter in key
+// order, stopping early when fn returns false. It decodes incrementally,
+// skipping payload copies for non-matching tuples.
+func ScanLeaf(buf []byte, kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn func(*model.Tuple) bool) error {
+	for len(buf) > 0 {
+		t, n, err := model.DecodeTuple(buf)
+		if err != nil {
+			return err
+		}
+		buf = buf[n:]
+		if t.Key > kr.Hi {
+			return nil // leaf is key-sorted; nothing further matches
+		}
+		if t.Key < kr.Lo || t.Time < tr.Lo || t.Time > tr.Hi || !filter.Matches(&t) {
+			continue
+		}
+		if !fn(&t) {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,547 @@
+// Package cluster wires Waterwheel's components — dispatchers, indexing
+// servers, query servers, the metadata server, the query coordinator, the
+// WAL and the simulated distributed file system — into a running system
+// (paper Figure 3). It plays the role Apache Storm played in the paper's
+// prototype: operator placement, data routing, and lifecycle.
+//
+// The cluster simulates N nodes inside one process. Per node it runs the
+// paper's §VI deployment: 2 indexing servers, 4 query servers and 2
+// dispatchers, with a DFS datanode co-located on every node. Tuples flow
+// dispatcher → WAL partition → indexing server → (flush) → DFS chunk;
+// queries flow coordinator → indexing/query servers → merge.
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waterwheel/internal/chunk"
+	"waterwheel/internal/dfs"
+	"waterwheel/internal/dispatcher"
+	"waterwheel/internal/ingest"
+	"waterwheel/internal/meta"
+	"waterwheel/internal/model"
+	"waterwheel/internal/queryexec"
+	"waterwheel/internal/wal"
+)
+
+// Config configures a cluster.
+type Config struct {
+	// Nodes is the simulated node count (default 1).
+	Nodes int
+	// IndexServersPerNode, QueryServersPerNode, DispatchersPerNode mirror
+	// the paper's per-node deployment (defaults 2, 4, 2).
+	IndexServersPerNode int
+	QueryServersPerNode int
+	DispatchersPerNode  int
+	// ChunkBytes is the flush threshold (default 16 MB).
+	ChunkBytes int64
+	// CacheBytes is each query server's LRU budget (default 1 GB).
+	CacheBytes int64
+	// TemplateLeaves is the leaf count per in-memory tree (default 256).
+	TemplateLeaves int
+	// SkewThreshold / CheckEvery tune adaptive template update.
+	SkewThreshold float64
+	CheckEvery    int
+	// LateDeltaMillis is the coordinator's late-visibility Δt (default
+	// 10 000 ms).
+	LateDeltaMillis int64
+	// SideThresholdMillis routes very-late tuples to the side store
+	// (default 60 000 ms; negative disables).
+	SideThresholdMillis int64
+	// Replication is the DFS replica count (default 3).
+	Replication int
+	// DFSLatency models chunk I/O costs; the zero value charges nothing.
+	DFSLatency dfs.LatencyModel
+	// Policy names the subquery dispatch policy (default "lada").
+	Policy string
+	// AdaptivePartitioning enables the key balancer (default on; set
+	// DisableAdaptive to turn off).
+	DisableAdaptive bool
+	// BalanceIntervalMillis is the balancer cadence; 0 disables the
+	// background loop (use TickBalance for manual control).
+	BalanceIntervalMillis int64
+	// UseBloom enables leaf time-sketch pruning (default on; set
+	// DisableBloom to turn off).
+	DisableBloom bool
+	// NoTemplateReuse rebuilds templates at every flush (ablation).
+	NoTemplateReuse bool
+	// SyncIngest bypasses the WAL: dispatchers call the indexing servers
+	// directly. Maximum-throughput mode for microbenchmarks; forfeits
+	// replay-based recovery.
+	SyncIngest bool
+	// Bloom tunes chunk sketch construction.
+	Bloom chunk.BuildOptions
+	// Seed drives DFS placement and samplers.
+	Seed int64
+	// DataDir, when non-empty, makes the deployment durable: chunks back
+	// onto DataDir/dfs, the WAL onto DataDir/wal, and the metadata server
+	// snapshots to DataDir/meta.snap (written by Checkpoint and Stop). A
+	// cluster opened over an existing DataDir restores the previous state
+	// and replays each indexing server's WAL tail from its recorded offset
+	// (§V). Incompatible with SyncIngest.
+	DataDir string
+}
+
+func (c *Config) fill() {
+	if c.Nodes < 1 {
+		c.Nodes = 1
+	}
+	if c.IndexServersPerNode <= 0 {
+		c.IndexServersPerNode = 2
+	}
+	if c.QueryServersPerNode <= 0 {
+		c.QueryServersPerNode = 4
+	}
+	if c.DispatchersPerNode <= 0 {
+		c.DispatchersPerNode = 2
+	}
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 16 << 20
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 1 << 30
+	}
+	if c.TemplateLeaves <= 0 {
+		c.TemplateLeaves = 256
+	}
+	if c.LateDeltaMillis <= 0 {
+		c.LateDeltaMillis = 10_000
+	}
+	if c.Replication <= 0 {
+		c.Replication = 3
+	}
+	c.Bloom.DisableBloom = c.Bloom.DisableBloom || c.DisableBloom
+}
+
+// Cluster is a running Waterwheel deployment.
+type Cluster struct {
+	cfg Config
+
+	fs    *dfs.FS
+	ms    *meta.Server
+	log   *wal.Log
+	disp  []*dispatcher.Dispatcher
+	idx   []*ingest.Server
+	qsrv  []*queryexec.Server
+	coord *queryexec.Coordinator
+	bal   *dispatcher.Balancer
+
+	rr   atomic.Uint64 // round-robin dispatcher pick for Insert
+	stop chan struct{}
+	// consStop holds one stop channel per indexing-server consumer so a
+	// single consumer can be "crashed" without stopping the cluster.
+	consMu   sync.Mutex
+	consStop []chan struct{}
+	wg       sync.WaitGroup
+	started  atomic.Bool
+	stopped  atomic.Bool
+}
+
+// New builds a cluster, panicking on persistence errors; use Open to
+// handle them. Call Start before inserting.
+func New(cfg Config) *Cluster {
+	c, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Open builds a cluster; call Start before inserting. With Config.DataDir
+// set, previous on-disk state is restored.
+func Open(cfg Config) (*Cluster, error) {
+	cfg.fill()
+	if cfg.DataDir != "" && cfg.SyncIngest {
+		return nil, fmt.Errorf("cluster: DataDir requires the WAL pipeline (disable SyncIngest)")
+	}
+	nIdx := cfg.Nodes * cfg.IndexServersPerNode
+
+	fsCfg := dfs.Config{
+		Nodes:       cfg.Nodes,
+		Replication: cfg.Replication,
+		Latency:     cfg.DFSLatency,
+		Seed:        cfg.Seed,
+	}
+	var (
+		ms  *meta.Server
+		log *wal.Log
+	)
+	if cfg.DataDir != "" {
+		fsCfg.Dir = filepath.Join(cfg.DataDir, "dfs")
+		var err error
+		log, err = wal.OpenLogDir(filepath.Join(cfg.DataDir, "wal"), nIdx)
+		if err != nil {
+			return nil, err
+		}
+		snap, err := os.ReadFile(metaSnapPath(cfg.DataDir))
+		switch {
+		case err == nil:
+			ms, err = meta.Restore(snap)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: metadata restore: %w", err)
+			}
+		case os.IsNotExist(err):
+			ms = meta.NewServer(nIdx)
+		default:
+			return nil, fmt.Errorf("cluster: metadata snapshot: %w", err)
+		}
+	} else {
+		ms = meta.NewServer(nIdx)
+		log = wal.NewLog(nIdx)
+	}
+	fs, err := dfs.Open(fsCfg)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{
+		cfg:  cfg,
+		fs:   fs,
+		ms:   ms,
+		log:  log,
+		bal:  dispatcher.NewBalancer(),
+		stop: make(chan struct{}),
+	}
+	c.coord = queryexec.NewCoordinator(queryexec.CoordinatorConfig{
+		LateDeltaMillis: cfg.LateDeltaMillis,
+		Policy:          queryexec.PolicyByName(cfg.Policy),
+	}, c.ms, c.fs)
+
+	schema := c.ms.Schema()
+	for i := 0; i < nIdx; i++ {
+		node := i / cfg.IndexServersPerNode
+		srv := ingest.NewServer(ingest.Config{
+			ID:                  i,
+			Keys:                schema.IntervalOf(i),
+			ChunkBytes:          cfg.ChunkBytes,
+			Leaves:              cfg.TemplateLeaves,
+			SkewThreshold:       cfg.SkewThreshold,
+			CheckEvery:          cfg.CheckEvery,
+			SideThresholdMillis: cfg.SideThresholdMillis,
+			Bloom:               cfg.Bloom,
+			NoTemplateReuse:     cfg.NoTemplateReuse,
+		}, c.fs, c.ms, node)
+		c.idx = append(c.idx, srv)
+		c.coord.SetMemExecutor(i, srv)
+	}
+	for n := 0; n < cfg.Nodes; n++ {
+		for j := 0; j < cfg.QueryServersPerNode; j++ {
+			qs := queryexec.NewServer(queryexec.ServerConfig{
+				ID:         n*cfg.QueryServersPerNode + j,
+				Node:       n,
+				CacheBytes: cfg.CacheBytes,
+				UseBloom:   !cfg.DisableBloom,
+			}, c.fs, c.ms)
+			c.qsrv = append(c.qsrv, qs)
+			c.coord.AddQueryServer(qs)
+		}
+	}
+	var sink dispatcher.Sink
+	if cfg.SyncIngest {
+		sink = dispatcher.SinkFunc(func(server int, t model.Tuple) {
+			c.idx[server].Insert(t)
+		})
+	} else {
+		sink = dispatcher.SinkFunc(func(server int, t model.Tuple) {
+			c.log.Partition(server).Append(model.AppendTuple(nil, &t))
+		})
+	}
+	nDisp := cfg.Nodes * cfg.DispatchersPerNode
+	for i := 0; i < nDisp; i++ {
+		c.disp = append(c.disp, dispatcher.New(schema, sink, dispatcher.SamplerConfig{Seed: cfg.Seed + int64(i)}))
+	}
+	return c, nil
+}
+
+// metaSnapPath is the metadata snapshot file within a data directory.
+func metaSnapPath(dataDir string) string { return filepath.Join(dataDir, "meta.snap") }
+
+// Checkpoint persists the metadata server's state (chunk registry,
+// partition schema, WAL offsets) to the data directory. No-op without a
+// DataDir. Stop checkpoints automatically; call this for crash-safety
+// points in between.
+func (c *Cluster) Checkpoint() error {
+	if c.cfg.DataDir == "" {
+		return nil
+	}
+	snap, err := c.ms.Snapshot()
+	if err != nil {
+		return err
+	}
+	tmp := metaSnapPath(c.cfg.DataDir) + ".tmp"
+	if err := os.WriteFile(tmp, snap, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, metaSnapPath(c.cfg.DataDir)); err != nil {
+		return err
+	}
+	for i := 0; i < c.log.Partitions(); i++ {
+		if err := c.log.Partition(i).Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start launches the ingestion consumers and, when configured, the
+// balancer loop.
+func (c *Cluster) Start() {
+	if c.started.Swap(true) {
+		return
+	}
+	if !c.cfg.SyncIngest {
+		c.consMu.Lock()
+		c.consStop = make([]chan struct{}, len(c.idx))
+		for i, srv := range c.idx {
+			cs := make(chan struct{})
+			c.consStop[i] = cs
+			c.wg.Add(1)
+			go func(i int, srv *ingest.Server, cs chan struct{}) {
+				defer c.wg.Done()
+				srv.Consume(c.log.Partition(i), mergedStop(c.stop, cs))
+			}(i, srv, cs)
+		}
+		c.consMu.Unlock()
+	}
+	if !c.cfg.DisableAdaptive && c.cfg.BalanceIntervalMillis > 0 {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			tick := time.NewTicker(time.Duration(c.cfg.BalanceIntervalMillis) * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case <-tick.C:
+					c.TickBalance()
+				}
+			}
+		}()
+	}
+}
+
+// Stop drains and shuts the cluster down, checkpointing persistent state.
+func (c *Cluster) Stop() {
+	if c.stopped.Swap(true) {
+		return
+	}
+	close(c.stop)
+	c.log.Close()
+	c.wg.Wait()
+	if c.cfg.DataDir != "" {
+		c.Checkpoint() // best effort; state is also rebuildable from the WAL
+		for i := 0; i < c.log.Partitions(); i++ {
+			c.log.Partition(i).CloseFile()
+		}
+	}
+}
+
+// Insert routes one tuple through a dispatcher (round-robin across the
+// configured dispatchers, as multiple ingestion clients would).
+func (c *Cluster) Insert(t model.Tuple) {
+	d := c.disp[int(c.rr.Add(1))%len(c.disp)]
+	d.Dispatch(t)
+}
+
+// InsertVia routes a tuple through a specific dispatcher — lets callers
+// shard their input streams deterministically.
+func (c *Cluster) InsertVia(dispatcherID int, t model.Tuple) {
+	c.disp[dispatcherID%len(c.disp)].Dispatch(t)
+}
+
+// Query executes a temporal range query and returns the merged result.
+func (c *Cluster) Query(q model.Query) (*model.Result, error) {
+	return c.coord.Execute(q)
+}
+
+// Drain blocks until every WAL partition has been fully consumed by its
+// indexing server (no-op in SyncIngest mode). It makes "insert then
+// query" deterministic for tests and experiments.
+func (c *Cluster) Drain() {
+	if c.cfg.SyncIngest {
+		return
+	}
+	for i, srv := range c.idx {
+		p := c.log.Partition(i)
+		for srv.Consumed() < p.Next() {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// FlushAll forces every indexing server to flush its memtables.
+func (c *Cluster) FlushAll() {
+	for _, srv := range c.idx {
+		srv.FlushAll()
+	}
+}
+
+// TickBalance runs one adaptive-partitioning round: rotate the dispatcher
+// samplers' windows, pool their samples, and — if the estimated load of
+// any indexing server deviates beyond the threshold — install a new key
+// partitioning (paper §III-D). Returns whether a repartition happened.
+func (c *Cluster) TickBalance() bool {
+	if c.cfg.DisableAdaptive {
+		return false
+	}
+	var sample []model.Key
+	for _, d := range c.disp {
+		sample = append(sample, d.Sampler().Sample()...)
+		d.Sampler().Rotate()
+	}
+	schema := c.ms.Schema()
+	bounds, ok := c.bal.Rebalance(schema, sample)
+	if !ok {
+		return false
+	}
+	newSchema, err := c.ms.SetSchema(bounds)
+	if err != nil {
+		return false
+	}
+	for _, d := range c.disp {
+		d.UpdateSchema(newSchema)
+	}
+	for i, srv := range c.idx {
+		srv.SetKeys(newSchema.IntervalOf(i))
+	}
+	return true
+}
+
+// DropChunksBefore removes every chunk whose temporal region ends before
+// the horizon — stream-store retention. The chunk leaves the metadata
+// registry first (no new subqueries can target it) and its file is then
+// deleted. Returns the number of chunks dropped.
+func (c *Cluster) DropChunksBefore(horizon model.Timestamp) int {
+	dropped := 0
+	for _, ci := range c.ms.ChunksFor(model.FullRegion()) {
+		if ci.Region.Times.Hi >= horizon {
+			continue
+		}
+		if !c.ms.DropChunk(ci.ID) {
+			continue
+		}
+		c.fs.Delete(ci.Path)
+		dropped++
+	}
+	return dropped
+}
+
+// TruncateWALBefore advances each partition's retention horizon to its
+// indexing server's recorded flush offset: records already represented in
+// chunks are no longer needed for recovery.
+func (c *Cluster) TruncateWALBefore() {
+	if c.cfg.SyncIngest {
+		return
+	}
+	for i := 0; i < c.log.Partitions(); i++ {
+		c.log.Partition(i).Truncate(c.ms.Offset(i))
+	}
+}
+
+// Accessors used by experiments, examples and the public API.
+
+// Metadata returns the metadata server.
+func (c *Cluster) Metadata() *meta.Server { return c.ms }
+
+// FS returns the distributed file system.
+func (c *Cluster) FS() *dfs.FS { return c.fs }
+
+// Coordinator returns the query coordinator.
+func (c *Cluster) Coordinator() *queryexec.Coordinator { return c.coord }
+
+// IndexServers returns the indexing servers.
+func (c *Cluster) IndexServers() []*ingest.Server { return c.idx }
+
+// QueryServers returns the query servers.
+func (c *Cluster) QueryServers() []*queryexec.Server { return c.qsrv }
+
+// Dispatchers returns the dispatchers.
+func (c *Cluster) Dispatchers() []*dispatcher.Dispatcher { return c.disp }
+
+// WAL returns the write-ahead log.
+func (c *Cluster) WAL() *wal.Log { return c.log }
+
+// Ingested returns the total tuples accepted by the indexing servers.
+func (c *Cluster) Ingested() int64 {
+	var n int64
+	for _, srv := range c.idx {
+		n += srv.Stats().Ingested.Load()
+	}
+	return n
+}
+
+// MemLen returns the total buffered (unflushed) tuples.
+func (c *Cluster) MemLen() int {
+	n := 0
+	for _, srv := range c.idx {
+		n += srv.MemLen()
+	}
+	return n
+}
+
+// CrashIndexServer simulates an indexing-server failure and recovery (§V):
+// the server's goroutine stops, its in-memory state is discarded, and a
+// replacement replays its WAL partition from the offset stored in the
+// metadata server. Only valid in WAL mode. The call blocks until the
+// replacement has caught up with the partition head at call time.
+func (c *Cluster) CrashIndexServer(i int) error {
+	if c.cfg.SyncIngest {
+		return fmt.Errorf("cluster: recovery requires WAL mode")
+	}
+	if i < 0 || i >= len(c.idx) {
+		return fmt.Errorf("cluster: no indexing server %d", i)
+	}
+	// Stop the old consumer (the "crash"): its in-memory state is lost.
+	c.consMu.Lock()
+	close(c.consStop[i])
+	cs := make(chan struct{})
+	c.consStop[i] = cs
+	c.consMu.Unlock()
+	node := i / c.cfg.IndexServersPerNode
+	schema := c.ms.Schema()
+	repl := ingest.NewServer(ingest.Config{
+		ID:                  i,
+		Keys:                schema.IntervalOf(i),
+		ChunkBytes:          c.cfg.ChunkBytes,
+		Leaves:              c.cfg.TemplateLeaves,
+		SkewThreshold:       c.cfg.SkewThreshold,
+		CheckEvery:          c.cfg.CheckEvery,
+		SideThresholdMillis: c.cfg.SideThresholdMillis,
+		Bloom:               c.cfg.Bloom,
+	}, c.fs, c.ms, node)
+	c.idx[i] = repl
+	c.coord.SetMemExecutor(i, repl)
+	head := c.log.Partition(i).Next()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		repl.Consume(c.log.Partition(i), mergedStop(c.stop, cs))
+	}()
+	for repl.Consumed() < head {
+		select {
+		case <-c.stop:
+			return nil
+		default:
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return nil
+}
+
+// mergedStop returns a channel that closes when either input closes.
+func mergedStop(a, b <-chan struct{}) <-chan struct{} {
+	out := make(chan struct{})
+	go func() {
+		select {
+		case <-a:
+		case <-b:
+		}
+		close(out)
+	}()
+	return out
+}

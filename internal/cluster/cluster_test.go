@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"waterwheel/internal/model"
+)
+
+func testConfig() Config {
+	return Config{
+		Nodes:               2,
+		IndexServersPerNode: 1,
+		QueryServersPerNode: 2,
+		DispatchersPerNode:  1,
+		ChunkBytes:          1 << 20,
+		CacheBytes:          4 << 20,
+		TemplateLeaves:      32,
+		Seed:                1,
+	}
+}
+
+func startCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c := New(cfg)
+	c.Start()
+	t.Cleanup(c.Stop)
+	return c
+}
+
+func TestInsertQueryRoundTrip(t *testing.T) {
+	c := startCluster(t, testConfig())
+	for i := 0; i < 1000; i++ {
+		c.Insert(model.Tuple{
+			Key:     model.Key(uint64(i) << 50),
+			Time:    model.Timestamp(1000 + i),
+			Payload: []byte{byte(i)},
+		})
+	}
+	c.Drain()
+	res, err := c.Query(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1000 {
+		t.Fatalf("got %d tuples, want 1000", len(res.Tuples))
+	}
+	if c.Ingested() != 1000 {
+		t.Errorf("Ingested = %d", c.Ingested())
+	}
+}
+
+func TestQueryAcrossFlushBoundary(t *testing.T) {
+	cfg := testConfig()
+	cfg.ChunkBytes = 4 << 10 // force frequent flushes
+	c := startCluster(t, cfg)
+	for i := 0; i < 3000; i++ {
+		c.Insert(model.Tuple{Key: model.Key(uint64(i) << 44), Time: model.Timestamp(i)})
+	}
+	c.Drain()
+	if c.Metadata().ChunkCount() == 0 {
+		t.Fatal("no chunks were flushed")
+	}
+	res, err := c.Query(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 3000 {
+		t.Fatalf("got %d tuples, want 3000 (chunks=%d, mem=%d)",
+			len(res.Tuples), c.Metadata().ChunkCount(), c.MemLen())
+	}
+}
+
+func TestSelectiveQueries(t *testing.T) {
+	cfg := testConfig()
+	cfg.ChunkBytes = 16 << 10
+	c := startCluster(t, cfg)
+	tuples := make([]model.Tuple, 5000)
+	for i := range tuples {
+		tuples[i] = model.Tuple{Key: model.Key(uint64(i%1000) << 50), Time: model.Timestamp(i)}
+		c.Insert(tuples[i])
+	}
+	c.Drain()
+	kr := model.KeyRange{Lo: 100 << 50, Hi: 200 << 50}
+	tr := model.TimeRange{Lo: 1000, Hi: 2000}
+	res, err := c.Query(model.Query{Keys: kr, Times: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, tp := range tuples {
+		if kr.Contains(tp.Key) && tr.Contains(tp.Time) {
+			want++
+		}
+	}
+	if len(res.Tuples) != want || want == 0 {
+		t.Fatalf("got %d, want %d (>0)", len(res.Tuples), want)
+	}
+}
+
+func TestSyncIngestMode(t *testing.T) {
+	cfg := testConfig()
+	cfg.SyncIngest = true
+	c := startCluster(t, cfg)
+	for i := 0; i < 500; i++ {
+		c.Insert(model.Tuple{Key: model.Key(uint64(i) << 50), Time: model.Timestamp(i)})
+	}
+	c.Drain() // no-op, must not hang
+	res, err := c.Query(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 500 {
+		t.Fatalf("got %d tuples", len(res.Tuples))
+	}
+	if err := c.CrashIndexServer(0); err == nil {
+		t.Error("crash recovery should be unavailable in sync mode")
+	}
+}
+
+func TestAdaptiveRebalancing(t *testing.T) {
+	cfg := testConfig()
+	cfg.Nodes = 4
+	c := startCluster(t, cfg)
+	rng := rand.New(rand.NewSource(2))
+	// All keys land in server 0's initial interval.
+	for i := 0; i < 10000; i++ {
+		c.Insert(model.Tuple{Key: model.Key(rng.Intn(1 << 20)), Time: model.Timestamp(i)})
+	}
+	c.Drain()
+	if !c.TickBalance() {
+		t.Fatal("balancer did not fire on a fully skewed stream")
+	}
+	if c.Metadata().Schema().Version < 2 {
+		t.Error("schema version not bumped")
+	}
+	// Post-rebalance traffic spreads across servers.
+	for i := 0; i < 8000; i++ {
+		c.Insert(model.Tuple{Key: model.Key(rng.Intn(1 << 20)), Time: model.Timestamp(20000 + i)})
+	}
+	c.Drain()
+	counts := make([]int64, len(c.IndexServers()))
+	for i, srv := range c.IndexServers() {
+		counts[i] = srv.Stats().Ingested.Load()
+	}
+	spread := 0
+	for _, n := range counts {
+		if n > 500 {
+			spread++
+		}
+	}
+	if spread < 3 {
+		t.Errorf("ingestion still concentrated after rebalance: %v", counts)
+	}
+	// Correctness across the repartition: everything still queryable.
+	res, err := c.Query(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 18000 {
+		t.Fatalf("got %d tuples, want 18000", len(res.Tuples))
+	}
+}
+
+func TestRepartitionOverlapCorrectness(t *testing.T) {
+	// Tuples buffered under the old schema must stay visible through the
+	// overlap window (§III-D): query the moved key range before any flush.
+	cfg := testConfig()
+	cfg.Nodes = 2
+	cfg.ChunkBytes = 1 << 30 // never flush
+	c := startCluster(t, cfg)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		c.Insert(model.Tuple{Key: model.Key(rng.Intn(1 << 30)), Time: model.Timestamp(i)})
+	}
+	c.Drain()
+	if !c.TickBalance() {
+		t.Fatal("expected a repartition")
+	}
+	res, err := c.Query(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 5000 {
+		t.Fatalf("lost tuples across repartition: %d/5000", len(res.Tuples))
+	}
+}
+
+func TestIndexServerCrashRecovery(t *testing.T) {
+	cfg := testConfig()
+	cfg.ChunkBytes = 8 << 10
+	c := startCluster(t, cfg)
+	for i := 0; i < 4000; i++ {
+		c.Insert(model.Tuple{Key: model.Key(uint64(i) << 45), Time: model.Timestamp(i)})
+	}
+	c.Drain()
+	before, err := c.Query(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrashIndexServer(0); err != nil {
+		t.Fatal(err)
+	}
+	after, err := c.Query(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Tuples) != len(before.Tuples) {
+		t.Fatalf("data lost across crash: %d -> %d", len(before.Tuples), len(after.Tuples))
+	}
+	// The replacement keeps ingesting.
+	for i := 0; i < 100; i++ {
+		c.Insert(model.Tuple{Key: model.Key(uint64(i) << 45), Time: model.Timestamp(10_000 + i)})
+	}
+	c.Drain()
+	res, err := c.Query(model.Query{Keys: model.FullKeyRange(), Times: model.TimeRange{Lo: 10_000, Hi: 20_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 100 {
+		t.Fatalf("post-recovery inserts: %d/100 visible", len(res.Tuples))
+	}
+}
+
+func TestConcurrentInsertAndQuery(t *testing.T) {
+	cfg := testConfig()
+	cfg.ChunkBytes = 32 << 10
+	c := startCluster(t, cfg)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 2000; i++ {
+				c.Insert(model.Tuple{Key: model.Key(rng.Uint64()), Time: model.Timestamp(i)})
+			}
+		}(w)
+	}
+	qErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := c.Query(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()}); err != nil {
+				select {
+				case qErr <- err:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-qErr:
+		t.Fatalf("query during ingest: %v", err)
+	default:
+	}
+	c.Drain()
+	res, err := c.Query(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 8000 {
+		t.Fatalf("got %d tuples, want 8000", len(res.Tuples))
+	}
+}
+
+func TestStopIdempotentAndRestartSafe(t *testing.T) {
+	c := New(testConfig())
+	c.Start()
+	c.Start() // idempotent
+	c.Insert(model.Tuple{Key: 1, Time: 1})
+	c.Drain()
+	c.Stop()
+	c.Stop() // idempotent
+}

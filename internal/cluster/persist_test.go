@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"testing"
+
+	"waterwheel/internal/model"
+)
+
+func persistentConfig(dir string) Config {
+	cfg := testConfig()
+	cfg.DataDir = dir
+	return cfg
+}
+
+func TestPersistentRestartRecoversEverything(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(persistentConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	for i := 0; i < 3000; i++ {
+		c.Insert(model.Tuple{Key: model.Key(uint64(i) << 45), Time: model.Timestamp(i), Payload: []byte{byte(i)}})
+	}
+	c.Drain()
+	// Leave a mix of flushed chunks and unflushed memtable tail.
+	if c.Metadata().ChunkCount() == 0 {
+		c.IndexServers()[0].Flush()
+	}
+	memBefore := c.MemLen()
+	chunksBefore := c.Metadata().ChunkCount()
+	c.Stop()
+
+	// "Restart the process": a new cluster over the same directory.
+	c2, err := Open(persistentConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Start()
+	defer c2.Stop()
+	c2.Drain() // replay the WAL tails
+	if got := c2.Metadata().ChunkCount(); got != chunksBefore {
+		t.Errorf("chunks after restart: %d, want %d", got, chunksBefore)
+	}
+	res, err := c2.Query(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 3000 {
+		t.Fatalf("after restart query found %d/3000 (mem before stop: %d)", len(res.Tuples), memBefore)
+	}
+	// The restarted cluster keeps working.
+	for i := 0; i < 100; i++ {
+		c2.Insert(model.Tuple{Key: model.Key(i), Time: model.Timestamp(100_000 + i)})
+	}
+	c2.Drain()
+	res, err = c2.Query(model.Query{Keys: model.FullKeyRange(), Times: model.TimeRange{Lo: 100_000, Hi: 200_000}})
+	if err != nil || len(res.Tuples) != 100 {
+		t.Fatalf("post-restart inserts: %d, %v", len(res.Tuples), err)
+	}
+}
+
+func TestPersistentSchemaSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := persistentConfig(dir)
+	cfg.Nodes = 4
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	for i := 0; i < 10_000; i++ {
+		c.Insert(model.Tuple{Key: model.Key(i % 1000), Time: model.Timestamp(i)}) // skewed
+	}
+	c.Drain()
+	if !c.TickBalance() {
+		t.Fatal("expected a rebalance")
+	}
+	version := c.Metadata().Schema().Version
+	c.Stop()
+
+	c2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Start()
+	defer c2.Stop()
+	if got := c2.Metadata().Schema().Version; got != version {
+		t.Errorf("schema version after restart: %d, want %d", got, version)
+	}
+}
+
+func TestPersistentRejectsSyncIngest(t *testing.T) {
+	cfg := testConfig()
+	cfg.DataDir = t.TempDir()
+	cfg.SyncIngest = true
+	if _, err := Open(cfg); err == nil {
+		t.Fatal("DataDir + SyncIngest accepted")
+	}
+}
+
+func TestCheckpointWithoutDataDirIsNoop(t *testing.T) {
+	c := New(testConfig())
+	c.Start()
+	defer c.Stop()
+	if err := c.Checkpoint(); err != nil {
+		t.Fatalf("no-op checkpoint errored: %v", err)
+	}
+}

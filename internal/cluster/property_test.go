@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"waterwheel/internal/model"
+)
+
+// refStore is the linear-scan ground truth for end-to-end comparisons.
+type refStore struct {
+	tuples []model.Tuple
+}
+
+func (r *refStore) insert(t model.Tuple) { r.tuples = append(r.tuples, t) }
+
+func (r *refStore) query(q model.Query) int {
+	n := 0
+	for i := range r.tuples {
+		t := &r.tuples[i]
+		if q.Keys.Contains(t.Key) && q.Times.Contains(t.Time) && q.Filter.Matches(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// TestEndToEndRandomizedEquivalence drives the full system — dispatchers,
+// WAL, indexing servers, flushes, rebalances, crash recovery — with a
+// randomized workload and cross-checks every query against a reference.
+func TestEndToEndRandomizedEquivalence(t *testing.T) {
+	for round := 0; round < 3; round++ {
+		rng := rand.New(rand.NewSource(int64(100 + round)))
+		cfg := Config{
+			Nodes:               2,
+			IndexServersPerNode: 2,
+			QueryServersPerNode: 2,
+			ChunkBytes:          int64(4<<10 + rng.Intn(32<<10)),
+			TemplateLeaves:      16 + rng.Intn(64),
+			Seed:                int64(round),
+		}
+		c := New(cfg)
+		c.Start()
+		ref := &refStore{}
+
+		var watermark model.Timestamp
+		for step := 0; step < 30; step++ {
+			// A burst of inserts: mostly in-order timestamps, some late,
+			// keys from a mixture of clustered and uniform.
+			burst := 200 + rng.Intn(800)
+			for i := 0; i < burst; i++ {
+				var k model.Key
+				if rng.Intn(2) == 0 {
+					k = model.Key(rng.Intn(1 << 16)) // clustered low keys
+				} else {
+					k = model.Key(rng.Uint64())
+				}
+				watermark += model.Timestamp(rng.Intn(3))
+				ts := watermark
+				if rng.Intn(20) == 0 {
+					late := model.Timestamp(rng.Intn(1000))
+					if late > ts {
+						late = ts
+					}
+					ts -= late
+				}
+				tp := model.Tuple{Key: k, Time: ts, Payload: []byte{byte(i)}}
+				ref.insert(tp)
+				c.Insert(tp)
+			}
+			c.Drain()
+
+			// Occasional maintenance events.
+			switch rng.Intn(6) {
+			case 0:
+				c.TickBalance()
+			case 1:
+				c.FlushAll()
+			case 2:
+				if err := c.CrashIndexServer(rng.Intn(len(c.IndexServers()))); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			// Randomized queries cross-checked against the reference.
+			for q := 0; q < 3; q++ {
+				var kr model.KeyRange
+				if rng.Intn(2) == 0 {
+					a, b := model.Key(rng.Intn(1<<16)), model.Key(rng.Intn(1<<16))
+					if a > b {
+						a, b = b, a
+					}
+					kr = model.KeyRange{Lo: a, Hi: b}
+				} else {
+					kr = model.FullKeyRange()
+				}
+				a, b := model.Timestamp(rng.Intn(int(watermark+1))), model.Timestamp(rng.Intn(int(watermark+1)))
+				if a > b {
+					a, b = b, a
+				}
+				tr := model.TimeRange{Lo: a, Hi: b}
+				var f *model.Filter
+				if rng.Intn(3) == 0 {
+					f = model.KeyMod(uint64(2+rng.Intn(5)), 0)
+				}
+				res, err := c.Query(model.Query{Keys: kr, Times: tr, Filter: f})
+				if err != nil {
+					t.Fatalf("round %d step %d: query: %v", round, step, err)
+				}
+				want := ref.query(model.Query{Keys: kr, Times: tr, Filter: f})
+				if len(res.Tuples) != want {
+					t.Fatalf("round %d step %d: query %v/%v got %d want %d",
+						round, step, kr, tr, len(res.Tuples), want)
+				}
+			}
+		}
+		// Final total check.
+		res, err := c.Query(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tuples) != len(ref.tuples) {
+			t.Fatalf("round %d: final total %d, want %d", round, len(res.Tuples), len(ref.tuples))
+		}
+		c.Stop()
+	}
+}
+
+// TestEndToEndLimitEquivalence checks the Limit contract across the full
+// stack: the result is the lowest-keyed N matches.
+func TestEndToEndLimitEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := New(Config{
+		Nodes: 2, IndexServersPerNode: 2, QueryServersPerNode: 2,
+		ChunkBytes: 8 << 10, Seed: 7,
+	})
+	c.Start()
+	defer c.Stop()
+	ref := &refStore{}
+	for i := 0; i < 5000; i++ {
+		tp := model.Tuple{Key: model.Key(rng.Uint64()), Time: model.Timestamp(i)}
+		ref.insert(tp)
+		c.Insert(tp)
+	}
+	c.Drain()
+	for trial := 0; trial < 10; trial++ {
+		limit := 1 + rng.Intn(50)
+		res, err := c.Query(model.Query{
+			Keys: model.FullKeyRange(), Times: model.FullTimeRange(), Limit: limit,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Tuples) != limit {
+			t.Fatalf("limit %d returned %d", limit, len(res.Tuples))
+		}
+		// Verify these are the globally smallest keys.
+		var kth model.Key
+		{
+			keys := make([]model.Key, len(ref.tuples))
+			for i := range ref.tuples {
+				keys[i] = ref.tuples[i].Key
+			}
+			// selection via sort of copy (small n)
+			for i := 0; i < limit; i++ {
+				min := i
+				for j := i + 1; j < len(keys); j++ {
+					if keys[j] < keys[min] {
+						min = j
+					}
+				}
+				keys[i], keys[min] = keys[min], keys[i]
+			}
+			kth = keys[limit-1]
+		}
+		for _, tp := range res.Tuples {
+			if tp.Key > kth {
+				t.Fatalf("limit returned key %d above the %d-th smallest %d", tp.Key, limit, kth)
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Package core implements Waterwheel's primary contribution: the
+// template-based B+ tree (paper §III-B, §III-C) together with the two
+// baseline indexes it is evaluated against in §VI-A — a traditional
+// concurrent B+ tree with latch coupling and node splits, and a
+// bulk-loading B+ tree that sorts batches and builds bottom-up.
+//
+// All three index a stream of tuples on the key domain and answer
+// key-range scans with optional time-range and predicate filtering. The
+// template tree additionally supports FlushReset (retain the inner-node
+// template, discard leaves) and adaptive template update driven by the
+// skewness factor S(P,D) = max_i (|Ki(D)| - n)/n.
+package core
+
+import (
+	"sync/atomic"
+
+	"waterwheel/internal/model"
+)
+
+// Default structural parameters. Fanout applies to inner nodes; LeafCap is
+// the target number of entries per leaf (template leaves may overflow it —
+// that is what skewness detection watches for).
+const (
+	DefaultFanout  = 64
+	DefaultLeafCap = 64
+)
+
+// Index is the common surface of the three B+ tree variants.
+type Index interface {
+	// Insert adds one tuple. Implementations are safe for concurrent use
+	// unless documented otherwise.
+	Insert(t model.Tuple)
+	// Range visits every tuple with key in kr, time in tr and matching
+	// filter, stopping early if fn returns false. Visit order is by key
+	// within a leaf; cross-leaf order is ascending key ranges.
+	Range(kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn func(*model.Tuple) bool)
+	// Len returns the number of tuples currently in the index.
+	Len() int
+}
+
+// Stats aggregates instrumentation counters for the insertion-time
+// breakdown experiment (paper Fig. 7b). Counters are cumulative and safe
+// for concurrent update.
+type Stats struct {
+	// Inserts counts tuples inserted.
+	Inserts atomic.Int64
+	// Splits counts node splits (concurrent tree only; always 0 for the
+	// template tree).
+	Splits atomic.Int64
+	// SplitNanos accumulates wall time spent splitting nodes.
+	SplitNanos atomic.Int64
+	// SortNanos accumulates wall time spent sorting (bulk tree builds and
+	// template updates).
+	SortNanos atomic.Int64
+	// BuildNanos accumulates wall time spent building index structure
+	// bottom-up (bulk tree).
+	BuildNanos atomic.Int64
+	// TemplateUpdates counts template rebuilds (template tree only).
+	TemplateUpdates atomic.Int64
+	// TemplateUpdateNanos accumulates wall time spent in template updates.
+	TemplateUpdateNanos atomic.Int64
+}
+
+// Snapshot returns a plain-value copy of the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Inserts:             s.Inserts.Load(),
+		Splits:              s.Splits.Load(),
+		SplitNanos:          s.SplitNanos.Load(),
+		SortNanos:           s.SortNanos.Load(),
+		BuildNanos:          s.BuildNanos.Load(),
+		TemplateUpdates:     s.TemplateUpdates.Load(),
+		TemplateUpdateNanos: s.TemplateUpdateNanos.Load(),
+	}
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Inserts             int64
+	Splits              int64
+	SplitNanos          int64
+	SortNanos           int64
+	BuildNanos          int64
+	TemplateUpdates     int64
+	TemplateUpdateNanos int64
+}
+
+// Sub returns the counter deltas s - o.
+func (s StatsSnapshot) Sub(o StatsSnapshot) StatsSnapshot {
+	return StatsSnapshot{
+		Inserts:             s.Inserts - o.Inserts,
+		Splits:              s.Splits - o.Splits,
+		SplitNanos:          s.SplitNanos - o.SplitNanos,
+		SortNanos:           s.SortNanos - o.SortNanos,
+		BuildNanos:          s.BuildNanos - o.BuildNanos,
+		TemplateUpdates:     s.TemplateUpdates - o.TemplateUpdates,
+		TemplateUpdateNanos: s.TemplateUpdateNanos - o.TemplateUpdateNanos,
+	}
+}

@@ -1,0 +1,577 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waterwheel/internal/model"
+)
+
+// TemplateConfig parametrizes a template B+ tree.
+type TemplateConfig struct {
+	// Keys is the key interval this tree is responsible for.
+	Keys model.KeyRange
+	// Leaves is the number of leaf nodes l. The template structure is fully
+	// determined by the leaf-boundary partition P (paper §III-C2).
+	Leaves int
+	// Fanout is the inner-node fanout.
+	Fanout int
+	// SkewThreshold triggers a template update when the skewness factor
+	// S(P,D) exceeds it. The paper cites 0.2 as an example; with small
+	// leaves the statistical noise floor of max-leaf occupancy is higher,
+	// so the default here is 1.0 (largest leaf at 2x the mean).
+	SkewThreshold float64
+	// CheckEvery is the skew-check cadence in inserts.
+	CheckEvery int
+	// MinPerLeaf suppresses skew checks until the tree holds at least
+	// Leaves*MinPerLeaf tuples, where occupancy statistics are meaningful.
+	MinPerLeaf int
+}
+
+func (c *TemplateConfig) fill() {
+	if c.Leaves <= 0 {
+		c.Leaves = 256
+	}
+	if c.Fanout < 2 {
+		c.Fanout = DefaultFanout
+	}
+	if c.SkewThreshold <= 0 {
+		c.SkewThreshold = 1.0
+	}
+	if c.CheckEvery <= 0 {
+		c.CheckEvery = 4096
+	}
+	if c.MinPerLeaf <= 0 {
+		c.MinPerLeaf = 8
+	}
+	if !c.Keys.IsValid() {
+		c.Keys = model.FullKeyRange()
+	}
+}
+
+// tleaf is a leaf node. Entries are kept sorted by key, with equal keys in
+// arrival order: inserting at the *end* of an equal-key run makes repeated
+// hot keys append-cheap instead of memmove-quadratic, which matters for
+// duplicate-heavy streams (sensor ids, discretized positions). The
+// template allows a leaf to overflow its nominal capacity — imbalance is
+// handled by template update, never by splitting.
+type tleaf struct {
+	mu      sync.Mutex
+	entries []model.Tuple
+	// n mirrors len(entries) for lock-free skew checks.
+	n atomic.Int32
+	// minT/maxT bound the timestamps in the leaf (valid when n > 0).
+	minT, maxT model.Timestamp
+}
+
+func (lf *tleaf) insertLocked(t model.Tuple) {
+	i := sort.Search(len(lf.entries), func(i int) bool {
+		return lf.entries[i].Key > t.Key
+	})
+	lf.entries = append(lf.entries, model.Tuple{})
+	copy(lf.entries[i+1:], lf.entries[i:])
+	lf.entries[i] = t
+	if len(lf.entries) == 1 {
+		lf.minT, lf.maxT = t.Time, t.Time
+	} else {
+		if t.Time < lf.minT {
+			lf.minT = t.Time
+		}
+		if t.Time > lf.maxT {
+			lf.maxT = t.Time
+		}
+	}
+}
+
+// tinner is an inner (template) node. Child i is selected for key k when
+// k < keys[i] and no earlier separator matched; the last child catches the
+// rest. Exactly one of children/leaves is non-nil: children for upper
+// levels, leaves for the level directly above the leaf layer. Inner nodes
+// are immutable between template updates, so descent needs no latches.
+type tinner struct {
+	keys     []model.Key
+	children []*tinner
+	leaves   []*tleaf
+}
+
+func (n *tinner) childIndex(k model.Key) int {
+	return sort.Search(len(n.keys), func(i int) bool { return k < n.keys[i] })
+}
+
+// TemplateTree is the template-based B+ tree (paper §III-B).
+//
+// Concurrency protocol: inserts and reads take the gate in shared mode and
+// latch only the target leaves; template updates and flushes take the gate
+// exclusively. The inner template is read-only between updates, which is
+// what removes the split/latch bottleneck of a traditional B+ tree.
+type TemplateTree struct {
+	cfg TemplateConfig
+
+	gate sync.RWMutex
+	// root of the immutable inner template (guarded by gate for replace).
+	root *tinner
+	// leaves in key order; leaf i covers [bound[i-1], bound[i]).
+	leaves []*tleaf
+	// bounds are the l-1 separator keys of the current partition P.
+	bounds []model.Key
+
+	count    atomic.Int64
+	bytes    atomic.Int64
+	sinceChk atomic.Int64
+	checkMu  sync.Mutex
+	// floorSkew stores the skewness remaining right after the last template
+	// update (as float64 bits). Duplicate-heavy keys leave an irreducible
+	// residue — the hottest key's run cannot be divided across leaves — so
+	// re-triggering below ~2x the residue would rebuild in vain.
+	floorSkew atomic.Uint64
+	stats     *Stats
+	ownsStats bool
+}
+
+var _ Index = (*TemplateTree)(nil)
+
+// NewTemplateTree creates a template tree whose initial partition divides
+// cfg.Keys evenly across cfg.Leaves leaves.
+func NewTemplateTree(cfg TemplateConfig) *TemplateTree {
+	cfg.fill()
+	t := &TemplateTree{cfg: cfg, stats: &Stats{}, ownsStats: true}
+	t.installPartition(evenBoundaries(cfg.Keys, cfg.Leaves))
+	return t
+}
+
+// NewTemplateTreeFromSample creates a template tree whose initial partition
+// is derived from a sample of the expected key distribution, dividing the
+// sample evenly across leaves.
+func NewTemplateTreeFromSample(cfg TemplateConfig, sample []model.Key) *TemplateTree {
+	cfg.fill()
+	t := &TemplateTree{cfg: cfg, stats: &Stats{}, ownsStats: true}
+	if len(sample) == 0 {
+		t.installPartition(evenBoundaries(cfg.Keys, cfg.Leaves))
+		return t
+	}
+	s := append([]model.Key(nil), sample...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	t.installPartition(boundariesFromSorted(s, cfg.Leaves))
+	return t
+}
+
+// SetStats redirects instrumentation to a shared Stats collector.
+func (t *TemplateTree) SetStats(s *Stats) {
+	if s != nil {
+		t.stats = s
+		t.ownsStats = false
+	}
+}
+
+// Stats returns the tree's instrumentation counters.
+func (t *TemplateTree) Stats() *Stats { return t.stats }
+
+// evenBoundaries returns l-1 separators splitting kr into equal-width
+// leaves.
+func evenBoundaries(kr model.KeyRange, l int) []model.Key {
+	if l <= 1 {
+		return nil
+	}
+	width := uint64(kr.Hi - kr.Lo)
+	step := width / uint64(l)
+	if step == 0 {
+		step = 1
+	}
+	bounds := make([]model.Key, 0, l-1)
+	for i := 1; i < l; i++ {
+		b := uint64(kr.Lo) + uint64(i)*step
+		if b > uint64(kr.Hi) {
+			b = uint64(kr.Hi)
+		}
+		bounds = append(bounds, model.Key(b))
+	}
+	return bounds
+}
+
+// boundariesFromSorted returns l-1 separators that evenly divide the sorted
+// key list into l runs (Equation 3). Separators never split a run of equal
+// keys: the whole run lands in the right-hand leaf.
+func boundariesFromSorted(keys []model.Key, l int) []model.Key {
+	if l <= 1 || len(keys) == 0 {
+		return nil
+	}
+	bounds := make([]model.Key, 0, l-1)
+	n := len(keys)
+	for i := 1; i < l; i++ {
+		idx := i * n / l
+		if idx >= n {
+			idx = n - 1
+		}
+		bounds = append(bounds, keys[idx])
+	}
+	return bounds
+}
+
+// installPartition replaces the leaf set and rebuilds the inner template
+// for the given separators. Caller must hold the gate exclusively (or be
+// the constructor).
+func (t *TemplateTree) installPartition(bounds []model.Key) {
+	l := len(bounds) + 1
+	leaves := make([]*tleaf, l)
+	for i := range leaves {
+		leaves[i] = &tleaf{}
+	}
+	t.bounds = bounds
+	t.leaves = leaves
+	t.root = buildTemplate(bounds, leaves, t.cfg.Fanout)
+}
+
+// buildTemplate constructs the inner-node tree bottom-up from the leaf
+// separators, grouping fanout children per node.
+func buildTemplate(bounds []model.Key, leaves []*tleaf, fanout int) *tinner {
+	// Bottom inner level: group leaves.
+	var level []*tinner
+	var seps []model.Key // separators between adjacent nodes of `level`
+	for i := 0; i < len(leaves); i += fanout {
+		j := i + fanout
+		if j > len(leaves) {
+			j = len(leaves)
+		}
+		n := &tinner{leaves: leaves[i:j]}
+		if j-1 > i {
+			n.keys = bounds[i : j-1]
+		}
+		level = append(level, n)
+		if j < len(leaves) {
+			seps = append(seps, bounds[j-1])
+		}
+	}
+	// Upper levels: group inner nodes.
+	for len(level) > 1 {
+		var next []*tinner
+		var nextSeps []model.Key
+		for i := 0; i < len(level); i += fanout {
+			j := i + fanout
+			if j > len(level) {
+				j = len(level)
+			}
+			n := &tinner{children: level[i:j]}
+			if j-1 > i {
+				n.keys = seps[i : j-1]
+			}
+			next = append(next, n)
+			if j < len(level) {
+				nextSeps = append(nextSeps, seps[j-1])
+			}
+		}
+		level, seps = next, nextSeps
+	}
+	return level[0]
+}
+
+// route descends the immutable template from root to the target leaf.
+func (t *TemplateTree) route(k model.Key) *tleaf {
+	n := t.root
+	for n.leaves == nil {
+		n = n.children[n.childIndex(k)]
+	}
+	return n.leaves[n.childIndex(k)]
+}
+
+// Insert adds one tuple. Safe for concurrent use; only the target leaf is
+// latched.
+func (t *TemplateTree) Insert(tp model.Tuple) {
+	t.gate.RLock()
+	lf := t.route(tp.Key)
+	lf.mu.Lock()
+	lf.insertLocked(tp)
+	lf.n.Store(int32(len(lf.entries)))
+	lf.mu.Unlock()
+	t.count.Add(1)
+	t.bytes.Add(int64(tp.Size()))
+	c := t.sinceChk.Add(1)
+	t.gate.RUnlock()
+	t.stats.Inserts.Add(1)
+	if c >= int64(t.cfg.CheckEvery) {
+		t.maybeUpdate()
+	}
+}
+
+// maybeUpdate runs the skewness check and, when it fires, the template
+// update. A try-lock ensures a single checker.
+func (t *TemplateTree) maybeUpdate() {
+	if !t.checkMu.TryLock() {
+		return
+	}
+	defer t.checkMu.Unlock()
+	t.sinceChk.Store(0)
+	if t.count.Load() < int64(t.cfg.Leaves*t.cfg.MinPerLeaf) {
+		return
+	}
+	threshold := t.cfg.SkewThreshold
+	if floor := math.Float64frombits(t.floorSkew.Load()); 2*floor > threshold {
+		threshold = 2 * floor
+	}
+	if t.Skewness() > threshold {
+		t.UpdateTemplate()
+	}
+}
+
+// Skewness computes S(P,D) = max_i (|Ki(D)| - n)/n with n = |D|/l
+// (Equation 1). Returns 0 when the tree is empty.
+func (t *TemplateTree) Skewness() float64 {
+	t.gate.RLock()
+	defer t.gate.RUnlock()
+	return t.skewnessLocked()
+}
+
+func (t *TemplateTree) skewnessLocked() float64 {
+	total := int64(0)
+	maxLeaf := int64(0)
+	for _, lf := range t.leaves {
+		c := int64(lf.n.Load())
+		total += c
+		if c > maxLeaf {
+			maxLeaf = c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(t.leaves))
+	return (float64(maxLeaf) - mean) / mean
+}
+
+// UpdateTemplate recomputes the leaf partition so tuples divide evenly
+// across leaves (Equation 3), redistributes the entries, and rebuilds the
+// inner template bottom-up (paper §III-C2). Inserts and reads are paused
+// for the duration; the paper reports sub-10ms latencies, which this
+// implementation matches at comparable sizes.
+func (t *TemplateTree) UpdateTemplate() {
+	start := time.Now()
+	t.gate.Lock()
+	// Concatenating per-leaf entries yields a globally key-sorted list,
+	// because leaves own disjoint, ordered key intervals.
+	total := 0
+	for _, lf := range t.leaves {
+		total += len(lf.entries)
+	}
+	all := make([]model.Tuple, 0, total)
+	for _, lf := range t.leaves {
+		all = append(all, lf.entries...)
+	}
+	keys := make([]model.Key, len(all))
+	for i := range all {
+		keys[i] = all[i].Key
+	}
+	bounds := boundariesFromSorted(keys, t.cfg.Leaves)
+	if bounds == nil {
+		bounds = evenBoundaries(t.cfg.Keys, t.cfg.Leaves)
+	}
+	t.installPartition(bounds)
+	t.redistributeLocked(all)
+	t.floorSkew.Store(math.Float64bits(t.skewnessLocked()))
+	t.gate.Unlock()
+	t.stats.TemplateUpdates.Add(1)
+	t.stats.TemplateUpdateNanos.Add(time.Since(start).Nanoseconds())
+}
+
+// redistributeLocked assigns the key-sorted entries to the freshly built
+// leaves by the current separators. Caller holds the gate exclusively.
+func (t *TemplateTree) redistributeLocked(sorted []model.Tuple) {
+	pos := 0
+	for i, lf := range t.leaves {
+		end := len(sorted)
+		if i < len(t.bounds) {
+			b := t.bounds[i]
+			end = pos + sort.Search(len(sorted)-pos, func(j int) bool {
+				return sorted[pos+j].Key >= b
+			})
+		}
+		if end > pos {
+			lf.entries = append(lf.entries[:0], sorted[pos:end]...)
+			lf.minT, lf.maxT = lf.entries[0].Time, lf.entries[0].Time
+			for _, e := range lf.entries {
+				if e.Time < lf.minT {
+					lf.minT = e.Time
+				}
+				if e.Time > lf.maxT {
+					lf.maxT = e.Time
+				}
+			}
+		}
+		lf.n.Store(int32(len(lf.entries)))
+		pos = end
+	}
+}
+
+// Range visits matching tuples in key order. Leaves whose time bounds miss
+// tr are skipped without latching their entries.
+func (t *TemplateTree) Range(kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn func(*model.Tuple) bool) {
+	if !kr.IsValid() || !tr.IsValid() {
+		return
+	}
+	t.gate.RLock()
+	defer t.gate.RUnlock()
+	lo := sort.Search(len(t.bounds), func(i int) bool { return kr.Lo < t.bounds[i] })
+	for i := lo; i < len(t.leaves); i++ {
+		if i > 0 && t.bounds[i-1] > kr.Hi {
+			break
+		}
+		lf := t.leaves[i]
+		if lf.n.Load() == 0 {
+			continue
+		}
+		lf.mu.Lock()
+		if lf.maxT < tr.Lo || lf.minT > tr.Hi {
+			lf.mu.Unlock()
+			continue
+		}
+		start := sort.Search(len(lf.entries), func(j int) bool {
+			return lf.entries[j].Key >= kr.Lo
+		})
+		stop := false
+		for j := start; j < len(lf.entries); j++ {
+			e := &lf.entries[j]
+			if e.Key > kr.Hi {
+				break
+			}
+			if e.Time < tr.Lo || e.Time > tr.Hi || !filter.Matches(e) {
+				continue
+			}
+			if !fn(e) {
+				stop = true
+				break
+			}
+		}
+		lf.mu.Unlock()
+		if stop {
+			return
+		}
+	}
+}
+
+// Len returns the number of tuples in the tree.
+func (t *TemplateTree) Len() int { return int(t.count.Load()) }
+
+// Bytes returns the approximate payload footprint of the tree, used by
+// flush policies.
+func (t *TemplateTree) Bytes() int64 { return t.bytes.Load() }
+
+// LeafCount returns the number of leaves l.
+func (t *TemplateTree) LeafCount() int { return len(t.leaves) }
+
+// TimeBounds returns the min/max timestamp over all tuples, and ok=false
+// when the tree is empty.
+func (t *TemplateTree) TimeBounds() (lo, hi model.Timestamp, ok bool) {
+	t.gate.RLock()
+	defer t.gate.RUnlock()
+	first := true
+	for _, lf := range t.leaves {
+		lf.mu.Lock()
+		if len(lf.entries) > 0 {
+			if first {
+				lo, hi, first = lf.minT, lf.maxT, false
+			} else {
+				if lf.minT < lo {
+					lo = lf.minT
+				}
+				if lf.maxT > hi {
+					hi = lf.maxT
+				}
+			}
+		}
+		lf.mu.Unlock()
+	}
+	return lo, hi, !first
+}
+
+// FlushSnapshot is the content handed to the chunk builder by FlushReset:
+// the per-leaf sorted entries, the leaf partition that produced them, and
+// summary bounds.
+type FlushSnapshot struct {
+	// Bounds are the l-1 separators of the partition at flush time.
+	Bounds []model.Key
+	// Leaves holds each leaf's entries, sorted by key (equal keys in
+	// arrival order).
+	Leaves [][]model.Tuple
+	// Count is the total number of tuples.
+	Count int
+	// Bytes is the approximate payload footprint.
+	Bytes int64
+	// MinTime/MaxTime bound the snapshot's timestamps (valid when Count>0).
+	MinTime, MaxTime model.Timestamp
+	// Keys is the key interval the tree was responsible for.
+	Keys model.KeyRange
+}
+
+// FlushReset atomically extracts the tree contents and resets the leaves,
+// retaining the inner template for the next chunk (paper §III-B: "we only
+// eliminate the leaf nodes of the tree"). Returns nil when empty.
+func (t *TemplateTree) FlushReset() *FlushSnapshot {
+	t.gate.Lock()
+	defer t.gate.Unlock()
+	if t.count.Load() == 0 {
+		return nil
+	}
+	snap := &FlushSnapshot{
+		Bounds: append([]model.Key(nil), t.bounds...),
+		Leaves: make([][]model.Tuple, len(t.leaves)),
+		Count:  int(t.count.Load()),
+		Bytes:  t.bytes.Load(),
+		Keys:   t.cfg.Keys,
+	}
+	first := true
+	for i, lf := range t.leaves {
+		snap.Leaves[i] = lf.entries
+		if len(lf.entries) > 0 {
+			if first {
+				snap.MinTime, snap.MaxTime, first = lf.minT, lf.maxT, false
+			} else {
+				if lf.minT < snap.MinTime {
+					snap.MinTime = lf.minT
+				}
+				if lf.maxT > snap.MaxTime {
+					snap.MaxTime = lf.maxT
+				}
+			}
+		}
+		lf.entries = nil
+		lf.n.Store(0)
+	}
+	t.count.Store(0)
+	t.bytes.Store(0)
+	t.sinceChk.Store(0)
+	return snap
+}
+
+// SetKeys changes the tree's nominal key interval (after an adaptive key
+// repartition, §III-D). Existing tuples are unaffected; the next template
+// update and flush use the new interval.
+func (t *TemplateTree) SetKeys(kr model.KeyRange) {
+	t.gate.Lock()
+	t.cfg.Keys = kr
+	t.gate.Unlock()
+}
+
+// Keys returns the tree's nominal key interval.
+func (t *TemplateTree) Keys() model.KeyRange {
+	t.gate.RLock()
+	defer t.gate.RUnlock()
+	return t.cfg.Keys
+}
+
+// Depth returns the height of the inner template (levels of inner nodes).
+func (t *TemplateTree) Depth() int {
+	t.gate.RLock()
+	defer t.gate.RUnlock()
+	d := 1
+	for n := t.root; n.leaves == nil; n = n.children[0] {
+		d++
+	}
+	return d
+}
+
+// String implements fmt.Stringer.
+func (t *TemplateTree) String() string {
+	return fmt.Sprintf("templatetree(leaves=%d, count=%d, keys=%s)", len(t.leaves), t.Len(), t.cfg.Keys)
+}

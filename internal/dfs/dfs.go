@@ -1,0 +1,380 @@
+// Package dfs simulates the distributed file system Waterwheel stores its
+// immutable data chunks in. It stands in for HDFS and models the properties
+// the paper's experiments depend on:
+//
+//   - N datanodes with R-way replication on random distinct nodes (HDFS
+//     default 3, §IV-C);
+//   - replica locality: readers co-located with a replica avoid the remote
+//     transfer cost, which is what LADA's chunk locality exploits;
+//   - a per-access open delay of 2–50 ms regardless of read size (§VI-B),
+//     which dominates small reads and flattens the chunk-size curve;
+//   - node failure injection for fault-tolerance tests.
+//
+// Time is injected through a Sleeper so tests can run with virtual time.
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Errors returned by the file system.
+var (
+	ErrNotFound    = errors.New("dfs: file not found")
+	ErrExists      = errors.New("dfs: file already exists")
+	ErrUnavailable = errors.New("dfs: no live replica")
+	ErrBadRange    = errors.New("dfs: read range out of bounds")
+	ErrNoNodes     = errors.New("dfs: no live datanodes for placement")
+)
+
+// LatencyModel describes the simulated I/O costs.
+type LatencyModel struct {
+	// OpenMin/OpenMax bound the uniform per-access delay charged on every
+	// read regardless of size (HDFS open cost, paper §VI-B: 2–50 ms).
+	OpenMin, OpenMax time.Duration
+	// LocalBytesPerSec is the sequential read bandwidth when the reader is
+	// co-located with a replica. Zero means infinite.
+	LocalBytesPerSec int64
+	// RemoteBytesPerSec is the bandwidth when the chunk must cross the
+	// network. Zero means infinite.
+	RemoteBytesPerSec int64
+	// WriteBytesPerSec is the pipeline write bandwidth. Zero means
+	// infinite.
+	WriteBytesPerSec int64
+}
+
+// DefaultLatency mirrors the paper's testbed character at 1/10 scale so
+// experiments finish quickly while preserving the shape: open delay 0.2–5
+// ms, ~1 GB/s local reads, ~110 MB/s remote (1 Gbps).
+func DefaultLatency() LatencyModel {
+	return LatencyModel{
+		OpenMin:           200 * time.Microsecond,
+		OpenMax:           5 * time.Millisecond,
+		LocalBytesPerSec:  1 << 30,
+		RemoteBytesPerSec: 110 << 20,
+	}
+}
+
+// Config configures the simulated file system.
+type Config struct {
+	// Nodes is the number of datanodes (minimum 1).
+	Nodes int
+	// Replication is the replica count per file (clamped to [1, Nodes]).
+	Replication int
+	// Latency is the I/O cost model; the zero value charges nothing.
+	Latency LatencyModel
+	// Seed drives replica placement and open-delay jitter.
+	Seed int64
+	// Sleep is called to charge simulated time; nil means time.Sleep.
+	Sleep func(time.Duration)
+	// Dir, when non-empty, backs file contents with the local filesystem
+	// under this directory (one physical copy; replica placement stays
+	// simulated via a manifest). Files survive process restarts: New loads
+	// the manifest and serves existing files.
+	Dir string
+}
+
+// Metrics counts file-system activity.
+type Metrics struct {
+	Reads       atomic.Int64
+	LocalReads  atomic.Int64
+	RemoteReads atomic.Int64
+	BytesRead   atomic.Int64
+	Writes      atomic.Int64
+	BytesWrite  atomic.Int64
+}
+
+type file struct {
+	data     []byte
+	replicas []int
+}
+
+// FS is a simulated distributed file system.
+type FS struct {
+	cfg   Config
+	sleep func(time.Duration)
+
+	mu    sync.RWMutex
+	files map[string]*file
+	alive []bool
+	used  []int64 // bytes per node
+	rng   *rand.Rand
+
+	m Metrics
+}
+
+// New creates a file system, panicking on backing-directory errors; use
+// Open to handle them.
+func New(cfg Config) *FS {
+	fs, err := Open(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return fs
+}
+
+// Open creates a file system. With Config.Dir set, existing files in the
+// backing directory are loaded and served.
+func Open(cfg Config) (*FS, error) {
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 1
+	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 1
+	}
+	if cfg.Replication > cfg.Nodes {
+		cfg.Replication = cfg.Nodes
+	}
+	sleep := cfg.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	fs := &FS{
+		cfg:   cfg,
+		sleep: sleep,
+		files: make(map[string]*file),
+		alive: make([]bool, cfg.Nodes),
+		used:  make([]int64, cfg.Nodes),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for i := range fs.alive {
+		fs.alive[i] = true
+	}
+	if cfg.Dir != "" {
+		if err := fs.loadDir(); err != nil {
+			return nil, err
+		}
+	}
+	return fs, nil
+}
+
+// Nodes returns the datanode count.
+func (fs *FS) Nodes() int { return fs.cfg.Nodes }
+
+// Metrics returns the activity counters.
+func (fs *FS) Metrics() *Metrics { return &fs.m }
+
+// openDelay draws a per-access delay from the model.
+func (fs *FS) openDelay() time.Duration {
+	lm := fs.cfg.Latency
+	if lm.OpenMax <= lm.OpenMin {
+		return lm.OpenMin
+	}
+	fs.mu.Lock()
+	d := lm.OpenMin + time.Duration(fs.rng.Int63n(int64(lm.OpenMax-lm.OpenMin)))
+	fs.mu.Unlock()
+	return d
+}
+
+func transfer(n int64, bytesPerSec int64) time.Duration {
+	if bytesPerSec <= 0 || n <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / float64(bytesPerSec) * float64(time.Second))
+}
+
+// Write stores a file, placing Replication replicas on random distinct
+// live nodes. The data is copied. Writing an existing name fails.
+func (fs *FS) Write(name string, data []byte) error {
+	fs.mu.Lock()
+	if _, ok := fs.files[name]; ok {
+		fs.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	var live []int
+	for i, a := range fs.alive {
+		if a {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		fs.mu.Unlock()
+		return ErrNoNodes
+	}
+	r := fs.cfg.Replication
+	if r > len(live) {
+		r = len(live)
+	}
+	fs.rng.Shuffle(len(live), func(i, j int) { live[i], live[j] = live[j], live[i] })
+	replicas := append([]int(nil), live[:r]...)
+	f := &file{data: append([]byte(nil), data...), replicas: replicas}
+	fs.files[name] = f
+	for _, n := range replicas {
+		fs.used[n] += int64(len(data))
+	}
+	if fs.cfg.Dir != "" {
+		if err := fs.persistWriteLocked(name, f.data); err != nil {
+			// Roll the in-memory state back so callers can retry safely.
+			delete(fs.files, name)
+			for _, n := range replicas {
+				fs.used[n] -= int64(len(data))
+			}
+			fs.mu.Unlock()
+			return err
+		}
+	}
+	fs.mu.Unlock()
+
+	fs.m.Writes.Add(1)
+	fs.m.BytesWrite.Add(int64(len(data)))
+	// A write pays the per-access open delay (NameNode create round trip)
+	// plus the pipeline transfer.
+	fs.sleep(fs.openDelay() + transfer(int64(len(data)), fs.cfg.Latency.WriteBytesPerSec))
+	return nil
+}
+
+// ReadInfo describes how a read was served.
+type ReadInfo struct {
+	// Local reports whether the reading node held a replica.
+	Local bool
+	// Node is the replica that served the read.
+	Node int
+	// Latency is the simulated time charged.
+	Latency time.Duration
+}
+
+// ReadAt reads length bytes at offset from the named file, as issued by
+// fromNode (-1 for an external client). Locality against fromNode decides
+// the transfer cost. length < 0 reads to the end.
+func (fs *FS) ReadAt(name string, offset, length int64, fromNode int) ([]byte, ReadInfo, error) {
+	fs.mu.RLock()
+	f, ok := fs.files[name]
+	if !ok {
+		fs.mu.RUnlock()
+		return nil, ReadInfo{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	// Pick a serving replica: prefer the local one, else a random live one.
+	serve, local := -1, false
+	for _, n := range f.replicas {
+		if n == fromNode && fs.alive[n] {
+			serve, local = n, true
+			break
+		}
+	}
+	if serve == -1 {
+		var liveReps []int
+		for _, n := range f.replicas {
+			if fs.alive[n] {
+				liveReps = append(liveReps, n)
+			}
+		}
+		if len(liveReps) == 0 {
+			fs.mu.RUnlock()
+			return nil, ReadInfo{}, fmt.Errorf("%w: %s", ErrUnavailable, name)
+		}
+		serve = liveReps[int(fs.m.Reads.Load())%len(liveReps)]
+	}
+	size := int64(len(f.data))
+	if length < 0 {
+		length = size - offset
+	}
+	if offset < 0 || offset > size || offset+length > size {
+		fs.mu.RUnlock()
+		return nil, ReadInfo{}, fmt.Errorf("%w: %s [%d,%d) of %d", ErrBadRange, name, offset, offset+length, size)
+	}
+	out := append([]byte(nil), f.data[offset:offset+length]...)
+	fs.mu.RUnlock()
+
+	lm := fs.cfg.Latency
+	lat := fs.openDelay()
+	if local {
+		lat += transfer(length, lm.LocalBytesPerSec)
+		fs.m.LocalReads.Add(1)
+	} else {
+		lat += transfer(length, lm.RemoteBytesPerSec)
+		fs.m.RemoteReads.Add(1)
+	}
+	fs.m.Reads.Add(1)
+	fs.m.BytesRead.Add(length)
+	fs.sleep(lat)
+	return out, ReadInfo{Local: local, Node: serve, Latency: lat}, nil
+}
+
+// Read reads the whole file as an external client.
+func (fs *FS) Read(name string) ([]byte, error) {
+	data, _, err := fs.ReadAt(name, 0, -1, -1)
+	return data, err
+}
+
+// Size returns the file length.
+func (fs *FS) Size(name string) (int64, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return int64(len(f.data)), nil
+}
+
+// Locations returns the replica node ids of a file (including dead nodes).
+func (fs *FS) Locations(name string) ([]int, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return append([]int(nil), f.replicas...), nil
+}
+
+// Delete removes a file.
+func (fs *FS) Delete(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	for _, n := range f.replicas {
+		fs.used[n] -= int64(len(f.data))
+	}
+	delete(fs.files, name)
+	if fs.cfg.Dir != "" {
+		return fs.persistDeleteLocked(name)
+	}
+	return nil
+}
+
+// List returns all file names (unordered).
+func (fs *FS) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	out := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		out = append(out, name)
+	}
+	return out
+}
+
+// KillNode marks a datanode dead; its replicas stop serving reads.
+func (fs *FS) KillNode(id int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if id >= 0 && id < len(fs.alive) {
+		fs.alive[id] = false
+	}
+}
+
+// ReviveNode brings a datanode back.
+func (fs *FS) ReviveNode(id int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if id >= 0 && id < len(fs.alive) {
+		fs.alive[id] = true
+	}
+}
+
+// NodeUsed returns bytes stored on a node.
+func (fs *FS) NodeUsed(id int) int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if id < 0 || id >= len(fs.used) {
+		return 0
+	}
+	return fs.used[id]
+}

@@ -1,0 +1,115 @@
+package dfs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Disk backing: when Config.Dir is set, file contents live on the local
+// filesystem (one physical copy per logical file) and the replica
+// placement metadata persists in a JSON manifest, so a restarted process
+// serves the chunks written by its predecessor. Simulated latencies and
+// locality semantics are unchanged.
+
+// manifestName is the metadata file inside the backing directory.
+const manifestName = "MANIFEST.json"
+
+// manifestEntry records one file's placement.
+type manifestEntry struct {
+	Name     string `json:"name"`
+	Size     int64  `json:"size"`
+	Replicas []int  `json:"replicas"`
+}
+
+// manifest is the persistent image of the file table.
+type manifest struct {
+	Nodes int             `json:"nodes"`
+	Files []manifestEntry `json:"files"`
+}
+
+// diskPath maps a logical name to a backing file path. Logical names use
+// '/' separators; they flatten to one directory level to avoid surprises
+// with path traversal.
+func (fs *FS) diskPath(name string) string {
+	enc := strings.ReplaceAll(name, "%", "%25")
+	enc = strings.ReplaceAll(enc, "/", "%2F")
+	return filepath.Join(fs.cfg.Dir, enc)
+}
+
+// loadDir restores the file table from the backing directory. Called by
+// New with the lock not yet shared.
+func (fs *FS) loadDir() error {
+	if err := os.MkdirAll(fs.cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("dfs: backing dir: %w", err)
+	}
+	raw, err := os.ReadFile(filepath.Join(fs.cfg.Dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("dfs: manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("dfs: manifest decode: %w", err)
+	}
+	for _, e := range m.Files {
+		data, err := os.ReadFile(fs.diskPath(e.Name))
+		if err != nil {
+			return fmt.Errorf("dfs: load %s: %w", e.Name, err)
+		}
+		replicas := e.Replicas
+		for _, n := range replicas {
+			if n < 0 || n >= fs.cfg.Nodes {
+				// The cluster shrank across restarts; re-place the replica
+				// on node 0 to stay within bounds.
+				replicas = []int{0}
+				break
+			}
+		}
+		fs.files[e.Name] = &file{data: data, replicas: replicas}
+		for _, n := range replicas {
+			fs.used[n] += int64(len(data))
+		}
+	}
+	return nil
+}
+
+// saveManifestLocked rewrites the manifest. Caller holds fs.mu.
+func (fs *FS) saveManifestLocked() error {
+	m := manifest{Nodes: fs.cfg.Nodes}
+	for name, f := range fs.files {
+		m.Files = append(m.Files, manifestEntry{
+			Name: name, Size: int64(len(f.data)), Replicas: f.replicas,
+		})
+	}
+	raw, err := json.Marshal(&m)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(fs.cfg.Dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(fs.cfg.Dir, manifestName))
+}
+
+// persistWrite stores a file's bytes and updates the manifest. Caller
+// holds fs.mu.
+func (fs *FS) persistWriteLocked(name string, data []byte) error {
+	if err := os.WriteFile(fs.diskPath(name), data, 0o644); err != nil {
+		return fmt.Errorf("dfs: persist %s: %w", name, err)
+	}
+	return fs.saveManifestLocked()
+}
+
+// persistDeleteLocked removes a file's backing bytes. Caller holds fs.mu.
+func (fs *FS) persistDeleteLocked(name string) error {
+	if err := os.Remove(fs.diskPath(name)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("dfs: unpersist %s: %w", name, err)
+	}
+	return fs.saveManifestLocked()
+}

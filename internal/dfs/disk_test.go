@@ -1,0 +1,116 @@
+package dfs
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func newDiskFS(t *testing.T, dir string) *FS {
+	t.Helper()
+	fs, err := Open(Config{Nodes: 3, Replication: 2, Seed: 1, Dir: dir, Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestDiskPersistAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	fs := newDiskFS(t, dir)
+	if err := fs.Write("chunks/a", []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Write("chunks/b", []byte("beta")); err != nil {
+		t.Fatal(err)
+	}
+	locsA, _ := fs.Locations("chunks/a")
+
+	// "Restart": a fresh FS over the same directory serves the files.
+	fs2 := newDiskFS(t, dir)
+	got, err := fs2.Read("chunks/a")
+	if err != nil || string(got) != "alpha" {
+		t.Fatalf("reopened read: %q, %v", got, err)
+	}
+	got, _ = fs2.Read("chunks/b")
+	if string(got) != "beta" {
+		t.Fatalf("reopened read b: %q", got)
+	}
+	locsA2, err := fs2.Locations("chunks/a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locsA2) != len(locsA) {
+		t.Errorf("replica placement lost: %v vs %v", locsA2, locsA)
+	}
+	if n := len(fs2.List()); n != 2 {
+		t.Errorf("listed %d files", n)
+	}
+}
+
+func TestDiskDeletePersists(t *testing.T) {
+	dir := t.TempDir()
+	fs := newDiskFS(t, dir)
+	fs.Write("x", []byte("1"))
+	fs.Write("y", []byte("2"))
+	if err := fs.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	fs2 := newDiskFS(t, dir)
+	if _, err := fs2.Read("x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("deleted file resurrected: %v", err)
+	}
+	if _, err := fs2.Read("y"); err != nil {
+		t.Errorf("surviving file lost: %v", err)
+	}
+}
+
+func TestDiskNameEscaping(t *testing.T) {
+	dir := t.TempDir()
+	fs := newDiskFS(t, dir)
+	names := []string{"a/b/c", "weird%name", "a%2Fb", "plain"}
+	for _, n := range names {
+		if err := fs.Write(n, []byte(n)); err != nil {
+			t.Fatalf("write %q: %v", n, err)
+		}
+	}
+	fs2 := newDiskFS(t, dir)
+	for _, n := range names {
+		got, err := fs2.Read(n)
+		if err != nil || string(got) != n {
+			t.Fatalf("read %q: %q, %v", n, got, err)
+		}
+	}
+}
+
+func TestDiskShrunkCluster(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := Open(Config{Nodes: 5, Replication: 3, Seed: 1, Dir: dir, Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.Write("f", []byte("data"))
+	// Reopen with fewer nodes: replicas out of range re-place on node 0.
+	fs2, err := Open(Config{Nodes: 2, Replication: 1, Seed: 1, Dir: dir, Sleep: func(time.Duration) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs2.Read("f")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("read after shrink: %q, %v", got, err)
+	}
+	locs, _ := fs2.Locations("f")
+	for _, n := range locs {
+		if n < 0 || n >= 2 {
+			t.Fatalf("replica on nonexistent node: %v", locs)
+		}
+	}
+}
+
+func TestInMemoryModeUnaffected(t *testing.T) {
+	fs := New(Config{Nodes: 2, Replication: 1, Sleep: func(time.Duration) {}})
+	fs.Write("m", []byte("mem"))
+	if got, _ := fs.Read("m"); string(got) != "mem" {
+		t.Fatal("in-memory mode broken")
+	}
+}

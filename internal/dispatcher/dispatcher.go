@@ -1,0 +1,256 @@
+// Package dispatcher implements Waterwheel's dispatchers and the adaptive
+// key partitioning mechanism (paper §III-D). Dispatchers route incoming
+// tuples to indexing servers according to the global key partitioning
+// schema, while sampling the key frequencies of their input streams in a
+// sliding window. A centralized balancer periodically accumulates the
+// samples from all dispatchers; if any indexing server's estimated load
+// deviates beyond a threshold (paper: 20%) from the mean, it computes a new
+// key partitioning that equalizes the load.
+package dispatcher
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"waterwheel/internal/meta"
+	"waterwheel/internal/model"
+)
+
+// Sink receives routed tuples; implemented by the ingest layer (WAL
+// partitions in the full system).
+type Sink interface {
+	Send(server int, t model.Tuple)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(server int, t model.Tuple)
+
+// Send implements Sink.
+func (f SinkFunc) Send(server int, t model.Tuple) { f(server, t) }
+
+// SamplerConfig tunes the sliding-window key sampler.
+type SamplerConfig struct {
+	// Buckets is the number of sub-windows in the sliding window; rotating
+	// once drops the oldest sub-window (default 8).
+	Buckets int
+	// PerBucket caps the keys retained per sub-window; past it, reservoir
+	// sampling keeps the sample uniform (default 1024).
+	PerBucket int
+	// SampleEvery observes only one in every SampleEvery dispatched tuples
+	// (default 16), keeping the sampling cost off the ingestion fast path.
+	SampleEvery int
+	// Seed drives the reservoir choices.
+	Seed int64
+}
+
+func (c *SamplerConfig) fill() {
+	if c.Buckets <= 0 {
+		c.Buckets = 8
+	}
+	if c.PerBucket <= 0 {
+		c.PerBucket = 1024
+	}
+	if c.SampleEvery <= 0 {
+		c.SampleEvery = 16
+	}
+}
+
+// Sampler keeps a uniform sample of the keys observed in the last
+// Buckets sub-windows.
+type Sampler struct {
+	mu      sync.Mutex
+	cfg     SamplerConfig
+	buckets [][]model.Key
+	seen    []int // observations in each bucket, for reservoir sampling
+	cur     int
+	rng     *rand.Rand
+}
+
+// NewSampler creates a sliding-window key sampler.
+func NewSampler(cfg SamplerConfig) *Sampler {
+	cfg.fill()
+	s := &Sampler{
+		cfg:     cfg,
+		buckets: make([][]model.Key, cfg.Buckets),
+		seen:    make([]int, cfg.Buckets),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	return s
+}
+
+// Observe records one key into the current sub-window.
+func (s *Sampler) Observe(k model.Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen[s.cur]++
+	b := s.buckets[s.cur]
+	if len(b) < s.cfg.PerBucket {
+		s.buckets[s.cur] = append(b, k)
+		return
+	}
+	// Reservoir: replace a random element with probability cap/seen.
+	if j := s.rng.Intn(s.seen[s.cur]); j < s.cfg.PerBucket {
+		b[j] = k
+	}
+}
+
+// Rotate advances the sliding window, dropping the oldest sub-window. The
+// cluster runtime calls this on a fixed cadence (paper: a few seconds).
+func (s *Sampler) Rotate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur = (s.cur + 1) % s.cfg.Buckets
+	s.buckets[s.cur] = s.buckets[s.cur][:0]
+	s.seen[s.cur] = 0
+}
+
+// Sample returns a copy of every retained key in the window.
+func (s *Sampler) Sample() []model.Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []model.Key
+	for _, b := range s.buckets {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// Dispatcher routes tuples by the current schema, sampling keys as it
+// goes. Multiple dispatchers run concurrently, each with its own sampler.
+type Dispatcher struct {
+	mu          sync.RWMutex
+	schema      meta.PartitionSchema
+	sampler     *Sampler
+	sink        Sink
+	sampleEvery uint64
+	dispatched  atomic.Uint64
+}
+
+// New creates a dispatcher with the given initial schema and sink.
+func New(schema meta.PartitionSchema, sink Sink, samplerCfg SamplerConfig) *Dispatcher {
+	samplerCfg.fill()
+	return &Dispatcher{
+		schema:      schema,
+		sampler:     NewSampler(samplerCfg),
+		sink:        sink,
+		sampleEvery: uint64(samplerCfg.SampleEvery),
+	}
+}
+
+// Dispatch routes one tuple, returning the chosen indexing server. Only
+// one in SampleEvery tuples enters the sampler, keeping per-tuple routing
+// cheap.
+func (d *Dispatcher) Dispatch(t model.Tuple) int {
+	d.mu.RLock()
+	server := d.schema.ServerFor(t.Key)
+	d.mu.RUnlock()
+	if d.dispatched.Add(1)%d.sampleEvery == 0 {
+		d.sampler.Observe(t.Key)
+	}
+	d.sink.Send(server, t)
+	return server
+}
+
+// UpdateSchema installs a newer partitioning schema; stale versions are
+// ignored so concurrent pushes cannot roll back.
+func (d *Dispatcher) UpdateSchema(s meta.PartitionSchema) {
+	d.mu.Lock()
+	if s.Version > d.schema.Version {
+		d.schema = s
+	}
+	d.mu.Unlock()
+}
+
+// Schema returns the dispatcher's current schema.
+func (d *Dispatcher) Schema() meta.PartitionSchema {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.schema
+}
+
+// Sampler exposes the dispatcher's key sampler (the balancer reads it).
+func (d *Dispatcher) Sampler() *Sampler { return d.sampler }
+
+// Balancer is the centralized process that evaluates the global key
+// frequencies and recomputes the partitioning when load is skewed.
+type Balancer struct {
+	// Threshold is the relative deviation of the most loaded server that
+	// triggers a repartition (paper: 0.2).
+	Threshold float64
+	// MinSample suppresses decisions on too little evidence.
+	MinSample int
+}
+
+// NewBalancer creates a balancer with the paper's 20% threshold.
+func NewBalancer() *Balancer { return &Balancer{Threshold: 0.2, MinSample: 256} }
+
+// Imbalance estimates each server's load share from the sample under the
+// schema and returns the maximum relative deviation from the mean:
+// max_i |n_i - mean| / mean. Returns 0 for empty samples.
+func (b *Balancer) Imbalance(schema meta.PartitionSchema, sample []model.Key) float64 {
+	if len(sample) == 0 || schema.Servers < 2 {
+		return 0
+	}
+	counts := make([]int, schema.Servers)
+	for _, k := range sample {
+		counts[schema.ServerFor(k)]++
+	}
+	mean := float64(len(sample)) / float64(schema.Servers)
+	worst := 0.0
+	for _, c := range counts {
+		dev := float64(c) - mean
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev/mean > worst {
+			worst = dev / mean
+		}
+	}
+	return worst
+}
+
+// Rebalance returns a new bound set equalizing the sampled load across
+// servers, and whether a repartition is warranted. Bounds are quantile
+// cuts of the sorted sample; duplicate cut keys are nudged apart so the
+// schema stays strictly ascending. The trigger threshold is raised to the
+// sampling noise floor (≈3σ of a multinomial share estimate) so small
+// samples do not cause repartition thrash.
+func (b *Balancer) Rebalance(schema meta.PartitionSchema, sample []model.Key) ([]model.Key, bool) {
+	if len(sample) < b.MinSample || schema.Servers < 2 {
+		return nil, false
+	}
+	threshold := b.Threshold
+	if noise := 3 * math.Sqrt(float64(schema.Servers)/float64(len(sample))); noise > threshold {
+		threshold = noise
+	}
+	if b.Imbalance(schema, sample) <= threshold {
+		return nil, false
+	}
+	sorted := append([]model.Key(nil), sample...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	bounds := make([]model.Key, 0, schema.Servers-1)
+	for i := 1; i < schema.Servers; i++ {
+		idx := i * len(sorted) / schema.Servers
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		bounds = append(bounds, sorted[idx])
+	}
+	// Enforce strict ascent (heavy duplicate keys can collapse quantiles).
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			bounds[i] = bounds[i-1] + 1
+		}
+	}
+	// A final sanity check: the nudging above cannot overflow the domain in
+	// any realistic sample, but guard against pathological all-MaxKey input.
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, false
+		}
+	}
+	return bounds, true
+}

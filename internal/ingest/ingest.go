@@ -1,0 +1,430 @@
+// Package ingest implements Waterwheel's indexing servers (paper §III).
+// An indexing server owns one key interval of the global partitioning. It
+// accumulates incoming tuples in an in-memory template B+ tree, keeps them
+// immediately visible to memtable subqueries, and flushes the tree as an
+// immutable data chunk to the distributed file system once it reaches the
+// chunk-size threshold (default 16 MB). The inner template survives the
+// flush (§III-B).
+//
+// Out-of-order arrivals (§IV-D): a watermark tracks the largest timestamp
+// seen; tuples arriving more than SideThreshold behind it go to a separate
+// side-store tree so the ordinary chunks keep tight temporal boundaries,
+// while mildly-late tuples simply widen the live region's left bound,
+// which the coordinator further pads by the late-visibility parameter Δt.
+//
+// Fault tolerance (§V): the server consumes a WAL partition; at every
+// flush it records its read offset in the metadata server, so a restarted
+// server replays the tail of the partition to rebuild its memtable.
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waterwheel/internal/chunk"
+	"waterwheel/internal/core"
+	"waterwheel/internal/dfs"
+	"waterwheel/internal/meta"
+	"waterwheel/internal/model"
+	"waterwheel/internal/wal"
+)
+
+// Config configures an indexing server.
+type Config struct {
+	// ID is the indexing-server index in the partition schema.
+	ID int
+	// Keys is the nominal key interval (from the schema).
+	Keys model.KeyRange
+	// ChunkBytes is the flush threshold (default 16 MB).
+	ChunkBytes int64
+	// Leaves is the template leaf count (default from tree config).
+	Leaves int
+	// SkewThreshold / CheckEvery tune adaptive template update.
+	SkewThreshold float64
+	CheckEvery    int
+	// SideThresholdMillis routes tuples arriving more than this behind the
+	// watermark into the side store (default 60 000 ms). Zero keeps the
+	// default; negative disables the side store.
+	SideThresholdMillis int64
+	// Bloom tunes chunk sketch construction.
+	Bloom chunk.BuildOptions
+	// TemplateReuse keeps the inner template across flushes (the paper's
+	// design). Setting false rebuilds the tree each flush — the system-level
+	// ablation switch.
+	NoTemplateReuse bool
+}
+
+func (c *Config) fill() {
+	if c.ChunkBytes <= 0 {
+		c.ChunkBytes = 16 << 20
+	}
+	if c.SideThresholdMillis == 0 {
+		c.SideThresholdMillis = 60_000
+	}
+	if !c.Keys.IsValid() {
+		c.Keys = model.FullKeyRange()
+	}
+}
+
+// nextIncarnation hands every server instance a process-unique id.
+var nextIncarnation atomic.Uint64
+
+// Stats counts indexing-server activity.
+type Stats struct {
+	Ingested   atomic.Int64
+	Flushes    atomic.Int64
+	FlushBytes atomic.Int64
+	SideRouted atomic.Int64
+	Recovered  atomic.Int64
+}
+
+// Server is one indexing server.
+type Server struct {
+	cfg Config
+
+	tree *core.TemplateTree
+	side *core.TemplateTree
+
+	fs *dfs.FS
+	ms *meta.Server
+	// node is the cluster node hosting this server (locality for flushes).
+	node int
+
+	// watermark is the largest event timestamp observed.
+	watermark atomic.Int64
+	// minTime is the smallest timestamp in the current memtable; reset on
+	// flush. Guarded by minMu.
+	minMu    sync.Mutex
+	minTime  model.Timestamp
+	hasData  bool
+	sideMin  model.Timestamp
+	sideData bool
+
+	flushMu  sync.Mutex
+	flushSeq int
+	// incarnation distinguishes chunk paths across server restarts, so a
+	// recovered server never collides with its predecessor's files.
+	incarnation uint64
+	// consumed is the WAL offset of the next record to consume.
+	consumed atomic.Int64
+
+	stats Stats
+}
+
+// NewServer creates an indexing server writing chunks to fs and metadata
+// to ms. node is the cluster node it runs on.
+func NewServer(cfg Config, fs *dfs.FS, ms *meta.Server, node int) *Server {
+	cfg.fill()
+	tc := core.TemplateConfig{
+		Keys:          cfg.Keys,
+		Leaves:        cfg.Leaves,
+		SkewThreshold: cfg.SkewThreshold,
+		CheckEvery:    cfg.CheckEvery,
+	}
+	s := &Server{
+		cfg:         cfg,
+		tree:        core.NewTemplateTree(tc),
+		fs:          fs,
+		ms:          ms,
+		node:        node,
+		incarnation: nextIncarnation.Add(1),
+	}
+	if cfg.SideThresholdMillis > 0 {
+		sideCfg := tc
+		sideCfg.Leaves = 64
+		s.side = core.NewTemplateTree(sideCfg)
+	}
+	s.watermark.Store(int64(model.MinTimestamp))
+	return s
+}
+
+// Stats returns the server's counters.
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// TreeStats exposes the memtable tree's instrumentation.
+func (s *Server) TreeStats() *core.Stats { return s.tree.Stats() }
+
+// Insert ingests one tuple, flushing when the memtable reaches the chunk
+// threshold. Safe for concurrent use.
+func (s *Server) Insert(t model.Tuple) {
+	s.stats.Ingested.Add(1)
+	wm := s.watermark.Load()
+	for int64(t.Time) > wm && !s.watermark.CompareAndSwap(wm, int64(t.Time)) {
+		wm = s.watermark.Load()
+	}
+	if s.side != nil && int64(t.Time) < s.watermark.Load()-s.cfg.SideThresholdMillis {
+		s.insertSide(t)
+		return
+	}
+	s.minMu.Lock()
+	changed := !s.hasData || t.Time < s.minTime
+	if changed {
+		s.minTime = t.Time
+		s.hasData = true
+	}
+	s.minMu.Unlock()
+	s.tree.Insert(t)
+	if changed {
+		// The live region's left bound moved (or the memtable went from
+		// empty to non-empty): publish it so the coordinator includes this
+		// server in query decomposition. Unchanged bounds — the common case
+		// on in-order streams — skip the metadata round-trip.
+		s.reportLive()
+	}
+	if s.tree.Bytes() >= s.cfg.ChunkBytes {
+		s.Flush()
+	}
+}
+
+func (s *Server) insertSide(t model.Tuple) {
+	s.stats.SideRouted.Add(1)
+	s.minMu.Lock()
+	changed := !s.sideData || t.Time < s.sideMin
+	if changed {
+		s.sideMin = t.Time
+		s.sideData = true
+	}
+	s.minMu.Unlock()
+	s.side.Insert(t)
+	if changed {
+		s.reportLive()
+	}
+	// The side store flushes at a fraction of the chunk size: very-late
+	// tuples are rare and should not linger unbounded.
+	if s.side.Bytes() >= s.cfg.ChunkBytes/4 {
+		s.flushTree(s.side, true)
+	}
+}
+
+// MemMinTime returns the left temporal bound of the live (memtable) region
+// over both trees, and whether any data is buffered.
+func (s *Server) MemMinTime() (model.Timestamp, bool) {
+	s.minMu.Lock()
+	defer s.minMu.Unlock()
+	switch {
+	case s.hasData && s.sideData:
+		if s.sideMin < s.minTime {
+			return s.sideMin, true
+		}
+		return s.minTime, true
+	case s.hasData:
+		return s.minTime, true
+	case s.sideData:
+		return s.sideMin, true
+	}
+	return 0, false
+}
+
+// reportLive pushes the current live-region state to the metadata server.
+func (s *Server) reportLive() {
+	min, ok := s.MemMinTime()
+	s.ms.ReportLive(s.cfg.ID, min, !ok)
+}
+
+// Flush writes the memtable out as a chunk (no-op when empty). It returns
+// the registered chunk info and whether a flush happened.
+func (s *Server) Flush() (meta.ChunkInfo, bool) {
+	return s.flushTree(s.tree, false)
+}
+
+// FlushAll flushes both the main memtable and the side store.
+func (s *Server) FlushAll() {
+	s.flushTree(s.tree, false)
+	if s.side != nil {
+		s.flushTree(s.side, true)
+	}
+}
+
+func (s *Server) flushTree(tree *core.TemplateTree, isSide bool) (meta.ChunkInfo, bool) {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	snap := tree.FlushReset()
+	if snap == nil {
+		return meta.ChunkInfo{}, false
+	}
+	if s.cfg.NoTemplateReuse {
+		// Ablation: discard the learned template by rebuilding the whole
+		// tree with an even partition, as a non-template system would.
+		tree.UpdateTemplate()
+	}
+	data, cmeta, err := chunk.Build(snap, s.cfg.Bloom)
+	if err != nil {
+		// Snapshot was non-empty, so Build cannot fail; a failure here is a
+		// programming error worth surfacing loudly.
+		panic(fmt.Sprintf("ingest: chunk build: %v", err))
+	}
+	s.flushSeq++
+	kind := "c"
+	if isSide {
+		kind = "side"
+	}
+	path := fmt.Sprintf("chunks/is%d-g%d-%s%d", s.cfg.ID, s.incarnation, kind, s.flushSeq)
+	if err := s.fs.Write(path, data); err != nil {
+		// The file system refused the chunk (no live datanodes, disk full).
+		// Put the tuples back into the memtable and report no flush: they
+		// stay queryable, the WAL still covers them for recovery, and the
+		// next threshold crossing retries. tree.Insert (not s.Insert) avoids
+		// re-entering the flush path under flushMu.
+		for _, leafEntries := range snap.Leaves {
+			for i := range leafEntries {
+				tree.Insert(leafEntries[i])
+			}
+		}
+		return meta.ChunkInfo{}, false
+	}
+	// The chunk's data region: the tuples' exact bounding box, which is at
+	// least as tight as the actual key interval × flush window.
+	region := model.Region{
+		Keys:  boundingKeys(snap),
+		Times: model.TimeRange{Lo: cmeta.MinTime, Hi: cmeta.MaxTime},
+	}
+	info := s.ms.RegisterChunk(meta.ChunkInfo{
+		Path:      path,
+		Region:    region,
+		Count:     cmeta.Count,
+		Size:      cmeta.Size,
+		HeaderLen: cmeta.HeaderLen,
+		Server:    s.cfg.ID,
+	})
+	s.stats.Flushes.Add(1)
+	s.stats.FlushBytes.Add(cmeta.Size)
+	// Record the replay offset (§V) and the shrunken live region.
+	s.ms.SetOffset(s.cfg.ID, s.consumed.Load())
+	s.minMu.Lock()
+	if isSide {
+		s.sideData = false
+	} else {
+		s.hasData = false
+	}
+	s.minMu.Unlock()
+	s.reportLive()
+	return info, true
+}
+
+// boundingKeys computes the exact key bounding box of a snapshot.
+func boundingKeys(snap *core.FlushSnapshot) model.KeyRange {
+	kr := snap.Keys
+	for _, leaf := range snap.Leaves {
+		if len(leaf) > 0 {
+			kr.Lo = leaf[0].Key
+			break
+		}
+	}
+	for i := len(snap.Leaves) - 1; i >= 0; i-- {
+		if leaf := snap.Leaves[i]; len(leaf) > 0 {
+			kr.Hi = leaf[len(leaf)-1].Key
+			break
+		}
+	}
+	return kr
+}
+
+// ExecuteSubQuery answers a subquery against the in-memory trees — the
+// "fresh data" path of §IV: tuples are visible here the moment Insert
+// returns.
+func (s *Server) ExecuteSubQuery(sq *model.SubQuery) *model.Result {
+	res := &model.Result{QueryID: sq.QueryID}
+	visit := func(t *model.Tuple) bool {
+		cp := *t
+		cp.Payload = append([]byte(nil), t.Payload...)
+		res.Tuples = append(res.Tuples, cp)
+		return sq.Limit <= 0 || len(res.Tuples) < sq.Limit
+	}
+	s.tree.Range(sq.Region.Keys, sq.Region.Times, sq.Filter, visit)
+	if s.side != nil {
+		// The side store may hold lower keys than where the main tree's
+		// limit cut off, so it scans with its own budget and the combined
+		// result is re-cut on sorted order.
+		main := len(res.Tuples)
+		s.side.Range(sq.Region.Keys, sq.Region.Times, sq.Filter, func(t *model.Tuple) bool {
+			cp := *t
+			cp.Payload = append([]byte(nil), t.Payload...)
+			res.Tuples = append(res.Tuples, cp)
+			return sq.Limit <= 0 || len(res.Tuples)-main < sq.Limit
+		})
+		if sq.Limit > 0 && len(res.Tuples) > sq.Limit {
+			res.SortTuples()
+			res.Tuples = res.Tuples[:sq.Limit]
+		}
+	}
+	return res
+}
+
+// MemLen returns the number of buffered tuples across both trees.
+func (s *Server) MemLen() int {
+	n := s.tree.Len()
+	if s.side != nil {
+		n += s.side.Len()
+	}
+	return n
+}
+
+// SetKeys updates the nominal key interval after a repartition (§III-D).
+func (s *Server) SetKeys(kr model.KeyRange) {
+	s.tree.SetKeys(kr)
+	if s.side != nil {
+		s.side.SetKeys(kr)
+	}
+}
+
+// --- WAL consumption and recovery (§V) ---
+
+// Consume runs the ingestion loop: it replays the partition from the
+// offset stored in the metadata server (recovery), then keeps consuming
+// until the partition closes or stop is closed. Fresh tuples become
+// queryable the moment Insert returns. The loop polls rather than blocks
+// so a crash simulation (closing stop) detaches the consumer promptly even
+// on an idle partition.
+func (s *Server) Consume(p *wal.Partition, stop <-chan struct{}) error {
+	start := s.ms.Offset(s.cfg.ID)
+	base := p.Base()
+	if start < base {
+		start = base
+	}
+	s.consumed.Store(start)
+	head := p.Next() // records before head are replayed backlog (recovery)
+	for {
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		recs, err := p.Read(s.consumed.Load(), 256)
+		if err != nil {
+			return fmt.Errorf("ingest: consume: %w", err)
+		}
+		if len(recs) == 0 {
+			if p.Closed() {
+				return nil
+			}
+			select {
+			case <-stop:
+				return nil
+			case <-time.After(200 * time.Microsecond):
+			}
+			continue
+		}
+		for _, r := range recs {
+			t, _, derr := model.DecodeTuple(r.Data)
+			if derr != nil {
+				return fmt.Errorf("ingest: bad record at offset %d: %w", r.Offset, derr)
+			}
+			t.Payload = append([]byte(nil), t.Payload...)
+			// Advance the offset before Insert: a flush triggered inside
+			// Insert records the offset durably, and the flushed chunk
+			// includes this very tuple — recording r.Offset would replay it
+			// into a duplicate after recovery.
+			s.consumed.Store(r.Offset + 1)
+			s.Insert(t)
+			if r.Offset < head {
+				s.stats.Recovered.Add(1)
+			}
+		}
+		s.reportLive()
+	}
+}
+
+// Consumed returns the next WAL offset the server will read.
+func (s *Server) Consumed() int64 { return s.consumed.Load() }

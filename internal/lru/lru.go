@@ -1,0 +1,154 @@
+// Package lru implements the byte-budgeted LRU cache query servers use to
+// keep frequently accessed chunk data in memory (paper §IV-B). The caching
+// unit is a template or a leaf; eviction follows the LRU policy [32].
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a concurrency-safe LRU cache with a byte budget. Each entry
+// carries its own size; inserting past the budget evicts least-recently
+// used entries until the new entry fits.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type entry struct {
+	key   string
+	value any
+	size  int64
+}
+
+// New creates a cache with the given byte capacity. A capacity <= 0
+// disables caching (every Get misses, every Put is dropped).
+func New(capacity int64) *Cache {
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value and whether it was present, promoting the
+// entry to most-recently-used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry).value, true
+}
+
+// Put inserts or replaces a value with the given size in bytes. Entries
+// larger than the whole capacity are not cached.
+func (c *Cache) Put(key string, value any, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.capacity {
+		// Too large to ever fit; drop (and remove any stale version).
+		c.removeLocked(key)
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.used += size - e.size
+		e.value, e.size = value, size
+		c.ll.MoveToFront(el)
+	} else {
+		el := c.ll.PushFront(&entry{key: key, value: value, size: size})
+		c.items[key] = el
+		c.used += size
+	}
+	for c.used > c.capacity {
+		c.evictOldestLocked()
+	}
+}
+
+// Remove drops an entry if present.
+func (c *Cache) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.removeLocked(key)
+}
+
+func (c *Cache) removeLocked(key string) {
+	if el, ok := c.items[key]; ok {
+		e := el.Value.(*entry)
+		c.ll.Remove(el)
+		delete(c.items, key)
+		c.used -= e.size
+	}
+}
+
+func (c *Cache) evictOldestLocked() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, e.key)
+	c.used -= e.size
+	c.evictions++
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Used returns the bytes currently cached.
+func (c *Cache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Capacity returns the byte budget.
+func (c *Cache) Capacity() int64 { return c.capacity }
+
+// Metrics is a snapshot of the cache counters.
+type Metrics struct {
+	Hits, Misses, Evictions int64
+	Used, Capacity          int64
+	Entries                 int
+}
+
+// Metrics returns a snapshot of the counters.
+func (c *Cache) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Metrics{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Used: c.used, Capacity: c.capacity, Entries: c.ll.Len(),
+	}
+}
+
+// Clear drops every entry, keeping counters.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[string]*list.Element)
+	c.used = 0
+}

@@ -1,0 +1,142 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBasicPutGet(t *testing.T) {
+	c := New(100)
+	c.Put("a", 1, 10)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Error("missing key found")
+	}
+	m := c.Metrics()
+	if m.Hits != 1 || m.Misses != 1 {
+		t.Errorf("metrics %+v", m)
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New(30)
+	c.Put("a", "A", 10)
+	c.Put("b", "B", 10)
+	c.Put("c", "C", 10)
+	c.Get("a") // promote a; b is now oldest
+	c.Put("d", "D", 10)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should still be cached", k)
+		}
+	}
+	if ev := c.Metrics().Evictions; ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestByteBudgetMultiEvict(t *testing.T) {
+	c := New(100)
+	for i := 0; i < 10; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 10)
+	}
+	if c.Used() != 100 {
+		t.Fatalf("used = %d", c.Used())
+	}
+	c.Put("big", "x", 55) // must evict several
+	if c.Used() > 100 {
+		t.Fatalf("over budget: %d", c.Used())
+	}
+	if _, ok := c.Get("big"); !ok {
+		t.Error("big entry missing")
+	}
+}
+
+func TestOversizeEntryDropped(t *testing.T) {
+	c := New(50)
+	c.Put("huge", "x", 51)
+	if _, ok := c.Get("huge"); ok {
+		t.Error("oversize entry should not cache")
+	}
+	// Replacing an existing entry with an oversize value removes it.
+	c.Put("a", 1, 10)
+	c.Put("a", 2, 999)
+	if _, ok := c.Get("a"); ok {
+		t.Error("entry replaced by oversize value should be gone")
+	}
+	if c.Used() != 0 {
+		t.Errorf("used = %d, want 0", c.Used())
+	}
+}
+
+func TestReplaceAdjustsSize(t *testing.T) {
+	c := New(100)
+	c.Put("a", 1, 40)
+	c.Put("a", 2, 10)
+	if c.Used() != 10 {
+		t.Errorf("used = %d, want 10", c.Used())
+	}
+	if c.Len() != 1 {
+		t.Errorf("len = %d, want 1", c.Len())
+	}
+	v, _ := c.Get("a")
+	if v.(int) != 2 {
+		t.Errorf("value = %v, want 2", v)
+	}
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	c := New(100)
+	c.Put("a", 1, 10)
+	c.Put("b", 2, 10)
+	c.Remove("a")
+	c.Remove("nonexistent") // no-op
+	if _, ok := c.Get("a"); ok {
+		t.Error("removed key found")
+	}
+	if c.Used() != 10 {
+		t.Errorf("used = %d, want 10", c.Used())
+	}
+	c.Clear()
+	if c.Len() != 0 || c.Used() != 0 {
+		t.Errorf("after clear: len=%d used=%d", c.Len(), c.Used())
+	}
+}
+
+func TestZeroCapacityDisables(t *testing.T) {
+	c := New(0)
+	c.Put("a", 1, 1)
+	if _, ok := c.Get("a"); ok {
+		t.Error("zero-capacity cache stored an entry")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%64)
+				if i%3 == 0 {
+					c.Put(k, i, 16)
+				} else {
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Used() > 1000 {
+		t.Errorf("over budget after concurrency: %d", c.Used())
+	}
+}

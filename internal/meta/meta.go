@@ -1,0 +1,389 @@
+// Package meta implements Waterwheel's metadata server (paper §II-B). It
+// maintains the states of the system: the global key-partitioning schema of
+// the dispatchers (including the *actual*, possibly overlapping key
+// intervals right after a repartition, §III-D), the property information of
+// every flushed data chunk (indexed by an R-tree for query decomposition,
+// §IV-A), the live in-memory regions of the indexing servers, the WAL read
+// offsets recorded at each flush (§V), and the registry of running queries
+// used for coordinator failover.
+//
+// Durability stands in for ZooKeeper: Snapshot/Restore round-trips the
+// whole state through a gob encoding.
+package meta
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"waterwheel/internal/model"
+	"waterwheel/internal/rtree"
+)
+
+// ChunkInfo is the metadata of one flushed data chunk.
+type ChunkInfo struct {
+	ID model.ChunkID
+	// Path is the file name in the distributed file system.
+	Path string
+	// Region is the key×time rectangle the chunk covers. Regions of chunks
+	// written right after a key repartition may overlap (§III-D), as may
+	// chunks containing late tuples (§IV-D).
+	Region model.Region
+	// Count is the number of tuples.
+	Count int
+	// Size is the chunk size in bytes.
+	Size int64
+	// HeaderLen is the chunk's header-block length, letting query servers
+	// fetch exactly the header (the cacheable "template" unit) in one read.
+	HeaderLen int
+	// Server is the indexing server that produced the chunk.
+	Server int
+}
+
+// PartitionSchema is the global key partitioning: server i of Servers owns
+// [Bounds[i-1], Bounds[i]) with the outermost intervals extended to the
+// domain edges.
+type PartitionSchema struct {
+	// Version increases with every repartition.
+	Version int64
+	// Servers is the number of indexing servers.
+	Servers int
+	// Bounds has Servers-1 separator keys, ascending.
+	Bounds []model.Key
+}
+
+// ServerFor returns the indexing server owning key k.
+func (s PartitionSchema) ServerFor(k model.Key) int {
+	return sort.Search(len(s.Bounds), func(i int) bool { return k < s.Bounds[i] })
+}
+
+// IntervalOf returns the nominal key interval of server i.
+func (s PartitionSchema) IntervalOf(i int) model.KeyRange {
+	kr := model.FullKeyRange()
+	if i > 0 {
+		kr.Lo = s.Bounds[i-1]
+	}
+	if i < len(s.Bounds) {
+		kr.Hi = s.Bounds[i] - 1
+	}
+	return kr
+}
+
+// EvenSchema builds the initial schema dividing the full key domain evenly.
+func EvenSchema(servers int) PartitionSchema {
+	if servers < 1 {
+		servers = 1
+	}
+	s := PartitionSchema{Version: 1, Servers: servers}
+	step := ^uint64(0)/uint64(servers) + 1
+	for i := 1; i < servers; i++ {
+		s.Bounds = append(s.Bounds, model.Key(uint64(i)*step))
+	}
+	return s
+}
+
+// LiveRegion describes the in-memory (unflushed) region of an indexing
+// server: its actual key interval × [MinTime, now].
+type LiveRegion struct {
+	Server int
+	// Keys is the actual key interval, which may overlap other servers'
+	// right after a repartition.
+	Keys model.KeyRange
+	// MinTime is the left temporal boundary of the in-memory B+ tree; zero
+	// tuples is signalled by Empty.
+	MinTime model.Timestamp
+	Empty   bool
+}
+
+// QueryInfo tracks a running query for coordinator failover (§V).
+type QueryInfo struct {
+	ID    uint64
+	Query model.Query
+}
+
+// Server is the metadata server.
+type Server struct {
+	mu        sync.RWMutex
+	schema    PartitionSchema
+	actual    []model.KeyRange
+	live      []LiveRegion
+	chunks    map[model.ChunkID]ChunkInfo
+	regions   *rtree.Tree // region -> ChunkID
+	offsets   []int64
+	queries   map[uint64]QueryInfo
+	nextChunk uint64
+	nextQuery uint64
+}
+
+// NewServer creates a metadata server for the given number of indexing
+// servers, with an even initial key partitioning.
+func NewServer(indexServers int) *Server {
+	if indexServers < 1 {
+		indexServers = 1
+	}
+	s := &Server{
+		schema:  EvenSchema(indexServers),
+		chunks:  make(map[model.ChunkID]ChunkInfo),
+		regions: rtree.New(16),
+		offsets: make([]int64, indexServers),
+		queries: make(map[uint64]QueryInfo),
+		actual:  make([]model.KeyRange, indexServers),
+		live:    make([]LiveRegion, indexServers),
+	}
+	for i := range s.actual {
+		s.actual[i] = s.schema.IntervalOf(i)
+		s.live[i] = LiveRegion{Server: i, Keys: s.actual[i], Empty: true}
+	}
+	return s
+}
+
+// Schema returns the current partition schema.
+func (s *Server) Schema() PartitionSchema {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return clonedSchema(s.schema)
+}
+
+func clonedSchema(p PartitionSchema) PartitionSchema {
+	p.Bounds = append([]model.Key(nil), p.Bounds...)
+	return p
+}
+
+// SetSchema installs a new key partitioning (same server count), bumping
+// the version. Each server's actual interval becomes the union of its old
+// actual interval and its new nominal interval until the next flush
+// shrinks it (§III-D).
+func (s *Server) SetSchema(bounds []model.Key) (PartitionSchema, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(bounds) != s.schema.Servers-1 {
+		return PartitionSchema{}, fmt.Errorf("meta: schema needs %d bounds, got %d", s.schema.Servers-1, len(bounds))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return PartitionSchema{}, fmt.Errorf("meta: bounds not ascending at %d", i)
+		}
+	}
+	s.schema = PartitionSchema{
+		Version: s.schema.Version + 1,
+		Servers: s.schema.Servers,
+		Bounds:  append([]model.Key(nil), bounds...),
+	}
+	for i := range s.actual {
+		nom := s.schema.IntervalOf(i)
+		if s.live[i].Empty {
+			// Nothing buffered: the actual interval snaps to nominal.
+			s.actual[i] = nom
+		} else {
+			// Buffered tuples from the old interval remain; widen.
+			if nom.Lo < s.actual[i].Lo {
+				s.actual[i].Lo = nom.Lo
+			}
+			if nom.Hi > s.actual[i].Hi {
+				s.actual[i].Hi = nom.Hi
+			}
+		}
+		s.live[i].Keys = s.actual[i]
+	}
+	return clonedSchema(s.schema), nil
+}
+
+// Actual returns the actual key interval of an indexing server.
+func (s *Server) Actual(server int) model.KeyRange {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.actual[server]
+}
+
+// ReportLive updates an indexing server's live region after inserts or a
+// flush. Empty=true marks the memtable as drained, which also snaps the
+// actual interval back to the nominal one.
+func (s *Server) ReportLive(server int, minTime model.Timestamp, empty bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if server < 0 || server >= len(s.live) {
+		return
+	}
+	if empty {
+		s.actual[server] = s.schema.IntervalOf(server)
+	}
+	s.live[server] = LiveRegion{
+		Server:  server,
+		Keys:    s.actual[server],
+		MinTime: minTime,
+		Empty:   empty,
+	}
+}
+
+// LiveRegions returns the current live regions of all indexing servers.
+func (s *Server) LiveRegions() []LiveRegion {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]LiveRegion(nil), s.live...)
+}
+
+// RegisterChunk assigns a chunk ID, records the chunk metadata, and indexes
+// its region. The caller fills every field except ID.
+func (s *Server) RegisterChunk(info ChunkInfo) ChunkInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextChunk++
+	info.ID = model.ChunkID(s.nextChunk)
+	s.chunks[info.ID] = info
+	s.regions.Insert(info.Region, info.ID)
+	return info
+}
+
+// Chunk returns the metadata of one chunk.
+func (s *Server) Chunk(id model.ChunkID) (ChunkInfo, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	info, ok := s.chunks[id]
+	return info, ok
+}
+
+// ChunksFor returns the chunks whose regions overlap r — the query-region
+// candidates of §IV-A.
+func (s *Server) ChunksFor(r model.Region) []ChunkInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := s.regions.Search(r)
+	out := make([]ChunkInfo, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, s.chunks[id.(model.ChunkID)])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ChunkCount returns the number of registered chunks.
+func (s *Server) ChunkCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.chunks)
+}
+
+// DropChunk removes a chunk from the registry (retention).
+func (s *Server) DropChunk(id model.ChunkID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.chunks[id]
+	if !ok {
+		return false
+	}
+	delete(s.chunks, id)
+	s.regions.Delete(info.Region, func(v any) bool { return v.(model.ChunkID) == id })
+	return true
+}
+
+// SetOffset records the WAL read offset of an indexing server at flush time
+// (§V): on recovery the server replays from here.
+func (s *Server) SetOffset(server int, off int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if server >= 0 && server < len(s.offsets) {
+		s.offsets[server] = off
+	}
+}
+
+// Offset returns the stored WAL offset of an indexing server.
+func (s *Server) Offset(server int) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if server < 0 || server >= len(s.offsets) {
+		return 0
+	}
+	return s.offsets[server]
+}
+
+// RegisterQuery stores a running query and assigns its ID.
+func (s *Server) RegisterQuery(q model.Query) model.Query {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextQuery++
+	q.ID = s.nextQuery
+	s.queries[q.ID] = QueryInfo{ID: q.ID, Query: q}
+	return q
+}
+
+// CompleteQuery removes a finished query.
+func (s *Server) CompleteQuery(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.queries, id)
+}
+
+// ActiveQueries returns the registered, unfinished queries — what a new
+// coordinator re-initializes after a failover (§V).
+func (s *Server) ActiveQueries() []QueryInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]QueryInfo, 0, len(s.queries))
+	for _, q := range s.queries {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// persistentState is the gob image of the server.
+type persistentState struct {
+	Schema    PartitionSchema
+	Actual    []model.KeyRange
+	Live      []LiveRegion
+	Chunks    []ChunkInfo
+	Offsets   []int64
+	Queries   []QueryInfo
+	NextChunk uint64
+	NextQuery uint64
+}
+
+// Snapshot serializes the full metadata state.
+func (s *Server) Snapshot() ([]byte, error) {
+	s.mu.RLock()
+	st := persistentState{
+		Schema:    clonedSchema(s.schema),
+		Actual:    append([]model.KeyRange(nil), s.actual...),
+		Live:      append([]LiveRegion(nil), s.live...),
+		Offsets:   append([]int64(nil), s.offsets...),
+		NextChunk: s.nextChunk,
+		NextQuery: s.nextQuery,
+	}
+	for _, c := range s.chunks {
+		st.Chunks = append(st.Chunks, c)
+	}
+	for _, q := range s.queries {
+		st.Queries = append(st.Queries, q)
+	}
+	s.mu.RUnlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&st); err != nil {
+		return nil, fmt.Errorf("meta: snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore rebuilds a metadata server from a snapshot.
+func Restore(data []byte) (*Server, error) {
+	var st persistentState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("meta: restore: %w", err)
+	}
+	s := NewServer(st.Schema.Servers)
+	s.schema = st.Schema
+	s.actual = st.Actual
+	s.live = st.Live
+	s.offsets = st.Offsets
+	s.nextChunk = st.NextChunk
+	s.nextQuery = st.NextQuery
+	for _, c := range st.Chunks {
+		s.chunks[c.ID] = c
+		s.regions.Insert(c.Region, c.ID)
+	}
+	for _, q := range st.Queries {
+		s.queries[q.ID] = q
+	}
+	return s, nil
+}

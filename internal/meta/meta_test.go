@@ -1,0 +1,207 @@
+package meta
+
+import (
+	"testing"
+
+	"waterwheel/internal/model"
+)
+
+func region(k0, k1 uint64, t0, t1 int64) model.Region {
+	return model.Region{
+		Keys:  model.KeyRange{Lo: model.Key(k0), Hi: model.Key(k1)},
+		Times: model.TimeRange{Lo: model.Timestamp(t0), Hi: model.Timestamp(t1)},
+	}
+}
+
+func TestEvenSchemaRouting(t *testing.T) {
+	s := EvenSchema(4)
+	if s.Servers != 4 || len(s.Bounds) != 3 {
+		t.Fatalf("schema %+v", s)
+	}
+	// Intervals tile the domain without gaps or overlaps.
+	for i := 0; i < 4; i++ {
+		iv := s.IntervalOf(i)
+		if s.ServerFor(iv.Lo) != i || s.ServerFor(iv.Hi) != i {
+			t.Errorf("server %d interval %v routes to %d/%d", i, iv, s.ServerFor(iv.Lo), s.ServerFor(iv.Hi))
+		}
+	}
+	if s.IntervalOf(0).Lo != 0 || s.IntervalOf(3).Hi != model.MaxKey {
+		t.Error("outer intervals don't reach domain edges")
+	}
+	if s.IntervalOf(0).Hi+1 != s.IntervalOf(1).Lo {
+		t.Error("adjacent intervals not contiguous")
+	}
+}
+
+func TestEvenSchemaSingleServer(t *testing.T) {
+	s := EvenSchema(1)
+	if s.IntervalOf(0) != model.FullKeyRange() {
+		t.Errorf("single server interval = %v", s.IntervalOf(0))
+	}
+	if s.ServerFor(12345) != 0 {
+		t.Error("routing broken")
+	}
+}
+
+func TestSetSchemaValidation(t *testing.T) {
+	srv := NewServer(3)
+	if _, err := srv.SetSchema([]model.Key{100}); err == nil {
+		t.Error("wrong bound count accepted")
+	}
+	if _, err := srv.SetSchema([]model.Key{200, 100}); err == nil {
+		t.Error("descending bounds accepted")
+	}
+	sc, err := srv.SetSchema([]model.Key{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Version != 2 {
+		t.Errorf("version = %d, want 2", sc.Version)
+	}
+}
+
+func TestRepartitionWidensActualIntervals(t *testing.T) {
+	// Mirrors the paper's Figure 4 walkthrough: I1 owns (0,180], I2
+	// (180,300]; repartition to 150 moves keys (150,180] to I2. Before I1
+	// flushes, both servers' actual intervals cover the overlap.
+	srv := NewServer(2)
+	srv.SetSchema([]model.Key{180})
+	// Both servers hold data.
+	srv.ReportLive(0, 1000, false)
+	srv.ReportLive(1, 1000, false)
+	srv.SetSchema([]model.Key{150})
+
+	a0, a1 := srv.Actual(0), srv.Actual(1)
+	if a0.Hi < 179 {
+		t.Errorf("server 0 actual %v lost its buffered (150,180] tuples", a0)
+	}
+	if a1.Lo > 150 {
+		t.Errorf("server 1 actual %v does not cover new nominal start", a1)
+	}
+	if !a0.Overlaps(a1) {
+		t.Error("actual intervals should overlap right after repartition")
+	}
+	// After server 0 flushes (memtable empty), its actual snaps to nominal.
+	srv.ReportLive(0, 2000, true)
+	a0 = srv.Actual(0)
+	if a0.Hi != 149 {
+		t.Errorf("post-flush actual %v, want Hi=149", a0)
+	}
+}
+
+func TestChunkRegistryAndSearch(t *testing.T) {
+	srv := NewServer(2)
+	c1 := srv.RegisterChunk(ChunkInfo{Path: "c1", Region: region(0, 100, 0, 10), Count: 5})
+	c2 := srv.RegisterChunk(ChunkInfo{Path: "c2", Region: region(200, 300, 0, 10), Count: 7})
+	if c1.ID == 0 || c2.ID == 0 || c1.ID == c2.ID {
+		t.Fatalf("ids %d, %d", c1.ID, c2.ID)
+	}
+	got, ok := srv.Chunk(c1.ID)
+	if !ok || got.Path != "c1" {
+		t.Fatalf("Chunk = %+v, %v", got, ok)
+	}
+	hits := srv.ChunksFor(region(50, 250, 5, 6))
+	if len(hits) != 2 {
+		t.Fatalf("ChunksFor = %d chunks", len(hits))
+	}
+	hits = srv.ChunksFor(region(50, 60, 5, 6))
+	if len(hits) != 1 || hits[0].Path != "c1" {
+		t.Fatalf("narrow ChunksFor = %+v", hits)
+	}
+	hits = srv.ChunksFor(region(50, 250, 50, 60))
+	if len(hits) != 0 {
+		t.Fatalf("time-disjoint ChunksFor = %+v", hits)
+	}
+	if srv.ChunkCount() != 2 {
+		t.Errorf("count = %d", srv.ChunkCount())
+	}
+	if !srv.DropChunk(c1.ID) || srv.DropChunk(c1.ID) {
+		t.Error("DropChunk semantics wrong")
+	}
+	if len(srv.ChunksFor(region(0, 1000, 0, 100))) != 1 {
+		t.Error("dropped chunk still searchable")
+	}
+}
+
+func TestLiveRegions(t *testing.T) {
+	srv := NewServer(2)
+	lr := srv.LiveRegions()
+	if len(lr) != 2 || !lr[0].Empty {
+		t.Fatalf("initial live regions %+v", lr)
+	}
+	srv.ReportLive(0, 5000, false)
+	lr = srv.LiveRegions()
+	if lr[0].Empty || lr[0].MinTime != 5000 {
+		t.Errorf("live region %+v", lr[0])
+	}
+	srv.ReportLive(99, 0, false) // out of range: ignored
+}
+
+func TestOffsets(t *testing.T) {
+	srv := NewServer(3)
+	srv.SetOffset(1, 4242)
+	if srv.Offset(1) != 4242 || srv.Offset(0) != 0 {
+		t.Error("offset storage broken")
+	}
+	if srv.Offset(-1) != 0 || srv.Offset(99) != 0 {
+		t.Error("out-of-range offsets should read 0")
+	}
+}
+
+func TestQueryRegistry(t *testing.T) {
+	srv := NewServer(1)
+	q1 := srv.RegisterQuery(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	q2 := srv.RegisterQuery(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	if q1.ID == q2.ID || q1.ID == 0 {
+		t.Fatalf("ids %d, %d", q1.ID, q2.ID)
+	}
+	if got := srv.ActiveQueries(); len(got) != 2 {
+		t.Fatalf("active = %d", len(got))
+	}
+	srv.CompleteQuery(q1.ID)
+	got := srv.ActiveQueries()
+	if len(got) != 1 || got[0].ID != q2.ID {
+		t.Fatalf("after complete: %+v", got)
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	srv := NewServer(3)
+	srv.SetSchema([]model.Key{1000, 2000})
+	srv.ReportLive(1, 777, false)
+	c := srv.RegisterChunk(ChunkInfo{Path: "p", Region: region(0, 10, 0, 10), Count: 3, Size: 99, Server: 1})
+	srv.SetOffset(2, 555)
+	q := srv.RegisterQuery(model.Query{Keys: model.KeyRange{Lo: 1, Hi: 2}, Times: model.TimeRange{Lo: 3, Hi: 4}})
+
+	data, err := srv.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema().Version != srv.Schema().Version || len(got.Schema().Bounds) != 2 {
+		t.Errorf("schema mismatch: %+v", got.Schema())
+	}
+	if got.Offset(2) != 555 {
+		t.Errorf("offset lost")
+	}
+	if gc, ok := got.Chunk(c.ID); !ok || gc.Path != "p" || gc.Size != 99 {
+		t.Errorf("chunk lost: %+v %v", gc, ok)
+	}
+	if hits := got.ChunksFor(region(5, 6, 5, 6)); len(hits) != 1 {
+		t.Errorf("restored R-tree broken: %d hits", len(hits))
+	}
+	if aq := got.ActiveQueries(); len(aq) != 1 || aq[0].ID != q.ID {
+		t.Errorf("queries lost: %+v", aq)
+	}
+	if lr := got.LiveRegions(); lr[1].MinTime != 777 {
+		t.Errorf("live regions lost: %+v", lr)
+	}
+	// IDs keep increasing after restore.
+	c2 := got.RegisterChunk(ChunkInfo{Path: "p2", Region: region(0, 1, 0, 1)})
+	if c2.ID <= c.ID {
+		t.Errorf("chunk id reused: %d <= %d", c2.ID, c.ID)
+	}
+}

@@ -1,0 +1,77 @@
+package model
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary layout of an encoded tuple:
+//
+//	[8B key][8B timestamp][4B payload length][payload bytes]
+//
+// All integers are big-endian so encoded tuples sort like their keys when
+// compared lexicographically on the key prefix.
+
+// tupleHeaderSize is the fixed prefix of an encoded tuple.
+const tupleHeaderSize = 8 + 8 + 4
+
+// ErrShortBuffer is returned when a decode target does not contain a full
+// encoded tuple.
+var ErrShortBuffer = errors.New("model: buffer too short for encoded tuple")
+
+// EncodedSize returns the number of bytes AppendTuple will write for t.
+func EncodedSize(t *Tuple) int { return tupleHeaderSize + len(t.Payload) }
+
+// AppendTuple appends the binary encoding of t to dst and returns the
+// extended slice.
+func AppendTuple(dst []byte, t *Tuple) []byte {
+	var hdr [tupleHeaderSize]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(t.Key))
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(t.Time))
+	binary.BigEndian.PutUint32(hdr[16:20], uint32(len(t.Payload)))
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, t.Payload...)
+	return dst
+}
+
+// DecodeTuple decodes one tuple from the front of buf, returning the tuple
+// and the number of bytes consumed. The returned payload aliases buf; copy
+// it if buf is reused.
+func DecodeTuple(buf []byte) (Tuple, int, error) {
+	if len(buf) < tupleHeaderSize {
+		return Tuple{}, 0, ErrShortBuffer
+	}
+	n := int(binary.BigEndian.Uint32(buf[16:20]))
+	total := tupleHeaderSize + n
+	if len(buf) < total {
+		return Tuple{}, 0, fmt.Errorf("%w: need %d bytes, have %d", ErrShortBuffer, total, len(buf))
+	}
+	return Tuple{
+		Key:     Key(binary.BigEndian.Uint64(buf[0:8])),
+		Time:    Timestamp(binary.BigEndian.Uint64(buf[8:16])),
+		Payload: buf[tupleHeaderSize:total],
+	}, total, nil
+}
+
+// AppendTuples appends the encodings of all tuples to dst.
+func AppendTuples(dst []byte, ts []Tuple) []byte {
+	for i := range ts {
+		dst = AppendTuple(dst, &ts[i])
+	}
+	return dst
+}
+
+// DecodeTuples decodes every tuple in buf. Payloads alias buf.
+func DecodeTuples(buf []byte) ([]Tuple, error) {
+	var out []Tuple
+	for len(buf) > 0 {
+		t, n, err := DecodeTuple(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		buf = buf[n:]
+	}
+	return out, nil
+}

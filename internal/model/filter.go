@@ -1,0 +1,332 @@
+package model
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The paper's query model includes a user-defined predicate fq that decides
+// whether a tuple within the query region qualifies (§II-A). Because
+// subqueries execute on remote indexing/query servers, the predicate must
+// travel over the wire; Go closures cannot. Filter is a small serializable
+// expression tree over the tuple's key, timestamp and payload bytes that
+// plays the role of fq.
+
+// FilterOp identifies a filter node kind.
+type FilterOp uint8
+
+// Filter node kinds.
+const (
+	// FilterTrue accepts every tuple. A nil *Filter is treated as FilterTrue.
+	FilterTrue FilterOp = iota
+	// FilterFalse rejects every tuple.
+	FilterFalse
+	// FilterAnd accepts iff all children accept.
+	FilterAnd
+	// FilterOr accepts iff any child accepts.
+	FilterOr
+	// FilterNot accepts iff its single child rejects.
+	FilterNot
+	// FilterKeyCmp compares the tuple key against Uint using Cmp.
+	FilterKeyCmp
+	// FilterTimeCmp compares the tuple timestamp against Int using Cmp.
+	FilterTimeCmp
+	// FilterPayloadU64 decodes a big-endian uint64 at payload offset Offset
+	// and compares it against Uint using Cmp. Tuples with short payloads are
+	// rejected.
+	FilterPayloadU64
+	// FilterPayloadBytes compares payload[Offset:Offset+len(Bytes)] against
+	// Bytes using Cmp (lexicographic). Short payloads are rejected.
+	FilterPayloadBytes
+	// FilterKeyMod accepts tuples whose key ≡ Uint (mod Modulus). Useful for
+	// sampling predicates in tests and workloads.
+	FilterKeyMod
+)
+
+// CmpOp is a comparison operator used by leaf filter nodes.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+func (c CmpOp) evalInt(a, b int64) bool {
+	switch c {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	}
+	return false
+}
+
+func (c CmpOp) evalUint(a, b uint64) bool {
+	switch c {
+	case CmpEQ:
+		return a == b
+	case CmpNE:
+		return a != b
+	case CmpLT:
+		return a < b
+	case CmpLE:
+		return a <= b
+	case CmpGT:
+		return a > b
+	case CmpGE:
+		return a >= b
+	}
+	return false
+}
+
+func (c CmpOp) evalOrd(ord int) bool {
+	switch c {
+	case CmpEQ:
+		return ord == 0
+	case CmpNE:
+		return ord != 0
+	case CmpLT:
+		return ord < 0
+	case CmpLE:
+		return ord <= 0
+	case CmpGT:
+		return ord > 0
+	case CmpGE:
+		return ord >= 0
+	}
+	return false
+}
+
+// Filter is a serializable predicate over tuples. The zero value (and nil)
+// accepts everything.
+type Filter struct {
+	Op       FilterOp
+	Cmp      CmpOp
+	Uint     uint64
+	Int      int64
+	Modulus  uint64
+	Offset   uint32
+	Bytes    []byte
+	Children []*Filter
+}
+
+// Matches evaluates the filter against t. A nil filter matches everything.
+func (f *Filter) Matches(t *Tuple) bool {
+	if f == nil {
+		return true
+	}
+	switch f.Op {
+	case FilterTrue:
+		return true
+	case FilterFalse:
+		return false
+	case FilterAnd:
+		for _, c := range f.Children {
+			if !c.Matches(t) {
+				return false
+			}
+		}
+		return true
+	case FilterOr:
+		for _, c := range f.Children {
+			if c.Matches(t) {
+				return true
+			}
+		}
+		return false
+	case FilterNot:
+		if len(f.Children) != 1 {
+			return false
+		}
+		return !f.Children[0].Matches(t)
+	case FilterKeyCmp:
+		return f.Cmp.evalUint(uint64(t.Key), f.Uint)
+	case FilterTimeCmp:
+		return f.Cmp.evalInt(int64(t.Time), f.Int)
+	case FilterPayloadU64:
+		end := int(f.Offset) + 8
+		if end > len(t.Payload) {
+			return false
+		}
+		v := binary.BigEndian.Uint64(t.Payload[f.Offset:end])
+		return f.Cmp.evalUint(v, f.Uint)
+	case FilterPayloadBytes:
+		end := int(f.Offset) + len(f.Bytes)
+		if end > len(t.Payload) {
+			return false
+		}
+		return f.Cmp.evalOrd(bytes.Compare(t.Payload[f.Offset:end], f.Bytes))
+	case FilterKeyMod:
+		if f.Modulus == 0 {
+			return false
+		}
+		return uint64(t.Key)%f.Modulus == f.Uint
+	}
+	return false
+}
+
+// Constructors for common filter shapes.
+
+// True returns a filter accepting every tuple.
+func True() *Filter { return &Filter{Op: FilterTrue} }
+
+// False returns a filter rejecting every tuple.
+func False() *Filter { return &Filter{Op: FilterFalse} }
+
+// And combines filters conjunctively.
+func And(fs ...*Filter) *Filter { return &Filter{Op: FilterAnd, Children: fs} }
+
+// Or combines filters disjunctively.
+func Or(fs ...*Filter) *Filter { return &Filter{Op: FilterOr, Children: fs} }
+
+// Not negates a filter.
+func Not(f *Filter) *Filter { return &Filter{Op: FilterNot, Children: []*Filter{f}} }
+
+// KeyCmp compares the tuple key against v.
+func KeyCmp(op CmpOp, v Key) *Filter {
+	return &Filter{Op: FilterKeyCmp, Cmp: op, Uint: uint64(v)}
+}
+
+// TimeCmp compares the tuple timestamp against v.
+func TimeCmp(op CmpOp, v Timestamp) *Filter {
+	return &Filter{Op: FilterTimeCmp, Cmp: op, Int: int64(v)}
+}
+
+// PayloadU64 compares a big-endian uint64 at the given payload offset.
+func PayloadU64(offset uint32, op CmpOp, v uint64) *Filter {
+	return &Filter{Op: FilterPayloadU64, Cmp: op, Offset: offset, Uint: v}
+}
+
+// PayloadBytes compares payload bytes at the given offset against b.
+func PayloadBytes(offset uint32, op CmpOp, b []byte) *Filter {
+	return &Filter{Op: FilterPayloadBytes, Cmp: op, Offset: offset, Bytes: b}
+}
+
+// KeyMod accepts tuples whose key ≡ rem (mod modulus).
+func KeyMod(modulus, rem uint64) *Filter {
+	return &Filter{Op: FilterKeyMod, Modulus: modulus, Uint: rem}
+}
+
+// RequiredPayloadU64EQ reports whether the filter requires the big-endian
+// uint64 payload field at the given offset to equal some value, and
+// returns that value. It recognizes a FilterPayloadU64 equality node at
+// the top level or as a conjunct of (possibly nested) FilterAnd nodes —
+// the shape secondary-index pruning can exploit: any tuple failing the
+// equality fails the whole filter.
+func (f *Filter) RequiredPayloadU64EQ(offset uint32) (uint64, bool) {
+	if f == nil {
+		return 0, false
+	}
+	switch f.Op {
+	case FilterPayloadU64:
+		if f.Cmp == CmpEQ && f.Offset == offset {
+			return f.Uint, true
+		}
+	case FilterAnd:
+		for _, c := range f.Children {
+			if v, ok := c.RequiredPayloadU64EQ(offset); ok {
+				return v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// errBadFilter reports a malformed encoded filter.
+var errBadFilter = errors.New("model: malformed encoded filter")
+
+// maxFilterDepth bounds decoding recursion to reject hostile input.
+const maxFilterDepth = 64
+
+// AppendFilter appends a compact binary encoding of f to dst. A nil filter
+// encodes as FilterTrue.
+func AppendFilter(dst []byte, f *Filter) []byte {
+	if f == nil {
+		f = True()
+	}
+	dst = append(dst, byte(f.Op), byte(f.Cmp))
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], f.Uint)
+	dst = append(dst, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(f.Int))
+	dst = append(dst, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], f.Modulus)
+	dst = append(dst, tmp[:]...)
+	var tmp4 [4]byte
+	binary.BigEndian.PutUint32(tmp4[:], f.Offset)
+	dst = append(dst, tmp4[:]...)
+	binary.BigEndian.PutUint32(tmp4[:], uint32(len(f.Bytes)))
+	dst = append(dst, tmp4[:]...)
+	dst = append(dst, f.Bytes...)
+	binary.BigEndian.PutUint32(tmp4[:], uint32(len(f.Children)))
+	dst = append(dst, tmp4[:]...)
+	for _, c := range f.Children {
+		dst = AppendFilter(dst, c)
+	}
+	return dst
+}
+
+// DecodeFilter decodes a filter from the front of buf, returning the filter
+// and bytes consumed.
+func DecodeFilter(buf []byte) (*Filter, int, error) {
+	return decodeFilterDepth(buf, 0)
+}
+
+func decodeFilterDepth(buf []byte, depth int) (*Filter, int, error) {
+	if depth > maxFilterDepth {
+		return nil, 0, fmt.Errorf("%w: nesting too deep", errBadFilter)
+	}
+	const fixed = 2 + 8 + 8 + 8 + 4 + 4
+	if len(buf) < fixed {
+		return nil, 0, errBadFilter
+	}
+	f := &Filter{
+		Op:      FilterOp(buf[0]),
+		Cmp:     CmpOp(buf[1]),
+		Uint:    binary.BigEndian.Uint64(buf[2:10]),
+		Int:     int64(binary.BigEndian.Uint64(buf[10:18])),
+		Modulus: binary.BigEndian.Uint64(buf[18:26]),
+		Offset:  binary.BigEndian.Uint32(buf[26:30]),
+	}
+	blen := int(binary.BigEndian.Uint32(buf[30:34]))
+	pos := fixed
+	if blen > 0 {
+		if len(buf) < pos+blen {
+			return nil, 0, errBadFilter
+		}
+		f.Bytes = append([]byte(nil), buf[pos:pos+blen]...)
+		pos += blen
+	}
+	if len(buf) < pos+4 {
+		return nil, 0, errBadFilter
+	}
+	nkids := int(binary.BigEndian.Uint32(buf[pos : pos+4]))
+	pos += 4
+	if nkids > len(buf) { // cheap sanity bound: each child needs ≥1 byte
+		return nil, 0, errBadFilter
+	}
+	for i := 0; i < nkids; i++ {
+		c, n, err := decodeFilterDepth(buf[pos:], depth+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		f.Children = append(f.Children, c)
+		pos += n
+	}
+	return f, pos, nil
+}

@@ -1,0 +1,113 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Query is a user query q = <Kq, Tq, fq>: selection criteria on the key and
+// time domains plus an optional predicate (paper §II-A).
+type Query struct {
+	// ID identifies the query within the cluster; assigned by the
+	// coordinator when zero.
+	ID uint64
+	// Keys is the selection interval on the key domain.
+	Keys KeyRange
+	// Times is the selection interval on the time domain.
+	Times TimeRange
+	// Filter is the user-defined predicate fq; nil accepts everything.
+	Filter *Filter
+	// Limit, when positive, caps the number of returned tuples: the
+	// lowest-keyed Limit matches, in (key, time) order. Among tuples tying
+	// at the cut-off key, which ones are returned is unspecified. Each
+	// subquery also stops after Limit matches, bounding work.
+	Limit int
+}
+
+// Region returns the query region <Kq, Tq>.
+func (q *Query) Region() Region { return Region{Keys: q.Keys, Times: q.Times} }
+
+// String implements fmt.Stringer.
+func (q *Query) String() string {
+	return fmt.Sprintf("query(%d, keys=%s, times=%s)", q.ID, q.Keys, q.Times)
+}
+
+// ChunkID identifies an immutable data chunk in the distributed file
+// system. IDs are allocated by the metadata server and are never reused.
+type ChunkID uint64
+
+// MemChunk is the sentinel chunk ID meaning "the in-memory B+ tree of an
+// indexing server" rather than a flushed chunk.
+const MemChunk ChunkID = 0
+
+// SubQuery is one unit of parallel query execution: the intersection of a
+// user query with a single data-region candidate (paper §IV-A). A subquery
+// targets either a flushed chunk (Chunk != MemChunk, executed on a query
+// server) or the live memtable of an indexing server (Chunk == MemChunk).
+type SubQuery struct {
+	QueryID uint64
+	// Seq numbers subqueries within a query, for result accounting.
+	Seq int
+	// Region is the intersection of the query region with the candidate
+	// data region.
+	Region Region
+	Filter *Filter
+	// Limit caps matches per subquery (0 = unlimited). Executors visit
+	// tuples in key order, so each subquery's first Limit matches are its
+	// lowest-keyed ones — a superset of what the merged query needs.
+	Limit int
+	// Chunk is the flushed chunk to read, or MemChunk for memtable reads.
+	Chunk ChunkID
+	// IndexServer is the indexing-server id owning the memtable when
+	// Chunk == MemChunk.
+	IndexServer int
+}
+
+// String implements fmt.Stringer.
+func (s *SubQuery) String() string {
+	if s.Chunk == MemChunk {
+		return fmt.Sprintf("subquery(q%d#%d mem@is%d %s)", s.QueryID, s.Seq, s.IndexServer, s.Region)
+	}
+	return fmt.Sprintf("subquery(q%d#%d chunk%d %s)", s.QueryID, s.Seq, s.Chunk, s.Region)
+}
+
+// Result is the answer to a query: the qualifying tuples plus execution
+// metadata useful to callers and experiments.
+type Result struct {
+	QueryID uint64
+	Tuples  []Tuple
+	// SubQueries is the number of subqueries the query decomposed into.
+	SubQueries int
+	// LeavesRead counts B+ tree leaves inspected across all subqueries.
+	LeavesRead int
+	// LeavesSkipped counts leaves pruned by time-range bloom filters.
+	LeavesSkipped int
+	// BytesRead counts chunk bytes fetched from the file system.
+	BytesRead int64
+	// CacheHits counts subquery cache-unit hits on query servers.
+	CacheHits int
+}
+
+// SortTuples orders the result tuples by (key, time, payload) so results
+// are deterministic regardless of subquery completion order.
+func (r *Result) SortTuples() {
+	sort.Slice(r.Tuples, func(i, j int) bool {
+		a, b := &r.Tuples[i], &r.Tuples[j]
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		return string(a.Payload) < string(b.Payload)
+	})
+}
+
+// Merge folds the tuples and counters of o into r.
+func (r *Result) Merge(o *Result) {
+	r.Tuples = append(r.Tuples, o.Tuples...)
+	r.LeavesRead += o.LeavesRead
+	r.LeavesSkipped += o.LeavesSkipped
+	r.BytesRead += o.BytesRead
+	r.CacheHits += o.CacheHits
+}

@@ -1,0 +1,92 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStringers(t *testing.T) {
+	tp := Tuple{Key: 5, Time: 9, Payload: []byte("ab")}
+	if s := tp.String(); !strings.Contains(s, "key=5") || !strings.Contains(s, "2B") {
+		t.Errorf("tuple string %q", s)
+	}
+	if s := (KeyRange{1, 2}).String(); s != "[1, 2]" {
+		t.Errorf("keyrange string %q", s)
+	}
+	if s := (TimeRange{3, 4}).String(); s != "[3, 4]" {
+		t.Errorf("timerange string %q", s)
+	}
+	r := Region{Keys: KeyRange{1, 2}, Times: TimeRange{3, 4}}
+	if s := r.String(); !strings.Contains(s, "[1, 2]") || !strings.Contains(s, "[3, 4]") {
+		t.Errorf("region string %q", s)
+	}
+	q := Query{ID: 7, Keys: KeyRange{1, 2}, Times: TimeRange{3, 4}}
+	if s := q.String(); !strings.Contains(s, "query(7") {
+		t.Errorf("query string %q", s)
+	}
+	mem := SubQuery{QueryID: 1, Seq: 2, IndexServer: 3, Chunk: MemChunk}
+	if s := mem.String(); !strings.Contains(s, "mem@is3") {
+		t.Errorf("mem subquery string %q", s)
+	}
+	ch := SubQuery{QueryID: 1, Seq: 2, Chunk: 9}
+	if s := ch.String(); !strings.Contains(s, "chunk9") {
+		t.Errorf("chunk subquery string %q", s)
+	}
+}
+
+func TestQueryRegion(t *testing.T) {
+	q := Query{Keys: KeyRange{10, 20}, Times: TimeRange{30, 40}}
+	r := q.Region()
+	if r.Keys != q.Keys || r.Times != q.Times {
+		t.Errorf("region %v", r)
+	}
+}
+
+func TestFullRegion(t *testing.T) {
+	r := FullRegion()
+	if !r.Contains(0, MinTimestamp) || !r.Contains(MaxKey, MaxTimestamp) {
+		t.Error("full region misses corners")
+	}
+	if !r.IsValid() {
+		t.Error("full region invalid")
+	}
+}
+
+func TestResultSortAndMerge(t *testing.T) {
+	a := &Result{Tuples: []Tuple{
+		{Key: 3, Time: 1}, {Key: 1, Time: 5}, {Key: 1, Time: 2},
+	}}
+	b := &Result{
+		Tuples:        []Tuple{{Key: 2, Time: 9}},
+		LeavesRead:    4,
+		LeavesSkipped: 2,
+		BytesRead:     100,
+		CacheHits:     1,
+	}
+	a.LeavesRead = 1
+	a.Merge(b)
+	if len(a.Tuples) != 4 || a.LeavesRead != 5 || a.LeavesSkipped != 2 || a.BytesRead != 100 || a.CacheHits != 1 {
+		t.Fatalf("merge result %+v", a)
+	}
+	a.SortTuples()
+	want := []struct {
+		k Key
+		t Timestamp
+	}{{1, 2}, {1, 5}, {2, 9}, {3, 1}}
+	for i, w := range want {
+		if a.Tuples[i].Key != w.k || a.Tuples[i].Time != w.t {
+			t.Fatalf("sorted[%d] = %v, want (%d,%d)", i, a.Tuples[i], w.k, w.t)
+		}
+	}
+}
+
+func TestResultSortTieBreaksOnPayload(t *testing.T) {
+	r := &Result{Tuples: []Tuple{
+		{Key: 1, Time: 1, Payload: []byte("b")},
+		{Key: 1, Time: 1, Payload: []byte("a")},
+	}}
+	r.SortTuples()
+	if string(r.Tuples[0].Payload) != "a" {
+		t.Error("payload tie-break not applied")
+	}
+}

@@ -1,0 +1,318 @@
+package queryexec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"waterwheel/internal/dfs"
+	"waterwheel/internal/meta"
+	"waterwheel/internal/model"
+)
+
+// MemExecutor answers subqueries against an indexing server's in-memory
+// trees (the fresh-data path). Implemented by *ingest.Server.
+type MemExecutor interface {
+	ExecuteSubQuery(sq *model.SubQuery) *model.Result
+}
+
+// ErrNoQueryServers is returned when chunk subqueries exist but no query
+// server is alive.
+var ErrNoQueryServers = errors.New("queryexec: no live query servers")
+
+// CoordinatorConfig tunes the coordinator.
+type CoordinatorConfig struct {
+	// LateDeltaMillis is Δt, the late-visibility parameter (§IV-D): the
+	// coordinator widens every live region's left temporal bound by Δt so
+	// tuples arriving up to Δt late are never missed. Default 10 000 ms.
+	LateDeltaMillis int64
+	// Policy is the subquery dispatch policy (default LADA).
+	Policy Policy
+}
+
+// Coordinator decomposes user queries into subqueries, dispatches them
+// across indexing servers (fresh data) and query servers (chunks), and
+// merges the results (§IV-A).
+type Coordinator struct {
+	cfg CoordinatorConfig
+	ms  *meta.Server
+	fs  *dfs.FS
+
+	mu       sync.RWMutex
+	qservers []*Server
+	memExec  map[int]MemExecutor
+}
+
+// NewCoordinator creates a coordinator.
+func NewCoordinator(cfg CoordinatorConfig, ms *meta.Server, fs *dfs.FS) *Coordinator {
+	if cfg.LateDeltaMillis <= 0 {
+		cfg.LateDeltaMillis = 10_000
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = LADA{}
+	}
+	return &Coordinator{cfg: cfg, ms: ms, fs: fs, memExec: make(map[int]MemExecutor)}
+}
+
+// AddQueryServer registers a query server.
+func (c *Coordinator) AddQueryServer(s *Server) {
+	c.mu.Lock()
+	c.qservers = append(c.qservers, s)
+	c.mu.Unlock()
+}
+
+// SetMemExecutor registers the fresh-data executor of an indexing server.
+func (c *Coordinator) SetMemExecutor(indexServer int, e MemExecutor) {
+	c.mu.Lock()
+	c.memExec[indexServer] = e
+	c.mu.Unlock()
+}
+
+// SetPolicy switches the dispatch policy (used by the experiments).
+func (c *Coordinator) SetPolicy(p Policy) {
+	c.mu.Lock()
+	c.cfg.Policy = p
+	c.mu.Unlock()
+}
+
+// Decompose splits a query into memtable subqueries (fresh data on
+// indexing servers) and chunk subqueries (historical data on query
+// servers), using the metadata R-tree for the chunk candidates.
+func (c *Coordinator) Decompose(q model.Query) (memSubs, chunkSubs []*model.SubQuery) {
+	qRegion := q.Region()
+	seq := 0
+	for _, ci := range c.ms.ChunksFor(qRegion) {
+		r, ok := qRegion.Intersect(ci.Region)
+		if !ok {
+			continue
+		}
+		chunkSubs = append(chunkSubs, &model.SubQuery{
+			QueryID: q.ID, Seq: seq, Region: r, Filter: q.Filter, Chunk: ci.ID,
+			Limit: q.Limit,
+		})
+		seq++
+	}
+	for _, lr := range c.ms.LiveRegions() {
+		if lr.Empty {
+			continue
+		}
+		if !lr.Keys.Overlaps(q.Keys) {
+			continue
+		}
+		// Widen the live region's left bound by Δt (§IV-D): presume late
+		// tuples up to Δt behind the observed minimum.
+		lo := lr.MinTime - model.Timestamp(c.cfg.LateDeltaMillis)
+		if q.Times.Hi < lo {
+			continue
+		}
+		kr, _ := lr.Keys.Intersect(q.Keys)
+		memSubs = append(memSubs, &model.SubQuery{
+			QueryID: q.ID, Seq: seq,
+			Region:      model.Region{Keys: kr, Times: q.Times},
+			Filter:      q.Filter,
+			Chunk:       model.MemChunk,
+			IndexServer: lr.Server,
+			Limit:       q.Limit,
+		})
+		seq++
+	}
+	return memSubs, chunkSubs
+}
+
+// Execute runs a query to completion and returns the merged result with
+// tuples sorted by (key, time).
+func (c *Coordinator) Execute(q model.Query) (*model.Result, error) {
+	q = c.ms.RegisterQuery(q)
+	defer c.ms.CompleteQuery(q.ID)
+
+	memSubs, chunkSubs := c.Decompose(q)
+	res := &model.Result{QueryID: q.ID, SubQueries: len(memSubs) + len(chunkSubs)}
+
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	// Fresh-data subqueries run on their indexing servers in parallel with
+	// the chunk fan-out.
+	c.mu.RLock()
+	execs := make([]MemExecutor, 0, len(memSubs))
+	for _, sq := range memSubs {
+		execs = append(execs, c.memExec[sq.IndexServer])
+	}
+	c.mu.RUnlock()
+	for i, sq := range memSubs {
+		if execs[i] == nil {
+			return nil, fmt.Errorf("queryexec: no executor for indexing server %d", sq.IndexServer)
+		}
+		wg.Add(1)
+		go func(e MemExecutor, sq *model.SubQuery) {
+			defer wg.Done()
+			r := e.ExecuteSubQuery(sq)
+			mu.Lock()
+			res.Merge(r)
+			mu.Unlock()
+		}(execs[i], sq)
+	}
+
+	var chunkErr error
+	if len(chunkSubs) > 0 {
+		chunkErr = c.runChunkSubqueries(chunkSubs, func(r *model.Result) {
+			mu.Lock()
+			res.Merge(r)
+			mu.Unlock()
+		})
+	}
+	wg.Wait()
+	if chunkErr != nil {
+		return nil, chunkErr
+	}
+	res.SortTuples()
+	if q.Limit > 0 && len(res.Tuples) > q.Limit {
+		res.Tuples = res.Tuples[:q.Limit]
+	}
+	return res, nil
+}
+
+// ExplainInfo describes how a query would execute, for introspection and
+// tooling: the fresh-data targets and the chunk candidates with their
+// clipped regions.
+type ExplainInfo struct {
+	// MemSubQueries target indexing-server memtables.
+	MemSubQueries []model.SubQuery
+	// ChunkSubQueries target flushed chunks.
+	ChunkSubQueries []model.SubQuery
+	// Chunks carries the metadata of each targeted chunk, aligned with
+	// ChunkSubQueries.
+	Chunks []meta.ChunkInfo
+}
+
+// Explain decomposes a query without executing it.
+func (c *Coordinator) Explain(q model.Query) ExplainInfo {
+	memSubs, chunkSubs := c.Decompose(q)
+	info := ExplainInfo{}
+	for _, sq := range memSubs {
+		info.MemSubQueries = append(info.MemSubQueries, *sq)
+	}
+	for _, sq := range chunkSubs {
+		info.ChunkSubQueries = append(info.ChunkSubQueries, *sq)
+		if ci, ok := c.ms.Chunk(sq.Chunk); ok {
+			info.Chunks = append(info.Chunks, ci)
+		} else {
+			info.Chunks = append(info.Chunks, meta.ChunkInfo{ID: sq.Chunk})
+		}
+	}
+	return info
+}
+
+// subquery claim states.
+const (
+	statePending int32 = iota
+	stateClaimed
+	stateDone
+)
+
+// runChunkSubqueries drives the dispatch engine: the policy builds the
+// per-server preference lists, then one worker per live query server
+// claims subqueries from the shared pending set in its preference order
+// (§IV-C). A failed server's claimed subquery is returned to the pending
+// set and picked up by another server (§V); after exhausting its list a
+// server sweeps for still-pending work so re-dispatched subqueries always
+// find a host.
+func (c *Coordinator) runChunkSubqueries(sqs []*model.SubQuery, deliver func(*model.Result)) error {
+	c.mu.RLock()
+	servers := append([]*Server(nil), c.qservers...)
+	policy := c.cfg.Policy
+	c.mu.RUnlock()
+
+	live := servers[:0]
+	for _, s := range servers {
+		if !s.Down() {
+			live = append(live, s)
+		}
+	}
+	if len(live) == 0 {
+		return ErrNoQueryServers
+	}
+
+	placements := make([]ServerPlacement, len(live))
+	for i, s := range live {
+		placements[i] = ServerPlacement{ID: s.ID(), Node: s.Node()}
+	}
+	locations := make([][]int, len(sqs))
+	for i, sq := range sqs {
+		if ci, ok := c.ms.Chunk(sq.Chunk); ok {
+			locs, err := c.fs.Locations(ci.Path)
+			if err == nil {
+				locations[i] = locs
+			}
+		}
+	}
+	pref := policy.Plan(sqs, locations, placements)
+
+	states := make([]atomic.Int32, len(sqs))
+	var done atomic.Int64
+	var wg sync.WaitGroup
+
+	runOne := func(s *Server, idx int) bool {
+		r, err := s.ExecuteSubQuery(sqs[idx])
+		if err != nil {
+			// Return the subquery to the pending set; this server stops.
+			states[idx].Store(statePending)
+			return false
+		}
+		states[idx].Store(stateDone)
+		done.Add(1)
+		deliver(r)
+		return true
+	}
+
+	for i, s := range live {
+		wg.Add(1)
+		go func(s *Server, list []int) {
+			defer wg.Done()
+			for _, idx := range list {
+				if !states[idx].CompareAndSwap(statePending, stateClaimed) {
+					continue
+				}
+				if !runOne(s, idx) {
+					return
+				}
+			}
+			// Sweep for re-dispatched (failed-elsewhere) subqueries until
+			// everything is done or this server fails too. If a subquery is
+			// claimed by a live server it will settle; if its claimant
+			// failed it returns to pending and is picked up here.
+			for !allSettled(states) {
+				progressed := false
+				for idx := range states {
+					if states[idx].CompareAndSwap(statePending, stateClaimed) {
+						progressed = true
+						if !runOne(s, idx) {
+							return
+						}
+					}
+				}
+				if !progressed {
+					runtime.Gosched()
+				}
+			}
+		}(s, pref[i])
+	}
+	wg.Wait()
+	if done.Load() < int64(len(sqs)) {
+		return fmt.Errorf("%w: %d/%d subqueries unserved after failures",
+			ErrNoQueryServers, int64(len(sqs))-done.Load(), len(sqs))
+	}
+	return nil
+}
+
+func allSettled(states []atomic.Int32) bool {
+	for i := range states {
+		if states[i].Load() != stateDone {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,164 @@
+package queryexec
+
+import (
+	"math/rand"
+	"sort"
+
+	"waterwheel/internal/model"
+)
+
+// Policy plans how a query's chunk subqueries are offered to the query
+// servers. Plan returns, for each server, the ordered list of subquery
+// indices that server may execute. During execution each server walks its
+// list, atomically claiming entries from the query's shared pending set
+// (§IV-C): servers whose lists contain every subquery effectively bid for
+// work (load balance); servers with disjoint lists are statically
+// partitioned (and can be idle while others lag — the round-robin and
+// hashing baselines of §VI-C2).
+type Policy interface {
+	// Name identifies the policy in experiment output.
+	Name() string
+	// Plan builds per-server preference lists. locations[i] holds the
+	// cluster nodes storing replicas of subqueries[i]'s chunk.
+	Plan(subqueries []*model.SubQuery, locations [][]int, servers []ServerPlacement) [][]int
+}
+
+// ServerPlacement describes a query server to the planner.
+type ServerPlacement struct {
+	ID   int
+	Node int
+}
+
+// RoundRobin assigns subquery i to server i mod n — no locality, no
+// stealing (paper baseline: worst of the four).
+type RoundRobin struct{}
+
+// Name implements Policy.
+func (RoundRobin) Name() string { return "round-robin" }
+
+// Plan implements Policy.
+func (RoundRobin) Plan(sqs []*model.SubQuery, _ [][]int, servers []ServerPlacement) [][]int {
+	pref := make([][]int, len(servers))
+	for i := range sqs {
+		s := i % len(servers)
+		pref[s] = append(pref[s], i)
+	}
+	return pref
+}
+
+// Hashing assigns each subquery to the server hash(chunkID) mod n:
+// consistent chunk→server mapping retains cache locality across queries,
+// but without stealing the load can skew.
+type Hashing struct{}
+
+// Name implements Policy.
+func (Hashing) Name() string { return "hashing" }
+
+// Plan implements Policy.
+func (Hashing) Plan(sqs []*model.SubQuery, _ [][]int, servers []ServerPlacement) [][]int {
+	pref := make([][]int, len(servers))
+	for i, sq := range sqs {
+		s := int(mix(uint64(sq.Chunk)) % uint64(len(servers)))
+		pref[s] = append(pref[s], i)
+	}
+	return pref
+}
+
+// SharedQueue places all subqueries in one global FIFO every server drains:
+// perfect load balance, no locality.
+type SharedQueue struct{}
+
+// Name implements Policy.
+func (SharedQueue) Name() string { return "shared-queue" }
+
+// Plan implements Policy.
+func (SharedQueue) Plan(sqs []*model.SubQuery, _ [][]int, servers []ServerPlacement) [][]int {
+	all := make([]int, len(sqs))
+	for i := range all {
+		all[i] = i
+	}
+	pref := make([][]int, len(servers))
+	for s := range pref {
+		pref[s] = all
+	}
+	return pref
+}
+
+// LADA is the locality-aware dispatch algorithm (paper §IV-C). For each
+// subquery it shuffles the co-located servers S(q) and the remaining
+// servers S̄(q) with permutations seeded by the chunk ID, concatenates them
+// into S⃗(q), and uses each server's offset in S⃗(q) as the rank of q in
+// that server's preference array. Every server's list contains every
+// subquery (bidding from the shared pending set → load balance); co-located
+// servers rank first (chunk locality); the chunk-ID-seeded shuffle makes
+// the preference consistent across queries yet different across servers
+// (cache locality).
+type LADA struct{}
+
+// Name implements Policy.
+func (LADA) Name() string { return "lada" }
+
+// Plan implements Policy.
+func (LADA) Plan(sqs []*model.SubQuery, locations [][]int, servers []ServerPlacement) [][]int {
+	type ranked struct{ rank, sq int }
+	perServer := make([][]ranked, len(servers))
+	for i, sq := range sqs {
+		coLocated := make([]int, 0, 4)
+		rest := make([]int, 0, len(servers))
+		nodeHasReplica := map[int]bool{}
+		if i < len(locations) {
+			for _, n := range locations[i] {
+				nodeHasReplica[n] = true
+			}
+		}
+		for sIdx, sp := range servers {
+			if nodeHasReplica[sp.Node] {
+				coLocated = append(coLocated, sIdx)
+			} else {
+				rest = append(rest, sIdx)
+			}
+		}
+		rng := rand.New(rand.NewSource(int64(mix(uint64(sq.Chunk)))))
+		rng.Shuffle(len(coLocated), func(a, b int) { coLocated[a], coLocated[b] = coLocated[b], coLocated[a] })
+		rng.Shuffle(len(rest), func(a, b int) { rest[a], rest[b] = rest[b], rest[a] })
+		vec := append(coLocated, rest...)
+		for rank, sIdx := range vec {
+			perServer[sIdx] = append(perServer[sIdx], ranked{rank: rank, sq: i})
+		}
+	}
+	pref := make([][]int, len(servers))
+	for sIdx, rs := range perServer {
+		sort.SliceStable(rs, func(a, b int) bool { return rs[a].rank < rs[b].rank })
+		lst := make([]int, len(rs))
+		for j, r := range rs {
+			lst[j] = r.sq
+		}
+		pref[sIdx] = lst
+	}
+	return pref
+}
+
+// mix is a 64-bit finalizer used to derive hashes and shuffle seeds from
+// chunk IDs.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// PolicyByName returns the named policy, defaulting to LADA.
+func PolicyByName(name string) Policy {
+	switch name {
+	case "round-robin", "rr":
+		return RoundRobin{}
+	case "hashing", "hash":
+		return Hashing{}
+	case "shared-queue", "shared":
+		return SharedQueue{}
+	default:
+		return LADA{}
+	}
+}

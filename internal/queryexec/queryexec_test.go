@@ -1,0 +1,490 @@
+package queryexec
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"waterwheel/internal/dfs"
+	"waterwheel/internal/ingest"
+	"waterwheel/internal/meta"
+	"waterwheel/internal/model"
+)
+
+// testCluster wires indexing servers, query servers, a DFS and a
+// coordinator in-process.
+type testCluster struct {
+	fs    *dfs.FS
+	ms    *meta.Server
+	is    []*ingest.Server
+	qs    []*Server
+	coord *Coordinator
+}
+
+func newCluster(t *testing.T, nIdx, nQry, nNodes int) *testCluster {
+	t.Helper()
+	fs := dfs.New(dfs.Config{Nodes: nNodes, Replication: 2, Seed: 1, Sleep: func(time.Duration) {}})
+	ms := meta.NewServer(nIdx)
+	c := &testCluster{fs: fs, ms: ms}
+	c.coord = NewCoordinator(CoordinatorConfig{LateDeltaMillis: 1000}, ms, fs)
+	for i := 0; i < nIdx; i++ {
+		srv := ingest.NewServer(ingest.Config{
+			ID: i, Keys: ms.Schema().IntervalOf(i), ChunkBytes: 1 << 30, Leaves: 16,
+		}, fs, ms, i%nNodes)
+		c.is = append(c.is, srv)
+		c.coord.SetMemExecutor(i, srv)
+	}
+	for i := 0; i < nQry; i++ {
+		qs := NewServer(ServerConfig{ID: i, Node: i % nNodes, CacheBytes: 1 << 20, UseBloom: true}, fs, ms)
+		c.qs = append(c.qs, qs)
+		c.coord.AddQueryServer(qs)
+	}
+	return c
+}
+
+// ingestRoundRobin pushes tuples through the schema router.
+func (c *testCluster) ingest(tuples []model.Tuple) {
+	schema := c.ms.Schema()
+	for _, tp := range tuples {
+		c.is[schema.ServerFor(tp.Key)].Insert(tp)
+	}
+	for i, srv := range c.is {
+		min, ok := srv.MemMinTime()
+		c.ms.ReportLive(i, min, !ok)
+	}
+}
+
+func (c *testCluster) flushAll() {
+	for _, srv := range c.is {
+		srv.FlushAll()
+	}
+}
+
+func seqTuples(n int, keyStep uint64, t0 int64) []model.Tuple {
+	out := make([]model.Tuple, n)
+	for i := range out {
+		out[i] = model.Tuple{
+			Key:     model.Key(uint64(i) * keyStep),
+			Time:    model.Timestamp(t0 + int64(i)),
+			Payload: []byte{byte(i)},
+		}
+	}
+	return out
+}
+
+func TestQueryFreshDataOnly(t *testing.T) {
+	c := newCluster(t, 2, 2, 2)
+	c.ingest(seqTuples(100, 1<<57, 1000)) // spread across both servers
+	res, err := c.coord.Execute(model.Query{
+		Keys:  model.FullKeyRange(),
+		Times: model.FullTimeRange(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 100 {
+		t.Fatalf("got %d tuples, want 100", len(res.Tuples))
+	}
+	// Fresh-only queries touch no chunks.
+	if res.BytesRead != 0 {
+		t.Errorf("read %d chunk bytes for fresh data", res.BytesRead)
+	}
+}
+
+func TestQueryHistoricalOnly(t *testing.T) {
+	c := newCluster(t, 2, 2, 2)
+	c.ingest(seqTuples(200, 1<<56, 1000))
+	c.flushAll()
+	res, err := c.coord.Execute(model.Query{
+		Keys:  model.FullKeyRange(),
+		Times: model.FullTimeRange(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 200 {
+		t.Fatalf("got %d tuples, want 200", len(res.Tuples))
+	}
+	if res.BytesRead == 0 {
+		t.Error("historical query read no chunk bytes")
+	}
+}
+
+func TestQuerySpansFreshAndHistorical(t *testing.T) {
+	c := newCluster(t, 2, 2, 2)
+	c.ingest(seqTuples(100, 1<<56, 1000))
+	c.flushAll()
+	c.ingest(seqTuples(50, 1<<56, 5000)) // same keys, later times, unflushed
+	res, err := c.coord.Execute(model.Query{
+		Keys:  model.FullKeyRange(),
+		Times: model.FullTimeRange(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 150 {
+		t.Fatalf("got %d tuples, want 150", len(res.Tuples))
+	}
+	// Results sorted by (key, time).
+	for i := 1; i < len(res.Tuples); i++ {
+		a, b := &res.Tuples[i-1], &res.Tuples[i]
+		if b.Key < a.Key || (b.Key == a.Key && b.Time < a.Time) {
+			t.Fatal("results not sorted")
+		}
+	}
+}
+
+func TestQueryRangesRespected(t *testing.T) {
+	c := newCluster(t, 2, 2, 2)
+	tuples := seqTuples(300, 1000, 1000)
+	c.ingest(tuples)
+	c.flushAll()
+	c.ingest(seqTuples(100, 1000, 10_000))
+	kr := model.KeyRange{Lo: 50_000, Hi: 150_000}
+	tr := model.TimeRange{Lo: 1100, Hi: 1250}
+	res, err := c.coord.Execute(model.Query{Keys: kr, Times: tr, Filter: model.KeyMod(2000, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, tp := range tuples {
+		if kr.Contains(tp.Key) && tr.Contains(tp.Time) && tp.Key%2000 == 0 {
+			want++
+		}
+	}
+	if len(res.Tuples) != want || want == 0 {
+		t.Fatalf("got %d tuples, want %d (>0)", len(res.Tuples), want)
+	}
+	for _, tp := range res.Tuples {
+		if !kr.Contains(tp.Key) || !tr.Contains(tp.Time) {
+			t.Fatalf("out-of-range tuple %v", tp)
+		}
+	}
+}
+
+func TestDecomposePrunesChunks(t *testing.T) {
+	c := newCluster(t, 1, 1, 1)
+	// Three temporally disjoint chunks.
+	for w := 0; w < 3; w++ {
+		c.ingest(seqTuples(50, 100, int64(w*100_000)))
+		c.flushAll()
+	}
+	q := model.Query{Keys: model.FullKeyRange(), Times: model.TimeRange{Lo: 100_000, Hi: 100_049}}
+	mem, chunks := c.coord.Decompose(c.ms.RegisterQuery(q))
+	if len(chunks) != 1 {
+		t.Fatalf("decomposed into %d chunk subqueries, want 1", len(chunks))
+	}
+	if len(mem) != 0 {
+		t.Fatalf("memtable subqueries for drained servers: %d", len(mem))
+	}
+}
+
+func TestLateVisibilityWindow(t *testing.T) {
+	c := newCluster(t, 1, 1, 1)
+	c.ingest([]model.Tuple{{Key: 1, Time: 100_000}})
+	// Live region min=100 000, Δt=1000 → presumed left bound 99 000.
+	q := model.Query{Keys: model.FullKeyRange(), Times: model.TimeRange{Lo: 0, Hi: 99_500}}
+	mem, _ := c.coord.Decompose(c.ms.RegisterQuery(q))
+	if len(mem) != 1 {
+		t.Fatalf("query inside Δt window skipped the memtable: %d", len(mem))
+	}
+	q2 := model.Query{Keys: model.FullKeyRange(), Times: model.TimeRange{Lo: 0, Hi: 50_000}}
+	mem, _ = c.coord.Decompose(c.ms.RegisterQuery(q2))
+	if len(mem) != 0 {
+		t.Fatalf("query far below the window still hit the memtable")
+	}
+}
+
+func TestLateTupleWithinDeltaIsVisible(t *testing.T) {
+	c := newCluster(t, 1, 1, 1)
+	c.ingest([]model.Tuple{{Key: 1, Time: 100_000}})
+	// A tuple 500 ms late (inside Δt=1000).
+	c.ingest([]model.Tuple{{Key: 2, Time: 99_500}})
+	res, err := c.coord.Execute(model.Query{
+		Keys:  model.FullKeyRange(),
+		Times: model.TimeRange{Lo: 99_000, Hi: 99_900},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 1 || res.Tuples[0].Key != 2 {
+		t.Fatalf("late tuple invisible: %v", res.Tuples)
+	}
+}
+
+func TestAllPoliciesReturnSameResults(t *testing.T) {
+	c := newCluster(t, 2, 4, 4)
+	for w := 0; w < 5; w++ {
+		c.ingest(seqTuples(200, 1<<55, int64(w*10_000)))
+		c.flushAll()
+	}
+	q := model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()}
+	var want int
+	for _, p := range []Policy{LADA{}, RoundRobin{}, Hashing{}, SharedQueue{}} {
+		c.coord.SetPolicy(p)
+		res, err := c.coord.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if want == 0 {
+			want = len(res.Tuples)
+		}
+		if len(res.Tuples) != want || want == 0 {
+			t.Fatalf("%s returned %d tuples, want %d", p.Name(), len(res.Tuples), want)
+		}
+	}
+}
+
+func TestLADAPrefersColocatedServers(t *testing.T) {
+	sqs := []*model.SubQuery{
+		{Chunk: 10}, {Chunk: 20}, {Chunk: 30},
+	}
+	locations := [][]int{{0}, {1}, {2}}
+	servers := []ServerPlacement{{ID: 0, Node: 0}, {ID: 1, Node: 1}, {ID: 2, Node: 2}}
+	pref := LADA{}.Plan(sqs, locations, servers)
+	for s := range servers {
+		if len(pref[s]) != 3 {
+			t.Fatalf("server %d pref has %d entries", s, len(pref[s]))
+		}
+		// The first preference of each server must be its co-located chunk.
+		if pref[s][0] != s {
+			t.Errorf("server %d first pref = subquery %d, want %d", s, pref[s][0], s)
+		}
+	}
+}
+
+func TestLADAConsistentAcrossQueries(t *testing.T) {
+	// Preference order for the same chunk is a function of the chunk ID:
+	// two plans with the same chunks agree.
+	sqs := []*model.SubQuery{{Chunk: 7}, {Chunk: 8}}
+	locations := [][]int{{0, 1}, {1, 2}}
+	servers := []ServerPlacement{{ID: 0, Node: 0}, {ID: 1, Node: 1}, {ID: 2, Node: 2}}
+	a := LADA{}.Plan(sqs, locations, servers)
+	b := LADA{}.Plan(sqs, locations, servers)
+	for s := range servers {
+		if fmt.Sprint(a[s]) != fmt.Sprint(b[s]) {
+			t.Errorf("server %d preferences differ across identical plans", s)
+		}
+	}
+}
+
+func TestRoundRobinAndHashingDisjoint(t *testing.T) {
+	sqs := make([]*model.SubQuery, 10)
+	for i := range sqs {
+		sqs[i] = &model.SubQuery{Chunk: model.ChunkID(i + 1)}
+	}
+	servers := []ServerPlacement{{ID: 0}, {ID: 1}, {ID: 2}}
+	for _, p := range []Policy{RoundRobin{}, Hashing{}} {
+		pref := p.Plan(sqs, nil, servers)
+		seen := map[int]int{}
+		for s := range pref {
+			for _, idx := range pref[s] {
+				seen[idx]++
+			}
+		}
+		if len(seen) != 10 {
+			t.Fatalf("%s: %d subqueries assigned, want 10", p.Name(), len(seen))
+		}
+		for idx, n := range seen {
+			if n != 1 {
+				t.Fatalf("%s: subquery %d assigned %d times", p.Name(), idx, n)
+			}
+		}
+	}
+}
+
+func TestCacheHitsAcrossRepeatedQueries(t *testing.T) {
+	c := newCluster(t, 1, 1, 1)
+	c.ingest(seqTuples(500, 100, 1000))
+	c.flushAll()
+	q := model.Query{Keys: model.KeyRange{Lo: 0, Hi: 20_000}, Times: model.FullTimeRange()}
+	r1, err := c.coord.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.coord.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHits != 0 {
+		t.Errorf("first query had %d cache hits", r1.CacheHits)
+	}
+	if r2.CacheHits == 0 {
+		t.Error("repeat query had no cache hits")
+	}
+	if r2.BytesRead != 0 {
+		t.Errorf("repeat query still read %d bytes", r2.BytesRead)
+	}
+	if len(r1.Tuples) != len(r2.Tuples) {
+		t.Errorf("cached result differs: %d vs %d", len(r1.Tuples), len(r2.Tuples))
+	}
+}
+
+func TestBloomSkipsLeaves(t *testing.T) {
+	c := newCluster(t, 1, 1, 1)
+	// Keys spread across the template's leaves, times correlate with keys →
+	// most leaves prunable for narrow windows.
+	tuples := make([]model.Tuple, 1000)
+	for i := range tuples {
+		tuples[i] = model.Tuple{Key: model.Key(uint64(i) << 54), Time: model.Timestamp(i * 1000)}
+	}
+	c.ingest(tuples)
+	c.flushAll()
+	res, err := c.coord.Execute(model.Query{
+		Keys:  model.FullKeyRange(),
+		Times: model.TimeRange{Lo: 0, Hi: 10_000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LeavesSkipped == 0 {
+		t.Error("no leaves pruned on a highly selective time window")
+	}
+	if len(res.Tuples) != 11 {
+		t.Errorf("got %d tuples, want 11", len(res.Tuples))
+	}
+}
+
+func TestQueryServerFailureRedispatch(t *testing.T) {
+	c := newCluster(t, 1, 3, 3)
+	for w := 0; w < 4; w++ {
+		c.ingest(seqTuples(200, 100, int64(w*10_000)))
+		c.flushAll()
+	}
+	c.qs[0].Fail()
+	c.qs[1].Fail()
+	res, err := c.coord.Execute(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	if err != nil {
+		t.Fatalf("query failed despite a live server: %v", err)
+	}
+	if len(res.Tuples) != 800 {
+		t.Fatalf("got %d tuples, want 800", len(res.Tuples))
+	}
+	if c.qs[2].Executed() == 0 {
+		t.Error("surviving server executed nothing")
+	}
+}
+
+func TestAllQueryServersDown(t *testing.T) {
+	c := newCluster(t, 1, 2, 2)
+	c.ingest(seqTuples(100, 100, 0))
+	c.flushAll()
+	c.qs[0].Fail()
+	c.qs[1].Fail()
+	_, err := c.coord.Execute(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	if !errors.Is(err, ErrNoQueryServers) {
+		t.Fatalf("err = %v, want ErrNoQueryServers", err)
+	}
+	// Recovery restores service.
+	c.qs[0].Recover()
+	if _, err := c.coord.Execute(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()}); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+}
+
+func TestFailureDuringQuery(t *testing.T) {
+	// A server that fails between queries: its claimed subqueries return to
+	// the pending set and complete elsewhere. (Mid-execution failure is
+	// simulated by marking it down before the query; the claimed-subquery
+	// return path is the same.)
+	c := newCluster(t, 1, 2, 2)
+	for w := 0; w < 6; w++ {
+		c.ingest(seqTuples(100, 100, int64(w*10_000)))
+		c.flushAll()
+	}
+	q := model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()}
+	res1, err := c.coord.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.qs[0].Fail()
+	res2, err := c.coord.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Tuples) != len(res2.Tuples) {
+		t.Fatalf("results differ across failure: %d vs %d", len(res1.Tuples), len(res2.Tuples))
+	}
+}
+
+func TestCoordinatorFailover(t *testing.T) {
+	// §V: a new coordinator re-initializes from the metadata server's
+	// active-query registry.
+	c := newCluster(t, 1, 1, 1)
+	c.ingest(seqTuples(100, 100, 0))
+	c.flushAll()
+	q := c.ms.RegisterQuery(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	// "Coordinator crash": a replacement reads the registry and re-runs.
+	replacement := NewCoordinator(CoordinatorConfig{}, c.ms, c.fs)
+	replacement.AddQueryServer(c.qs[0])
+	active := c.ms.ActiveQueries()
+	if len(active) != 1 || active[0].ID != q.ID {
+		t.Fatalf("active queries = %+v", active)
+	}
+	res, err := replacement.Execute(active[0].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 100 {
+		t.Fatalf("failover query returned %d tuples", len(res.Tuples))
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	cases := map[string]string{
+		"lada":         "lada",
+		"":             "lada",
+		"anything":     "lada",
+		"rr":           "round-robin",
+		"round-robin":  "round-robin",
+		"hash":         "hashing",
+		"hashing":      "hashing",
+		"shared":       "shared-queue",
+		"shared-queue": "shared-queue",
+	}
+	for in, want := range cases {
+		if got := PolicyByName(in).Name(); got != want {
+			t.Errorf("PolicyByName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCoordinatorExplain(t *testing.T) {
+	c := newCluster(t, 2, 2, 2)
+	c.ingest(seqTuples(200, 1<<56, 1000))
+	c.flushAll()
+	c.ingest(seqTuples(50, 1<<56, 9000))
+	info := c.coord.Explain(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	if len(info.ChunkSubQueries) == 0 || len(info.MemSubQueries) == 0 {
+		t.Fatalf("explain: %d chunk, %d mem", len(info.ChunkSubQueries), len(info.MemSubQueries))
+	}
+	for i, ci := range info.Chunks {
+		if ci.ID != info.ChunkSubQueries[i].Chunk {
+			t.Fatalf("chunk alignment broken at %d", i)
+		}
+		if ci.Path == "" {
+			t.Fatalf("chunk %d missing metadata", i)
+		}
+	}
+}
+
+func TestSubQueryLimitOnChunks(t *testing.T) {
+	c := newCluster(t, 1, 1, 1)
+	c.ingest(seqTuples(500, 100, 0))
+	c.flushAll()
+	res, err := c.coord.Execute(model.Query{
+		Keys: model.FullKeyRange(), Times: model.FullTimeRange(), Limit: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 7 {
+		t.Fatalf("limit returned %d", len(res.Tuples))
+	}
+	for i, tp := range res.Tuples {
+		if tp.Key != model.Key(uint64(i)*100) {
+			t.Fatalf("not the lowest keys: %v", tp)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package stats provides the small measurement toolkit the experiment
+// harness uses: latency recorders with percentiles, throughput meters, and
+// formatting helpers for the tables in EXPERIMENTS.md.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder collects duration samples and reports order statistics.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record adds one sample.
+func (r *Recorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.sorted = false
+	r.mu.Unlock()
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+func (r *Recorder) ensureSortedLocked() {
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using
+// nearest-rank; zero when empty.
+func (r *Recorder) Percentile(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSortedLocked()
+	if p <= 0 {
+		return r.samples[0]
+	}
+	if p >= 100 {
+		return r.samples[len(r.samples)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(r.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return r.samples[rank]
+}
+
+// Mean returns the arithmetic mean; zero when empty.
+func (r *Recorder) Mean() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, s := range r.samples {
+		sum += s
+	}
+	return sum / time.Duration(len(r.samples))
+}
+
+// Min and Max return the extremes; zero when empty.
+func (r *Recorder) Min() time.Duration { return r.Percentile(0) }
+
+// Max returns the largest sample; zero when empty.
+func (r *Recorder) Max() time.Duration { return r.Percentile(100) }
+
+// Summary is a compact snapshot of a recorder.
+type Summary struct {
+	Count            int
+	Mean             time.Duration
+	P50, P95, P99    time.Duration
+	MinVal, MaxVal   time.Duration
+	TotalWall        time.Duration // optional; set by callers
+	ThroughputPerSec float64       // optional; set by callers
+}
+
+// Summarize returns a Summary of the recorder.
+func (r *Recorder) Summarize() Summary {
+	return Summary{
+		Count:  r.Count(),
+		Mean:   r.Mean(),
+		P50:    r.Percentile(50),
+		P95:    r.Percentile(95),
+		P99:    r.Percentile(99),
+		MinVal: r.Min(),
+		MaxVal: r.Max(),
+	}
+}
+
+// String renders a one-line summary.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.MaxVal.Round(time.Microsecond))
+}
+
+// Meter measures event throughput over a wall-clock window.
+type Meter struct {
+	mu    sync.Mutex
+	n     int64
+	start time.Time
+}
+
+// NewMeter creates a meter starting now.
+func NewMeter() *Meter { return &Meter{start: time.Now()} }
+
+// Add counts n events.
+func (m *Meter) Add(n int64) {
+	m.mu.Lock()
+	m.n += n
+	m.mu.Unlock()
+}
+
+// Rate returns events per second since the meter started.
+func (m *Meter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el := time.Since(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.n) / el
+}
+
+// Count returns the events counted so far.
+func (m *Meter) Count() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// Reset zeroes the meter and restarts the clock.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	m.n = 0
+	m.start = time.Now()
+	m.mu.Unlock()
+}
+
+// Rate computes a throughput given a count and elapsed wall time.
+func Rate(count int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(count) / elapsed.Seconds()
+}
+
+// HumanRate renders a rate as, e.g., "1.52M/s" or "48.3K/s".
+func HumanRate(perSec float64) string {
+	switch {
+	case perSec >= 1e6:
+		return fmt.Sprintf("%.2fM/s", perSec/1e6)
+	case perSec >= 1e3:
+		return fmt.Sprintf("%.1fK/s", perSec/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", perSec)
+	}
+}

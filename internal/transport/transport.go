@@ -1,0 +1,313 @@
+// Package transport implements the small RPC layer Waterwheel exposes to
+// network clients (the role Apache Storm's data transport played in the
+// paper's prototype). Frames are length-prefixed gob messages multiplexed
+// over a single TCP connection: a client may have many requests in flight;
+// responses are matched by request ID.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxFrameBytes bounds a single frame (64 MiB).
+const MaxFrameBytes = 64 << 20
+
+// ErrClientClosed is returned by calls on a closed client.
+var ErrClientClosed = errors.New("transport: client closed")
+
+// frame is the wire unit for both directions.
+type frame struct {
+	ID      uint64
+	Method  string
+	Payload []byte
+	Err     string
+}
+
+func writeFrame(w io.Writer, f *frame) error {
+	var body bytesBuffer
+	if err := gob.NewEncoder(&body).Encode(f); err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	var hdr [4]byte
+	if len(body.b) > MaxFrameBytes {
+		return fmt.Errorf("transport: frame too large (%d bytes)", len(body.b))
+	}
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body.b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body.b)
+	return err
+}
+
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, fmt.Errorf("transport: frame too large (%d bytes)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := gob.NewDecoder(&byteReader{b: body}).Decode(&f); err != nil {
+		return nil, fmt.Errorf("transport: decode: %w", err)
+	}
+	return &f, nil
+}
+
+// bytesBuffer is a minimal append-only writer (avoids bytes.Buffer's
+// extra interface indirection in the hot path).
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+type byteReader struct {
+	b []byte
+	i int
+}
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
+// Handler serves one method: it receives the request payload and returns
+// the response payload.
+type Handler func(payload []byte) ([]byte, error)
+
+// Server accepts connections and dispatches frames to registered handlers.
+// Each request is served on its own goroutine, so slow queries do not
+// block inserts sharing the connection.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	conns    map[net.Conn]struct{}
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+}
+
+// NewServer creates a server with no handlers.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle registers a handler for a method name.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	s.handlers[method] = h
+	s.mu.Unlock()
+}
+
+// Listen binds the address ("127.0.0.1:0" for an ephemeral port) and
+// starts accepting. Returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	var wmu sync.Mutex // serializes response frames
+	bw := bufio.NewWriterSize(conn, 1<<16)
+	var reqWG sync.WaitGroup
+	defer reqWG.Wait()
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			return
+		}
+		s.mu.RLock()
+		h := s.handlers[f.Method]
+		s.mu.RUnlock()
+		reqWG.Add(1)
+		go func(f *frame) {
+			defer reqWG.Done()
+			resp := &frame{ID: f.ID}
+			if h == nil {
+				resp.Err = fmt.Sprintf("unknown method %q", f.Method)
+			} else if out, err := h(f.Payload); err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Payload = out
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			if err := writeFrame(bw, resp); err == nil {
+				bw.Flush()
+			}
+		}(f)
+	}
+}
+
+// Close stops accepting, drops every open connection, and waits for the
+// serving goroutines to exit.
+func (s *Server) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Client is a multiplexing RPC client over one TCP connection.
+type Client struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	wmu  sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]chan *frame
+	nextID  atomic.Uint64
+	closed  atomic.Bool
+	readErr error
+}
+
+// Dial connects to a server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 1<<16),
+		pending: make(map[uint64]chan *frame),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.conn, 1<<16)
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			c.mu.Lock()
+			c.readErr = err
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[f.ID]
+		delete(c.pending, f.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+	}
+}
+
+// Call sends a request and waits for the matching response payload.
+func (c *Client) Call(method string, payload []byte) ([]byte, error) {
+	if c.closed.Load() {
+		return nil, ErrClientClosed
+	}
+	id := c.nextID.Add(1)
+	ch := make(chan *frame, 1)
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("transport: connection broken: %w", err)
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := writeFrame(c.bw, &frame{ID: id, Method: method, Payload: payload})
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+
+	f, ok := <-ch
+	if !ok {
+		return nil, fmt.Errorf("transport: connection closed awaiting response")
+	}
+	if f.Err != "" {
+		return nil, errors.New(f.Err)
+	}
+	return f.Payload, nil
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (c *Client) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	return c.conn.Close()
+}

@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newPair(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	s := NewServer()
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	s, c := newPair(t)
+	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	got, err := c.Call("echo", []byte("hello"))
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Call = %q, %v", got, err)
+	}
+}
+
+func TestHandlerError(t *testing.T) {
+	s, c := newPair(t)
+	s.Handle("boom", func([]byte) ([]byte, error) { return nil, errors.New("kapow") })
+	_, err := c.Call("boom", nil)
+	if err == nil || err.Error() != "kapow" {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection survives handler errors.
+	s.Handle("ok", func([]byte) ([]byte, error) { return []byte("fine"), nil })
+	got, err := c.Call("ok", nil)
+	if err != nil || string(got) != "fine" {
+		t.Fatalf("after error: %q, %v", got, err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	_, c := newPair(t)
+	_, err := c.Call("nope", nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown method") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentCallsMultiplex(t *testing.T) {
+	s, c := newPair(t)
+	s.Handle("slowEcho", func(p []byte) ([]byte, error) {
+		if string(p) == "slow" {
+			time.Sleep(50 * time.Millisecond)
+		}
+		return p, nil
+	})
+	var wg sync.WaitGroup
+	start := time.Now()
+	results := make([]string, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := "fast"
+			if i == 0 {
+				msg = "slow"
+			}
+			got, err := c.Call("slowEcho", []byte(msg))
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			results[i] = string(got)
+		}(i)
+	}
+	wg.Wait()
+	// The slow call must not serialize the fast ones: total << 20*50ms.
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("calls appear serialized: %v", elapsed)
+	}
+	for i, r := range results {
+		want := "fast"
+		if i == 0 {
+			want = "slow"
+		}
+		if r != want {
+			t.Errorf("result %d = %q (response mismatched to request?)", i, r)
+		}
+	}
+}
+
+func TestManyClientsOneServer(t *testing.T) {
+	s := NewServer()
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var calls sync.Map
+	s.Handle("mark", func(p []byte) ([]byte, error) {
+		calls.Store(string(p), true)
+		return p, nil
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := Dial(addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 50; i++ {
+				msg := fmt.Sprintf("g%d-%d", g, i)
+				if got, err := c.Call("mark", []byte(msg)); err != nil || string(got) != msg {
+					t.Errorf("call: %q %v", got, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	n := 0
+	calls.Range(func(any, any) bool { n++; return true })
+	if n != 400 {
+		t.Errorf("server saw %d calls, want 400", n)
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	_, c := newPair(t)
+	c.Close()
+	if _, err := c.Call("x", nil); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestServerCloseFailsInFlight(t *testing.T) {
+	s := NewServer()
+	addr, _ := s.Listen("127.0.0.1:0")
+	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call("echo", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// Further calls fail once the connection drops (may take one call to
+	// notice).
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := c.Call("echo", []byte("x")); err != nil {
+			return
+		}
+	}
+	t.Fatal("calls kept succeeding after server close")
+}
+
+func TestLargePayload(t *testing.T) {
+	s, c := newPair(t)
+	s.Handle("echo", func(p []byte) ([]byte, error) { return p, nil })
+	big := make([]byte, 4<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	got, err := c.Call("echo", big)
+	if err != nil || len(got) != len(big) {
+		t.Fatalf("big echo: %d bytes, %v", len(got), err)
+	}
+	for i := 0; i < len(big); i += 100_003 {
+		if got[i] != big[i] {
+			t.Fatalf("payload corrupted at %d", i)
+		}
+	}
+}

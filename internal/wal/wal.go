@@ -1,0 +1,229 @@
+// Package wal implements the replayable, partitioned append log Waterwheel
+// uses as its reliable input queue (paper §V). It stands in for Kafka:
+// records in each partition receive increasing offsets, and records from
+// any retained offset can be replayed on request — which is exactly the
+// property indexing-server recovery depends on: flush stores the current
+// read offset in the metadata server, and a re-launched server replays from
+// there to rebuild its in-memory B+ tree.
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// ErrCompacted is returned when a read targets offsets below the retention
+// horizon.
+var ErrCompacted = errors.New("wal: offset below retention horizon")
+
+// ErrClosed is returned by blocking reads once the partition is closed.
+var ErrClosed = errors.New("wal: partition closed")
+
+// Record is one log entry with its assigned offset.
+type Record struct {
+	Offset int64
+	Data   []byte
+}
+
+// Partition is an append-only, offset-addressed record log. It corresponds
+// to one partition of a topic: each indexing server consumes exactly one
+// partition.
+type Partition struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	// base is the offset of records[0]; offsets below base were truncated.
+	base    int64
+	records [][]byte
+	bytes   int64
+	closed  bool
+
+	// Disk backing (nil for in-memory partitions); see disk.go.
+	path    string
+	file    *os.File
+	fileErr error
+}
+
+// NewPartition creates an empty partition.
+func NewPartition() *Partition {
+	p := &Partition{}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Append stores one record, returning its offset. The data is copied. For
+// disk-backed partitions the record is also framed into the segment file;
+// a write failure is surfaced through Err and fails later appends.
+func (p *Partition) Append(data []byte) int64 {
+	cp := append([]byte(nil), data...)
+	p.mu.Lock()
+	off := p.base + int64(len(p.records))
+	if p.file != nil && p.fileErr == nil {
+		if err := p.appendToFileLocked(off, cp); err != nil {
+			p.fileErr = fmt.Errorf("wal: segment append: %w", err)
+		}
+	}
+	p.records = append(p.records, cp)
+	p.bytes += int64(len(cp))
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return off
+}
+
+// Err reports a sticky disk-backing failure, if any.
+func (p *Partition) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fileErr
+}
+
+// Next returns the offset the next Append will receive.
+func (p *Partition) Next() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.base + int64(len(p.records))
+}
+
+// Base returns the lowest retained offset.
+func (p *Partition) Base() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.base
+}
+
+// Read returns up to max records starting at offset, without blocking. It
+// returns ErrCompacted when offset precedes the retention horizon. Reading
+// at the head returns an empty slice.
+func (p *Partition) Read(offset int64, max int) ([]Record, error) {
+	if max <= 0 {
+		max = 1024
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readLocked(offset, max)
+}
+
+func (p *Partition) readLocked(offset int64, max int) ([]Record, error) {
+	if offset < p.base {
+		return nil, fmt.Errorf("%w: want %d, base %d", ErrCompacted, offset, p.base)
+	}
+	head := p.base + int64(len(p.records))
+	if offset >= head {
+		return nil, nil
+	}
+	n := head - offset
+	if n > int64(max) {
+		n = int64(max)
+	}
+	out := make([]Record, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = Record{Offset: offset + i, Data: p.records[offset-p.base+i]}
+	}
+	return out, nil
+}
+
+// ReadBlocking behaves like Read but waits for data when the partition is
+// drained. It returns ErrClosed once the partition closes and all retained
+// records past offset were delivered.
+func (p *Partition) ReadBlocking(offset int64, max int) ([]Record, error) {
+	if max <= 0 {
+		max = 1024
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		recs, err := p.readLocked(offset, max)
+		if err != nil || len(recs) > 0 {
+			return recs, err
+		}
+		if p.closed {
+			return nil, ErrClosed
+		}
+		p.cond.Wait()
+	}
+}
+
+// Truncate drops records with offsets below before (retention). Truncating
+// past the head drops everything retained.
+func (p *Partition) Truncate(before int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if before <= p.base {
+		return
+	}
+	head := p.base + int64(len(p.records))
+	if before > head {
+		before = head
+	}
+	drop := before - p.base
+	for i := int64(0); i < drop; i++ {
+		p.bytes -= int64(len(p.records[i]))
+	}
+	p.records = append([][]byte(nil), p.records[drop:]...)
+	p.base = before
+	if p.file != nil && p.fileErr == nil {
+		if err := writeBaseFile(basePath(p.path), p.base); err != nil {
+			p.fileErr = fmt.Errorf("wal: persist horizon: %w", err)
+		}
+	}
+}
+
+// Closed reports whether the partition has been closed.
+func (p *Partition) Closed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// Close marks the partition closed, waking blocked readers.
+func (p *Partition) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Len returns the number of retained records.
+func (p *Partition) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.records)
+}
+
+// Bytes returns the retained payload bytes.
+func (p *Partition) Bytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.bytes
+}
+
+// Log is a topic: a fixed set of partitions.
+type Log struct {
+	parts []*Partition
+}
+
+// NewLog creates a log with n partitions (minimum 1).
+func NewLog(n int) *Log {
+	if n < 1 {
+		n = 1
+	}
+	l := &Log{parts: make([]*Partition, n)}
+	for i := range l.parts {
+		l.parts[i] = NewPartition()
+	}
+	return l
+}
+
+// Partitions returns the partition count.
+func (l *Log) Partitions() int { return len(l.parts) }
+
+// Partition returns partition i.
+func (l *Log) Partition(i int) *Partition { return l.parts[i] }
+
+// Close closes every partition.
+func (l *Log) Close() {
+	for _, p := range l.parts {
+		p.Close()
+	}
+}

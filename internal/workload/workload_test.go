@@ -1,0 +1,194 @@
+package workload
+
+import (
+	"testing"
+
+	"waterwheel/internal/model"
+)
+
+func TestTDriveProperties(t *testing.T) {
+	g := NewTDrive(TDriveConfig{Seed: 1, EventsPerSecond: 10_000})
+	span := g.KeySpan()
+	var prev model.Timestamp
+	for i := 0; i < 20_000; i++ {
+		tp := g.Next()
+		if !span.Contains(tp.Key) {
+			t.Fatalf("key %d outside span %v", tp.Key, span)
+		}
+		if model.EncodedSize(&tp) != 36 {
+			t.Fatalf("tuple size %d, want 36 (paper)", model.EncodedSize(&tp))
+		}
+		if tp.Time < prev {
+			t.Fatalf("time went backwards without lateness: %d < %d", tp.Time, prev)
+		}
+		prev = tp.Time
+	}
+	// 20k events at 10k/s → ~2 s of event time.
+	if g.Now() < 1500 || g.Now() > 2500 {
+		t.Errorf("event clock at %d after 20k events at 10k/s", g.Now())
+	}
+}
+
+func TestTDriveDeterministic(t *testing.T) {
+	a := NewTDrive(TDriveConfig{Seed: 7})
+	b := NewTDrive(TDriveConfig{Seed: 7})
+	for i := 0; i < 1000; i++ {
+		x, y := a.Next(), b.Next()
+		if x.Key != y.Key || x.Time != y.Time {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewTDrive(TDriveConfig{Seed: 8})
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Next().Key == c.Next().Key {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Errorf("different seeds suspiciously similar: %d/1000 equal keys", same)
+	}
+}
+
+func TestTDriveSpatialClustering(t *testing.T) {
+	// Urban traffic is clustered: the generator's keys must be far from
+	// uniform over the span. Compare key-space dispersion against uniform.
+	g := NewTDrive(TDriveConfig{Seed: 2})
+	span := g.KeySpan()
+	buckets := make([]int, 64)
+	for i := 0; i < 10_000; i++ {
+		tp := g.Next()
+		idx := int(uint64(tp.Key) / (uint64(span.Hi)/64 + 1))
+		if idx > 63 {
+			idx = 63
+		}
+		buckets[idx]++
+	}
+	max := 0
+	for _, c := range buckets {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 1000 { // uniform would put ~156 per bucket
+		t.Errorf("keys look uniform (max bucket %d); expected spatial clustering", max)
+	}
+}
+
+func TestNetworkProperties(t *testing.T) {
+	g := NewNetwork(NetworkConfig{Seed: 3, EventsPerSecond: 10_000})
+	counts := map[model.Key]int{}
+	for i := 0; i < 50_000; i++ {
+		tp := g.Next()
+		if model.EncodedSize(&tp) != 50 {
+			t.Fatalf("tuple size %d, want 50 (paper)", model.EncodedSize(&tp))
+		}
+		counts[tp.Key>>48]++ // /16 prefix
+	}
+	// Heavy-tailed: the hottest /16 should hold far more than uniform share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 2000 {
+		t.Errorf("hottest subnet has %d/50000 — distribution not heavy-tailed", max)
+	}
+}
+
+func TestNormalSigmaControlsSpread(t *testing.T) {
+	narrow := NewNormal(NormalConfig{Sigma: 10, Seed: 4})
+	wide := NewNormal(NormalConfig{Sigma: 5000, Seed: 4})
+	distinctN := map[model.Key]bool{}
+	distinctW := map[model.Key]bool{}
+	for i := 0; i < 10_000; i++ {
+		tn, tw := narrow.Next(), wide.Next()
+		if model.EncodedSize(&tn) != 30 {
+			t.Fatalf("tuple size %d, want 30 (paper)", model.EncodedSize(&tn))
+		}
+		distinctN[tn.Key] = true
+		distinctW[tw.Key] = true
+	}
+	if len(distinctN) >= len(distinctW) {
+		t.Errorf("σ=10 produced %d distinct keys vs σ=5000's %d", len(distinctN), len(distinctW))
+	}
+	span := narrow.KeySpan()
+	if !span.IsValid() || span.Width() == 0 {
+		t.Error("invalid key span")
+	}
+}
+
+func TestNormalDrift(t *testing.T) {
+	g := NewNormal(NormalConfig{Sigma: 5, DriftPerSecond: 1_000_000, EventsPerSecond: 1000, Seed: 5})
+	first := g.Next().Key
+	var last model.Key
+	for i := 0; i < 10_000; i++ { // ~10 s of event time
+		last = g.Next().Key
+	}
+	if last < first+1_000_000 {
+		t.Errorf("center did not drift: first=%d last=%d", first, last)
+	}
+}
+
+func TestLatenessInjection(t *testing.T) {
+	g := NewTDrive(TDriveConfig{Seed: 6, LateFrac: 0.2, LateMaxMillis: 5000, EventsPerSecond: 1_000_000})
+	late := 0
+	var watermark model.Timestamp
+	for i := 0; i < 20_000; i++ {
+		tp := g.Next()
+		if tp.Time < watermark {
+			late++
+		}
+		if tp.Time > watermark {
+			watermark = tp.Time
+		}
+	}
+	if late == 0 {
+		t.Error("no out-of-order tuples despite LateFrac=0.2")
+	}
+}
+
+func TestQueryGenSelectivity(t *testing.T) {
+	qg := NewQueryGen(model.KeyRange{Lo: 0, Hi: 1 << 40}, 7)
+	for _, sel := range []float64{0.01, 0.05, 0.1} {
+		for i := 0; i < 100; i++ {
+			kr := qg.KeyRange(sel)
+			if !kr.IsValid() {
+				t.Fatalf("invalid range %v", kr)
+			}
+			got := float64(kr.Width()) / float64(uint64(1)<<40)
+			if got < sel*0.9 || got > sel*1.1 {
+				t.Fatalf("selectivity %f produced width fraction %f", sel, got)
+			}
+		}
+	}
+	if qg.KeyRange(1.5) != (model.KeyRange{Lo: 0, Hi: 1 << 40}) {
+		t.Error("selectivity >= 1 should return the whole span")
+	}
+}
+
+func TestTimeWindows(t *testing.T) {
+	w := Recent(100_000, 5000)
+	if w.Lo != 95_000 || w.Hi != 100_000 {
+		t.Errorf("recent window %v", w)
+	}
+	if w := Recent(1000, 5000); w.Lo != 0 {
+		t.Errorf("recent window should clamp at 0: %v", w)
+	}
+	qg := NewQueryGen(model.FullKeyRange(), 8)
+	for i := 0; i < 100; i++ {
+		h := qg.Historical(0, 1_000_000, 300_000)
+		if h.Duration() != 300_000 {
+			t.Fatalf("historical duration %d", h.Duration())
+		}
+		if h.Lo < 0 || h.Hi > 1_000_000 {
+			t.Fatalf("historical window %v out of bounds", h)
+		}
+	}
+	// When the history is shorter than the window, fall back to recent.
+	h := qg.Historical(0, 1000, 300_000)
+	if h.Hi != 1000 {
+		t.Errorf("short-history fallback %v", h)
+	}
+}

@@ -1,0 +1,179 @@
+package zorder
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []struct{ x, y uint32 }{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1}, {123456, 654321}, {1<<32 - 1, 1<<32 - 1},
+	}
+	for _, c := range cases {
+		x, y := Decode(Encode(c.x, c.y))
+		if x != c.x || y != c.y {
+			t.Errorf("round trip (%d,%d) -> (%d,%d)", c.x, c.y, x, y)
+		}
+	}
+}
+
+func TestEncodeKnownValues(t *testing.T) {
+	// Z-order of the 2x2 grid: (0,0)=0, (1,0)=1, (0,1)=2, (1,1)=3.
+	want := map[[2]uint32]uint64{
+		{0, 0}: 0, {1, 0}: 1, {0, 1}: 2, {1, 1}: 3,
+		{2, 0}: 4, {3, 1}: 7, {2, 2}: 12, {3, 3}: 15,
+	}
+	for xy, z := range want {
+		if got := Encode(xy[0], xy[1]); got != z {
+			t.Errorf("Encode(%d,%d) = %d, want %d", xy[0], xy[1], got, z)
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(x, y uint32) bool {
+		gx, gy := Decode(Encode(x, y))
+		return gx == x && gy == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridCellMapping(t *testing.T) {
+	g := NewGrid(0, 10, 0, 10, 2) // 4x4 cells of width 2.5
+	x, y := g.Cell(0, 0)
+	if x != 0 || y != 0 {
+		t.Errorf("origin cell (%d,%d)", x, y)
+	}
+	x, y = g.Cell(9.9, 9.9)
+	if x != 3 || y != 3 {
+		t.Errorf("far corner cell (%d,%d), want (3,3)", x, y)
+	}
+	// Out-of-range points clamp to border cells.
+	x, y = g.Cell(-5, 100)
+	if x != 0 || y != 3 {
+		t.Errorf("clamped cell (%d,%d), want (0,3)", x, y)
+	}
+}
+
+func TestGridBitsClamped(t *testing.T) {
+	g := NewGrid(0, 1, 0, 1, 99)
+	if g.Bits != 32 {
+		t.Errorf("bits = %d, want 32", g.Bits)
+	}
+	g = NewGrid(0, 1, 0, 1, 0)
+	if g.Bits != 1 {
+		t.Errorf("bits = %d, want 1", g.Bits)
+	}
+}
+
+func TestCoverRectExactSmall(t *testing.T) {
+	// Full 4x4 grid covers as a single interval [0,15].
+	ivs := CoverRect(0, 0, 3, 3, 2, 100)
+	if len(ivs) != 1 || ivs[0] != (Interval{0, 15}) {
+		t.Errorf("full grid cover = %v, want [{0 15}]", ivs)
+	}
+	// Single cell.
+	ivs = CoverRect(2, 1, 2, 1, 2, 100)
+	z := Encode(2, 1)
+	if len(ivs) != 1 || ivs[0] != (Interval{z, z}) {
+		t.Errorf("single cell cover = %v, want [{%d %d}]", ivs, z, z)
+	}
+}
+
+func TestCoverRectCoversExactly(t *testing.T) {
+	// With a generous interval budget, the cover must contain every cell in
+	// the rectangle and no cell outside it.
+	const bits = 4
+	rects := [][4]uint32{{1, 1, 6, 3}, {0, 0, 15, 15}, {5, 5, 5, 9}, {3, 0, 12, 12}}
+	for _, r := range rects {
+		ivs := CoverRect(r[0], r[1], r[2], r[3], bits, 1<<20)
+		in := func(z uint64) bool {
+			for _, iv := range ivs {
+				if z >= iv.Lo && z <= iv.Hi {
+					return true
+				}
+			}
+			return false
+		}
+		for x := uint32(0); x < 1<<bits; x++ {
+			for y := uint32(0); y < 1<<bits; y++ {
+				z := Encode(x, y)
+				inside := x >= r[0] && x <= r[2] && y >= r[1] && y <= r[3]
+				if inside && !in(z) {
+					t.Fatalf("rect %v: cell (%d,%d) not covered", r, x, y)
+				}
+				if !inside && in(z) {
+					t.Fatalf("rect %v: cell (%d,%d) covered but outside", r, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestCoverRectBudget(t *testing.T) {
+	// A thin diagonal-unfriendly rectangle needs many intervals; the budget
+	// must cap the count while still covering everything.
+	ivs := CoverRect(1, 1, 14, 2, 4, 3)
+	if len(ivs) > 3 {
+		t.Fatalf("budget exceeded: %d intervals", len(ivs))
+	}
+	in := func(z uint64) bool {
+		for _, iv := range ivs {
+			if z >= iv.Lo && z <= iv.Hi {
+				return true
+			}
+		}
+		return false
+	}
+	for x := uint32(1); x <= 14; x++ {
+		for y := uint32(1); y <= 2; y++ {
+			if !in(Encode(x, y)) {
+				t.Fatalf("cell (%d,%d) lost under budget", x, y)
+			}
+		}
+	}
+}
+
+func TestCoverRectDegenerate(t *testing.T) {
+	if ivs := CoverRect(5, 5, 4, 9, 4, 10); ivs != nil {
+		t.Errorf("inverted rect should cover nothing, got %v", ivs)
+	}
+}
+
+func TestCoverGeoRect(t *testing.T) {
+	g := NewGrid(116.0, 117.0, 39.5, 40.5, 8) // Beijing-ish box
+	ivs := g.CoverGeoRect(116.3, 39.9, 116.5, 40.1, 16)
+	if len(ivs) == 0 || len(ivs) > 16 {
+		t.Fatalf("geo cover has %d intervals", len(ivs))
+	}
+	// Point inside the rect must fall in some interval.
+	z := g.Key(116.4, 40.0)
+	found := false
+	for _, iv := range ivs {
+		if z >= iv.Lo && z <= iv.Hi {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("interior point's z-code not covered")
+	}
+	// Swapped corners normalize.
+	ivs2 := g.CoverGeoRect(116.5, 40.1, 116.3, 39.9, 16)
+	if len(ivs2) != len(ivs) {
+		t.Errorf("corner order changed cover: %d vs %d", len(ivs2), len(ivs))
+	}
+}
+
+func TestZOrderLocalityMonotone(t *testing.T) {
+	// Within a row of a quadrant-aligned block, z-codes increase with x.
+	prev := Encode(0, 0)
+	for x := uint32(1); x < 8; x++ {
+		z := Encode(x, 0)
+		if z <= prev && x%2 == 1 {
+			t.Errorf("z not increasing along x at %d", x)
+		}
+		prev = z
+	}
+}

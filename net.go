@@ -1,0 +1,150 @@
+package waterwheel
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"waterwheel/internal/model"
+	"waterwheel/internal/transport"
+)
+
+// NetServer exposes a DB over TCP so external producers and analysts can
+// insert and query without linking the library. The wire protocol is the
+// internal multiplexing RPC transport: many requests in flight per
+// connection, so slow queries never stall inserts.
+type NetServer struct {
+	db  *DB
+	srv *transport.Server
+	// Addr is the bound listen address.
+	Addr string
+}
+
+// Serve starts a network front end for the DB on addr (use
+// "127.0.0.1:0" for an ephemeral port).
+func (db *DB) Serve(addr string) (*NetServer, error) {
+	s := transport.NewServer()
+	ns := &NetServer{db: db, srv: s}
+
+	s.Handle("insert", func(payload []byte) ([]byte, error) {
+		tuples, err := model.DecodeTuples(payload)
+		if err != nil {
+			return nil, fmt.Errorf("waterwheel: bad insert batch: %w", err)
+		}
+		for i := range tuples {
+			// Payloads alias the request buffer; copy before handing to the
+			// ingestion pipeline.
+			tuples[i].Payload = append([]byte(nil), tuples[i].Payload...)
+			db.Insert(tuples[i])
+		}
+		return nil, nil
+	})
+	s.Handle("query", func(payload []byte) ([]byte, error) {
+		var q Query
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&q); err != nil {
+			return nil, fmt.Errorf("waterwheel: bad query: %w", err)
+		}
+		res, err := db.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	s.Handle("drain", func([]byte) ([]byte, error) {
+		db.Drain()
+		return nil, nil
+	})
+	s.Handle("flush", func([]byte) ([]byte, error) {
+		db.Flush()
+		return nil, nil
+	})
+	s.Handle("stats", func([]byte) ([]byte, error) {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(db.Stats()); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+
+	bound, err := s.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	ns.Addr = bound
+	return ns, nil
+}
+
+// Close stops accepting network requests (the DB stays open).
+func (ns *NetServer) Close() { ns.srv.Close() }
+
+// Client talks to a NetServer.
+type Client struct {
+	c *transport.Client
+}
+
+// Dial connects to a Waterwheel network server.
+func Dial(addr string) (*Client, error) {
+	c, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{c: c}, nil
+}
+
+// Insert sends one tuple.
+func (cl *Client) Insert(t Tuple) error {
+	return cl.InsertBatch([]Tuple{t})
+}
+
+// InsertBatch sends a batch of tuples in one request.
+func (cl *Client) InsertBatch(ts []Tuple) error {
+	_, err := cl.c.Call("insert", model.AppendTuples(nil, ts))
+	return err
+}
+
+// Query runs a query remotely.
+func (cl *Client) Query(q Query) (*Result, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&q); err != nil {
+		return nil, err
+	}
+	payload, err := cl.c.Call("query", buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var res Result
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Drain waits server-side until all accepted tuples are queryable.
+func (cl *Client) Drain() error {
+	_, err := cl.c.Call("drain", nil)
+	return err
+}
+
+// Flush forces a server-side flush of all memtables.
+func (cl *Client) Flush() error {
+	_, err := cl.c.Call("flush", nil)
+	return err
+}
+
+// Stats fetches deployment counters.
+func (cl *Client) Stats() (Stats, error) {
+	payload, err := cl.c.Call("stats", nil)
+	if err != nil {
+		return Stats{}, err
+	}
+	var s Stats
+	err = gob.NewDecoder(bytes.NewReader(payload)).Decode(&s)
+	return s, err
+}
+
+// Close closes the connection.
+func (cl *Client) Close() error { return cl.c.Close() }

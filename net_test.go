@@ -1,0 +1,66 @@
+package waterwheel
+
+import (
+	"strings"
+	"testing"
+
+	"waterwheel/internal/transport"
+)
+
+func TestNetServerRejectsGarbage(t *testing.T) {
+	db := openTestDB(t, Options{})
+	ns, err := db.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	// Speak the raw transport protocol with malformed payloads.
+	raw, err := transport.Dial(ns.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+
+	if _, err := raw.Call("insert", []byte{1, 2, 3}); err == nil {
+		t.Error("garbage insert batch accepted")
+	}
+	if _, err := raw.Call("query", []byte("not-gob")); err == nil {
+		t.Error("garbage query accepted")
+	}
+	if _, err := raw.Call("no-such-method", nil); err == nil ||
+		!strings.Contains(err.Error(), "unknown method") {
+		t.Errorf("unknown method: %v", err)
+	}
+	// The connection and the server survive all of that.
+	if _, err := raw.Call("stats", nil); err != nil {
+		t.Errorf("stats after garbage: %v", err)
+	}
+}
+
+func TestServeBadAddress(t *testing.T) {
+	db := openTestDB(t, Options{})
+	if _, err := db.Serve("256.256.256.256:99999"); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}
+
+func TestDialUnreachable(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestClientQueryAfterServerClose(t *testing.T) {
+	db := openTestDB(t, Options{})
+	ns, _ := db.Serve("127.0.0.1:0")
+	cl, err := Dial(ns.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ns.Close()
+	if _, err := cl.Query(Query{Keys: FullKeyRange(), Times: FullTimeRange()}); err == nil {
+		t.Error("query against closed server succeeded")
+	}
+}

@@ -1,0 +1,251 @@
+// Package waterwheel is a Go implementation of Waterwheel (ICDE 2018):
+// a distributed stream store that sustains very high tuple-insertion
+// throughput while answering ad-hoc queries constrained on both the key
+// and the time domain within milliseconds.
+//
+// The system partitions the key×time space into data regions owned by
+// indexing servers. Each server buffers its region in an in-memory
+// template B+ tree — whose inner structure is reused across flushes,
+// eliminating node splits — and flushes immutable chunks to a distributed
+// file system. A coordinator decomposes queries via an R-tree over region
+// metadata and fans subqueries out across indexing servers (fresh data)
+// and query servers (chunks) with the locality-aware LADA dispatcher.
+//
+// Quick start:
+//
+//	db, _ := waterwheel.Open(waterwheel.Options{})
+//	defer db.Close()
+//	db.Insert(waterwheel.Tuple{Key: 42, Time: now, Payload: []byte("...")})
+//	db.Drain()
+//	res, _ := db.QueryRange(waterwheel.KeyRange{Lo: 0, Hi: 100},
+//		waterwheel.TimeRange{Lo: now - 5000, Hi: now})
+package waterwheel
+
+import (
+	"errors"
+
+	"waterwheel/internal/chunk"
+	"waterwheel/internal/cluster"
+	"waterwheel/internal/dfs"
+	"waterwheel/internal/model"
+	"waterwheel/internal/queryexec"
+)
+
+// Core data-model types, aliased from the internal model package so user
+// code and internal code share identities.
+type (
+	// Key is a tuple's index key (the full uint64 domain).
+	Key = model.Key
+	// Timestamp is a point in the time domain, in milliseconds.
+	Timestamp = model.Timestamp
+	// Tuple is the unit of ingestion: key, timestamp, opaque payload.
+	Tuple = model.Tuple
+	// KeyRange is a closed interval on the key domain.
+	KeyRange = model.KeyRange
+	// TimeRange is a closed interval on the time domain.
+	TimeRange = model.TimeRange
+	// Region is a rectangle in key×time space.
+	Region = model.Region
+	// Query selects tuples by key range, time range and optional filter.
+	Query = model.Query
+	// Result carries the qualifying tuples plus execution metadata.
+	Result = model.Result
+	// Filter is a serializable predicate over tuples (the paper's fq).
+	Filter = model.Filter
+)
+
+// MaxKey is the largest key.
+const MaxKey = model.MaxKey
+
+// FullKeyRange covers the whole key domain.
+func FullKeyRange() KeyRange { return model.FullKeyRange() }
+
+// FullTimeRange covers the whole time domain.
+func FullTimeRange() TimeRange { return model.FullTimeRange() }
+
+// Options configures an embedded Waterwheel deployment. The zero value is
+// a sensible single-node development setup.
+type Options struct {
+	// Nodes is the simulated cluster size (default 1). Each node runs
+	// IndexServersPerNode indexing servers, QueryServersPerNode query
+	// servers, DispatchersPerNode dispatchers and one DFS datanode.
+	Nodes               int
+	IndexServersPerNode int
+	QueryServersPerNode int
+	DispatchersPerNode  int
+	// ChunkBytes is the flush threshold (default 16 MB).
+	ChunkBytes int64
+	// CacheBytes is each query server's cache budget (default 1 GB).
+	CacheBytes int64
+	// LateDeltaMillis is the late-visibility window Δt (default 10 s).
+	LateDeltaMillis int64
+	// Policy selects the subquery dispatch policy: "lada" (default),
+	// "round-robin", "hashing" or "shared-queue".
+	Policy string
+	// DisableAdaptivePartitioning turns the key balancer off.
+	DisableAdaptivePartitioning bool
+	// BalanceIntervalMillis runs the balancer on a cadence (0 = manual).
+	BalanceIntervalMillis int64
+	// DisableBloom turns leaf time-sketch pruning off.
+	DisableBloom bool
+	// SyncIngest bypasses the WAL for maximum single-process throughput;
+	// forfeits crash recovery.
+	SyncIngest bool
+	// EnableSecondaryIndex builds per-leaf bloom filters over the
+	// big-endian uint64 payload field at SecondaryIndexOffset (the paper's
+	// §VIII future-work extension). Queries whose filter pins that field
+	// to a value with PayloadU64(offset, EQ, v) then skip chunk leaves
+	// that cannot contain it.
+	EnableSecondaryIndex bool
+	// SecondaryIndexOffset is the payload offset of the indexed field.
+	SecondaryIndexOffset uint32
+	// SimulateIO charges HDFS-like latencies on chunk reads (off by
+	// default for embedded use).
+	SimulateIO bool
+	// DataDir makes the store durable: chunks, WAL and metadata persist
+	// under this directory, and Open over an existing directory restores
+	// the previous state (indexing servers replay their WAL tails).
+	// Incompatible with SyncIngest.
+	DataDir string
+	// Seed makes placement and sampling deterministic.
+	Seed int64
+}
+
+// DB is an embedded Waterwheel instance.
+type DB struct {
+	c      *cluster.Cluster
+	closed bool
+}
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("waterwheel: closed")
+
+// Open starts an embedded Waterwheel deployment.
+func Open(opts Options) (*DB, error) {
+	cfg := cluster.Config{
+		Nodes:                 opts.Nodes,
+		IndexServersPerNode:   opts.IndexServersPerNode,
+		QueryServersPerNode:   opts.QueryServersPerNode,
+		DispatchersPerNode:    opts.DispatchersPerNode,
+		ChunkBytes:            opts.ChunkBytes,
+		CacheBytes:            opts.CacheBytes,
+		LateDeltaMillis:       opts.LateDeltaMillis,
+		Policy:                opts.Policy,
+		DisableAdaptive:       opts.DisableAdaptivePartitioning,
+		BalanceIntervalMillis: opts.BalanceIntervalMillis,
+		DisableBloom:          opts.DisableBloom,
+		SyncIngest:            opts.SyncIngest,
+		DataDir:               opts.DataDir,
+		Seed:                  opts.Seed,
+	}
+	if opts.SimulateIO {
+		cfg.DFSLatency = dfs.DefaultLatency()
+	}
+	if opts.EnableSecondaryIndex {
+		cfg.Bloom.Secondary = &chunk.SecondarySpec{Offset: opts.SecondaryIndexOffset}
+	}
+	c, err := cluster.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	return &DB{c: c}, nil
+}
+
+// Checkpoint persists metadata and syncs the WAL when the store was
+// opened with a DataDir; otherwise it is a no-op.
+func (db *DB) Checkpoint() error { return db.c.Checkpoint() }
+
+// Insert ingests one tuple. Safe for concurrent use. With the default WAL
+// pipeline the tuple becomes visible to queries within a consumption
+// round-trip; call Drain for a strict insert→query barrier.
+func (db *DB) Insert(t Tuple) {
+	db.c.Insert(t)
+}
+
+// InsertBatch ingests a batch of tuples.
+func (db *DB) InsertBatch(ts []Tuple) {
+	for i := range ts {
+		db.c.Insert(ts[i])
+	}
+}
+
+// Query runs a temporal range query and returns the merged, sorted result.
+func (db *DB) Query(q Query) (*Result, error) {
+	if db.closed {
+		return nil, ErrClosed
+	}
+	return db.c.Query(q)
+}
+
+// QueryRange is shorthand for Query with no predicate.
+func (db *DB) QueryRange(keys KeyRange, times TimeRange) (*Result, error) {
+	return db.Query(Query{Keys: keys, Times: times})
+}
+
+// Drain blocks until all accepted tuples are visible to queries.
+func (db *DB) Drain() { db.c.Drain() }
+
+// Flush forces every indexing server to flush its memtables to chunks.
+func (db *DB) Flush() { db.c.FlushAll() }
+
+// Rebalance runs one adaptive-key-partitioning round, returning whether
+// the key partitioning changed.
+func (db *DB) Rebalance() bool { return db.c.TickBalance() }
+
+// Stats summarizes the deployment's activity.
+type Stats struct {
+	// Ingested counts tuples accepted by the indexing servers.
+	Ingested int64
+	// Buffered counts tuples in memtables (not yet flushed).
+	Buffered int
+	// Chunks counts flushed, registered data chunks.
+	Chunks int
+	// SchemaVersion is the key-partitioning version (increases on
+	// rebalance).
+	SchemaVersion int64
+}
+
+// Stats returns a snapshot of deployment counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Ingested:      db.c.Ingested(),
+		Buffered:      db.c.MemLen(),
+		Chunks:        db.c.Metadata().ChunkCount(),
+		SchemaVersion: db.c.Metadata().Schema().Version,
+	}
+}
+
+// DropBefore removes all chunks that end before the horizon (retention),
+// returning how many were dropped, and releases the WAL records already
+// covered by flushed chunks.
+func (db *DB) DropBefore(horizon Timestamp) int {
+	n := db.c.DropChunksBefore(horizon)
+	db.c.TruncateWALBefore()
+	return n
+}
+
+// ExplainInfo describes how a query would decompose, for tooling.
+type ExplainInfo = queryexec.ExplainInfo
+
+// Explain decomposes a query without executing it: which indexing-server
+// memtables and which chunks it would touch, with the clipped regions.
+func (db *DB) Explain(q Query) ExplainInfo {
+	return db.c.Coordinator().Explain(q)
+}
+
+// Cluster exposes the underlying cluster for advanced integrations and
+// the benchmark harness.
+func (db *DB) Cluster() *cluster.Cluster { return db.c }
+
+// Close stops the deployment. Buffered tuples are flushed first.
+func (db *DB) Close() error {
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	db.c.Drain()
+	db.c.FlushAll()
+	db.c.Stop()
+	return nil
+}

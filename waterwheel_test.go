@@ -1,0 +1,310 @@
+package waterwheel
+
+import (
+	"testing"
+)
+
+func openTestDB(t *testing.T, opts Options) *DB {
+	t.Helper()
+	if opts.ChunkBytes == 0 {
+		opts.ChunkBytes = 64 << 10
+	}
+	opts.Seed = 1
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestOpenInsertQueryClose(t *testing.T) {
+	db := openTestDB(t, Options{})
+	for i := 0; i < 500; i++ {
+		db.Insert(Tuple{Key: Key(uint64(i) << 50), Time: Timestamp(1000 + i), Payload: []byte{byte(i)}})
+	}
+	db.Drain()
+	res, err := db.QueryRange(FullKeyRange(), FullTimeRange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 500 {
+		t.Fatalf("got %d tuples", len(res.Tuples))
+	}
+	st := db.Stats()
+	if st.Ingested != 500 {
+		t.Errorf("stats %+v", st)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.QueryRange(FullKeyRange(), FullTimeRange()); err != ErrClosed {
+		t.Errorf("query after close: %v", err)
+	}
+}
+
+func TestQueryWithFilter(t *testing.T) {
+	db := openTestDB(t, Options{})
+	for i := 0; i < 100; i++ {
+		db.Insert(Tuple{Key: Key(i), Time: Timestamp(i)})
+	}
+	db.Drain()
+	res, err := db.Query(Query{
+		Keys:   FullKeyRange(),
+		Times:  FullTimeRange(),
+		Filter: And(KeyMod(2, 0), TimeCmp(LT, 50)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 25 {
+		t.Fatalf("got %d tuples, want 25", len(res.Tuples))
+	}
+}
+
+func TestFlushAndHistoricalQuery(t *testing.T) {
+	db := openTestDB(t, Options{})
+	for i := 0; i < 200; i++ {
+		db.Insert(Tuple{Key: Key(uint64(i) << 50), Time: Timestamp(i)})
+	}
+	db.Drain()
+	db.Flush()
+	if db.Stats().Chunks == 0 {
+		t.Fatal("flush registered no chunks")
+	}
+	if db.Stats().Buffered != 0 {
+		t.Fatal("memtables not drained by flush")
+	}
+	res, err := db.QueryRange(FullKeyRange(), FullTimeRange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 200 {
+		t.Fatalf("historical query: %d tuples", len(res.Tuples))
+	}
+}
+
+func TestGeoGridQueries(t *testing.T) {
+	db := openTestDB(t, Options{})
+	g := NewGeoGrid(116.0, 117.0, 39.5, 40.5, 12)
+	// A cluster of points inside a small box, plus scattered noise.
+	for i := 0; i < 50; i++ {
+		lon := 116.40 + float64(i%5)*0.001
+		lat := 39.90 + float64(i/5)*0.001
+		db.Insert(Tuple{Key: g.Key(lon, lat), Time: Timestamp(1000 + i)})
+	}
+	for i := 0; i < 50; i++ {
+		db.Insert(Tuple{Key: g.Key(116.9, 40.4), Time: Timestamp(2000 + i)})
+	}
+	db.Drain()
+	res, err := db.QueryGeoRect(g, 116.39, 39.89, 116.42, 39.92, FullTimeRange(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 50 {
+		t.Fatalf("geo query: %d tuples, want 50", len(res.Tuples))
+	}
+}
+
+func TestNetworkServerRoundTrip(t *testing.T) {
+	db := openTestDB(t, Options{})
+	ns, err := db.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+
+	cl, err := Dial(ns.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	batch := make([]Tuple, 300)
+	for i := range batch {
+		batch[i] = Tuple{Key: Key(uint64(i) << 50), Time: Timestamp(i), Payload: []byte("net")}
+	}
+	if err := cl.InsertBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Query(Query{Keys: FullKeyRange(), Times: FullTimeRange()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 300 {
+		t.Fatalf("remote query: %d tuples", len(res.Tuples))
+	}
+	if string(res.Tuples[0].Payload) != "net" {
+		t.Errorf("payload corrupted: %q", res.Tuples[0].Payload)
+	}
+	st, err := cl.Stats()
+	if err != nil || st.Ingested != 300 {
+		t.Errorf("remote stats %+v, %v", st, err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Remote query spanning chunk + fresh data after more inserts.
+	if err := cl.InsertBatch(batch[:50]); err != nil {
+		t.Fatal(err)
+	}
+	cl.Drain()
+	res, err = cl.Query(Query{Keys: FullKeyRange(), Times: FullTimeRange()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 350 {
+		t.Fatalf("after flush+insert: %d tuples", len(res.Tuples))
+	}
+}
+
+func TestRemoteQueryWithFilter(t *testing.T) {
+	db := openTestDB(t, Options{})
+	ns, _ := db.Serve("127.0.0.1:0")
+	defer ns.Close()
+	cl, _ := Dial(ns.Addr)
+	defer cl.Close()
+	for i := 0; i < 100; i++ {
+		cl.Insert(Tuple{Key: Key(i), Time: Timestamp(i)})
+	}
+	cl.Drain()
+	res, err := cl.Query(Query{
+		Keys: FullKeyRange(), Times: FullTimeRange(),
+		Filter: KeyMod(10, 3),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 10 {
+		t.Fatalf("filtered remote query: %d tuples, want 10", len(res.Tuples))
+	}
+}
+
+func TestRebalanceAPI(t *testing.T) {
+	db := openTestDB(t, Options{Nodes: 2})
+	for i := 0; i < 5000; i++ {
+		db.Insert(Tuple{Key: Key(i % 1000), Time: Timestamp(i)}) // skewed
+	}
+	db.Drain()
+	if !db.Rebalance() {
+		t.Fatal("rebalance declined on skewed load")
+	}
+	if db.Stats().SchemaVersion < 2 {
+		t.Error("schema version unchanged")
+	}
+}
+
+func TestDataDirPersistence(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{DataDir: dir, ChunkBytes: 8 << 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		db.Insert(Tuple{Key: Key(uint64(i) << 45), Time: Timestamp(i), Payload: []byte{byte(i)}})
+	}
+	db.Drain()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{DataDir: dir, ChunkBytes: 8 << 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	db2.Drain()
+	res, err := db2.QueryRange(FullKeyRange(), FullTimeRange())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 2000 {
+		t.Fatalf("after reopen: %d/2000 tuples", len(res.Tuples))
+	}
+}
+
+func TestDataDirRejectsSyncIngest(t *testing.T) {
+	if _, err := Open(Options{DataDir: t.TempDir(), SyncIngest: true}); err == nil {
+		t.Fatal("DataDir + SyncIngest accepted")
+	}
+}
+
+func TestInsertBatchAndStats(t *testing.T) {
+	db := openTestDB(t, Options{})
+	batch := make([]Tuple, 100)
+	for i := range batch {
+		batch[i] = Tuple{Key: Key(i), Time: Timestamp(i)}
+	}
+	db.InsertBatch(batch)
+	db.Drain()
+	st := db.Stats()
+	if st.Ingested != 100 || st.Buffered != 100 || st.Chunks != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	res, _ := db.QueryRange(FullKeyRange(), FullTimeRange())
+	if len(res.Tuples) != 100 {
+		t.Fatalf("batch insert lost tuples: %d", len(res.Tuples))
+	}
+}
+
+func TestSecondaryIndexViaOptions(t *testing.T) {
+	db := openTestDB(t, Options{
+		ChunkBytes:           8 << 10,
+		EnableSecondaryIndex: true,
+		SecondaryIndexOffset: 0,
+	})
+	for i := 0; i < 2000; i++ {
+		payload := make([]byte, 8)
+		payload[7] = byte(i % 4) // attribute = i mod 4
+		db.Insert(Tuple{Key: Key(uint64(i) << 50), Time: Timestamp(i), Payload: payload})
+	}
+	db.Drain()
+	db.Flush()
+	res, err := db.Query(Query{
+		Keys:   FullKeyRange(),
+		Times:  FullTimeRange(),
+		Filter: PayloadU64(0, EQ, 2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != 500 {
+		t.Fatalf("secondary-filtered query: %d, want 500", len(res.Tuples))
+	}
+}
+
+func TestCloseIsIdempotentAndFlushes(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{DataDir: dir, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Insert(Tuple{Key: 1, Time: 1})
+	db.Drain()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close flushed the memtable: the tuple is in a chunk after reopen
+	// without any WAL replay being necessary.
+	db2, err := Open(Options{DataDir: dir, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if db2.Stats().Chunks == 0 {
+		t.Error("close did not flush to a chunk")
+	}
+	res, _ := db2.QueryRange(FullKeyRange(), FullTimeRange())
+	if len(res.Tuples) != 1 {
+		t.Fatalf("tuple lost across close: %d", len(res.Tuples))
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -31,6 +32,7 @@ func main() {
 		simulateIO = flag.Bool("simulate-io", false, "charge HDFS-like latencies on chunk I/O")
 		dataDir    = flag.String("data-dir", "", "persist chunks/WAL/metadata here (survives restarts)")
 		seed       = flag.Int64("seed", 0, "placement/sampling seed")
+		httpAddr   = flag.String("http", "", "serve /metrics and /debug/waterwheel on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -55,6 +57,14 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("waterwheel serving on %s (%d nodes, policy=%s)\n", ns.Addr, *nodes, *policy)
+	if *httpAddr != "" {
+		go func() {
+			fmt.Printf("waterwheel introspection on http://%s/metrics and /debug/waterwheel\n", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, db.DebugHandler()); err != nil {
+				fmt.Fprintln(os.Stderr, "waterwheel: http:", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

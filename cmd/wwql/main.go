@@ -5,8 +5,14 @@
 //
 //	wwql -addr 127.0.0.1:7070 insert 42 1700000000000 hello
 //	wwql -addr 127.0.0.1:7070 query -keys 0:100 -times 0:2000000000000
+//	wwql -addr 127.0.0.1:7070 trace -keys 0:100 -times 0:2000000000000
 //	wwql -addr 127.0.0.1:7070 stats
+//	wwql -addr 127.0.0.1:7070 metrics
 //	wwql -addr 127.0.0.1:7070 flush | drain
+//
+// trace runs the query like query does but additionally prints the
+// coordinator's span tree — decomposition, dispatch, per-chunk reads with
+// cache and bloom-skip detail, and merge, each with its wall time.
 package main
 
 import (
@@ -37,12 +43,38 @@ func parseRange(s string) (lo, hi uint64, err error) {
 	return
 }
 
+// parseQueryArgs parses the shared query/trace flags into a query and the
+// tuple print limit.
+func parseQueryArgs(cmd string, args []string) (waterwheel.Query, int) {
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	keys := fs.String("keys", "", "key range lo:hi (default: all)")
+	times := fs.String("times", "", "time range lo:hi in ms (default: all)")
+	limit := fs.Int("limit", 20, "max tuples to print (0 = all)")
+	fs.Parse(args)
+	q := waterwheel.Query{Keys: waterwheel.FullKeyRange(), Times: waterwheel.FullTimeRange()}
+	if *keys != "" {
+		lo, hi, err := parseRange(*keys)
+		if err != nil {
+			fatalf("bad -keys: %v", err)
+		}
+		q.Keys = waterwheel.KeyRange{Lo: waterwheel.Key(lo), Hi: waterwheel.Key(hi)}
+	}
+	if *times != "" {
+		lo, hi, err := parseRange(*times)
+		if err != nil {
+			fatalf("bad -times: %v", err)
+		}
+		q.Times = waterwheel.TimeRange{Lo: waterwheel.Timestamp(lo), Hi: waterwheel.Timestamp(hi)}
+	}
+	return q, *limit
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "server address")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fatalf("usage: wwql [-addr host:port] insert|query|stats|flush|drain ...")
+		fatalf("usage: wwql [-addr host:port] insert|query|trace|stats|metrics|flush|drain ...")
 	}
 
 	cl, err := waterwheel.Dial(*addr)
@@ -75,41 +107,45 @@ func main() {
 		}
 		fmt.Println("ok")
 
-	case "query":
-		fs := flag.NewFlagSet("query", flag.ExitOnError)
-		keys := fs.String("keys", "", "key range lo:hi (default: all)")
-		times := fs.String("times", "", "time range lo:hi in ms (default: all)")
-		limit := fs.Int("limit", 20, "max tuples to print (0 = all)")
-		fs.Parse(args[1:])
-		q := waterwheel.Query{Keys: waterwheel.FullKeyRange(), Times: waterwheel.FullTimeRange()}
-		if *keys != "" {
-			lo, hi, err := parseRange(*keys)
-			if err != nil {
-				fatalf("bad -keys: %v", err)
-			}
-			q.Keys = waterwheel.KeyRange{Lo: waterwheel.Key(lo), Hi: waterwheel.Key(hi)}
+	case "query", "trace":
+		q, limit := parseQueryArgs(args[0], args[1:])
+		var (
+			res *waterwheel.Result
+			tr  *waterwheel.QueryTrace
+			err error
+		)
+		if args[0] == "trace" {
+			res, tr, err = cl.QueryTraced(q)
+		} else {
+			res, err = cl.Query(q)
 		}
-		if *times != "" {
-			lo, hi, err := parseRange(*times)
-			if err != nil {
-				fatalf("bad -times: %v", err)
-			}
-			q.Times = waterwheel.TimeRange{Lo: waterwheel.Timestamp(lo), Hi: waterwheel.Timestamp(hi)}
-		}
-		res, err := cl.Query(q)
 		if err != nil {
-			fatalf("query: %v", err)
+			fatalf("%s: %v", args[0], err)
 		}
 		fmt.Printf("%d tuples (%d subqueries, %d leaves read, %d pruned, %d bytes)\n",
 			len(res.Tuples), res.SubQueries, res.LeavesRead, res.LeavesSkipped, res.BytesRead)
 		for i := range res.Tuples {
-			if *limit > 0 && i >= *limit {
+			if limit > 0 && i >= limit {
 				fmt.Printf("... %d more\n", len(res.Tuples)-i)
 				break
 			}
 			t := &res.Tuples[i]
 			fmt.Printf("key=%d time=%d payload=%q\n", t.Key, t.Time, t.Payload)
 		}
+		if tr != nil {
+			fmt.Print(tr.Format())
+		}
+
+	case "metrics":
+		text, err := cl.Metrics()
+		if err != nil {
+			fatalf("metrics: %v", err)
+		}
+		if text == "" {
+			fmt.Println("telemetry disabled on server")
+			return
+		}
+		fmt.Print(text)
 
 	case "stats":
 		st, err := cl.Stats()

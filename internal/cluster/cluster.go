@@ -26,6 +26,7 @@ import (
 	"waterwheel/internal/meta"
 	"waterwheel/internal/model"
 	"waterwheel/internal/queryexec"
+	"waterwheel/internal/telemetry"
 	"waterwheel/internal/wal"
 )
 
@@ -78,6 +79,13 @@ type Config struct {
 	Bloom chunk.BuildOptions
 	// Seed drives DFS placement and samplers.
 	Seed int64
+	// Telemetry, when non-nil, is the metric registry every component
+	// reports into; nil runs the cluster without instrumentation (the
+	// hot paths then cost only nil checks).
+	Telemetry *telemetry.Registry
+	// TraceCapacity bounds the ring of retained query traces (default 16;
+	// only used when Telemetry is set).
+	TraceCapacity int
 	// DataDir, when non-empty, makes the deployment durable: chunks back
 	// onto DataDir/dfs, the WAL onto DataDir/wal, and the metadata server
 	// snapshots to DataDir/meta.snap (written by Checkpoint and Stop). A
@@ -131,6 +139,14 @@ type Cluster struct {
 	coord *queryexec.Coordinator
 	bal   *dispatcher.Balancer
 
+	// Telemetry plumbing; all handles are nil-safe no-ops when
+	// Config.Telemetry is unset.
+	reg           *telemetry.Registry
+	traces        *telemetry.TraceRing
+	ingestMetrics ingest.Metrics
+	walAppends    *telemetry.Counter
+	repartitions  *telemetry.Counter
+
 	rr   atomic.Uint64 // round-robin dispatcher pick for Insert
 	stop chan struct{}
 	// consStop holds one stop channel per indexing-server consumer so a
@@ -161,11 +177,25 @@ func Open(cfg Config) (*Cluster, error) {
 	}
 	nIdx := cfg.Nodes * cfg.IndexServersPerNode
 
+	reg := cfg.Telemetry
 	fsCfg := dfs.Config{
 		Nodes:       cfg.Nodes,
 		Replication: cfg.Replication,
 		Latency:     cfg.DFSLatency,
 		Seed:        cfg.Seed,
+	}
+	if reg != nil {
+		localReads := reg.Histogram(`waterwheel_dfs_read_seconds{locality="local"}`,
+			"DFS read latency (modeled I/O cost) by replica locality")
+		remoteReads := reg.Histogram(`waterwheel_dfs_read_seconds{locality="remote"}`,
+			"DFS read latency (modeled I/O cost) by replica locality")
+		fsCfg.ObserveRead = func(lat time.Duration, local bool) {
+			if local {
+				localReads.Observe(lat)
+			} else {
+				remoteReads.Observe(lat)
+			}
+		}
 	}
 	var (
 		ms  *meta.Server
@@ -204,11 +234,29 @@ func Open(cfg Config) (*Cluster, error) {
 		ms:   ms,
 		log:  log,
 		bal:  dispatcher.NewBalancer(),
+		reg:  reg,
 		stop: make(chan struct{}),
 	}
+	if reg != nil {
+		cap := cfg.TraceCapacity
+		if cap <= 0 {
+			cap = 16
+		}
+		c.traces = telemetry.NewTraceRing(cap)
+	}
+	c.ingestMetrics = ingest.Metrics{
+		InsertNanos: reg.Histogram("waterwheel_ingest_insert_seconds",
+			"sampled end-to-end insert latency on indexing servers"),
+		FlushNanos: reg.Histogram("waterwheel_ingest_flush_seconds",
+			"memtable flush latency (chunk build + DFS write + registration)"),
+	}
+	c.walAppends = reg.Counter("waterwheel_wal_appends_total", "records appended to WAL partitions")
+	c.repartitions = reg.Counter("waterwheel_repartitions_total", "adaptive key repartitions installed")
 	c.coord = queryexec.NewCoordinator(queryexec.CoordinatorConfig{
 		LateDeltaMillis: cfg.LateDeltaMillis,
 		Policy:          queryexec.PolicyByName(cfg.Policy),
+		Metrics:         queryexec.NewCoordinatorMetrics(reg),
+		Traces:          c.traces,
 	}, c.ms, c.fs)
 
 	schema := c.ms.Schema()
@@ -224,10 +272,12 @@ func Open(cfg Config) (*Cluster, error) {
 			SideThresholdMillis: cfg.SideThresholdMillis,
 			Bloom:               cfg.Bloom,
 			NoTemplateReuse:     cfg.NoTemplateReuse,
+			Metrics:             c.ingestMetrics,
 		}, c.fs, c.ms, node)
 		c.idx = append(c.idx, srv)
 		c.coord.SetMemExecutor(i, srv)
 	}
+	qsMetrics := queryexec.NewServerMetrics(reg)
 	for n := 0; n < cfg.Nodes; n++ {
 		for j := 0; j < cfg.QueryServersPerNode; j++ {
 			qs := queryexec.NewServer(queryexec.ServerConfig{
@@ -235,6 +285,7 @@ func Open(cfg Config) (*Cluster, error) {
 				Node:       n,
 				CacheBytes: cfg.CacheBytes,
 				UseBloom:   !cfg.DisableBloom,
+				Metrics:    qsMetrics,
 			}, c.fs, c.ms)
 			c.qsrv = append(c.qsrv, qs)
 			c.coord.AddQueryServer(qs)
@@ -248,12 +299,14 @@ func Open(cfg Config) (*Cluster, error) {
 	} else {
 		sink = dispatcher.SinkFunc(func(server int, t model.Tuple) {
 			c.log.Partition(server).Append(model.AppendTuple(nil, &t))
+			c.walAppends.Inc()
 		})
 	}
 	nDisp := cfg.Nodes * cfg.DispatchersPerNode
 	for i := 0; i < nDisp; i++ {
 		c.disp = append(c.disp, dispatcher.New(schema, sink, dispatcher.SamplerConfig{Seed: cfg.Seed + int64(i)}))
 	}
+	c.registerFuncMetrics()
 	return c, nil
 }
 
@@ -409,6 +462,7 @@ func (c *Cluster) TickBalance() bool {
 	for i, srv := range c.idx {
 		srv.SetKeys(newSchema.IntervalOf(i))
 	}
+	c.repartitions.Inc()
 	return true
 }
 
@@ -466,6 +520,12 @@ func (c *Cluster) Dispatchers() []*dispatcher.Dispatcher { return c.disp }
 // WAL returns the write-ahead log.
 func (c *Cluster) WAL() *wal.Log { return c.log }
 
+// Telemetry returns the metric registry (nil when telemetry is off).
+func (c *Cluster) Telemetry() *telemetry.Registry { return c.reg }
+
+// TraceRing returns the retained query traces (nil when telemetry is off).
+func (c *Cluster) TraceRing() *telemetry.TraceRing { return c.traces }
+
 // Ingested returns the total tuples accepted by the indexing servers.
 func (c *Cluster) Ingested() int64 {
 	var n int64
@@ -513,6 +573,7 @@ func (c *Cluster) CrashIndexServer(i int) error {
 		CheckEvery:          c.cfg.CheckEvery,
 		SideThresholdMillis: c.cfg.SideThresholdMillis,
 		Bloom:               c.cfg.Bloom,
+		Metrics:             c.ingestMetrics,
 	}, c.fs, c.ms, node)
 	c.idx[i] = repl
 	c.coord.SetMemExecutor(i, repl)

@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"waterwheel/internal/model"
+)
+
+// registerFuncMetrics bridges the cluster's always-on counters (ingest
+// stats, DFS metrics, dispatcher/balancer state, caches) into the metric
+// registry as read-at-exposition functions. The components keep their own
+// race-safe atomics as the source of truth; the registry only samples them
+// when scraped, so nothing is double-counted and Stats() stays meaningful
+// with telemetry disabled. No-op when the cluster has no registry.
+func (c *Cluster) registerFuncMetrics() {
+	reg := c.reg
+	if reg == nil {
+		return
+	}
+
+	// Ingestion path.
+	reg.CounterFunc("waterwheel_ingest_tuples_total", "tuples accepted by indexing servers", c.Ingested)
+	reg.CounterFunc("waterwheel_ingest_flushes_total", "memtable flushes to DFS chunks", func() int64 {
+		var n int64
+		for _, srv := range c.idx {
+			n += srv.Stats().Flushes.Load()
+		}
+		return n
+	})
+	reg.CounterFunc("waterwheel_ingest_flush_bytes_total", "chunk bytes written by flushes", func() int64 {
+		var n int64
+		for _, srv := range c.idx {
+			n += srv.Stats().FlushBytes.Load()
+		}
+		return n
+	})
+	reg.CounterFunc("waterwheel_ingest_flush_failures_total", "flushes that failed to write or register", func() int64 {
+		var n int64
+		for _, srv := range c.idx {
+			n += srv.Stats().FlushFailures.Load()
+		}
+		return n
+	})
+	reg.CounterFunc("waterwheel_ingest_side_routed_total", "very-late tuples admitted to side stores", func() int64 {
+		var n int64
+		for _, srv := range c.idx {
+			n += srv.Stats().SideRouted.Load()
+		}
+		return n
+	})
+	reg.CounterFunc("waterwheel_ingest_recovered_total", "tuples replayed from the WAL after crashes", func() int64 {
+		var n int64
+		for _, srv := range c.idx {
+			n += srv.Stats().Recovered.Load()
+		}
+		return n
+	})
+	reg.CounterFunc("waterwheel_template_updates_total", "adaptive template rebuilds across memtable trees", func() int64 {
+		var n int64
+		for _, srv := range c.idx {
+			n += srv.TreeStats().TemplateUpdates.Load()
+		}
+		return n
+	})
+	reg.GaugeFunc("waterwheel_memtable_bytes", "bytes buffered in memtables (tree + side store)", func() float64 {
+		var n int64
+		for _, srv := range c.idx {
+			n += srv.MemBytes()
+		}
+		return float64(n)
+	})
+	reg.GaugeFunc("waterwheel_memtable_tuples", "tuples buffered in memtables", func() float64 {
+		return float64(c.MemLen())
+	})
+	reg.GaugeFunc("waterwheel_skewness_max", "worst current template skewness S(P,D) across indexing servers", func() float64 {
+		worst := 0.0
+		for _, srv := range c.idx {
+			if s := srv.SkewnessFactor(); s > worst {
+				worst = s
+			}
+		}
+		return worst
+	})
+
+	// Dispatch and adaptive partitioning.
+	reg.CounterFunc("waterwheel_dispatched_total", "tuples routed by dispatchers", func() int64 {
+		var n int64
+		for _, d := range c.disp {
+			n += int64(d.Dispatched())
+		}
+		return n
+	})
+	reg.GaugeFunc("waterwheel_partition_imbalance", "key-histogram imbalance at the last balancer run", c.bal.LastImbalance)
+	reg.GaugeFunc("waterwheel_schema_version", "current key-partitioning schema version", func() float64 {
+		return float64(c.ms.Schema().Version)
+	})
+
+	// Metadata and storage.
+	reg.GaugeFunc("waterwheel_chunks", "chunks registered in the metadata R-tree", func() float64 {
+		return float64(c.ms.ChunkCount())
+	})
+	reg.CounterFunc("waterwheel_dfs_reads_total", "DFS read accesses", func() int64 {
+		return c.fs.Metrics().Reads.Load()
+	})
+	reg.CounterFunc(`waterwheel_dfs_reads_by_locality_total{locality="local"}`, "DFS reads served by a co-located replica", func() int64 {
+		return c.fs.Metrics().LocalReads.Load()
+	})
+	reg.CounterFunc(`waterwheel_dfs_reads_by_locality_total{locality="remote"}`, "DFS reads served by a remote replica", func() int64 {
+		return c.fs.Metrics().RemoteReads.Load()
+	})
+	reg.CounterFunc("waterwheel_dfs_read_bytes_total", "bytes read from the DFS", func() int64 {
+		return c.fs.Metrics().BytesRead.Load()
+	})
+	reg.CounterFunc("waterwheel_dfs_writes_total", "DFS write accesses", func() int64 {
+		return c.fs.Metrics().Writes.Load()
+	})
+	reg.CounterFunc("waterwheel_dfs_write_bytes_total", "bytes written to the DFS", func() int64 {
+		return c.fs.Metrics().BytesWrite.Load()
+	})
+
+	// WAL backlog: records appended but not yet consumed, the ingestion
+	// pipeline's queue depth.
+	if !c.cfg.SyncIngest {
+		reg.GaugeFunc("waterwheel_wal_backlog", "WAL records appended but not yet consumed", func() float64 {
+			var lag int64
+			for i, srv := range c.idx {
+				if d := c.log.Partition(i).Next() - srv.Consumed(); d > 0 {
+					lag += d
+				}
+			}
+			return float64(lag)
+		})
+	}
+
+	// Query-server caches.
+	reg.GaugeFunc("waterwheel_cache_used_bytes", "bytes held by query-server LRU caches", func() float64 {
+		var n int64
+		for _, qs := range c.qsrv {
+			n += qs.CacheMetrics().Used
+		}
+		return float64(n)
+	})
+
+	// Watermark: the largest event time observed, for stream-lag panels.
+	reg.GaugeFunc("waterwheel_watermark_millis", "largest event timestamp observed by any indexing server", func() float64 {
+		var hi model.Timestamp
+		for _, srv := range c.idx {
+			if w := srv.Watermark(); w > hi {
+				hi = w
+			}
+		}
+		return float64(hi)
+	})
+}

@@ -76,6 +76,11 @@ type Config struct {
 	// simulated via a manifest). Files survive process restarts: New loads
 	// the manifest and serves existing files.
 	Dir string
+	// ObserveRead, when set, receives the simulated latency charged to
+	// each chunk read (open delay + transfer) and whether the read was
+	// served by a co-located replica — the telemetry hook for injected
+	// I/O cost. Must be cheap; called on the read path.
+	ObserveRead func(latency time.Duration, local bool)
 }
 
 // Metrics counts file-system activity.
@@ -290,6 +295,9 @@ func (fs *FS) ReadAt(name string, offset, length int64, fromNode int) ([]byte, R
 	}
 	fs.m.Reads.Add(1)
 	fs.m.BytesRead.Add(length)
+	if fs.cfg.ObserveRead != nil {
+		fs.cfg.ObserveRead(lat, local)
+	}
 	fs.sleep(lat)
 	return out, ReadInfo{Local: local, Node: serve, Latency: lat}, nil
 }

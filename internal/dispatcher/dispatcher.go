@@ -174,6 +174,9 @@ func (d *Dispatcher) Schema() meta.PartitionSchema {
 // Sampler exposes the dispatcher's key sampler (the balancer reads it).
 func (d *Dispatcher) Sampler() *Sampler { return d.sampler }
 
+// Dispatched returns the number of tuples routed by this dispatcher.
+func (d *Dispatcher) Dispatched() uint64 { return d.dispatched.Load() }
+
 // Balancer is the centralized process that evaluates the global key
 // frequencies and recomputes the partitioning when load is skewed.
 type Balancer struct {
@@ -182,6 +185,17 @@ type Balancer struct {
 	Threshold float64
 	// MinSample suppresses decisions on too little evidence.
 	MinSample int
+
+	// lastImbalance records the key-histogram imbalance measured by the
+	// most recent Rebalance call (float64 bits), for telemetry gauges.
+	lastImbalance atomic.Uint64
+}
+
+// LastImbalance returns the imbalance measured by the most recent
+// Rebalance call: max_i |n_i - mean| / mean over the sampled key
+// histogram. Zero until the balancer has run on a qualifying sample.
+func (b *Balancer) LastImbalance() float64 {
+	return math.Float64frombits(b.lastImbalance.Load())
 }
 
 // NewBalancer creates a balancer with the paper's 20% threshold.
@@ -226,7 +240,9 @@ func (b *Balancer) Rebalance(schema meta.PartitionSchema, sample []model.Key) ([
 	if noise := 3 * math.Sqrt(float64(schema.Servers)/float64(len(sample))); noise > threshold {
 		threshold = noise
 	}
-	if b.Imbalance(schema, sample) <= threshold {
+	imbalance := b.Imbalance(schema, sample)
+	b.lastImbalance.Store(math.Float64bits(imbalance))
+	if imbalance <= threshold {
 		return nil, false
 	}
 	sorted := append([]model.Key(nil), sample...)

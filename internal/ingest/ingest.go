@@ -28,6 +28,7 @@ import (
 	"waterwheel/internal/dfs"
 	"waterwheel/internal/meta"
 	"waterwheel/internal/model"
+	"waterwheel/internal/telemetry"
 	"waterwheel/internal/wal"
 )
 
@@ -54,7 +55,27 @@ type Config struct {
 	// design). Setting false rebuilds the tree each flush — the system-level
 	// ablation switch.
 	NoTemplateReuse bool
+	// Metrics holds optional telemetry handles; the zero value (nil
+	// handles) disables instrumentation at no cost.
+	Metrics Metrics
 }
+
+// Metrics are the telemetry handles an indexing server feeds. All handles
+// are nil-safe; the zero value is a no-op.
+type Metrics struct {
+	// InsertNanos samples end-to-end Insert latency (1 in every
+	// insertSampleEvery inserts), capturing the flush-dominated tail the
+	// paper's Fig. 7b insert-time breakdown measures.
+	InsertNanos *telemetry.Histogram
+	// FlushNanos observes each chunk build + DFS write.
+	FlushNanos *telemetry.Histogram
+}
+
+// insertSampleEvery is the Insert-latency sampling interval (a power of
+// two so the check is a mask). Sampling keeps the two time.Now calls off
+// the common insert path while the histogram still sees thousands of
+// samples per second at paper ingestion rates.
+const insertSampleEvery = 64
 
 func (c *Config) fill() {
 	if c.ChunkBytes <= 0 {
@@ -73,11 +94,12 @@ var nextIncarnation atomic.Uint64
 
 // Stats counts indexing-server activity.
 type Stats struct {
-	Ingested   atomic.Int64
-	Flushes    atomic.Int64
-	FlushBytes atomic.Int64
-	SideRouted atomic.Int64
-	Recovered  atomic.Int64
+	Ingested      atomic.Int64
+	Flushes       atomic.Int64
+	FlushBytes    atomic.Int64
+	FlushFailures atomic.Int64
+	SideRouted    atomic.Int64
+	Recovered     atomic.Int64
 }
 
 // Server is one indexing server.
@@ -149,13 +171,21 @@ func (s *Server) TreeStats() *core.Stats { return s.tree.Stats() }
 // Insert ingests one tuple, flushing when the memtable reaches the chunk
 // threshold. Safe for concurrent use.
 func (s *Server) Insert(t model.Tuple) {
-	s.stats.Ingested.Add(1)
+	n := s.stats.Ingested.Add(1)
+	var start time.Time
+	sampled := s.cfg.Metrics.InsertNanos != nil && n%insertSampleEvery == 0
+	if sampled {
+		start = time.Now()
+	}
 	wm := s.watermark.Load()
 	for int64(t.Time) > wm && !s.watermark.CompareAndSwap(wm, int64(t.Time)) {
 		wm = s.watermark.Load()
 	}
 	if s.side != nil && int64(t.Time) < s.watermark.Load()-s.cfg.SideThresholdMillis {
 		s.insertSide(t)
+		if sampled {
+			s.cfg.Metrics.InsertNanos.Observe(time.Since(start))
+		}
 		return
 	}
 	s.minMu.Lock()
@@ -175,6 +205,9 @@ func (s *Server) Insert(t model.Tuple) {
 	}
 	if s.tree.Bytes() >= s.cfg.ChunkBytes {
 		s.Flush()
+	}
+	if sampled {
+		s.cfg.Metrics.InsertNanos.Observe(time.Since(start))
 	}
 }
 
@@ -244,6 +277,7 @@ func (s *Server) flushTree(tree *core.TemplateTree, isSide bool) (meta.ChunkInfo
 	if snap == nil {
 		return meta.ChunkInfo{}, false
 	}
+	flushStart := time.Now()
 	if s.cfg.NoTemplateReuse {
 		// Ablation: discard the learned template by rebuilding the whole
 		// tree with an even partition, as a non-template system would.
@@ -262,6 +296,7 @@ func (s *Server) flushTree(tree *core.TemplateTree, isSide bool) (meta.ChunkInfo
 	}
 	path := fmt.Sprintf("chunks/is%d-g%d-%s%d", s.cfg.ID, s.incarnation, kind, s.flushSeq)
 	if err := s.fs.Write(path, data); err != nil {
+		s.stats.FlushFailures.Add(1)
 		// The file system refused the chunk (no live datanodes, disk full).
 		// Put the tuples back into the memtable and report no flush: they
 		// stay queryable, the WAL still covers them for recovery, and the
@@ -290,6 +325,7 @@ func (s *Server) flushTree(tree *core.TemplateTree, isSide bool) (meta.ChunkInfo
 	})
 	s.stats.Flushes.Add(1)
 	s.stats.FlushBytes.Add(cmeta.Size)
+	s.cfg.Metrics.FlushNanos.Observe(time.Since(flushStart))
 	// Record the replay offset (§V) and the shrunken live region.
 	s.ms.SetOffset(s.cfg.ID, s.consumed.Load())
 	s.minMu.Lock()
@@ -360,6 +396,27 @@ func (s *Server) MemLen() int {
 	}
 	return n
 }
+
+// MemBytes returns the buffered payload bytes across both trees.
+func (s *Server) MemBytes() int64 {
+	n := s.tree.Bytes()
+	if s.side != nil {
+		n += s.side.Bytes()
+	}
+	return n
+}
+
+// Watermark returns the largest event timestamp observed.
+func (s *Server) Watermark() model.Timestamp {
+	return model.Timestamp(s.watermark.Load())
+}
+
+// SkewnessFactor returns the memtable's current skewness S(P,D) — the
+// residue the adaptive template update drives back toward zero (§III-C).
+func (s *Server) SkewnessFactor() float64 { return s.tree.Skewness() }
+
+// ID returns the server's indexing-server id.
+func (s *Server) ID() int { return s.cfg.ID }
 
 // SetKeys updates the nominal key interval after a repartition (§III-D).
 func (s *Server) SetKeys(kr model.KeyRange) {

@@ -21,6 +21,11 @@ type Cache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+
+	// onEvict, when set, observes each eviction. Called with the cache
+	// lock held: the hook must be cheap and must not call back into the
+	// cache.
+	onEvict func(key string, size int64)
 }
 
 type entry struct {
@@ -37,6 +42,15 @@ func New(capacity int64) *Cache {
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
 	}
+}
+
+// SetEvictHook installs a callback observing evictions (telemetry). The
+// hook runs with the cache lock held; it must be cheap and must not call
+// back into the cache. Install before concurrent use.
+func (c *Cache) SetEvictHook(fn func(key string, size int64)) {
+	c.mu.Lock()
+	c.onEvict = fn
+	c.mu.Unlock()
 }
 
 // Get returns the cached value and whether it was present, promoting the
@@ -108,6 +122,9 @@ func (c *Cache) evictOldestLocked() {
 	delete(c.items, e.key)
 	c.used -= e.size
 	c.evictions++
+	if c.onEvict != nil {
+		c.onEvict(e.key, e.size)
+	}
 }
 
 // Len returns the number of cached entries.

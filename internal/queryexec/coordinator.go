@@ -6,10 +6,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"waterwheel/internal/dfs"
 	"waterwheel/internal/meta"
 	"waterwheel/internal/model"
+	"waterwheel/internal/telemetry"
 )
 
 // MemExecutor answers subqueries against an indexing server's in-memory
@@ -30,6 +32,71 @@ type CoordinatorConfig struct {
 	LateDeltaMillis int64
 	// Policy is the subquery dispatch policy (default LADA).
 	Policy Policy
+	// Metrics holds the coordinator telemetry handles. Nil disables
+	// instrumentation.
+	Metrics *CoordinatorMetrics
+	// Traces, when non-nil, retains a QueryTrace for every executed query
+	// (a bounded ring; see telemetry.NewTraceRing).
+	Traces *telemetry.TraceRing
+}
+
+// CoordinatorMetrics are the telemetry handles the query path feeds. All
+// handles are nil-safe; the zero value is a no-op.
+type CoordinatorMetrics struct {
+	Queries         *telemetry.Counter
+	QueryErrors     *telemetry.Counter
+	MemSubQueries   *telemetry.Counter
+	ChunkSubQueries *telemetry.Counter
+	Redispatches    *telemetry.Counter
+	QueryNanos      *telemetry.Histogram
+
+	// Per-policy dispatch latency histograms, registered lazily the first
+	// time a policy dispatches.
+	reg      *telemetry.Registry
+	mu       sync.Mutex
+	dispatch map[string]*telemetry.Histogram
+}
+
+// NewCoordinatorMetrics registers the query-path metric set on r (nil r
+// gives all-nil, no-op handles).
+func NewCoordinatorMetrics(r *telemetry.Registry) *CoordinatorMetrics {
+	return &CoordinatorMetrics{
+		Queries:         r.Counter("waterwheel_queries_total", "queries executed by the coordinator"),
+		QueryErrors:     r.Counter("waterwheel_query_errors_total", "queries that returned an error"),
+		MemSubQueries:   r.Counter("waterwheel_query_mem_subqueries_total", "fresh-data subqueries dispatched to indexing servers"),
+		ChunkSubQueries: r.Counter("waterwheel_query_chunk_subqueries_total", "chunk subqueries dispatched to query servers"),
+		Redispatches:    r.Counter("waterwheel_query_redispatches_total", "chunk subqueries returned to the pending set after a query-server failure"),
+		QueryNanos:      r.Histogram("waterwheel_query_seconds", "end-to-end query latency"),
+		reg:             r,
+	}
+}
+
+// dispatchHist returns the dispatch-latency histogram for a policy,
+// registering it on first use. Nil-safe.
+func (m *CoordinatorMetrics) dispatchHist(policy string) *telemetry.Histogram {
+	if m == nil || m.reg == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.dispatch[policy]; ok {
+		return h
+	}
+	h := m.reg.Histogram(fmt.Sprintf("waterwheel_query_dispatch_seconds{policy=%q}", policy),
+		"subquery fan-out latency by dispatch policy")
+	if m.dispatch == nil {
+		m.dispatch = make(map[string]*telemetry.Histogram)
+	}
+	m.dispatch[policy] = h
+	return h
+}
+
+// policyName names a dispatch policy for labels and traces.
+func policyName(p Policy) string {
+	if n, ok := p.(interface{ Name() string }); ok {
+		return n.Name()
+	}
+	return fmt.Sprintf("%T", p)
 }
 
 // Coordinator decomposes user queries into subqueries, dispatches them
@@ -39,6 +106,9 @@ type Coordinator struct {
 	cfg CoordinatorConfig
 	ms  *meta.Server
 	fs  *dfs.FS
+	// m mirrors cfg.Metrics, defaulted to a no-op set so the query path
+	// never branches on nil.
+	m *CoordinatorMetrics
 
 	mu       sync.RWMutex
 	qservers []*Server
@@ -53,8 +123,15 @@ func NewCoordinator(cfg CoordinatorConfig, ms *meta.Server, fs *dfs.FS) *Coordin
 	if cfg.Policy == nil {
 		cfg.Policy = LADA{}
 	}
-	return &Coordinator{cfg: cfg, ms: ms, fs: fs, memExec: make(map[int]MemExecutor)}
+	m := cfg.Metrics
+	if m == nil {
+		m = &CoordinatorMetrics{}
+	}
+	return &Coordinator{cfg: cfg, ms: ms, fs: fs, m: m, memExec: make(map[int]MemExecutor)}
 }
+
+// Traces returns the coordinator's trace ring (nil when tracing is off).
+func (c *Coordinator) Traces() *telemetry.TraceRing { return c.cfg.Traces }
 
 // AddQueryServer registers a query server.
 func (c *Coordinator) AddQueryServer(s *Server) {
@@ -122,12 +199,62 @@ func (c *Coordinator) Decompose(q model.Query) (memSubs, chunkSubs []*model.SubQ
 }
 
 // Execute runs a query to completion and returns the merged result with
-// tuples sorted by (key, time).
+// tuples sorted by (key, time). When the coordinator was configured with
+// a trace ring, the query's trace is retained there.
 func (c *Coordinator) Execute(q model.Query) (*model.Result, error) {
+	var root *telemetry.Span
+	if c.cfg.Traces != nil {
+		root = telemetry.StartSpan("query")
+	}
+	res, _, err := c.execute(q, root)
+	return res, err
+}
+
+// ExecuteTraced runs a query like Execute and additionally returns its
+// span tree — Waterwheel's EXPLAIN ANALYZE. Tracing is forced on for this
+// query even when no trace ring is configured.
+func (c *Coordinator) ExecuteTraced(q model.Query) (*model.Result, *telemetry.QueryTrace, error) {
+	root := telemetry.StartSpan("query")
+	res, tr, err := c.execute(q, root)
+	return res, tr, err
+}
+
+// execute is the shared query engine behind Execute and ExecuteTraced.
+// root may be nil (tracing off): every span operation degrades to a nil
+// check.
+func (c *Coordinator) execute(q model.Query, root *telemetry.Span) (*model.Result, *telemetry.QueryTrace, error) {
 	q = c.ms.RegisterQuery(q)
 	defer c.ms.CompleteQuery(q.ID)
 
+	c.mu.RLock()
+	policy := c.cfg.Policy
+	c.mu.RUnlock()
+	pname := policyName(policy)
+
+	c.m.Queries.Inc()
+	start := time.Now()
+	var tr *telemetry.QueryTrace
+	finish := func(err error) {
+		c.m.QueryNanos.Observe(time.Since(start))
+		if err != nil {
+			c.m.QueryErrors.Inc()
+			root.SetStr("error", err.Error())
+		}
+		root.End()
+		if root != nil {
+			tr = &telemetry.QueryTrace{QueryID: q.ID, Policy: pname, Root: root}
+			c.cfg.Traces.Add(tr)
+		}
+	}
+
+	decSp := root.StartChild("decompose")
 	memSubs, chunkSubs := c.Decompose(q)
+	decSp.SetInt("mem_subqueries", int64(len(memSubs)))
+	decSp.SetInt("chunk_subqueries", int64(len(chunkSubs)))
+	decSp.End()
+	c.m.MemSubQueries.Add(int64(len(memSubs)))
+	c.m.ChunkSubQueries.Add(int64(len(chunkSubs)))
+
 	res := &model.Result{QueryID: q.ID, SubQueries: len(memSubs) + len(chunkSubs)}
 
 	var (
@@ -144,12 +271,25 @@ func (c *Coordinator) Execute(q model.Query) (*model.Result, error) {
 	c.mu.RUnlock()
 	for i, sq := range memSubs {
 		if execs[i] == nil {
-			return nil, fmt.Errorf("queryexec: no executor for indexing server %d", sq.IndexServer)
+			err := fmt.Errorf("queryexec: no executor for indexing server %d", sq.IndexServer)
+			finish(err)
+			return nil, tr, err
 		}
+	}
+	dispSp := root.StartChild("dispatch")
+	dispSp.SetStr("policy", pname)
+	dispStart := time.Now()
+	for i, sq := range memSubs {
 		wg.Add(1)
 		go func(e MemExecutor, sq *model.SubQuery) {
 			defer wg.Done()
+			memSp := dispSp.StartChild("mem_subquery")
+			memSp.SetInt("index_server", int64(sq.IndexServer))
 			r := e.ExecuteSubQuery(sq)
+			if r != nil {
+				memSp.SetInt("tuples", int64(len(r.Tuples)))
+			}
+			memSp.End()
 			mu.Lock()
 			res.Merge(r)
 			mu.Unlock()
@@ -162,17 +302,24 @@ func (c *Coordinator) Execute(q model.Query) (*model.Result, error) {
 			mu.Lock()
 			res.Merge(r)
 			mu.Unlock()
-		})
+		}, dispSp)
 	}
 	wg.Wait()
+	dispSp.End()
+	c.m.dispatchHist(pname).Observe(time.Since(dispStart))
 	if chunkErr != nil {
-		return nil, chunkErr
+		finish(chunkErr)
+		return nil, tr, chunkErr
 	}
+	mergeSp := root.StartChild("merge")
 	res.SortTuples()
 	if q.Limit > 0 && len(res.Tuples) > q.Limit {
 		res.Tuples = res.Tuples[:q.Limit]
 	}
-	return res, nil
+	mergeSp.SetInt("tuples", int64(len(res.Tuples)))
+	mergeSp.End()
+	finish(nil)
+	return res, tr, nil
 }
 
 // ExplainInfo describes how a query would execute, for introspection and
@@ -220,7 +367,7 @@ const (
 // set and picked up by another server (§V); after exhausting its list a
 // server sweeps for still-pending work so re-dispatched subqueries always
 // find a host.
-func (c *Coordinator) runChunkSubqueries(sqs []*model.SubQuery, deliver func(*model.Result)) error {
+func (c *Coordinator) runChunkSubqueries(sqs []*model.SubQuery, deliver func(*model.Result), sp *telemetry.Span) error {
 	c.mu.RLock()
 	servers := append([]*Server(nil), c.qservers...)
 	policy := c.cfg.Policy
@@ -256,12 +403,19 @@ func (c *Coordinator) runChunkSubqueries(sqs []*model.SubQuery, deliver func(*mo
 	var wg sync.WaitGroup
 
 	runOne := func(s *Server, idx int) bool {
-		r, err := s.ExecuteSubQuery(sqs[idx])
+		sqSp := sp.StartChild("chunk_subquery")
+		sqSp.SetInt("chunk", int64(sqs[idx].Chunk))
+		sqSp.SetInt("query_server", int64(s.ID()))
+		r, err := s.ExecuteSubQueryTraced(sqs[idx], sqSp)
 		if err != nil {
 			// Return the subquery to the pending set; this server stops.
+			sqSp.SetStr("error", err.Error())
+			sqSp.End()
+			c.m.Redispatches.Inc()
 			states[idx].Store(statePending)
 			return false
 		}
+		sqSp.End()
 		states[idx].Store(stateDone)
 		done.Add(1)
 		deliver(r)

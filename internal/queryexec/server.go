@@ -11,12 +11,14 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"waterwheel/internal/chunk"
 	"waterwheel/internal/dfs"
 	"waterwheel/internal/lru"
 	"waterwheel/internal/meta"
 	"waterwheel/internal/model"
+	"waterwheel/internal/telemetry"
 )
 
 // ErrServerDown is returned by a query server with an injected failure.
@@ -33,14 +35,56 @@ type ServerConfig struct {
 	CacheBytes int64
 	// UseBloom enables time-sketch leaf pruning (ablation switch).
 	UseBloom bool
+	// Metrics holds telemetry handles, typically shared across every
+	// query server of a deployment. Nil disables instrumentation.
+	Metrics *ServerMetrics
+}
+
+// ServerMetrics are the telemetry handles the chunk-read path feeds. All
+// handles are nil-safe; the zero value is a no-op.
+type ServerMetrics struct {
+	SubQueries      *telemetry.Counter
+	LeavesRead      *telemetry.Counter
+	LeavesBloomSkip *telemetry.Counter
+	CoalescedReads  *telemetry.Counter
+	BytesRead       *telemetry.Counter
+	HeaderHits      *telemetry.Counter
+	HeaderMisses    *telemetry.Counter
+	LeafHits        *telemetry.Counter
+	LeafMisses      *telemetry.Counter
+	HeaderEvictions *telemetry.Counter
+	LeafEvictions   *telemetry.Counter
+	SubQueryNanos   *telemetry.Histogram
+}
+
+// NewServerMetrics registers the chunk-read metric set on r (nil r gives
+// all-nil, no-op handles).
+func NewServerMetrics(r *telemetry.Registry) *ServerMetrics {
+	return &ServerMetrics{
+		SubQueries:      r.Counter("waterwheel_chunk_subqueries_total", "chunk subqueries executed by query servers"),
+		LeavesRead:      r.Counter("waterwheel_chunk_leaves_read_total", "chunk leaves scanned"),
+		LeavesBloomSkip: r.Counter("waterwheel_chunk_leaves_bloom_skipped_total", "chunk leaves pruned by time sketches or secondary index"),
+		CoalescedReads:  r.Counter("waterwheel_chunk_coalesced_reads_total", "gap-coalesced file accesses for leaf ranges"),
+		BytesRead:       r.Counter("waterwheel_chunk_bytes_read_total", "chunk bytes fetched from the DFS"),
+		HeaderHits:      r.Counter(`waterwheel_cache_hits_total{unit="header"}`, "query-server cache hits by unit"),
+		HeaderMisses:    r.Counter(`waterwheel_cache_misses_total{unit="header"}`, "query-server cache misses by unit"),
+		LeafHits:        r.Counter(`waterwheel_cache_hits_total{unit="leaf"}`, "query-server cache hits by unit"),
+		LeafMisses:      r.Counter(`waterwheel_cache_misses_total{unit="leaf"}`, "query-server cache misses by unit"),
+		HeaderEvictions: r.Counter(`waterwheel_cache_evictions_total{unit="header"}`, "query-server cache evictions by unit"),
+		LeafEvictions:   r.Counter(`waterwheel_cache_evictions_total{unit="leaf"}`, "query-server cache evictions by unit"),
+		SubQueryNanos:   r.Histogram("waterwheel_chunk_subquery_seconds", "chunk subquery execution latency"),
+	}
 }
 
 // Server is a query server: it executes subqueries on data chunks,
 // keeping frequently accessed headers and leaves in its cache (§IV-B).
 type Server struct {
-	cfg   ServerConfig
-	fs    *dfs.FS
-	ms    *meta.Server
+	cfg ServerConfig
+	fs  *dfs.FS
+	ms  *meta.Server
+	// m mirrors cfg.Metrics, defaulted to a no-op set so the read path
+	// never branches on nil.
+	m     *ServerMetrics
 	cache *lru.Cache
 	down  atomic.Bool
 
@@ -50,7 +94,20 @@ type Server struct {
 // NewServer creates a query server reading chunks from fs with metadata
 // from ms.
 func NewServer(cfg ServerConfig, fs *dfs.FS, ms *meta.Server) *Server {
-	return &Server{cfg: cfg, fs: fs, ms: ms, cache: lru.New(cfg.CacheBytes)}
+	m := cfg.Metrics
+	if m == nil {
+		m = &ServerMetrics{}
+	}
+	s := &Server{cfg: cfg, fs: fs, ms: ms, m: m, cache: lru.New(cfg.CacheBytes)}
+	s.cache.SetEvictHook(func(key string, _ int64) {
+		// Cache keys are "h<chunk>" for headers and "l<chunk>:<leaf>".
+		if len(key) > 0 && key[0] == 'h' {
+			m.HeaderEvictions.Inc()
+		} else {
+			m.LeafEvictions.Inc()
+		}
+	})
+	return s
 }
 
 // ID returns the server id.
@@ -81,8 +138,10 @@ func leafKey(id model.ChunkID, i int) string { return fmt.Sprintf("l%d:%d", id, 
 // header returns the parsed chunk header, from cache or the file system.
 func (s *Server) header(ci meta.ChunkInfo) (*chunk.Header, bool, error) {
 	if v, ok := s.cache.Get(headerKey(ci.ID)); ok {
+		s.m.HeaderHits.Inc()
 		return v.(*chunk.Header), true, nil
 	}
+	s.m.HeaderMisses.Inc()
 	hlen := int64(ci.HeaderLen)
 	if hlen <= 0 {
 		// Fallback: peek, then read (two accesses; only for foreign chunks
@@ -113,24 +172,37 @@ func (s *Server) header(ci meta.ChunkInfo) (*chunk.Header, bool, error) {
 // time sketches, read uncached leaves (coalescing adjacent extents into
 // single file accesses), and scan.
 func (s *Server) ExecuteSubQuery(sq *model.SubQuery) (*model.Result, error) {
+	return s.ExecuteSubQueryTraced(sq, nil)
+}
+
+// ExecuteSubQueryTraced runs one chunk subquery, attaching per-stage
+// child spans (chunk_open, leaf_read, scan) to sp when tracing. A nil sp
+// costs only nil checks.
+func (s *Server) ExecuteSubQueryTraced(sq *model.SubQuery, sp *telemetry.Span) (*model.Result, error) {
 	if s.down.Load() {
 		return nil, ErrServerDown
 	}
 	s.executed.Add(1)
+	s.m.SubQueries.Inc()
+	start := time.Now()
 	res := &model.Result{QueryID: sq.QueryID}
 	ci, ok := s.ms.Chunk(sq.Chunk)
 	if !ok {
 		return nil, fmt.Errorf("queryexec: unknown chunk %d", sq.Chunk)
 	}
+	openSp := sp.StartChild("chunk_open")
 	h, hit, err := s.header(ci)
 	if err != nil {
 		return nil, err
 	}
 	if hit {
 		res.CacheHits++
+		openSp.SetInt("cache_hit", 1)
 	} else {
 		res.BytesRead += int64(h.HeaderLen)
+		openSp.SetInt("header_bytes", int64(h.HeaderLen))
 	}
+	openSp.End()
 	// When the chunk carries a secondary attribute index and the filter
 	// pins that attribute to a value, prune leaves by it too (§VIII).
 	var secEQ *uint64
@@ -141,6 +213,7 @@ func (s *Server) ExecuteSubQuery(sq *model.SubQuery) (*model.Result, error) {
 	}
 	leaves, pruned := h.SelectLeavesFor(sq.Region.Keys, sq.Region.Times, s.cfg.UseBloom, secEQ)
 	res.LeavesSkipped += pruned
+	s.m.LeavesBloomSkip.Add(int64(pruned))
 
 	// Partition wanted leaves into cached and missing, then coalesce
 	// missing extents into ranged reads. Gaps (cached or pruned leaves)
@@ -154,10 +227,14 @@ func (s *Server) ExecuteSubQuery(sq *model.SubQuery) (*model.Result, error) {
 		if v, ok := s.cache.Get(leafKey(ci.ID, li)); ok {
 			bodies[li] = v.([]byte)
 			res.CacheHits++
+			s.m.LeafHits.Inc()
 		} else {
 			missing = append(missing, li)
+			s.m.LeafMisses.Inc()
 		}
 	}
+	readSp := sp.StartChild("leaf_read")
+	coalesced := 0
 	for i := 0; i < len(missing); {
 		j := i
 		for j+1 < len(missing) {
@@ -174,6 +251,9 @@ func (s *Server) ExecuteSubQuery(sq *model.SubQuery) (*model.Result, error) {
 		if err != nil {
 			return nil, err
 		}
+		coalesced++
+		s.m.CoalescedReads.Inc()
+		s.m.BytesRead.Add(length)
 		res.BytesRead += length
 		for k := i; k <= j; k++ {
 			li := missing[k]
@@ -183,7 +263,12 @@ func (s *Server) ExecuteSubQuery(sq *model.SubQuery) (*model.Result, error) {
 		}
 		i = j + 1
 	}
+	readSp.SetInt("reads", int64(coalesced))
+	readSp.SetInt("leaves_missing", int64(len(missing)))
+	readSp.SetInt("bytes", res.BytesRead)
+	readSp.End()
 
+	scanSp := sp.StartChild("scan")
 	for _, li := range leaves {
 		res.LeavesRead++
 		err := chunk.ScanLeaf(bodies[li], sq.Region.Keys, sq.Region.Times, sq.Filter, func(t *model.Tuple) bool {
@@ -199,5 +284,11 @@ func (s *Server) ExecuteSubQuery(sq *model.SubQuery) (*model.Result, error) {
 			break
 		}
 	}
+	scanSp.SetInt("leaves", int64(res.LeavesRead))
+	scanSp.SetInt("bloom_skipped", int64(res.LeavesSkipped))
+	scanSp.SetInt("tuples", int64(len(res.Tuples)))
+	scanSp.End()
+	s.m.LeavesRead.Add(int64(res.LeavesRead))
+	s.m.SubQueryNanos.Observe(time.Since(start))
 	return res, nil
 }

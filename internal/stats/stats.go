@@ -11,10 +11,13 @@ import (
 	"time"
 )
 
-// Recorder collects duration samples and reports order statistics.
+// Recorder collects duration samples and reports order statistics. The
+// sorted order is computed lazily and cached, so a burst of Percentile
+// calls between recordings sorts once; the running sum makes Mean O(1).
 type Recorder struct {
 	mu      sync.Mutex
 	samples []time.Duration
+	sum     time.Duration
 	sorted  bool
 }
 
@@ -25,6 +28,7 @@ func NewRecorder() *Recorder { return &Recorder{} }
 func (r *Recorder) Record(d time.Duration) {
 	r.mu.Lock()
 	r.samples = append(r.samples, d)
+	r.sum += d
 	r.sorted = false
 	r.mu.Unlock()
 }
@@ -43,15 +47,12 @@ func (r *Recorder) ensureSortedLocked() {
 	}
 }
 
-// Percentile returns the p-th percentile (p in [0,100]) using
-// nearest-rank; zero when empty.
-func (r *Recorder) Percentile(p float64) time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+// percentileLocked returns the p-th percentile assuming the lock is held
+// and the samples are sorted.
+func (r *Recorder) percentileLocked(p float64) time.Duration {
 	if len(r.samples) == 0 {
 		return 0
 	}
-	r.ensureSortedLocked()
 	if p <= 0 {
 		return r.samples[0]
 	}
@@ -65,6 +66,15 @@ func (r *Recorder) Percentile(p float64) time.Duration {
 	return r.samples[rank]
 }
 
+// Percentile returns the p-th percentile (p in [0,100]) using
+// nearest-rank; zero when empty.
+func (r *Recorder) Percentile(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ensureSortedLocked()
+	return r.percentileLocked(p)
+}
+
 // Mean returns the arithmetic mean; zero when empty.
 func (r *Recorder) Mean() time.Duration {
 	r.mu.Lock()
@@ -72,11 +82,7 @@ func (r *Recorder) Mean() time.Duration {
 	if len(r.samples) == 0 {
 		return 0
 	}
-	var sum time.Duration
-	for _, s := range r.samples {
-		sum += s
-	}
-	return sum / time.Duration(len(r.samples))
+	return r.sum / time.Duration(len(r.samples))
 }
 
 // Min and Max return the extremes; zero when empty.
@@ -95,17 +101,24 @@ type Summary struct {
 	ThroughputPerSec float64       // optional; set by callers
 }
 
-// Summarize returns a Summary of the recorder.
+// Summarize returns a Summary of the recorder, taking the lock and
+// sorting at most once for the whole snapshot.
 func (r *Recorder) Summarize() Summary {
-	return Summary{
-		Count:  r.Count(),
-		Mean:   r.Mean(),
-		P50:    r.Percentile(50),
-		P95:    r.Percentile(95),
-		P99:    r.Percentile(99),
-		MinVal: r.Min(),
-		MaxVal: r.Max(),
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ensureSortedLocked()
+	s := Summary{
+		Count:  len(r.samples),
+		P50:    r.percentileLocked(50),
+		P95:    r.percentileLocked(95),
+		P99:    r.percentileLocked(99),
+		MinVal: r.percentileLocked(0),
+		MaxVal: r.percentileLocked(100),
 	}
+	if s.Count > 0 {
+		s.Mean = r.sum / time.Duration(s.Count)
+	}
+	return s
 }
 
 // String renders a one-line summary.

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4). Histograms are rendered as summaries
+// with p50/p95/p99 quantiles, with durations converted to seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.ordered...)
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	// Families sharing a base name (label variants) must emit their HELP
+	// and TYPE header exactly once.
+	headered := make(map[string]bool)
+	header := func(m *metric) {
+		if headered[m.base] {
+			return
+		}
+		headered[m.base] = true
+		if m.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.base, m.help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.base, m.kind)
+	}
+	for _, m := range metrics {
+		header(m)
+		if m.hist == nil {
+			fmt.Fprintf(bw, "%s %s\n", m.name, formatFloat(m.value()))
+			continue
+		}
+		snap := m.hist.Snapshot()
+		for _, q := range []struct {
+			q string
+			v float64
+		}{
+			{"0.5", snap.P50.Seconds()},
+			{"0.95", snap.P95.Seconds()},
+			{"0.99", snap.P99.Seconds()},
+		} {
+			fmt.Fprintf(bw, "%s %s\n", withLabel(m, `quantile="`+q.q+`"`), formatFloat(q.v))
+		}
+		fmt.Fprintf(bw, "%s %s\n", suffixed(m, "_sum"), formatFloat(snap.Sum.Seconds()))
+		fmt.Fprintf(bw, "%s %d\n", suffixed(m, "_count"), snap.Count)
+	}
+	return bw.Flush()
+}
+
+// withLabel renders the metric name with an extra label merged into its
+// label block.
+func withLabel(m *metric, label string) string {
+	if m.labels == "" {
+		return m.base + "{" + label + "}"
+	}
+	return m.base + "{" + m.labels + "," + label + "}"
+}
+
+// suffixed renders base<suffix>{labels}.
+func suffixed(m *metric, suffix string) string {
+	if m.labels == "" {
+		return m.base + suffix
+	}
+	return m.base + suffix + "{" + m.labels + "}"
+}
+
+// formatFloat renders values the way Prometheus expects: integers without
+// an exponent, everything else in compact scientific-compatible form.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	s := fmt.Sprintf("%g", v)
+	// %g may produce "1e+06"-style output, which Prometheus parses fine.
+	return strings.TrimSpace(s)
+}
+
+// PrometheusHandler serves the registry at GET /metrics style endpoints.
+func (r *Registry) PrometheusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ww_test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("ww_test_gauge", "a gauge")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", got)
+	}
+	r.CounterFunc("ww_fn_total", "", func() int64 { return 7 })
+	r.GaugeFunc("ww_fn_gauge", "", func() float64 { return -1 })
+
+	snap := r.Snapshot()
+	vals := map[string]float64{}
+	for _, m := range snap {
+		vals[m.Name] = m.Value
+	}
+	for name, want := range map[string]float64{
+		"ww_test_total": 5, "ww_test_gauge": 2.5, "ww_fn_total": 7, "ww_fn_gauge": -1,
+	} {
+		if vals[name] != want {
+			t.Errorf("%s = %v, want %v", name, vals[name], want)
+		}
+	}
+}
+
+func TestRegistryIdempotentAndNilSafe(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "")
+	b := r.Counter("dup_total", "")
+	if a != b {
+		t.Error("re-registration returned a different handle")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind mismatch did not panic")
+		}
+	}()
+
+	// Nil registry and nil handles are no-ops.
+	var nr *Registry
+	nr.Counter("x", "").Inc()
+	nr.Gauge("x", "").Set(1)
+	nr.Histogram("x", "").Observe(time.Second)
+	nr.CounterFunc("x", "", nil)
+	nr.GaugeFunc("x", "", nil)
+	if nr.Snapshot() != nil {
+		t.Error("nil registry snapshot not nil")
+	}
+	if err := nr.WritePrometheus(nil); err != nil {
+		t.Error(err)
+	}
+	var sp *Span
+	sp.StartChild("c").SetInt("k", 1)
+	sp.End()
+
+	r.Gauge("dup_total", "") // kind mismatch → panic (checked in defer)
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations at ~1ms, 10 at ~100ms.
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 110 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Bucket bounds are powers of two: estimates must bracket the true
+	// value within a factor of 2.
+	if s.P50 < time.Millisecond || s.P50 > 2*time.Millisecond {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P99 < 100*time.Millisecond || s.P99 > 200*time.Millisecond {
+		t.Errorf("p99 = %v", s.P99)
+	}
+	if s.Max < 100*time.Millisecond {
+		t.Errorf("max = %v", s.Max)
+	}
+	if s.Mean <= 0 || s.Sum <= 0 {
+		t.Errorf("mean=%v sum=%v", s.Mean, s.Sum)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot %+v", s)
+	}
+	h.Observe(0)
+	h.Observe(-time.Second) // clamped to 0
+	h.Observe(100 * time.Hour)
+	if s := h.Snapshot(); s.Count != 3 {
+		t.Errorf("count = %d", s.Count)
+	}
+}
+
+func TestBucketFor(t *testing.T) {
+	for _, tc := range []struct {
+		nanos int64
+		want  int
+	}{
+		{0, 0}, {1, 0}, {256, 0}, {257, 1}, {512, 1}, {513, 2},
+		{1 << 62, histBuckets - 1},
+	} {
+		if got := bucketFor(tc.nanos); got != tc.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", tc.nanos, got, tc.want)
+		}
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ww_ops_total", "operations").Add(3)
+	r.Counter(`ww_cache_hits_total{unit="leaf"}`, "hits").Add(2)
+	r.Counter(`ww_cache_hits_total{unit="header"}`, "hits").Inc()
+	h := r.Histogram(`ww_lat_seconds{policy="lada"}`, "latency")
+	h.Observe(time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ww_ops_total counter",
+		"ww_ops_total 3",
+		`ww_cache_hits_total{unit="leaf"} 2`,
+		`ww_cache_hits_total{unit="header"} 1`,
+		"# TYPE ww_lat_seconds summary",
+		`ww_lat_seconds{policy="lada",quantile="0.5"}`,
+		`ww_lat_seconds_count{policy="lada"} 1`,
+		`ww_lat_seconds_sum{policy="lada"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// The shared family header must appear exactly once.
+	if n := strings.Count(out, "# TYPE ww_cache_hits_total counter"); n != 1 {
+		t.Errorf("family header appears %d times", n)
+	}
+}
+
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	h := r.Histogram("conc_seconds", "")
+	g := r.Gauge("conc_gauge", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(time.Duration(j) * time.Microsecond)
+				g.Set(float64(j))
+			}
+		}()
+	}
+	// Concurrent reads.
+	for i := 0; i < 10; i++ {
+		r.Snapshot()
+		var b strings.Builder
+		r.WritePrometheus(&b)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+}
+
+func TestHotPathAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "")
+	h := r.Histogram("alloc_seconds", "")
+	g := r.Gauge("alloc_gauge", "")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(time.Millisecond) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(1) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v/op", n)
+	}
+	// The disabled (nil-handle) path must also be allocation-free.
+	var nc *Counter
+	var nh *Histogram
+	var sp *Span
+	if n := testing.AllocsPerRun(1000, func() {
+		nc.Inc()
+		nh.Observe(time.Millisecond)
+		sp.End()
+		_ = sp.StartChild("x")
+	}); n != 0 {
+		t.Errorf("nil handles allocate %v/op", n)
+	}
+}

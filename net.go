@@ -69,6 +69,28 @@ func (db *DB) Serve(addr string) (*NetServer, error) {
 		}
 		return buf.Bytes(), nil
 	})
+	s.Handle("trace", func(payload []byte) ([]byte, error) {
+		var q Query
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&q); err != nil {
+			return nil, fmt.Errorf("waterwheel: bad trace query: %w", err)
+		}
+		res, tr, err := db.QueryTraced(q)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(tracedResult{Result: res, Trace: tr}); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
+	s.Handle("metrics", func([]byte) ([]byte, error) {
+		var buf bytes.Buffer
+		if reg := db.c.Telemetry(); reg != nil {
+			reg.WritePrometheus(&buf)
+		}
+		return buf.Bytes(), nil
+	})
 
 	bound, err := s.Listen(addr)
 	if err != nil {
@@ -133,6 +155,40 @@ func (cl *Client) Drain() error {
 func (cl *Client) Flush() error {
 	_, err := cl.c.Call("flush", nil)
 	return err
+}
+
+// tracedResult pairs a query result with its span tree on the wire.
+type tracedResult struct {
+	Result *Result
+	Trace  *QueryTrace
+}
+
+// QueryTraced runs a query remotely and returns its execution trace — the
+// span tree the coordinator recorded — alongside the result.
+func (cl *Client) QueryTraced(q Query) (*Result, *QueryTrace, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&q); err != nil {
+		return nil, nil, err
+	}
+	payload, err := cl.c.Call("trace", buf.Bytes())
+	if err != nil {
+		return nil, nil, err
+	}
+	var tr tracedResult
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&tr); err != nil {
+		return nil, nil, err
+	}
+	return tr.Result, tr.Trace, nil
+}
+
+// Metrics fetches the server's Prometheus text exposition. Empty when the
+// server runs with telemetry disabled.
+func (cl *Client) Metrics() (string, error) {
+	payload, err := cl.c.Call("metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	return string(payload), nil
 }
 
 // Stats fetches deployment counters.

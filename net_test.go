@@ -2,6 +2,7 @@ package waterwheel
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"waterwheel/internal/transport"
@@ -28,6 +29,9 @@ func TestNetServerRejectsGarbage(t *testing.T) {
 	if _, err := raw.Call("query", []byte("not-gob")); err == nil {
 		t.Error("garbage query accepted")
 	}
+	if _, err := raw.Call("trace", []byte("not-gob")); err == nil {
+		t.Error("garbage trace query accepted")
+	}
 	if _, err := raw.Call("no-such-method", nil); err == nil ||
 		!strings.Contains(err.Error(), "unknown method") {
 		t.Errorf("unknown method: %v", err)
@@ -35,6 +39,162 @@ func TestNetServerRejectsGarbage(t *testing.T) {
 	// The connection and the server survive all of that.
 	if _, err := raw.Call("stats", nil); err != nil {
 		t.Errorf("stats after garbage: %v", err)
+	}
+}
+
+// TestNetConcurrentInsertQuery drives inserts and queries concurrently
+// over one multiplexed connection: slow queries must not stall inserts,
+// and responses must demultiplex to the right callers.
+func TestNetConcurrentInsertQuery(t *testing.T) {
+	db := openTestDB(t, Options{})
+	ns, err := db.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+	cl, err := Dial(ns.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const (
+		writers  = 4
+		perBatch = 50
+		batches  = 20
+		readers  = 3
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*batches+readers*batches)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				ts := make([]Tuple, perBatch)
+				for i := range ts {
+					n := (w*batches+b)*perBatch + i
+					ts[i] = Tuple{Key: Key(n), Time: Timestamp(1000 + n), Payload: []byte{byte(w)}}
+				}
+				if err := cl.InsertBatch(ts); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for rdr := 0; rdr < readers; rdr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				if _, err := cl.Query(Query{Keys: FullKeyRange(), Times: FullTimeRange()}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent net traffic: %v", err)
+	}
+
+	if err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Query(Query{Keys: FullKeyRange(), Times: FullTimeRange()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := writers * perBatch * batches
+	if len(res.Tuples) != want {
+		t.Errorf("after concurrent inserts: %d tuples, want %d", len(res.Tuples), want)
+	}
+}
+
+// TestNetStatsTraceMetricsRoundTrip exercises the introspection verbs over
+// TCP: stats counters, the per-query span tree, and the Prometheus text.
+func TestNetStatsTraceMetricsRoundTrip(t *testing.T) {
+	db := openTestDB(t, Options{})
+	ns, err := db.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+	cl, err := Dial(ns.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const n = 500
+	ts := make([]Tuple, n)
+	for i := range ts {
+		ts[i] = Tuple{Key: Key(i), Time: Timestamp(1000 + i), Payload: []byte("p")}
+	}
+	if err := cl.InsertBatch(ts); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ingested != n {
+		t.Errorf("stats over TCP: Ingested = %d, want %d", st.Ingested, n)
+	}
+	if st.Flushes == 0 || st.Chunks == 0 {
+		t.Errorf("stats over TCP: Flushes = %d, Chunks = %d, want > 0", st.Flushes, st.Chunks)
+	}
+
+	res, tr, err := cl.QueryTraced(Query{Keys: FullKeyRange(), Times: FullTimeRange()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != n {
+		t.Errorf("traced query: %d tuples, want %d", len(res.Tuples), n)
+	}
+	if tr == nil || tr.Root == nil {
+		t.Fatal("traced query returned no span tree")
+	}
+	if tr.Root.Name != "query" || tr.Root.Dur <= 0 {
+		t.Errorf("root span = %q dur %v, want named query with positive duration", tr.Root.Name, tr.Root.Dur)
+	}
+	for _, name := range []string{"decompose", "dispatch", "merge", "chunk_subquery", "chunk_open", "scan"} {
+		if tr.Root.Find(name) == nil {
+			t.Errorf("trace lacks %q span:\n%s", name, tr.Format())
+		}
+	}
+	// Stage durations nest inside the query latency.
+	var stages int64
+	for _, c := range tr.Root.Children {
+		stages += int64(c.Dur)
+	}
+	if stages > int64(tr.Root.Dur) {
+		t.Errorf("stage durations sum to %d > query %d", stages, int64(tr.Root.Dur))
+	}
+
+	text, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"waterwheel_ingest_tuples_total 500",
+		"waterwheel_queries_total",
+		"waterwheel_chunk_subqueries_total",
+		`waterwheel_query_dispatch_seconds{policy="lada",quantile="0.5"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics over TCP lack %q", want)
+		}
 	}
 }
 

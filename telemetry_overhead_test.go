@@ -1,0 +1,49 @@
+package waterwheel
+
+import (
+	"testing"
+)
+
+// insertAllocs measures the average allocations of one DB.Insert on a
+// SyncIngest deployment (no WAL, chunk threshold high enough that the
+// measured inserts never flush).
+func insertAllocs(t *testing.T, disableTelemetry bool) float64 {
+	t.Helper()
+	db, err := Open(Options{
+		SyncIngest:       true,
+		ChunkBytes:       256 << 20,
+		DisableTelemetry: disableTelemetry,
+		Seed:             1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+
+	// Warm the memtables and samplers past their initial growth so the
+	// measurement window sees steady-state behavior.
+	n := uint64(0)
+	payload := []byte("12345678")
+	for i := 0; i < 20000; i++ {
+		db.Insert(Tuple{Key: Key(n * 2654435761), Time: Timestamp(1000 + n), Payload: payload})
+		n++
+	}
+	return testing.AllocsPerRun(5000, func() {
+		db.Insert(Tuple{Key: Key(n * 2654435761), Time: Timestamp(1000 + n), Payload: payload})
+		n++
+	})
+}
+
+// TestTelemetryInsertOverhead guards the tentpole's hot-path promise:
+// enabling telemetry adds no allocations per insert. The counters are
+// plain atomics and the latency sample reuses the ingest counter, so the
+// instrumented and uninstrumented paths must allocate identically (up to
+// amortized slice growth, which the tolerance absorbs).
+func TestTelemetryInsertOverhead(t *testing.T) {
+	off := insertAllocs(t, true)
+	on := insertAllocs(t, false)
+	if delta := on - off; delta > 0.5 {
+		t.Errorf("telemetry adds %.2f allocations per insert (on=%.2f off=%.2f), want 0",
+			delta, on, off)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"waterwheel/internal/dfs"
 	"waterwheel/internal/model"
 	"waterwheel/internal/queryexec"
+	"waterwheel/internal/telemetry"
 )
 
 // Core data-model types, aliased from the internal model package so user
@@ -102,6 +103,13 @@ type Options struct {
 	// SimulateIO charges HDFS-like latencies on chunk reads (off by
 	// default for embedded use).
 	SimulateIO bool
+	// DisableTelemetry turns the metric registry and query tracing off.
+	// Telemetry is on by default: counters and histograms are lock-free
+	// atomics and the insert path is instrumented allocation-free, so the
+	// cost is a few nanoseconds per operation.
+	DisableTelemetry bool
+	// TraceCapacity bounds the ring of retained query traces (default 16).
+	TraceCapacity int
 	// DataDir makes the store durable: chunks, WAL and metadata persist
 	// under this directory, and Open over an existing directory restores
 	// the previous state (indexing servers replay their WAL tails).
@@ -137,6 +145,10 @@ func Open(opts Options) (*DB, error) {
 		SyncIngest:            opts.SyncIngest,
 		DataDir:               opts.DataDir,
 		Seed:                  opts.Seed,
+		TraceCapacity:         opts.TraceCapacity,
+	}
+	if !opts.DisableTelemetry {
+		cfg.Telemetry = telemetry.NewRegistry()
 	}
 	if opts.SimulateIO {
 		cfg.DFSLatency = dfs.DefaultLatency()
@@ -193,28 +205,96 @@ func (db *DB) Flush() { db.c.FlushAll() }
 // the key partitioning changed.
 func (db *DB) Rebalance() bool { return db.c.TickBalance() }
 
-// Stats summarizes the deployment's activity.
+// Stats summarizes the deployment's activity. Every field is read from
+// always-on atomic counters, so the snapshot is race-safe whether or not
+// telemetry is enabled.
 type Stats struct {
 	// Ingested counts tuples accepted by the indexing servers.
 	Ingested int64
 	// Buffered counts tuples in memtables (not yet flushed).
 	Buffered int
+	// BufferedBytes is the memtable footprint (tree + side store).
+	BufferedBytes int64
 	// Chunks counts flushed, registered data chunks.
 	Chunks int
+	// Flushes counts memtable flushes; FlushBytes the chunk bytes written.
+	Flushes    int64
+	FlushBytes int64
+	// SideRouted counts very-late tuples admitted to side stores.
+	SideRouted int64
+	// TemplateUpdates counts adaptive template rebuilds.
+	TemplateUpdates int64
+	// Dispatched counts tuples routed by dispatchers.
+	Dispatched int64
 	// SchemaVersion is the key-partitioning version (increases on
 	// rebalance).
 	SchemaVersion int64
+	// DFSReads/DFSReadBytes/DFSWrites/DFSWriteBytes count chunk I/O.
+	DFSReads      int64
+	DFSReadBytes  int64
+	DFSWrites     int64
+	DFSWriteBytes int64
+	// CacheHits/CacheMisses/CacheEvictions aggregate the query-server LRU
+	// caches; CacheUsedBytes is their current footprint.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
+	CacheUsedBytes int64
 }
 
 // Stats returns a snapshot of deployment counters.
 func (db *DB) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Ingested:      db.c.Ingested(),
 		Buffered:      db.c.MemLen(),
 		Chunks:        db.c.Metadata().ChunkCount(),
 		SchemaVersion: db.c.Metadata().Schema().Version,
 	}
+	for _, srv := range db.c.IndexServers() {
+		st.BufferedBytes += srv.MemBytes()
+		st.Flushes += srv.Stats().Flushes.Load()
+		st.FlushBytes += srv.Stats().FlushBytes.Load()
+		st.SideRouted += srv.Stats().SideRouted.Load()
+		st.TemplateUpdates += srv.TreeStats().TemplateUpdates.Load()
+	}
+	for _, d := range db.c.Dispatchers() {
+		st.Dispatched += int64(d.Dispatched())
+	}
+	fm := db.c.FS().Metrics()
+	st.DFSReads = fm.Reads.Load()
+	st.DFSReadBytes = fm.BytesRead.Load()
+	st.DFSWrites = fm.Writes.Load()
+	st.DFSWriteBytes = fm.BytesWrite.Load()
+	for _, qs := range db.c.QueryServers() {
+		cm := qs.CacheMetrics()
+		st.CacheHits += cm.Hits
+		st.CacheMisses += cm.Misses
+		st.CacheEvictions += cm.Evictions
+		st.CacheUsedBytes += cm.Used
+	}
+	return st
 }
+
+// QueryTrace is a query's span tree — decomposition, dispatch, per-chunk
+// reads with cache/bloom detail, and merge — Waterwheel's EXPLAIN ANALYZE.
+type QueryTrace = telemetry.QueryTrace
+
+// QueryTraced runs a query and returns its execution trace alongside the
+// result. Works even when telemetry is disabled.
+func (db *DB) QueryTraced(q Query) (*Result, *QueryTrace, error) {
+	if db.closed {
+		return nil, nil, ErrClosed
+	}
+	return db.c.Coordinator().ExecuteTraced(q)
+}
+
+// Telemetry returns the deployment's metric registry, or nil when opened
+// with DisableTelemetry.
+func (db *DB) Telemetry() *telemetry.Registry { return db.c.Telemetry() }
+
+// Traces returns the ring of recently retained query traces (nil when
+// telemetry is disabled).
+func (db *DB) Traces() []*QueryTrace { return db.c.TraceRing().Recent() }
 
 // DropBefore removes all chunks that end before the horizon (retention),
 // returning how many were dropped, and releases the WAL records already

@@ -8,11 +8,16 @@ package waterwheel
 
 import (
 	"fmt"
+	"sort"
 	"testing"
+	"time"
 
 	"waterwheel/internal/bench"
 	"waterwheel/internal/chunk"
 	"waterwheel/internal/core"
+	"waterwheel/internal/dfs"
+	"waterwheel/internal/ingest"
+	"waterwheel/internal/meta"
 	"waterwheel/internal/model"
 	"waterwheel/internal/workload"
 )
@@ -273,6 +278,63 @@ func TestAblationSideStore(t *testing.T) {
 		t.Skip("simulated I/O sleeps")
 	}
 	runExperiment(t, "ablation-sidestore", 0.03)
+}
+
+// --- insert tail latency: the async flush pipeline's headline number ---
+
+// BenchmarkInsertTailLatency measures per-Insert latency on a single
+// goroutine driving an indexing server across many flush thresholds,
+// reporting the max and p99.9 — the numbers the asynchronous flush
+// pipeline exists to move. The "sync" sub-benchmark is the pre-pipeline
+// baseline (chunk build + DFS write inline on the inserting goroutine);
+// "async" is the default pipeline. The DFS models a slow write path
+// (2 MiB/s) so the inline cost the pipeline removes is clearly visible:
+// sync pays build + a multi-millisecond write stall on every
+// threshold-crossing Insert, async pays only the leaf-layer swap. The
+// flush queue is sized to hold the whole run so the benchmark measures
+// hot-path cost rather than DFS bandwidth — with a bounded queue and an
+// offered rate beyond DFS bandwidth, both modes must degrade to the
+// write stall, by backpressure design (see TestBackpressureBoundsQueue
+// for that regime).
+func BenchmarkInsertTailLatency(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{{"async", false}, {"sync", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			fs := dfs.New(dfs.Config{
+				Nodes: 3, Replication: 2, Seed: 1,
+				Latency: dfs.LatencyModel{WriteBytesPerSec: 2 << 20},
+			})
+			ms := meta.NewServer(1)
+			srv := ingest.NewServer(ingest.Config{
+				ID:                  0,
+				ChunkBytes:          64 << 10, // ~800 inserts per flush
+				Leaves:              64,
+				SyncFlush:           mode.sync,
+				FlushQueueDepth:     b.N*80/(64<<10) + 4, // absorb every flush in the run
+				SideThresholdMillis: -1,
+			}, fs, ms, 0)
+			defer srv.Close()
+			payload := make([]byte, 64)
+			lat := make([]time.Duration, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				srv.Insert(model.Tuple{
+					Key:     model.Key(uint64(i) * 2654435761),
+					Time:    model.Timestamp(1000 + i),
+					Payload: payload,
+				})
+				lat[i] = time.Since(t0)
+			}
+			b.StopTimer()
+			srv.DrainFlushes()
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			b.ReportMetric(float64(lat[len(lat)-1].Nanoseconds()), "max-ns")
+			b.ReportMetric(float64(lat[len(lat)*999/1000].Nanoseconds()), "p99.9-ns")
+		})
+	}
 }
 
 // --- end-to-end throughput of the public API ---

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"time"
+
+	"waterwheel/internal/dfs"
+	"waterwheel/internal/ingest"
+	"waterwheel/internal/meta"
+	"waterwheel/internal/model"
+	"waterwheel/internal/stats"
+)
+
+// runFlushPipe contrasts the asynchronous flush pipeline against the
+// synchronous baseline on single-goroutine insert tail latency. In sync
+// mode the threshold-crossing Insert builds the chunk and writes it to
+// the DFS inline; in async mode it only swaps the leaf layer and hands
+// the immutable snapshot to the background flusher. The DFS models a
+// slow write path so the inline cost the pipeline removes dominates the
+// sync tail; the flush queue is sized to absorb the whole run so the
+// table reports hot-path cost, not DFS bandwidth (backpressure stays 0).
+func runFlushPipe(opt Options) (*Report, error) {
+	n := opt.n(100_000)
+	const chunkBytes = 64 << 10
+	rep := &Report{
+		ID:     "flushpipe",
+		Title:  "Async flush pipeline: insert tail latency vs sync baseline",
+		Header: []string{"mode", "inserts", "flushes", "backpressure", "wall", "mean", "p99.9", "max"},
+		Notes: []string{
+			"DFS write bandwidth modeled at 2 MiB/s; queue sized to absorb the run",
+			"sync = chunk build + DFS write inline on the inserting goroutine",
+		},
+	}
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{{"async", false}, {"sync", true}} {
+		fs := dfs.New(dfs.Config{
+			Nodes: 3, Replication: 2, Seed: opt.Seed,
+			Latency: dfs.LatencyModel{WriteBytesPerSec: 2 << 20},
+		})
+		ms := meta.NewServer(1)
+		srv := ingest.NewServer(ingest.Config{
+			ID:                  0,
+			ChunkBytes:          chunkBytes,
+			Leaves:              64,
+			SyncFlush:           mode.sync,
+			FlushQueueDepth:     n*80/chunkBytes + 4,
+			SideThresholdMillis: -1,
+		}, fs, ms, 0)
+		rec := stats.NewRecorder()
+		payload := make([]byte, 64)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			t0 := time.Now()
+			srv.Insert(model.Tuple{
+				Key:     model.Key(uint64(i) * 2654435761),
+				Time:    model.Timestamp(1000 + i),
+				Payload: payload,
+			})
+			rec.Record(time.Since(t0))
+		}
+		wall := time.Since(start)
+		srv.DrainFlushes()
+		st := srv.Stats()
+		rep.Add(mode.name, n, st.Flushes.Load(), st.Backpressure.Load(),
+			wall.Round(time.Millisecond).String(),
+			rec.Mean().String(), rec.Percentile(99.9).String(), rec.Max().String())
+		opt.logf("flushpipe %s: max=%v p99.9=%v backpressure=%d",
+			mode.name, rec.Max(), rec.Percentile(99.9), st.Backpressure.Load())
+		srv.Close()
+	}
+	return rep, nil
+}
+
+func init() {
+	register("flushpipe", runFlushPipe)
+}

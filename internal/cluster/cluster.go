@@ -71,6 +71,13 @@ type Config struct {
 	DisableBloom bool
 	// NoTemplateReuse rebuilds templates at every flush (ablation).
 	NoTemplateReuse bool
+	// FlushQueueDepth bounds each indexing server's async flush pipeline:
+	// at most this many swapped-out memtable snapshots may await
+	// persistence before inserts crossing the threshold block (default 2).
+	FlushQueueDepth int
+	// SyncFlush makes flushes run inline on the inserting goroutine (the
+	// pre-pipeline behavior) — a benchmark baseline and ablation switch.
+	SyncFlush bool
 	// SyncIngest bypasses the WAL: dispatchers call the indexing servers
 	// directly. Maximum-throughput mode for microbenchmarks; forfeits
 	// replay-based recovery.
@@ -249,6 +256,8 @@ func Open(cfg Config) (*Cluster, error) {
 			"sampled end-to-end insert latency on indexing servers"),
 		FlushNanos: reg.Histogram("waterwheel_ingest_flush_seconds",
 			"memtable flush latency (chunk build + DFS write + registration)"),
+		BackpressureNanos: reg.Histogram("waterwheel_ingest_backpressure_seconds",
+			"time threshold-crossing inserts spent blocked on a full flush queue"),
 	}
 	c.walAppends = reg.Counter("waterwheel_wal_appends_total", "records appended to WAL partitions")
 	c.repartitions = reg.Counter("waterwheel_repartitions_total", "adaptive key repartitions installed")
@@ -272,6 +281,8 @@ func Open(cfg Config) (*Cluster, error) {
 			SideThresholdMillis: cfg.SideThresholdMillis,
 			Bloom:               cfg.Bloom,
 			NoTemplateReuse:     cfg.NoTemplateReuse,
+			FlushQueueDepth:     cfg.FlushQueueDepth,
+			SyncFlush:           cfg.SyncFlush,
 			Metrics:             c.ingestMetrics,
 		}, c.fs, c.ms, node)
 		c.idx = append(c.idx, srv)
@@ -386,6 +397,11 @@ func (c *Cluster) Stop() {
 	close(c.stop)
 	c.log.Close()
 	c.wg.Wait()
+	// Stop the background flushers, draining queued snapshots so the final
+	// checkpoint records their offsets.
+	for _, srv := range c.idx {
+		srv.Close()
+	}
 	if c.cfg.DataDir != "" {
 		c.Checkpoint() // best effort; state is also rebuildable from the WAL
 		for i := 0; i < c.log.Partitions(); i++ {
@@ -424,6 +440,12 @@ func (c *Cluster) Drain() {
 		for srv.Consumed() < p.Next() {
 			time.Sleep(200 * time.Microsecond)
 		}
+	}
+	// Consumption alone no longer implies persistence: wait out the flush
+	// pipelines too, so "insert, Drain, query/crash" keeps its pre-async
+	// determinism.
+	for _, srv := range c.idx {
+		srv.DrainFlushes()
 	}
 }
 
@@ -573,6 +595,8 @@ func (c *Cluster) CrashIndexServer(i int) error {
 		CheckEvery:          c.cfg.CheckEvery,
 		SideThresholdMillis: c.cfg.SideThresholdMillis,
 		Bloom:               c.cfg.Bloom,
+		FlushQueueDepth:     c.cfg.FlushQueueDepth,
+		SyncFlush:           c.cfg.SyncFlush,
 		Metrics:             c.ingestMetrics,
 	}, c.fs, c.ms, node)
 	c.idx[i] = repl

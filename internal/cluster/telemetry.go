@@ -70,6 +70,20 @@ func (c *Cluster) registerFuncMetrics() {
 	reg.GaugeFunc("waterwheel_memtable_tuples", "tuples buffered in memtables", func() float64 {
 		return float64(c.MemLen())
 	})
+	reg.GaugeFunc("waterwheel_flush_queue_depth", "memtable snapshots swapped out but not yet registered as chunks", func() float64 {
+		n := 0
+		for _, srv := range c.idx {
+			n += srv.PendingFlushes()
+		}
+		return float64(n)
+	})
+	reg.CounterFunc("waterwheel_ingest_backpressure_total", "threshold-crossing inserts that blocked on a full flush queue", func() int64 {
+		var n int64
+		for _, srv := range c.idx {
+			n += srv.Stats().Backpressure.Load()
+		}
+		return n
+	})
 	reg.GaugeFunc("waterwheel_skewness_max", "worst current template skewness S(P,D) across indexing servers", func() float64 {
 		worst := 0.0
 		for _, srv := range c.idx {

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"waterwheel/internal/model"
+)
+
+// TestSnapshotRangeMatchesTree: FlushSnapshot.Range over a swapped-out
+// snapshot returns exactly what TemplateTree.Range returned for the same
+// predicate before the swap — the property the async flush pipeline's
+// visibility guarantee stands on.
+func TestSnapshotRangeMatchesTree(t *testing.T) {
+	tree := NewTemplateTree(TemplateConfig{Keys: model.KeyRange{Lo: 0, Hi: 1000}, Leaves: 8})
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		tree.Insert(model.Tuple{
+			Key:     model.Key(rng.Intn(1001)),
+			Time:    model.Timestamp(rng.Intn(1000)),
+			Payload: []byte{byte(i)},
+		})
+	}
+	queries := []struct {
+		kr model.KeyRange
+		tr model.TimeRange
+	}{
+		{model.FullKeyRange(), model.FullTimeRange()},
+		{model.KeyRange{Lo: 100, Hi: 400}, model.FullTimeRange()},
+		{model.FullKeyRange(), model.TimeRange{Lo: 250, Hi: 750}},
+		{model.KeyRange{Lo: 300, Hi: 301}, model.TimeRange{Lo: 0, Hi: 500}},
+		{model.KeyRange{Lo: 900, Hi: 100}, model.FullTimeRange()}, // invalid: Lo > Hi
+	}
+	collect := func(rangeFn func(model.KeyRange, model.TimeRange, *model.Filter, func(*model.Tuple) bool), kr model.KeyRange, tr model.TimeRange) []model.Tuple {
+		var out []model.Tuple
+		rangeFn(kr, tr, nil, func(tu *model.Tuple) bool {
+			out = append(out, *tu)
+			return true
+		})
+		return out
+	}
+	want := make([][]model.Tuple, len(queries))
+	for i, q := range queries {
+		want[i] = collect(tree.Range, q.kr, q.tr)
+	}
+	snap := tree.FlushReset()
+	if snap == nil {
+		t.Fatal("FlushReset returned nil for a non-empty tree")
+	}
+	for i, q := range queries {
+		got := collect(snap.Range, q.kr, q.tr)
+		if len(got) != len(want[i]) {
+			t.Fatalf("query %d: snapshot returned %d tuples, tree returned %d", i, len(got), len(want[i]))
+		}
+		for j := range got {
+			if got[j].Key != want[i][j].Key || got[j].Time != want[i][j].Time {
+				t.Fatalf("query %d tuple %d: snapshot %v != tree %v", i, j, got[j], want[i][j])
+			}
+		}
+	}
+	// The tree is empty post-swap while the snapshot still answers.
+	if n := len(collect(tree.Range, model.FullKeyRange(), model.FullTimeRange())); n != 0 {
+		t.Fatalf("tree still returns %d tuples after FlushReset", n)
+	}
+}
+
+// TestSnapshotRangeEarlyStop: the visitor's false return stops the scan.
+func TestSnapshotRangeEarlyStop(t *testing.T) {
+	tree := NewTemplateTree(TemplateConfig{Keys: model.KeyRange{Lo: 0, Hi: 100}, Leaves: 4})
+	for i := 0; i < 50; i++ {
+		tree.Insert(model.Tuple{Key: model.Key(i), Time: model.Timestamp(i)})
+	}
+	snap := tree.FlushReset()
+	seen := 0
+	snap.Range(model.FullKeyRange(), model.FullTimeRange(), nil, func(*model.Tuple) bool {
+		seen++
+		return seen < 10
+	})
+	if seen != 10 {
+		t.Fatalf("visited %d tuples, want 10", seen)
+	}
+	// Nil snapshot and out-of-window scans are no-ops, not panics.
+	var nilSnap *FlushSnapshot
+	nilSnap.Range(model.FullKeyRange(), model.FullTimeRange(), nil, func(*model.Tuple) bool { return true })
+	snap.Range(model.FullKeyRange(), model.TimeRange{Lo: 1000, Hi: 2000}, nil, func(*model.Tuple) bool {
+		t.Fatal("visited a tuple outside the snapshot's time window")
+		return false
+	})
+}

@@ -504,6 +504,43 @@ type FlushSnapshot struct {
 	Keys model.KeyRange
 }
 
+// Range visits the snapshot's matching tuples in key order, mirroring
+// TemplateTree.Range. Snapshots are immutable once FlushReset returns, so
+// Range takes no locks and is safe for any number of concurrent readers —
+// this is what keeps tuples queryable while their chunk is still being
+// built and written by a background flusher.
+func (s *FlushSnapshot) Range(kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn func(*model.Tuple) bool) {
+	if s == nil || s.Count == 0 || !kr.IsValid() || !tr.IsValid() {
+		return
+	}
+	if s.MaxTime < tr.Lo || s.MinTime > tr.Hi {
+		return
+	}
+	lo := sort.Search(len(s.Bounds), func(i int) bool { return kr.Lo < s.Bounds[i] })
+	for i := lo; i < len(s.Leaves); i++ {
+		if i > 0 && s.Bounds[i-1] > kr.Hi {
+			break
+		}
+		leaf := s.Leaves[i]
+		if len(leaf) == 0 {
+			continue
+		}
+		start := sort.Search(len(leaf), func(j int) bool { return leaf[j].Key >= kr.Lo })
+		for j := start; j < len(leaf); j++ {
+			e := &leaf[j]
+			if e.Key > kr.Hi {
+				break
+			}
+			if e.Time < tr.Lo || e.Time > tr.Hi || !filter.Matches(e) {
+				continue
+			}
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}
+
 // FlushReset atomically extracts the tree contents and resets the leaves,
 // retaining the inner template for the next chunk (paper §III-B: "we only
 // eliminate the leaf nodes of the tree"). Returns nil when empty.

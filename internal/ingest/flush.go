@@ -1,0 +1,377 @@
+// Asynchronous flush pipeline. Crossing the chunk threshold inside Insert
+// only swaps the leaf layer out (FlushReset, a pointer exchange) and hands
+// the immutable snapshot — tagged with the WAL offset captured at swap
+// time — to a per-server background flusher that runs chunk.Build, the DFS
+// write and the metadata registration off the hot path. A bounded queue
+// (Config.FlushQueueDepth, default 2 snapshots) applies backpressure:
+// when the DFS cannot keep up, the next threshold crossing blocks until a
+// slot frees, so memory stays bounded at roughly queue-depth chunks.
+//
+// Visibility: pending snapshots remain part of the live region and are
+// scanned by ExecuteSubQuery until their chunk is registered, so a tuple
+// is never unqueryable between swap and registration. Queries carry a
+// chunk horizon (SubQuery.AsOfChunk) so a snapshot whose chunk registered
+// after the query was planned is still served from memory — no window for
+// duplicates or misses on either side of the registration instant.
+//
+// Failure: snapshots persist strictly in sequence. A failed DFS write
+// parks the flusher ("stop the line"); the snapshot stays queryable and is
+// retried on the next flush trigger. WAL offsets commit only for the
+// contiguous persisted prefix, so SetOffset never advances past data that
+// is not yet durable and a restart replays no gap.
+package ingest
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"waterwheel/internal/chunk"
+	"waterwheel/internal/core"
+	"waterwheel/internal/meta"
+	"waterwheel/internal/model"
+)
+
+// flushState is the lifecycle of a pending snapshot.
+type flushState int32
+
+const (
+	// flushQueued: waiting in the queue or being built/written.
+	flushQueued flushState = iota
+	// flushFailed: the DFS write failed; the snapshot stays queryable and
+	// is retried on the next flush trigger.
+	flushFailed
+	// flushDone: the chunk is registered. The entry is retained only while
+	// an active query planned before the registration may still need the
+	// in-memory copy.
+	flushDone
+)
+
+// pendingFlush is one swapped-out snapshot travelling through the pipeline.
+type pendingFlush struct {
+	snap *core.FlushSnapshot
+	side bool
+	// seq orders snapshots; chunks persist strictly in seq order.
+	seq int
+	// offset is the WAL read offset captured at swap time: committing it
+	// tells recovery that everything up to here is in chunks.
+	offset int64
+
+	// state/chunk/attempts are written by the flusher and read lock-free
+	// by queries and waiters (attempts is incremented last, publishing the
+	// outcome of each attempt).
+	state    atomic.Int32
+	chunk    atomic.Uint64 // registered chunk ID; 0 until registered
+	attempts atomic.Int32
+
+	info meta.ChunkInfo
+}
+
+// enqueueFlush swaps the tree's leaf layer into an immutable snapshot and
+// hands it to the flusher. threshold marks calls from the insert hot path,
+// which re-check the threshold under swapMu so concurrent crossings don't
+// flush tiny residue trees. Returns nil when there was nothing to flush.
+//
+// Lock order: swapMu → pendMu → minMu/gate. The snapshot is appended to
+// the pending list in the same pendMu critical section as the FlushReset,
+// so a concurrent query (which scans tree and pending under pendMu.RLock)
+// sees each tuple in exactly one place.
+func (s *Server) enqueueFlush(tree *core.TemplateTree, isSide, threshold bool) *pendingFlush {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	if threshold && tree.Bytes() < s.thresholdFor(isSide) {
+		return nil // another inserter already swapped this tree out
+	}
+	s.pendMu.Lock()
+	snap := tree.FlushReset()
+	var pf *pendingFlush
+	if snap != nil {
+		if s.cfg.NoTemplateReuse {
+			// Ablation: discard the learned template by rebuilding the whole
+			// tree with an even partition, as a non-template system would.
+			tree.UpdateTemplate()
+		}
+		s.flushSeq++
+		pf = &pendingFlush{
+			snap:   snap,
+			side:   isSide,
+			seq:    s.flushSeq,
+			offset: s.consumed.Load(),
+		}
+		s.pending = append(s.pending, pf)
+		s.minMu.Lock()
+		if isSide {
+			s.sideData = false
+		} else {
+			s.hasData = false
+		}
+		s.minMu.Unlock()
+	}
+	s.pendMu.Unlock()
+	// Wake a flusher parked on an earlier failure so retries precede the
+	// new snapshot (preserving seq order), whether or not we swapped.
+	s.signalRetry()
+	if pf == nil {
+		return nil
+	}
+	if s.cfg.SyncFlush || s.closed {
+		// Synchronous mode (ablation/benchmark baseline) and post-Close
+		// stragglers process inline, oldest first, still in seq order.
+		if s.closed {
+			<-s.flusherDone // the background flusher has fully exited
+		}
+		s.processBacklogUpTo(pf.seq)
+		return pf
+	}
+	// Backpressure: a full queue blocks the inserting goroutine here until
+	// the flusher catches up. swapMu stays held, so later threshold
+	// crossings queue behind this one while plain inserts keep landing in
+	// the fresh tree.
+	select {
+	case s.flushCh <- pf:
+	default:
+		stall := time.Now()
+		s.stats.Backpressure.Add(1)
+		s.flushCh <- pf
+		s.cfg.Metrics.BackpressureNanos.Observe(time.Since(stall))
+	}
+	return pf
+}
+
+// thresholdFor returns the flush threshold of the main or side tree.
+func (s *Server) thresholdFor(isSide bool) int64 {
+	if isSide {
+		return s.cfg.ChunkBytes / 4
+	}
+	return s.cfg.ChunkBytes
+}
+
+// signalRetry nudges a flusher parked on a failed write. Non-blocking: the
+// channel holds one pending nudge.
+func (s *Server) signalRetry() {
+	select {
+	case s.retryCh <- struct{}{}:
+	default:
+	}
+}
+
+// flusher is the per-server background goroutine: it persists snapshots
+// strictly in arrival (= seq) order. On a write failure it parks until the
+// next flush trigger instead of moving on, so no later snapshot is ever
+// durable before an earlier one — the invariant the offset commit relies on.
+func (s *Server) flusher() {
+	defer close(s.flusherDone)
+	for pf := range s.flushCh {
+		for !s.processFlush(pf) {
+			s.parked.Store(true)
+			select {
+			case <-s.retryCh:
+				s.parked.Store(false)
+			case <-s.stopCh:
+				// Shutdown during an outage: abandon the retry loop. The
+				// snapshot's offset was never committed, so the WAL replays
+				// it after restart — no data loss, no gap.
+				s.parked.Store(false)
+				return
+			}
+		}
+	}
+}
+
+// processFlush builds, writes and registers one snapshot. Returns false
+// when the DFS refused the write; the snapshot then stays queryable in the
+// pending list and the caller decides when to retry.
+func (s *Server) processFlush(pf *pendingFlush) bool {
+	flushStart := time.Now()
+	data, cmeta, err := chunk.Build(pf.snap, s.cfg.Bloom)
+	if err != nil {
+		// Snapshot was non-empty, so Build cannot fail; a failure here is a
+		// programming error worth surfacing loudly.
+		panic(fmt.Sprintf("ingest: chunk build: %v", err))
+	}
+	kind := "c"
+	if pf.side {
+		kind = "side"
+	}
+	path := fmt.Sprintf("chunks/is%d-g%d-%s%d", s.cfg.ID, s.incarnation, kind, pf.seq)
+	if err := s.fs.Write(path, data); err != nil {
+		s.stats.FlushFailures.Add(1)
+		pf.state.Store(int32(flushFailed))
+		pf.attempts.Add(1)
+		return false
+	}
+	// The chunk's data region: the tuples' exact bounding box, which is at
+	// least as tight as the actual key interval × flush window.
+	region := model.Region{
+		Keys:  boundingKeys(pf.snap),
+		Times: model.TimeRange{Lo: cmeta.MinTime, Hi: cmeta.MaxTime},
+	}
+	// Registration, horizon publication and offset commit happen in one
+	// pendMu section: a query that saw the chunk in its plan cannot read
+	// the pending list until the snapshot is marked done, and one that
+	// read the list first plans with a horizon below the new chunk ID.
+	s.pendMu.Lock()
+	info := s.ms.RegisterChunk(meta.ChunkInfo{
+		Path:      path,
+		Region:    region,
+		Count:     cmeta.Count,
+		Size:      cmeta.Size,
+		HeaderLen: cmeta.HeaderLen,
+		Server:    s.cfg.ID,
+	})
+	pf.info = info
+	pf.chunk.Store(uint64(info.ID))
+	pf.state.Store(int32(flushDone))
+	s.commitOffsetsLocked()
+	s.sweepLocked()
+	s.pendMu.Unlock()
+	s.stats.Flushes.Add(1)
+	s.stats.FlushBytes.Add(cmeta.Size)
+	s.cfg.Metrics.FlushNanos.Observe(time.Since(flushStart))
+	s.reportLive()
+	pf.attempts.Add(1)
+	return true
+}
+
+// commitOffsetsLocked records the WAL replay offset (§V) covering the
+// contiguous prefix of persisted snapshots. Snapshots persist in seq
+// order, so the walk stops at the first unpersisted entry: SetOffset never
+// advances past a snapshot that failed or is still in flight, even when a
+// later one (enqueued behind it) has already been written. Requires pendMu.
+func (s *Server) commitOffsetsLocked() {
+	commit := int64(-1)
+	for _, pf := range s.pending {
+		if flushState(pf.state.Load()) != flushDone {
+			break
+		}
+		commit = pf.offset
+	}
+	if commit > s.committedOff {
+		s.committedOff = commit
+		s.ms.SetOffset(s.cfg.ID, commit)
+	}
+}
+
+// sweepLocked drops registered snapshots that no active query can still
+// need: a query only scans a done snapshot when the chunk registered at or
+// after the query's plan horizon, so once every active query's horizon is
+// above the chunk ID the in-memory copy is garbage. Requires pendMu.
+func (s *Server) sweepLocked() {
+	floor := s.ms.MinQueryAsOf()
+	keep := s.pending[:0]
+	for _, pf := range s.pending {
+		if flushState(pf.state.Load()) == flushDone && pf.chunk.Load() < floor {
+			continue
+		}
+		keep = append(keep, pf)
+	}
+	for i := len(keep); i < len(s.pending); i++ {
+		s.pending[i] = nil
+	}
+	s.pending = keep
+}
+
+// processBacklogUpTo persists every unregistered pending snapshot with
+// seq <= maxSeq inline, in order, one attempt each. Used by synchronous
+// mode and by flushes arriving after Close.
+func (s *Server) processBacklogUpTo(maxSeq int) {
+	for {
+		s.pendMu.RLock()
+		var next *pendingFlush
+		for _, pf := range s.pending {
+			if flushState(pf.state.Load()) != flushDone && pf.seq <= maxSeq {
+				next = pf
+				break
+			}
+		}
+		s.pendMu.RUnlock()
+		if next == nil {
+			return
+		}
+		if !s.processFlush(next) {
+			return // outage: leave the rest for a later retry
+		}
+	}
+}
+
+// oldestUnpersisted returns the first pending snapshot that is not yet in
+// a registered chunk, or nil.
+func (s *Server) oldestUnpersisted() *pendingFlush {
+	s.pendMu.RLock()
+	defer s.pendMu.RUnlock()
+	for _, pf := range s.pending {
+		if flushState(pf.state.Load()) != flushDone {
+			return pf
+		}
+	}
+	return nil
+}
+
+// waitFlush blocks until pf is registered (info, true) or an attempt past
+// `since` has failed (zero info, false).
+func (s *Server) waitFlush(pf *pendingFlush, since int32) (meta.ChunkInfo, bool) {
+	for {
+		if flushState(pf.state.Load()) == flushDone {
+			return pf.info, true
+		}
+		if pf.attempts.Load() > since {
+			if flushState(pf.state.Load()) == flushDone {
+				return pf.info, true
+			}
+			return meta.ChunkInfo{}, false
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// flushBacklog counts snapshots still waiting for a (re)attempt or being
+// written — the flush queue depth the telemetry gauge exposes.
+func (s *Server) flushBacklog() int {
+	s.pendMu.RLock()
+	defer s.pendMu.RUnlock()
+	n := 0
+	for _, pf := range s.pending {
+		if flushState(pf.state.Load()) == flushQueued {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingFlushes returns the number of swapped-out snapshots whose chunk
+// is not yet registered (queued, in flight, or failed awaiting retry).
+func (s *Server) PendingFlushes() int {
+	s.pendMu.RLock()
+	defer s.pendMu.RUnlock()
+	n := 0
+	for _, pf := range s.pending {
+		if flushState(pf.state.Load()) != flushDone {
+			n++
+		}
+	}
+	return n
+}
+
+// DrainFlushes blocks until every enqueued snapshot has been attempted —
+// registered, or failed with the flusher parked awaiting a retry trigger.
+// After a clean drain (no failures) all swapped data is in registered
+// chunks and the committed WAL offset covers it.
+func (s *Server) DrainFlushes() {
+	for s.flushBacklog() > 0 && !s.parked.Load() {
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Close stops the background flusher, draining queued snapshots first
+// (failures during an outage are abandoned to WAL replay rather than
+// retried forever). Further Flush calls process inline. Idempotent.
+func (s *Server) Close() {
+	s.swapMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.stopCh)
+		close(s.flushCh)
+	}
+	s.swapMu.Unlock()
+	<-s.flusherDone
+}

@@ -1,0 +1,277 @@
+package ingest
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"waterwheel/internal/dfs"
+	"waterwheel/internal/meta"
+	"waterwheel/internal/model"
+	"waterwheel/internal/wal"
+)
+
+// gatedWriter holds every Write until the gate opens — injected DFS
+// latency, arbitrarily long.
+type gatedWriter struct {
+	inner   ChunkWriter
+	gate    chan struct{}
+	entered chan string // receives each path as its Write begins
+}
+
+func (w *gatedWriter) Write(name string, data []byte) error {
+	w.entered <- name
+	<-w.gate
+	return w.inner.Write(name, data)
+}
+
+// flakyWriter fails every Write while fail is set.
+type flakyWriter struct {
+	inner ChunkWriter
+	fail  atomic.Bool
+}
+
+func (w *flakyWriter) Write(name string, data []byte) error {
+	if w.fail.Load() {
+		return errors.New("injected DFS failure")
+	}
+	return w.inner.Write(name, data)
+}
+
+func newPipelineEnv(t *testing.T, w func(ChunkWriter) ChunkWriter, cfg Config) (*Server, *meta.Server) {
+	t.Helper()
+	fs := dfs.New(dfs.Config{Nodes: 3, Replication: 2, Seed: 1, Sleep: func(time.Duration) {}})
+	ms := meta.NewServer(1)
+	cfg.ID = 0
+	if cfg.Leaves == 0 {
+		cfg.Leaves = 16
+	}
+	srv := NewServer(cfg, w(fs), ms, 0)
+	t.Cleanup(srv.Close)
+	return srv, ms
+}
+
+// TestQueryableWhileFlushInFlight is the tentpole's visibility guarantee:
+// with DFS write latency injected, a query issued while the flush is in
+// flight still returns every tuple of the pending snapshot — there is no
+// blind window between FlushReset and RegisterChunk.
+func TestQueryableWhileFlushInFlight(t *testing.T) {
+	gw := &gatedWriter{gate: make(chan struct{}), entered: make(chan string, 16)}
+	srv, ms := newPipelineEnv(t, func(fs ChunkWriter) ChunkWriter { gw.inner = fs; return gw }, Config{ChunkBytes: 1 << 30})
+	for i := 0; i < 300; i++ {
+		srv.Insert(model.Tuple{Key: model.Key(i), Time: model.Timestamp(1000 + i)})
+	}
+	go srv.Flush()
+	<-gw.entered // the flusher is now inside the DFS write
+
+	// Mid-flight: chunk not registered, every tuple still visible, and the
+	// live region still covers the snapshot.
+	if n := ms.ChunkCount(); n != 0 {
+		t.Fatalf("chunk registered before DFS write finished: %d", n)
+	}
+	if got := memQuery(srv, model.FullKeyRange(), model.FullTimeRange()); len(got) != 300 {
+		t.Fatalf("mid-flight query saw %d tuples, want 300", len(got))
+	}
+	if min, ok := srv.MemMinTime(); !ok || min != 1000 {
+		t.Fatalf("live region dropped the pending snapshot: min=%d ok=%v", min, ok)
+	}
+	if n := srv.PendingFlushes(); n != 1 {
+		t.Fatalf("PendingFlushes = %d, want 1", n)
+	}
+
+	close(gw.gate)
+	srv.DrainFlushes()
+	waitFor(t, func() bool { return ms.ChunkCount() == 1 })
+	// Registered: a horizon-less query (memtable only) no longer sees the
+	// snapshot — the tuples' home is the chunk now.
+	if got := memQuery(srv, model.FullKeyRange(), model.FullTimeRange()); len(got) != 0 {
+		t.Fatalf("tuples duplicated after registration: %d", len(got))
+	}
+	if min, ok := srv.MemMinTime(); ok {
+		t.Fatalf("live region should be empty after flush, got min=%d", min)
+	}
+}
+
+// TestPendingSnapshotServedForPlannedQuery covers the horizon rule: a
+// query whose plan predates the chunk registration (AsOfChunk at or below
+// the chunk's ID) is still served the snapshot from memory, while a query
+// planned afterwards is not.
+func TestPendingSnapshotServedForPlannedQuery(t *testing.T) {
+	gw := &gatedWriter{gate: make(chan struct{}), entered: make(chan string, 16)}
+	srv, ms := newPipelineEnv(t, func(fs ChunkWriter) ChunkWriter { gw.inner = fs; return gw }, Config{ChunkBytes: 1 << 30})
+	for i := 0; i < 100; i++ {
+		srv.Insert(model.Tuple{Key: model.Key(i), Time: model.Timestamp(i)})
+	}
+	// Plan "a query" now: its horizon is the next chunk ID. Register it so
+	// the snapshot stays pinned past its registration.
+	q := ms.RegisterQuery(model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()})
+	_, horizon := ms.ChunksForWithWatermark(model.FullRegion())
+	defer ms.CompleteQuery(q.ID)
+
+	go srv.Flush()
+	<-gw.entered
+	close(gw.gate)
+	srv.DrainFlushes()
+	waitFor(t, func() bool { return ms.ChunkCount() == 1 })
+
+	planned := &model.SubQuery{
+		Region:    model.Region{Keys: model.FullKeyRange(), Times: model.FullTimeRange()},
+		AsOfChunk: horizon,
+	}
+	if got := srv.ExecuteSubQuery(planned); len(got.Tuples) != 100 {
+		t.Fatalf("pre-registration plan got %d tuples from memory, want 100", len(got.Tuples))
+	}
+	_, after := ms.ChunksForWithWatermark(model.FullRegion())
+	late := &model.SubQuery{
+		Region:    model.Region{Keys: model.FullKeyRange(), Times: model.FullTimeRange()},
+		AsOfChunk: after,
+	}
+	if got := srv.ExecuteSubQuery(late); len(got.Tuples) != 0 {
+		t.Fatalf("post-registration plan got %d tuples from memory, want 0 (chunk serves them)", len(got.Tuples))
+	}
+}
+
+// TestBackpressureBoundsQueue: with the queue full and a write stalled,
+// the next threshold-crossing insert blocks (and is counted) instead of
+// buffering unboundedly; releasing the DFS drains everything.
+func TestBackpressureBoundsQueue(t *testing.T) {
+	gw := &gatedWriter{gate: make(chan struct{}), entered: make(chan string, 16)}
+	srv, ms := newPipelineEnv(t, func(fs ChunkWriter) ChunkWriter { gw.inner = fs; return gw },
+		Config{ChunkBytes: 16 * 100, FlushQueueDepth: 1, SideThresholdMillis: -1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// ~16 B per payload-less tuple: crosses the threshold 3 times. One
+		// snapshot stalls in the gated write, one fills the queue, the
+		// third blocks the inserter.
+		for i := 0; i < 350; i++ {
+			srv.Insert(model.Tuple{Key: model.Key(i), Time: model.Timestamp(i)})
+		}
+	}()
+	select {
+	case <-done:
+		t.Fatal("inserter never blocked on a full flush queue")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(gw.gate)
+	<-done
+	srv.DrainFlushes()
+	if n := srv.stats.Backpressure.Load(); n < 1 {
+		t.Fatalf("Backpressure = %d, want >= 1", n)
+	}
+	waitFor(t, func() bool { return ms.ChunkCount() == 3 })
+}
+
+// TestOffsetsCommitInSnapshotOrder is the crash-safety half of the
+// pipeline: a failed DFS write must hold back the WAL offset commit of
+// every later snapshot, so a restart replays no gap — at most the
+// uncommitted tail, never a hole.
+func TestOffsetsCommitInSnapshotOrder(t *testing.T) {
+	fs := dfs.New(dfs.Config{Nodes: 2, Replication: 1, Seed: 1, Sleep: func(time.Duration) {}})
+	ms := meta.NewServer(1)
+	fw := &flakyWriter{inner: fs}
+	fw.fail.Store(true)
+	p := wal.NewPartition()
+	for i := 0; i < 350; i++ {
+		p.Append(model.AppendTuple(nil, &model.Tuple{Key: model.Key(i), Time: model.Timestamp(i)}))
+	}
+	// Threshold every ~100 tuples: three snapshots swap out while every
+	// DFS write fails.
+	srv := NewServer(Config{ID: 0, ChunkBytes: 16 * 100, Leaves: 16, FlushQueueDepth: 8, SideThresholdMillis: -1}, fw, ms, 0)
+	defer srv.Close()
+	stop := make(chan struct{})
+	consDone := make(chan struct{})
+	go func() { srv.Consume(p, stop); close(consDone) }()
+	waitFor(t, func() bool { return srv.Stats().Ingested.Load() == 350 })
+	waitFor(t, func() bool { return srv.Stats().FlushFailures.Load() >= 1 && srv.PendingFlushes() >= 3 })
+
+	// Nothing may commit while the oldest snapshot is unpersisted: no
+	// chunk, no offset — even though later snapshots are queued behind it.
+	if got := ms.Offset(0); got != 0 {
+		t.Fatalf("offset advanced to %d past an unpersisted snapshot", got)
+	}
+	if n := ms.ChunkCount(); n != 0 {
+		t.Fatalf("chunks registered out of order during outage: %d", n)
+	}
+	// Everything remains queryable from the pending snapshots meanwhile.
+	if got := memQuery(srv, model.FullKeyRange(), model.FullTimeRange()); len(got) != 350 {
+		t.Fatalf("tuples lost during outage: %d, want 350", len(got))
+	}
+
+	// DFS recovers: Flush drives the retry and the tail, strictly in
+	// order; offsets then cover the whole prefix.
+	fw.fail.Store(false)
+	if _, ok := srv.Flush(); !ok {
+		t.Fatal("flush retry failed after DFS recovery")
+	}
+	srv.DrainFlushes()
+	if got, want := ms.Offset(0), srv.Consumed(); got != want {
+		t.Fatalf("offset = %d after full drain, want %d", got, want)
+	}
+	if srv.MemLen() != 0 {
+		t.Fatalf("MemLen = %d after full drain, want 0", srv.MemLen())
+	}
+	close(stop)
+	p.Append(model.AppendTuple(nil, &model.Tuple{Key: 999, Time: 999})) // wake the blocked read
+	<-consDone
+
+	// "Crash" and restart: the replacement replays only the post-offset
+	// tail (the wake tuple), and chunks + memtable account for every tuple
+	// exactly once.
+	srv2 := NewServer(Config{ID: 0, ChunkBytes: 1 << 30, Leaves: 16}, fs, ms, 0)
+	defer srv2.Close()
+	stop2 := make(chan struct{})
+	go srv2.Consume(p, stop2)
+	waitFor(t, func() bool { return srv2.Consumed() == p.Next() })
+	close(stop2)
+	total := srv2.MemLen()
+	for _, ci := range ms.ChunksFor(model.FullRegion()) {
+		total += ci.Count
+	}
+	if total != 351 {
+		t.Fatalf("chunks+memtable hold %d tuples after restart, want 351 (no gap, no duplicates)", total)
+	}
+	if rec := srv2.Stats().Recovered.Load(); rec != 1 {
+		t.Fatalf("replayed %d records, want 1 (only the uncommitted tail)", rec)
+	}
+}
+
+// TestCloseDrainsQueue: shutdown waits for queued snapshots instead of
+// dropping them, and post-Close flushes still work (inline).
+func TestCloseDrainsQueue(t *testing.T) {
+	fs := dfs.New(dfs.Config{Nodes: 3, Replication: 2, Seed: 1, Sleep: func(time.Duration) {}})
+	ms := meta.NewServer(1)
+	srv := NewServer(Config{ID: 0, ChunkBytes: 16 * 100, Leaves: 16, SideThresholdMillis: -1}, fs, ms, 0)
+	for i := 0; i < 250; i++ {
+		srv.Insert(model.Tuple{Key: model.Key(i), Time: model.Timestamp(i)})
+	}
+	srv.Close()
+	srv.DrainFlushes()
+	waitFor(t, func() bool { return ms.ChunkCount() >= 2 })
+	if _, ok := srv.Flush(); !ok { // the ~50-tuple tail, flushed inline post-Close
+		t.Fatal("post-Close flush failed")
+	}
+	if srv.MemLen() != 0 {
+		t.Fatalf("MemLen = %d after close+flush, want 0", srv.MemLen())
+	}
+	srv.Close() // idempotent
+}
+
+// TestSyncFlushMode: the ablation switch restores fully inline flushes.
+func TestSyncFlushMode(t *testing.T) {
+	fs := dfs.New(dfs.Config{Nodes: 3, Replication: 2, Seed: 1, Sleep: func(time.Duration) {}})
+	ms := meta.NewServer(1)
+	srv := NewServer(Config{ID: 0, ChunkBytes: 16 * 100, Leaves: 16, SyncFlush: true, SideThresholdMillis: -1}, fs, ms, 0)
+	defer srv.Close()
+	for i := 0; i < 250; i++ {
+		srv.Insert(model.Tuple{Key: model.Key(i), Time: model.Timestamp(i)})
+	}
+	// No drain needed: by the time Insert returns, the chunks exist.
+	if n := ms.ChunkCount(); n != 2 {
+		t.Fatalf("sync mode registered %d chunks inline, want 2", n)
+	}
+	if n := srv.PendingFlushes(); n != 0 {
+		t.Fatalf("sync mode left %d pending flushes", n)
+	}
+}

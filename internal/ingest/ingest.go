@@ -25,7 +25,6 @@ import (
 
 	"waterwheel/internal/chunk"
 	"waterwheel/internal/core"
-	"waterwheel/internal/dfs"
 	"waterwheel/internal/meta"
 	"waterwheel/internal/model"
 	"waterwheel/internal/telemetry"
@@ -55,9 +54,24 @@ type Config struct {
 	// design). Setting false rebuilds the tree each flush — the system-level
 	// ablation switch.
 	NoTemplateReuse bool
+	// FlushQueueDepth bounds the async flush pipeline: at most this many
+	// swapped-out snapshots may await persistence before the next
+	// threshold-crossing insert blocks (default 2).
+	FlushQueueDepth int
+	// SyncFlush disables the background flusher and performs chunk build +
+	// DFS write inline on the inserting goroutine — the pre-pipeline
+	// behavior, kept as the benchmark baseline and ablation switch.
+	SyncFlush bool
 	// Metrics holds optional telemetry handles; the zero value (nil
 	// handles) disables instrumentation at no cost.
 	Metrics Metrics
+}
+
+// ChunkWriter is the slice of the DFS the ingest path needs: durable,
+// named, immutable chunk writes. *dfs.FS implements it; tests substitute
+// gated or failing writers to exercise the pipeline.
+type ChunkWriter interface {
+	Write(name string, data []byte) error
 }
 
 // Metrics are the telemetry handles an indexing server feeds. All handles
@@ -69,6 +83,9 @@ type Metrics struct {
 	InsertNanos *telemetry.Histogram
 	// FlushNanos observes each chunk build + DFS write.
 	FlushNanos *telemetry.Histogram
+	// BackpressureNanos observes how long a threshold-crossing insert
+	// blocked because the flush queue was full.
+	BackpressureNanos *telemetry.Histogram
 }
 
 // insertSampleEvery is the Insert-latency sampling interval (a power of
@@ -87,6 +104,9 @@ func (c *Config) fill() {
 	if !c.Keys.IsValid() {
 		c.Keys = model.FullKeyRange()
 	}
+	if c.FlushQueueDepth <= 0 {
+		c.FlushQueueDepth = 2
+	}
 }
 
 // nextIncarnation hands every server instance a process-unique id.
@@ -100,6 +120,8 @@ type Stats struct {
 	FlushFailures atomic.Int64
 	SideRouted    atomic.Int64
 	Recovered     atomic.Int64
+	// Backpressure counts inserts that blocked on a full flush queue.
+	Backpressure atomic.Int64
 }
 
 // Server is one indexing server.
@@ -109,7 +131,7 @@ type Server struct {
 	tree *core.TemplateTree
 	side *core.TemplateTree
 
-	fs *dfs.FS
+	fs ChunkWriter
 	ms *meta.Server
 	// node is the cluster node hosting this server (locality for flushes).
 	node int
@@ -124,8 +146,29 @@ type Server struct {
 	sideMin  model.Timestamp
 	sideData bool
 
-	flushMu  sync.Mutex
+	// swapMu serializes threshold checks, FlushReset swaps and flush-queue
+	// sends, so snapshots enter the queue in seq order and backpressure
+	// blocks the swapping goroutine, not the flusher.
+	swapMu   sync.Mutex
 	flushSeq int
+	closed   bool
+
+	// pendMu guards the pending snapshot list. Queries hold the read lock
+	// across their whole scan; the swap and the chunk registration take the
+	// write lock, which is what makes "every tuple in exactly one visible
+	// place" atomic from a reader's point of view.
+	pendMu  sync.RWMutex
+	pending []*pendingFlush
+	// committedOff is the last WAL offset handed to meta.SetOffset.
+	committedOff int64
+
+	flushCh     chan *pendingFlush
+	retryCh     chan struct{}
+	stopCh      chan struct{}
+	flusherDone chan struct{}
+	// parked is set while the flusher waits out a DFS outage.
+	parked atomic.Bool
+
 	// incarnation distinguishes chunk paths across server restarts, so a
 	// recovered server never collides with its predecessor's files.
 	incarnation uint64
@@ -137,7 +180,7 @@ type Server struct {
 
 // NewServer creates an indexing server writing chunks to fs and metadata
 // to ms. node is the cluster node it runs on.
-func NewServer(cfg Config, fs *dfs.FS, ms *meta.Server, node int) *Server {
+func NewServer(cfg Config, fs ChunkWriter, ms *meta.Server, node int) *Server {
 	cfg.fill()
 	tc := core.TemplateConfig{
 		Keys:          cfg.Keys,
@@ -146,12 +189,17 @@ func NewServer(cfg Config, fs *dfs.FS, ms *meta.Server, node int) *Server {
 		CheckEvery:    cfg.CheckEvery,
 	}
 	s := &Server{
-		cfg:         cfg,
-		tree:        core.NewTemplateTree(tc),
-		fs:          fs,
-		ms:          ms,
-		node:        node,
-		incarnation: nextIncarnation.Add(1),
+		cfg:          cfg,
+		tree:         core.NewTemplateTree(tc),
+		fs:           fs,
+		ms:           ms,
+		node:         node,
+		committedOff: -1,
+		flushCh:      make(chan *pendingFlush, cfg.FlushQueueDepth),
+		retryCh:      make(chan struct{}, 1),
+		stopCh:       make(chan struct{}),
+		flusherDone:  make(chan struct{}),
+		incarnation:  nextIncarnation.Add(1),
 	}
 	if cfg.SideThresholdMillis > 0 {
 		sideCfg := tc
@@ -159,6 +207,11 @@ func NewServer(cfg Config, fs *dfs.FS, ms *meta.Server, node int) *Server {
 		s.side = core.NewTemplateTree(sideCfg)
 	}
 	s.watermark.Store(int64(model.MinTimestamp))
+	if cfg.SyncFlush {
+		close(s.flusherDone) // no background goroutine to wait for
+	} else {
+		go s.flusher()
+	}
 	return s
 }
 
@@ -204,7 +257,10 @@ func (s *Server) Insert(t model.Tuple) {
 		s.reportLive()
 	}
 	if s.tree.Bytes() >= s.cfg.ChunkBytes {
-		s.Flush()
+		// Swap the full tree out and enqueue it for the background flusher;
+		// the inserting goroutine pays a pointer exchange, not a chunk build
+		// and DFS round-trip (unless the bounded queue is full).
+		s.enqueueFlush(s.tree, false, true)
 	}
 	if sampled {
 		s.cfg.Metrics.InsertNanos.Observe(time.Since(start))
@@ -227,27 +283,35 @@ func (s *Server) insertSide(t model.Tuple) {
 	// The side store flushes at a fraction of the chunk size: very-late
 	// tuples are rare and should not linger unbounded.
 	if s.side.Bytes() >= s.cfg.ChunkBytes/4 {
-		s.flushTree(s.side, true)
+		s.enqueueFlush(s.side, true, true)
 	}
 }
 
-// MemMinTime returns the left temporal bound of the live (memtable) region
-// over both trees, and whether any data is buffered.
+// MemMinTime returns the left temporal bound of the live (memtable) region:
+// the minimum over both trees and every pending snapshot whose chunk is not
+// yet registered (those tuples are still served from memory, so the live
+// region must keep covering them), and whether any data is buffered.
 func (s *Server) MemMinTime() (model.Timestamp, bool) {
+	s.pendMu.RLock()
+	defer s.pendMu.RUnlock()
 	s.minMu.Lock()
-	defer s.minMu.Unlock()
-	switch {
-	case s.hasData && s.sideData:
-		if s.sideMin < s.minTime {
-			return s.sideMin, true
-		}
-		return s.minTime, true
-	case s.hasData:
-		return s.minTime, true
-	case s.sideData:
-		return s.sideMin, true
+	min, ok := model.Timestamp(0), false
+	if s.hasData {
+		min, ok = s.minTime, true
 	}
-	return 0, false
+	if s.sideData && (!ok || s.sideMin < min) {
+		min, ok = s.sideMin, true
+	}
+	s.minMu.Unlock()
+	for _, pf := range s.pending {
+		if flushState(pf.state.Load()) == flushDone {
+			continue // the registered chunk's region covers these tuples
+		}
+		if !ok || pf.snap.MinTime < min {
+			min, ok = pf.snap.MinTime, true
+		}
+	}
+	return min, ok
 }
 
 // reportLive pushes the current live-region state to the metadata server.
@@ -256,87 +320,41 @@ func (s *Server) reportLive() {
 	s.ms.ReportLive(s.cfg.ID, min, !ok)
 }
 
-// Flush writes the memtable out as a chunk (no-op when empty). It returns
-// the registered chunk info and whether a flush happened.
+// Flush forces the memtable out as a chunk and waits for it to persist
+// (no-op when empty). It returns the registered chunk info and whether a
+// flush happened. When the current memtable is empty but an earlier
+// snapshot is still unpersisted (e.g. its DFS write failed), Flush retries
+// that snapshot instead, preserving the old contract that a failed flush
+// can be re-driven by calling Flush again.
 func (s *Server) Flush() (meta.ChunkInfo, bool) {
-	return s.flushTree(s.tree, false)
+	// Capture the retry target and its attempt count before enqueueing:
+	// the enqueue signals the parked flusher, and the race where the retry
+	// completes before we look would otherwise lose the outcome.
+	head := s.oldestUnpersisted()
+	var since int32
+	if head != nil {
+		since = head.attempts.Load()
+	}
+	if pf := s.enqueueFlush(s.tree, false, false); pf != nil {
+		return s.waitFlush(pf, 0)
+	}
+	if head == nil {
+		return meta.ChunkInfo{}, false
+	}
+	return s.waitFlush(head, since)
 }
 
-// FlushAll flushes both the main memtable and the side store.
+// FlushAll flushes both the main memtable and the side store, then drains
+// the pipeline so every snapshot is persisted (or awaiting retry after a
+// DFS outage) when it returns.
 func (s *Server) FlushAll() {
-	s.flushTree(s.tree, false)
+	s.Flush()
 	if s.side != nil {
-		s.flushTree(s.side, true)
-	}
-}
-
-func (s *Server) flushTree(tree *core.TemplateTree, isSide bool) (meta.ChunkInfo, bool) {
-	s.flushMu.Lock()
-	defer s.flushMu.Unlock()
-	snap := tree.FlushReset()
-	if snap == nil {
-		return meta.ChunkInfo{}, false
-	}
-	flushStart := time.Now()
-	if s.cfg.NoTemplateReuse {
-		// Ablation: discard the learned template by rebuilding the whole
-		// tree with an even partition, as a non-template system would.
-		tree.UpdateTemplate()
-	}
-	data, cmeta, err := chunk.Build(snap, s.cfg.Bloom)
-	if err != nil {
-		// Snapshot was non-empty, so Build cannot fail; a failure here is a
-		// programming error worth surfacing loudly.
-		panic(fmt.Sprintf("ingest: chunk build: %v", err))
-	}
-	s.flushSeq++
-	kind := "c"
-	if isSide {
-		kind = "side"
-	}
-	path := fmt.Sprintf("chunks/is%d-g%d-%s%d", s.cfg.ID, s.incarnation, kind, s.flushSeq)
-	if err := s.fs.Write(path, data); err != nil {
-		s.stats.FlushFailures.Add(1)
-		// The file system refused the chunk (no live datanodes, disk full).
-		// Put the tuples back into the memtable and report no flush: they
-		// stay queryable, the WAL still covers them for recovery, and the
-		// next threshold crossing retries. tree.Insert (not s.Insert) avoids
-		// re-entering the flush path under flushMu.
-		for _, leafEntries := range snap.Leaves {
-			for i := range leafEntries {
-				tree.Insert(leafEntries[i])
-			}
+		if pf := s.enqueueFlush(s.side, true, false); pf != nil {
+			s.waitFlush(pf, 0)
 		}
-		return meta.ChunkInfo{}, false
 	}
-	// The chunk's data region: the tuples' exact bounding box, which is at
-	// least as tight as the actual key interval × flush window.
-	region := model.Region{
-		Keys:  boundingKeys(snap),
-		Times: model.TimeRange{Lo: cmeta.MinTime, Hi: cmeta.MaxTime},
-	}
-	info := s.ms.RegisterChunk(meta.ChunkInfo{
-		Path:      path,
-		Region:    region,
-		Count:     cmeta.Count,
-		Size:      cmeta.Size,
-		HeaderLen: cmeta.HeaderLen,
-		Server:    s.cfg.ID,
-	})
-	s.stats.Flushes.Add(1)
-	s.stats.FlushBytes.Add(cmeta.Size)
-	s.cfg.Metrics.FlushNanos.Observe(time.Since(flushStart))
-	// Record the replay offset (§V) and the shrunken live region.
-	s.ms.SetOffset(s.cfg.ID, s.consumed.Load())
-	s.minMu.Lock()
-	if isSide {
-		s.sideData = false
-	} else {
-		s.hasData = false
-	}
-	s.minMu.Unlock()
-	s.reportLive()
-	return info, true
+	s.DrainFlushes()
 }
 
 // boundingKeys computes the exact key bounding box of a snapshot.
@@ -357,51 +375,87 @@ func boundingKeys(snap *core.FlushSnapshot) model.KeyRange {
 	return kr
 }
 
-// ExecuteSubQuery answers a subquery against the in-memory trees — the
+// ExecuteSubQuery answers a subquery against the in-memory state — the
 // "fresh data" path of §IV: tuples are visible here the moment Insert
-// returns.
+// returns. That now spans three sources: the live trees, the side store,
+// and pending flush snapshots whose chunk the query's plan could not have
+// included. The pending list is frozen against swaps and registrations for
+// the duration of the scan (pendMu.RLock), so each tuple is seen in
+// exactly one place regardless of concurrent flush progress.
 func (s *Server) ExecuteSubQuery(sq *model.SubQuery) *model.Result {
+	s.pendMu.RLock()
+	defer s.pendMu.RUnlock()
 	res := &model.Result{QueryID: sq.QueryID}
-	visit := func(t *model.Tuple) bool {
-		cp := *t
-		cp.Payload = append([]byte(nil), t.Payload...)
-		res.Tuples = append(res.Tuples, cp)
-		return sq.Limit <= 0 || len(res.Tuples) < sq.Limit
-	}
-	s.tree.Range(sq.Region.Keys, sq.Region.Times, sq.Filter, visit)
-	if s.side != nil {
-		// The side store may hold lower keys than where the main tree's
-		// limit cut off, so it scans with its own budget and the combined
-		// result is re-cut on sorted order.
-		main := len(res.Tuples)
-		s.side.Range(sq.Region.Keys, sq.Region.Times, sq.Filter, func(t *model.Tuple) bool {
+	sources := 0
+	scan := func(rangeFn func(model.KeyRange, model.TimeRange, *model.Filter, func(*model.Tuple) bool)) {
+		base := len(res.Tuples)
+		rangeFn(sq.Region.Keys, sq.Region.Times, sq.Filter, func(t *model.Tuple) bool {
 			cp := *t
 			cp.Payload = append([]byte(nil), t.Payload...)
 			res.Tuples = append(res.Tuples, cp)
-			return sq.Limit <= 0 || len(res.Tuples)-main < sq.Limit
+			return sq.Limit <= 0 || len(res.Tuples)-base < sq.Limit
 		})
-		if sq.Limit > 0 && len(res.Tuples) > sq.Limit {
-			res.SortTuples()
-			res.Tuples = res.Tuples[:sq.Limit]
+		if len(res.Tuples) > base {
+			sources++
 		}
+	}
+	scan(s.tree.Range)
+	if s.side != nil {
+		// Each source may hold lower keys than where the previous source's
+		// limit cut off, so every source scans with its own budget and the
+		// combined result is re-cut on sorted order below.
+		scan(s.side.Range)
+	}
+	for _, pf := range s.pending {
+		if flushState(pf.state.Load()) == flushDone {
+			// Registered: the planner saw this chunk unless it registered at
+			// or above the query's horizon, in which case the plan predates
+			// it and the in-memory copy must still serve. AsOfChunk zero
+			// (legacy callers, tests) means "memtable only — skip anything
+			// already in a chunk".
+			if sq.AsOfChunk == 0 || pf.chunk.Load() < sq.AsOfChunk {
+				continue
+			}
+		}
+		scan(pf.snap.Range)
+	}
+	if sources > 1 && sq.Limit > 0 && len(res.Tuples) > sq.Limit {
+		res.SortTuples()
+		res.Tuples = res.Tuples[:sq.Limit]
 	}
 	return res
 }
 
-// MemLen returns the number of buffered tuples across both trees.
+// MemLen returns the number of in-memory tuples: both trees plus pending
+// snapshots not yet registered as chunks.
 func (s *Server) MemLen() int {
+	s.pendMu.RLock()
+	defer s.pendMu.RUnlock()
 	n := s.tree.Len()
 	if s.side != nil {
 		n += s.side.Len()
 	}
+	for _, pf := range s.pending {
+		if flushState(pf.state.Load()) != flushDone {
+			n += pf.snap.Count
+		}
+	}
 	return n
 }
 
-// MemBytes returns the buffered payload bytes across both trees.
+// MemBytes returns the in-memory payload bytes: both trees plus pending
+// snapshots not yet registered as chunks.
 func (s *Server) MemBytes() int64 {
+	s.pendMu.RLock()
+	defer s.pendMu.RUnlock()
 	n := s.tree.Bytes()
 	if s.side != nil {
 		n += s.side.Bytes()
+	}
+	for _, pf := range s.pending {
+		if flushState(pf.state.Load()) != flushDone {
+			n += pf.snap.Bytes
+		}
 	}
 	return n
 }

@@ -42,6 +42,7 @@ func TestFlushAtThreshold(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		srv.Insert(model.Tuple{Key: model.Key(i), Time: model.Timestamp(i), Payload: make([]byte, 20)})
 	}
+	srv.DrainFlushes() // flushes are asynchronous; settle before asserting
 	if srv.Stats().Flushes.Load() == 0 {
 		t.Fatal("no flush happened")
 	}
@@ -197,6 +198,7 @@ func TestConsumeAndRecovery(t *testing.T) {
 	close(stop)
 	p.Append(model.AppendTuple(nil, &model.Tuple{Key: 999, Time: 999})) // wake the blocked read
 	<-done
+	srv1.DrainFlushes() // let the threshold flush commit its offset
 
 	flushedOffset := ms.Offset(0)
 	if flushedOffset == 0 {
@@ -269,6 +271,7 @@ func TestSideStoreFlushesIndependently(t *testing.T) {
 	if srv.Stats().SideRouted.Load() != 500 {
 		t.Fatalf("side routed %d, want 500", srv.Stats().SideRouted.Load())
 	}
+	srv.DrainFlushes() // side flushes ride the same async pipeline
 	if ms.ChunkCount() == 0 {
 		t.Fatal("side store never flushed")
 	}

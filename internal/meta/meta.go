@@ -101,6 +101,13 @@ type LiveRegion struct {
 type QueryInfo struct {
 	ID    uint64
 	Query model.Query
+	// AsOf is the query's plan horizon: the smallest chunk ID that could
+	// not have been in the query's plan because it registered after the
+	// query did. Indexing servers keep flushed-but-in-plan-limbo snapshots
+	// in memory until every active query's horizon has passed the chunk
+	// (see Server.MinQueryAsOf). Zero means "no horizon recorded" (queries
+	// restored from snapshots predating this field).
+	AsOf uint64
 }
 
 // Server is the metadata server.
@@ -247,6 +254,17 @@ func (s *Server) Chunk(id model.ChunkID) (ChunkInfo, bool) {
 // ChunksFor returns the chunks whose regions overlap r — the query-region
 // candidates of §IV-A.
 func (s *Server) ChunksFor(r model.Region) []ChunkInfo {
+	chunks, _ := s.ChunksForWithWatermark(r)
+	return chunks
+}
+
+// ChunksForWithWatermark returns the overlapping chunks together with the
+// chunk-ID watermark — the ID the *next* registered chunk will receive.
+// Both come from the same critical section, so the caller knows exactly
+// which chunks its plan could have seen: any chunk with ID >= watermark
+// registered strictly after this lookup and must be served from the
+// producing server's in-memory pending snapshot instead.
+func (s *Server) ChunksForWithWatermark(r model.Region) ([]ChunkInfo, uint64) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	ids := s.regions.Search(r)
@@ -255,7 +273,7 @@ func (s *Server) ChunksFor(r model.Region) []ChunkInfo {
 		out = append(out, s.chunks[id.(model.ChunkID)])
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return out, s.nextChunk + 1
 }
 
 // ChunkCount returns the number of registered chunks.
@@ -298,14 +316,37 @@ func (s *Server) Offset(server int) int64 {
 	return s.offsets[server]
 }
 
-// RegisterQuery stores a running query and assigns its ID.
+// RegisterQuery stores a running query and assigns its ID. The query's
+// plan horizon (AsOf) is captured here: chunks registered from now on
+// cannot appear in its plan.
 func (s *Server) RegisterQuery(q model.Query) model.Query {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextQuery++
 	q.ID = s.nextQuery
-	s.queries[q.ID] = QueryInfo{ID: q.ID, Query: q}
+	s.queries[q.ID] = QueryInfo{ID: q.ID, Query: q, AsOf: s.nextChunk + 1}
 	return q
+}
+
+// MinQueryAsOf returns the smallest plan horizon over the active queries —
+// the chunk-ID floor below which no active query can still need a flushed
+// snapshot's in-memory copy. With no active queries it returns MaxUint64.
+// A zero AsOf (query restored from an old snapshot, horizon unknown) pins
+// everything, erring on the safe side.
+func (s *Server) MinQueryAsOf() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	min := ^uint64(0)
+	for _, q := range s.queries {
+		asOf := q.AsOf
+		if asOf == 0 {
+			return 0
+		}
+		if asOf < min {
+			min = asOf
+		}
+	}
+	return min
 }
 
 // CompleteQuery removes a finished query.

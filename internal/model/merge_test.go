@@ -1,0 +1,82 @@
+package model
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func sortedPart(rng *rand.Rand, n int) []Tuple {
+	out := make([]Tuple, n)
+	for i := range out {
+		out[i] = Tuple{
+			Key:     Key(rng.Intn(100)),
+			Time:    Timestamp(rng.Intn(100)),
+			Payload: []byte{byte(rng.Intn(4))},
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return CompareTuples(&out[i], &out[j]) < 0 })
+	return out
+}
+
+// TestMergeSortedTuplesEquivalentToSort: the k-way merge of sorted runs
+// must equal concatenating and sorting, for any limit.
+func TestMergeSortedTuplesEquivalentToSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		k := rng.Intn(6)
+		parts := make([][]Tuple, k)
+		var all []Tuple
+		for i := range parts {
+			parts[i] = sortedPart(rng, rng.Intn(40))
+			all = append(all, parts[i]...)
+		}
+		ref := Result{Tuples: all}
+		ref.SortTuples()
+		for _, limit := range []int{0, 1, 7, len(all), len(all) + 10} {
+			got := MergeSortedTuples(parts, limit)
+			want := ref.Tuples
+			if limit > 0 && limit < len(want) {
+				want = want[:limit]
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d limit %d: merged %d tuples, want %d", trial, limit, len(got), len(want))
+			}
+			for i := range got {
+				if CompareTuples(&got[i], &want[i]) != 0 {
+					t.Fatalf("trial %d limit %d tuple %d: %v != %v", trial, limit, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMergeSortedTuplesEdgeCases(t *testing.T) {
+	if got := MergeSortedTuples(nil, 5); got != nil {
+		t.Fatalf("merge of no parts = %v, want nil", got)
+	}
+	if got := MergeSortedTuples([][]Tuple{nil, {}, nil}, 0); got != nil {
+		t.Fatalf("merge of empty parts = %v, want nil", got)
+	}
+	single := []Tuple{{Key: 1}, {Key: 2}, {Key: 3}}
+	if got := MergeSortedTuples([][]Tuple{nil, single}, 2); len(got) != 2 || got[1].Key != 2 {
+		t.Fatalf("single-part limit merge = %v", got)
+	}
+}
+
+func TestCompareTuples(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want int
+	}{
+		{Tuple{Key: 1}, Tuple{Key: 2}, -1},
+		{Tuple{Key: 2, Time: 5}, Tuple{Key: 2, Time: 3}, 1},
+		{Tuple{Key: 2, Time: 3, Payload: []byte("a")}, Tuple{Key: 2, Time: 3, Payload: []byte("b")}, -1},
+		{Tuple{Key: 2, Time: 3, Payload: []byte("x")}, Tuple{Key: 2, Time: 3, Payload: []byte("x")}, 0},
+	}
+	for i, c := range cases {
+		if got := CompareTuples(&c.a, &c.b); got != c.want {
+			t.Errorf("case %d: CompareTuples = %d, want %d", i, got, c.want)
+		}
+	}
+}

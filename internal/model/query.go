@@ -61,6 +61,13 @@ type SubQuery struct {
 	// IndexServer is the indexing-server id owning the memtable when
 	// Chunk == MemChunk.
 	IndexServer int
+	// AsOfChunk is the query's plan horizon for memtable subqueries: the
+	// smallest chunk ID that registered after the query was planned. The
+	// indexing server serves a flushed-but-pending snapshot from memory iff
+	// its chunk ID is at or above this horizon (the plan cannot have
+	// included it). Zero means "live memtable only" — pending snapshots
+	// whose chunks are registered are skipped entirely.
+	AsOfChunk uint64
 }
 
 // String implements fmt.Stringer.
@@ -92,20 +99,20 @@ type Result struct {
 // are deterministic regardless of subquery completion order.
 func (r *Result) SortTuples() {
 	sort.Slice(r.Tuples, func(i, j int) bool {
-		a, b := &r.Tuples[i], &r.Tuples[j]
-		if a.Key != b.Key {
-			return a.Key < b.Key
-		}
-		if a.Time != b.Time {
-			return a.Time < b.Time
-		}
-		return string(a.Payload) < string(b.Payload)
+		return CompareTuples(&r.Tuples[i], &r.Tuples[j]) < 0
 	})
 }
 
 // Merge folds the tuples and counters of o into r.
 func (r *Result) Merge(o *Result) {
 	r.Tuples = append(r.Tuples, o.Tuples...)
+	r.MergeCounters(o)
+}
+
+// MergeCounters folds only the execution counters of o into r, leaving the
+// tuples alone — for callers that combine tuples separately (e.g. the
+// coordinator's k-way merge).
+func (r *Result) MergeCounters(o *Result) {
 	r.LeavesRead += o.LeavesRead
 	r.LeavesSkipped += o.LeavesSkipped
 	r.BytesRead += o.BytesRead

@@ -160,7 +160,13 @@ func (c *Coordinator) SetPolicy(p Policy) {
 func (c *Coordinator) Decompose(q model.Query) (memSubs, chunkSubs []*model.SubQuery) {
 	qRegion := q.Region()
 	seq := 0
-	for _, ci := range c.ms.ChunksFor(qRegion) {
+	// The chunk candidates and the chunk-ID watermark come from one
+	// metadata critical section: a chunk registered by a concurrent flush
+	// is either in this plan or has ID >= watermark, in which case the
+	// producing indexing server still serves it from the pending snapshot
+	// (SubQuery.AsOfChunk below) — never both, never neither.
+	chunks, watermark := c.ms.ChunksForWithWatermark(qRegion)
+	for _, ci := range chunks {
 		r, ok := qRegion.Intersect(ci.Region)
 		if !ok {
 			continue
@@ -192,6 +198,7 @@ func (c *Coordinator) Decompose(q model.Query) (memSubs, chunkSubs []*model.SubQ
 			Chunk:       model.MemChunk,
 			IndexServer: lr.Server,
 			Limit:       q.Limit,
+			AsOfChunk:   watermark,
 		})
 		seq++
 	}
@@ -260,7 +267,25 @@ func (c *Coordinator) execute(q model.Query, root *telemetry.Span) (*model.Resul
 	var (
 		wg sync.WaitGroup
 		mu sync.Mutex
+		// parts collects each subquery's tuples, sorted in canonical order
+		// by the delivering goroutine, for the final k-way merge. Memtable
+		// results need the sort (tree, side store and pending snapshots are
+		// concatenated); chunk results need it only to canonicalize time
+		// order within equal keys.
+		parts [][]model.Tuple
 	)
+	collect := func(r *model.Result) {
+		if r == nil {
+			return
+		}
+		r.SortTuples()
+		mu.Lock()
+		res.MergeCounters(r)
+		if len(r.Tuples) > 0 {
+			parts = append(parts, r.Tuples)
+		}
+		mu.Unlock()
+	}
 	// Fresh-data subqueries run on their indexing servers in parallel with
 	// the chunk fan-out.
 	c.mu.RLock()
@@ -290,19 +315,13 @@ func (c *Coordinator) execute(q model.Query, root *telemetry.Span) (*model.Resul
 				memSp.SetInt("tuples", int64(len(r.Tuples)))
 			}
 			memSp.End()
-			mu.Lock()
-			res.Merge(r)
-			mu.Unlock()
+			collect(r)
 		}(execs[i], sq)
 	}
 
 	var chunkErr error
 	if len(chunkSubs) > 0 {
-		chunkErr = c.runChunkSubqueries(chunkSubs, func(r *model.Result) {
-			mu.Lock()
-			res.Merge(r)
-			mu.Unlock()
-		}, dispSp)
+		chunkErr = c.runChunkSubqueries(chunkSubs, collect, dispSp)
 	}
 	wg.Wait()
 	dispSp.End()
@@ -311,11 +330,11 @@ func (c *Coordinator) execute(q model.Query, root *telemetry.Span) (*model.Resul
 		finish(chunkErr)
 		return nil, tr, chunkErr
 	}
+	// K-way merge of the per-subquery sorted runs, stopping at Limit: a
+	// LIMIT n query pays O(n log k), not a full sort of everything the
+	// subqueries delivered.
 	mergeSp := root.StartChild("merge")
-	res.SortTuples()
-	if q.Limit > 0 && len(res.Tuples) > q.Limit {
-		res.Tuples = res.Tuples[:q.Limit]
-	}
+	res.Tuples = model.MergeSortedTuples(parts, q.Limit)
 	mergeSp.SetInt("tuples", int64(len(res.Tuples)))
 	mergeSp.End()
 	finish(nil)

@@ -10,6 +10,7 @@ package queryexec
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -131,9 +132,26 @@ func (s *Server) Recover() { s.down.Store(false) }
 // Down reports whether a failure is injected.
 func (s *Server) Down() bool { return s.down.Load() }
 
-func headerKey(id model.ChunkID) string { return fmt.Sprintf("h%d", id) }
+// headerKey and leafKey build cache keys ("h<chunk>", "l<chunk>:<leaf>")
+// with strconv appends into stack buffers — these run once per wanted leaf
+// on every subquery, and fmt.Sprintf's interface boxing made them the
+// dominant allocation on the cache-hit path. The single string conversion
+// that remains is the map key the cache needs anyway.
+func headerKey(id model.ChunkID) string {
+	var buf [21]byte // 'h' + max uint64 digits
+	b := append(buf[:0], 'h')
+	b = strconv.AppendUint(b, uint64(id), 10)
+	return string(b)
+}
 
-func leafKey(id model.ChunkID, i int) string { return fmt.Sprintf("l%d:%d", id, i) }
+func leafKey(id model.ChunkID, i int) string {
+	var buf [41]byte // 'l' + uint64 + ':' + int
+	b := append(buf[:0], 'l')
+	b = strconv.AppendUint(b, uint64(id), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, int64(i), 10)
+	return string(b)
+}
 
 // header returns the parsed chunk header, from cache or the file system.
 func (s *Server) header(ci meta.ChunkInfo) (*chunk.Header, bool, error) {
@@ -193,12 +211,17 @@ func (s *Server) ExecuteSubQueryTraced(sq *model.SubQuery, sp *telemetry.Span) (
 	openSp := sp.StartChild("chunk_open")
 	h, hit, err := s.header(ci)
 	if err != nil {
+		openSp.SetStr("error", err.Error())
+		openSp.End()
 		return nil, err
 	}
 	if hit {
 		res.CacheHits++
 		openSp.SetInt("cache_hit", 1)
 	} else {
+		// Header fetches count toward the byte metric like leaf reads do,
+		// so the Prometheus counter matches per-query BytesRead accounting.
+		s.m.BytesRead.Add(int64(h.HeaderLen))
 		res.BytesRead += int64(h.HeaderLen)
 		openSp.SetInt("header_bytes", int64(h.HeaderLen))
 	}
@@ -249,6 +272,8 @@ func (s *Server) ExecuteSubQueryTraced(sq *model.SubQuery, sp *telemetry.Span) (
 		length := h.Dir[last].Offset + h.Dir[last].Length - off
 		buf, _, err := s.fs.ReadAt(ci.Path, off, length, s.cfg.Node)
 		if err != nil {
+			readSp.SetStr("error", err.Error())
+			readSp.End()
 			return nil, err
 		}
 		coalesced++
@@ -278,7 +303,10 @@ func (s *Server) ExecuteSubQueryTraced(sq *model.SubQuery, sp *telemetry.Span) (
 			return sq.Limit <= 0 || len(res.Tuples) < sq.Limit
 		})
 		if err != nil {
-			return nil, fmt.Errorf("queryexec: chunk %d leaf %d: %w", ci.ID, li, err)
+			err = fmt.Errorf("queryexec: chunk %d leaf %d: %w", ci.ID, li, err)
+			scanSp.SetStr("error", err.Error())
+			scanSp.End()
+			return nil, err
 		}
 		if sq.Limit > 0 && len(res.Tuples) >= sq.Limit {
 			break

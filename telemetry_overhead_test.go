@@ -2,6 +2,14 @@ package waterwheel
 
 import (
 	"testing"
+	"time"
+
+	"waterwheel/internal/dfs"
+	"waterwheel/internal/ingest"
+	"waterwheel/internal/meta"
+	"waterwheel/internal/model"
+	"waterwheel/internal/queryexec"
+	"waterwheel/internal/telemetry"
 )
 
 // insertAllocs measures the average allocations of one DB.Insert on a
@@ -45,5 +53,73 @@ func TestTelemetryInsertOverhead(t *testing.T) {
 	if delta := on - off; delta > 0.5 {
 		t.Errorf("telemetry adds %.2f allocations per insert (on=%.2f off=%.2f), want 0",
 			delta, on, off)
+	}
+}
+
+// subQueryAllocs measures the average allocations of one fully-cached
+// chunk subquery: a single flushed chunk, a warm header + leaf cache,
+// and a narrow key range so the result stays small.
+func subQueryAllocs(t *testing.T, instrument bool) float64 {
+	t.Helper()
+	fs := dfs.New(dfs.Config{Nodes: 3, Replication: 2, Seed: 1, Sleep: func(time.Duration) {}})
+	ms := meta.NewServer(1)
+	is := ingest.NewServer(ingest.Config{
+		ID: 0, ChunkBytes: 1 << 30, Leaves: 16, SyncFlush: true,
+	}, fs, ms, 0)
+	t.Cleanup(is.Close)
+	for i := 0; i < 2000; i++ {
+		is.Insert(model.Tuple{
+			Key:     model.Key(uint64(i) * 2654435761),
+			Time:    model.Timestamp(1000 + i),
+			Payload: []byte{byte(i)},
+		})
+	}
+	info, ok := is.Flush()
+	if !ok {
+		t.Fatal("flush produced no chunk")
+	}
+	var m *queryexec.ServerMetrics
+	if instrument {
+		m = queryexec.NewServerMetrics(telemetry.NewRegistry())
+	}
+	qs := queryexec.NewServer(queryexec.ServerConfig{
+		ID: 0, Node: 0, CacheBytes: 64 << 20, UseBloom: true, Metrics: m,
+	}, fs, ms)
+	sq := &model.SubQuery{
+		Region: model.Region{
+			Keys:  model.KeyRange{Lo: info.Region.Keys.Lo, Hi: info.Region.Keys.Lo + 100},
+			Times: info.Region.Times,
+		},
+		Chunk: info.ID,
+	}
+	// Warm the caches: the first execution faults in the header and the
+	// leaves the region touches; every later execution is pure cache hits.
+	if _, err := qs.ExecuteSubQuery(sq); err != nil {
+		t.Fatal(err)
+	}
+	return testing.AllocsPerRun(2000, func() {
+		if _, err := qs.ExecuteSubQuery(sq); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestTelemetryCacheHitSubQueryOverhead extends the hot-path alloc guard
+// to the query side: a cache-hit subquery must not allocate more with
+// telemetry enabled, and its absolute allocation count must stay bounded
+// (this is what keeps strconv-built cache keys from regressing back to
+// fmt.Sprintf).
+func TestTelemetryCacheHitSubQueryOverhead(t *testing.T) {
+	off := subQueryAllocs(t, false)
+	on := subQueryAllocs(t, true)
+	if delta := on - off; delta > 0.5 {
+		t.Errorf("telemetry adds %.2f allocations per cache-hit subquery (on=%.2f off=%.2f), want 0",
+			delta, on, off)
+	}
+	t.Logf("cache-hit subquery allocs: on=%.2f off=%.2f", on, off)
+	// ~8 today; headroom for slice-growth jitter, but tight enough that a
+	// fmt.Sprintf cache key (several allocs per lookup) fails the guard.
+	if on > 20 {
+		t.Errorf("cache-hit subquery allocates %.2f times, want <= 20", on)
 	}
 }

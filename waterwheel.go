@@ -92,6 +92,15 @@ type Options struct {
 	// SyncIngest bypasses the WAL for maximum single-process throughput;
 	// forfeits crash recovery.
 	SyncIngest bool
+	// FlushQueueDepth bounds each indexing server's asynchronous flush
+	// pipeline: at most this many swapped-out memtable snapshots may await
+	// persistence before inserts crossing the chunk threshold block
+	// (default 2). Snapshots stay queryable while in the queue.
+	FlushQueueDepth int
+	// SyncFlush performs chunk build + DFS write inline on the inserting
+	// goroutine instead of the background flusher — the pre-pipeline
+	// behavior, kept as a benchmark baseline and ablation switch.
+	SyncFlush bool
 	// EnableSecondaryIndex builds per-leaf bloom filters over the
 	// big-endian uint64 payload field at SecondaryIndexOffset (the paper's
 	// §VIII future-work extension). Queries whose filter pins that field
@@ -143,6 +152,8 @@ func Open(opts Options) (*DB, error) {
 		BalanceIntervalMillis: opts.BalanceIntervalMillis,
 		DisableBloom:          opts.DisableBloom,
 		SyncIngest:            opts.SyncIngest,
+		FlushQueueDepth:       opts.FlushQueueDepth,
+		SyncFlush:             opts.SyncFlush,
 		DataDir:               opts.DataDir,
 		Seed:                  opts.Seed,
 		TraceCapacity:         opts.TraceCapacity,

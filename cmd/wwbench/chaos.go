@@ -1,0 +1,65 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"waterwheel/internal/chaos"
+)
+
+// runChaos implements the "wwbench chaos" subcommand: it drives the
+// deterministic fault-injection harness (internal/chaos) from the command
+// line, either over a bank of consecutive seeds (-seeds) or a single seed
+// (-seed), and exits non-zero if any run ends with invariant violations.
+// CI uses it as the chaos smoke step; developers use it to replay a seed a
+// failing test printed.
+func runChaos(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	var (
+		seeds   = fs.Int("seeds", 4, "number of consecutive seeds to run, starting at -seed")
+		seed    = fs.Int64("seed", 1, "first (or only) seed")
+		ops     = fs.Int("ops", 80, "schedule length per run")
+		nodes   = fs.Int("nodes", 3, "cluster nodes")
+		trace   = fs.Bool("trace", false, "print the full op trace of every run")
+		dataDir = fs.String("datadir", "", "run disk-backed with a restart pass (empty: in-memory)")
+	)
+	fs.Parse(args)
+
+	failed := false
+	for s := *seed; s < *seed+int64(*seeds); s++ {
+		opts := chaos.Options{Seed: s, Ops: *ops, Nodes: *nodes}
+		if *dataDir != "" {
+			dir, err := os.MkdirTemp(*dataDir, fmt.Sprintf("chaos-seed%d-", s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wwbench chaos:", err)
+				os.Exit(1)
+			}
+			opts.DataDir = dir
+			opts.Restart = true
+		}
+		rep, err := chaos.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wwbench chaos: seed %d: %v\n", s, err)
+			os.Exit(1)
+		}
+		status := "ok"
+		if len(rep.Violations) > 0 {
+			status = fmt.Sprintf("FAIL (%d violations)", len(rep.Violations))
+			failed = true
+		}
+		fmt.Printf("seed %-4d ops %-4d inserted %-6d queries %-4d faults %d: %s\n",
+			rep.Seed, *ops, rep.Inserted, rep.Queries, len(rep.FaultsSeen), status)
+		if *trace || len(rep.Violations) > 0 {
+			for _, line := range rep.Trace {
+				fmt.Println("  ", line)
+			}
+		}
+		for _, v := range rep.Violations {
+			fmt.Println("  violation:", v)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -6,6 +6,11 @@
 //	wwbench -experiment fig7a            # one experiment
 //	wwbench -experiment all -scale 0.2   # the whole suite, scaled down
 //	wwbench -list                        # show experiment ids
+//
+// The chaos subcommand runs the deterministic fault-injection harness:
+//
+//	wwbench chaos -seeds 8 -ops 120      # seed bank, exit 1 on violations
+//	wwbench chaos -seed 3 -ops 140 -trace  # replay one seed with its op trace
 package main
 
 import (
@@ -18,6 +23,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		runChaos(os.Args[2:])
+		return
+	}
 	var (
 		experiment = flag.String("experiment", "all", "experiment id or \"all\"")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor")

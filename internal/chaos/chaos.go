@@ -1,0 +1,575 @@
+// Package chaos is a deterministic fault-injection harness for a full
+// Waterwheel cluster. From a single RNG seed it pre-generates a schedule
+// interleaving inserts, temporal range queries, flushes, balancer ticks,
+// retention drops, WAL truncation and faults — DFS node kill/revive,
+// transient DFS write/read error injection, indexing-server crashes (plain
+// and provably mid-flush) — then drives the cluster through it while
+// checking global invariants after every step:
+//
+//   - soundness: every returned tuple was acked, lies inside the query
+//     region, matches the oracle's key/time for its sequence number, and
+//     appears at most once per result;
+//   - results arrive in the global (key, time, payload) sort order;
+//   - WAL/metadata flush offsets never regress;
+//   - queries fail only while a read fault or DFS node loss is plausible;
+//   - completeness: at every barrier (faults healed, pipeline drained) a
+//     full-region query returns every acked tuple exactly once — tuples in
+//     retention-dropped chunks are exempt but must still never duplicate.
+//
+// Determinism: the schedule — and therefore the trace — is a pure function
+// of (seed, op count). Tuple-level randomness comes from a sub-RNG seeded
+// by (seed, op index), and the cluster runs with a no-op DFS sleeper, a
+// fault RNG seeded from the harness seed, and manual balancer ticks, so a
+// failing seed replays the identical scenario.
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"waterwheel/internal/cluster"
+	"waterwheel/internal/model"
+)
+
+// Fault classes a run can prove it exercised (Report.FaultsSeen keys).
+const (
+	FaultDFSNodeLoss   = "dfs-node-loss"
+	FaultDFSWriteError = "dfs-write-error"
+	FaultDFSReadError  = "dfs-read-error"
+	FaultCrash         = "index-server-crash"
+	FaultCrashMidFlush = "index-server-crash-mid-flush"
+)
+
+// Options configures one harness run.
+type Options struct {
+	// Seed determines the whole scenario; same seed, same schedule.
+	Seed int64
+	// Ops is the schedule length (default 60). The schedule always begins
+	// with inserts and ends with a barrier.
+	Ops int
+	// Nodes is the simulated node count (default 3, replication 2).
+	Nodes int
+	// DataDir, when set, runs the cluster durably (disk-backed WAL/DFS).
+	DataDir string
+	// Restart, with DataDir, stops the cluster after the schedule, reopens
+	// it from disk and re-verifies completeness — end-to-end durability.
+	Restart bool
+}
+
+func (o *Options) fill() {
+	if o.Ops <= 0 {
+		o.Ops = 60
+	}
+	if o.Nodes <= 0 {
+		o.Nodes = 3
+	}
+}
+
+// Report is the outcome of a run. A correct system yields zero violations
+// for every seed.
+type Report struct {
+	Seed       int64
+	Trace      []string // one line per executed op; outcome-independent
+	Violations []string // invariant breaches, each tagged with its op index
+	Inserted   int
+	Queries    int
+	FaultsSeen map[string]bool
+}
+
+// opKind enumerates schedule steps.
+type opKind int
+
+const (
+	opInsert opKind = iota
+	opQuery
+	opFlush
+	opBalance
+	opRetention
+	opTruncateWAL
+	opKillDFS
+	opReviveDFS
+	opWriteFaults
+	opReadFaults
+	opCrash
+	opCrashMidFlush
+	opBarrier
+)
+
+var opNames = map[opKind]string{
+	opInsert: "insert", opQuery: "query", opFlush: "flush-all",
+	opBalance: "tick-balance", opRetention: "retention",
+	opTruncateWAL: "truncate-wal", opKillDFS: "kill-dfs",
+	opReviveDFS: "revive-dfs", opWriteFaults: "write-faults",
+	opReadFaults: "read-faults", opCrash: "crash",
+	opCrashMidFlush: "crash-mid-flush", opBarrier: "barrier",
+}
+
+// op is one pre-generated schedule step. All parameters are fixed at
+// schedule-generation time so the trace cannot depend on execution outcome.
+type op struct {
+	kind opKind
+	n    int     // batch size, fail-next count, node or server id
+	alt  bool    // variant switch (rate-based vs fail-next faults, ...)
+	rate float64 // fault probability for rate-based injection
+}
+
+func (o op) String() string {
+	switch o.kind {
+	case opInsert:
+		return fmt.Sprintf("%s n=%d", opNames[o.kind], o.n)
+	case opKillDFS, opReviveDFS:
+		return fmt.Sprintf("%s node=%d", opNames[o.kind], o.n)
+	case opCrash, opCrashMidFlush:
+		return fmt.Sprintf("%s server=%d", opNames[o.kind], o.n)
+	case opWriteFaults, opReadFaults:
+		if o.alt {
+			return fmt.Sprintf("%s rate=%.2f", opNames[o.kind], o.rate)
+		}
+		return fmt.Sprintf("%s next=%d", opNames[o.kind], o.n)
+	default:
+		return opNames[o.kind]
+	}
+}
+
+// weights shape the schedule mix; inserts and queries dominate, faults are
+// frequent enough that every multi-seed run exercises each class.
+var weights = []struct {
+	kind opKind
+	w    int
+}{
+	{opInsert, 30}, {opQuery, 18}, {opFlush, 7}, {opBalance, 5},
+	{opRetention, 4}, {opTruncateWAL, 4}, {opKillDFS, 4}, {opReviveDFS, 6},
+	{opWriteFaults, 5}, {opReadFaults, 5}, {opCrash, 3}, {opCrashMidFlush, 2},
+	{opBarrier, 7},
+}
+
+// genSchedule derives the op sequence from the seed alone. nIdx and nodes
+// bound the id parameters.
+func genSchedule(seed int64, nOps, nodes, nIdx int) []op {
+	master := rand.New(rand.NewSource(seed))
+	total := 0
+	for _, w := range weights {
+		total += w.w
+	}
+	sched := make([]op, 0, nOps)
+	for i := 0; i < nOps; i++ {
+		var o op
+		if i < 3 {
+			o.kind = opInsert // open with data so early ops have substance
+		} else if i == nOps-1 {
+			o.kind = opBarrier // always end healed and fully verified
+		} else {
+			pick := master.Intn(total)
+			for _, w := range weights {
+				if pick < w.w {
+					o.kind = w.kind
+					break
+				}
+				pick -= w.w
+			}
+		}
+		switch o.kind {
+		case opInsert:
+			o.n = 20 + master.Intn(100)
+		case opKillDFS, opReviveDFS:
+			o.n = master.Intn(nodes)
+		case opCrash, opCrashMidFlush:
+			o.n = master.Intn(nIdx)
+		case opWriteFaults:
+			o.alt = master.Intn(2) == 0
+			o.n = 1 + master.Intn(6)
+			o.rate = 0.2 + 0.5*master.Float64()
+		case opReadFaults:
+			o.alt = master.Intn(2) == 0
+			o.n = 1 + master.Intn(6)
+			o.rate = 0.2 + 0.4*master.Float64()
+		}
+		sched = append(sched, o)
+	}
+	return sched
+}
+
+// entry is one acked insert in the oracle, indexed by the sequence number
+// embedded in the tuple payload.
+type entry struct {
+	key model.Key
+	ts  model.Timestamp
+	// maybeDropped: a retention horizon passed this entry's timestamp, so
+	// a chunk holding it may have been dropped — presence is optional,
+	// uniqueness still mandatory.
+	maybeDropped bool
+}
+
+// runner holds the mutable state of one run.
+type runner struct {
+	opts Options
+	c    *cluster.Cluster
+	rep  *Report
+
+	entries    []entry
+	virtualNow model.Timestamp
+	maxOffsets []int64
+	killedDFS  map[int]bool
+	// readFaultsPossible: a read-fault op ran since the last barrier, so
+	// query errors are excusable until the next heal.
+	readFaultsPossible bool
+	nIdx               int
+}
+
+const (
+	baseTime  model.Timestamp = 1_000_000 // virtual stream start, ms
+	keyDomain                 = 1 << 20
+)
+
+// clusterConfig builds the small, flush-happy cluster the harness drives:
+// tiny chunks so flushes and chunk queries happen constantly, a shallow
+// flush queue so backpressure and mid-flight failures are reachable, and a
+// no-op sleeper so simulated DFS latency costs no wall-clock time.
+func clusterConfig(opts Options) cluster.Config {
+	return cluster.Config{
+		Nodes:                 opts.Nodes,
+		IndexServersPerNode:   2,
+		QueryServersPerNode:   2,
+		DispatchersPerNode:    1,
+		ChunkBytes:            4 << 10,
+		Replication:           2,
+		FlushQueueDepth:       4,
+		TemplateLeaves:        32,
+		BalanceIntervalMillis: 0, // manual TickBalance only
+		Seed:                  opts.Seed,
+		DFSFaultSeed:          opts.Seed + 1,
+		SleepFn:               func(time.Duration) {},
+		DataDir:               opts.DataDir,
+	}
+}
+
+// newRunner opens the cluster for opts and returns a runner ready to
+// execute a schedule.
+func newRunner(opts Options) (*runner, error) {
+	opts.fill()
+	cfg := clusterConfig(opts)
+	nIdx := cfg.Nodes * cfg.IndexServersPerNode
+	c, err := cluster.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c.Start()
+	return &runner{
+		opts:       opts,
+		c:          c,
+		rep:        &Report{Seed: opts.Seed, FaultsSeen: map[string]bool{}},
+		virtualNow: baseTime,
+		maxOffsets: make([]int64, nIdx),
+		killedDFS:  map[int]bool{},
+		nIdx:       nIdx,
+	}, nil
+}
+
+// Run executes one seeded scenario and returns its report. It never calls
+// t.Fatal itself so callers (tests, wwbench) decide how to surface
+// violations; an error is returned only when the cluster cannot open.
+func Run(opts Options) (*Report, error) {
+	opts.fill()
+	r, err := newRunner(opts)
+	if err != nil {
+		return nil, err
+	}
+	sched := genSchedule(opts.Seed, opts.Ops, r.opts.Nodes, r.nIdx)
+	r.runSchedule(sched)
+	if opts.Restart && opts.DataDir != "" {
+		r.heal()
+		r.c.Stop()
+		c2, err := cluster.Open(clusterConfig(r.opts))
+		if err != nil {
+			return r.rep, fmt.Errorf("chaos: reopen: %w", err)
+		}
+		r.c = c2
+		c2.Start()
+		r.trace(len(sched), "restart: reopened from %s", opts.DataDir)
+		r.c.Drain()
+		r.verifyComplete(len(sched))
+		c2.Stop()
+		return r.rep, nil
+	}
+	r.c.Stop()
+	return r.rep, nil
+}
+
+func (r *runner) runSchedule(sched []op) {
+	for i, o := range sched {
+		r.trace(i, "%s", o)
+		r.exec(i, o)
+		r.checkOffsets(i)
+	}
+}
+
+func (r *runner) trace(i int, format string, args ...any) {
+	r.rep.Trace = append(r.rep.Trace, fmt.Sprintf("%03d %s", i, fmt.Sprintf(format, args...)))
+}
+
+func (r *runner) violate(i int, format string, args ...any) {
+	r.rep.Violations = append(r.rep.Violations,
+		fmt.Sprintf("op %03d: %s", i, fmt.Sprintf(format, args...)))
+}
+
+// subRNG returns the per-op randomness source: a fixed mix of the seed and
+// the op index, so replaying a seed replays every tuple and range.
+func (r *runner) subRNG(i int) *rand.Rand {
+	return rand.New(rand.NewSource(r.opts.Seed*1_000_003 + int64(i)*7919))
+}
+
+func (r *runner) exec(i int, o op) {
+	switch o.kind {
+	case opInsert:
+		r.insertBatch(i, o.n)
+	case opQuery:
+		r.query(i)
+	case opFlush:
+		r.c.FlushAll()
+	case opBalance:
+		r.c.TickBalance()
+	case opRetention:
+		r.retention(i)
+	case opTruncateWAL:
+		r.c.TruncateWALBefore()
+	case opKillDFS:
+		r.c.FS().KillNode(o.n)
+		r.killedDFS[o.n] = true
+		r.rep.FaultsSeen[FaultDFSNodeLoss] = true
+	case opReviveDFS:
+		r.c.FS().ReviveNode(o.n)
+		delete(r.killedDFS, o.n)
+	case opWriteFaults:
+		if o.alt {
+			r.c.FS().SetWriteFailRate(o.rate)
+		} else {
+			r.c.FS().FailNextWrites(o.n)
+		}
+		r.rep.FaultsSeen[FaultDFSWriteError] = true
+	case opReadFaults:
+		if o.alt {
+			r.c.FS().SetReadFailRate(o.rate)
+		} else {
+			r.c.FS().FailNextReads(o.n)
+		}
+		r.readFaultsPossible = true
+		r.rep.FaultsSeen[FaultDFSReadError] = true
+	case opCrash:
+		if err := r.c.KillIndexServer(o.n); err != nil {
+			r.violate(i, "kill index server %d: %v", o.n, err)
+		}
+		r.rep.FaultsSeen[FaultCrash] = true
+	case opCrashMidFlush:
+		r.crashMidFlush(i, o.n)
+	case opBarrier:
+		r.barrier(i)
+	}
+}
+
+// insertBatch acks n tuples through the dispatchers and records them in
+// the oracle. Payloads carry the oracle sequence number; timestamps mostly
+// advance the virtual stream clock, with a late tail (some beyond the
+// side-store threshold).
+func (r *runner) insertBatch(i, n int) {
+	sub := r.subRNG(i)
+	hot := model.Key(sub.Uint64() % keyDomain)
+	for j := 0; j < n; j++ {
+		var key model.Key
+		if sub.Intn(10) < 3 {
+			key = hot + model.Key(sub.Uint64()%256) // skewed cluster
+		} else {
+			key = model.Key(sub.Uint64() % keyDomain)
+		}
+		r.virtualNow += model.Timestamp(1 + sub.Int63n(30))
+		ts := r.virtualNow
+		switch lat := sub.Intn(100); {
+		case lat < 3: // very late: side-store territory (>60 s)
+			ts -= 60_000 + model.Timestamp(sub.Int63n(60_000))
+		case lat < 13: // mildly late: stays in the main tree
+			ts -= model.Timestamp(sub.Int63n(30_000))
+		}
+		if ts < 0 {
+			ts = 0
+		}
+		r.insert(key, ts)
+	}
+}
+
+func (r *runner) insert(key model.Key, ts model.Timestamp) {
+	seq := uint64(len(r.entries))
+	payload := make([]byte, 8)
+	binary.BigEndian.PutUint64(payload, seq)
+	r.entries = append(r.entries, entry{key: key, ts: ts})
+	r.c.Insert(model.Tuple{Key: key, Time: ts, Payload: payload})
+	r.rep.Inserted++
+}
+
+// query runs one random temporal range query and checks soundness.
+func (r *runner) query(i int) {
+	sub := r.subRNG(i)
+	q := model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()}
+	if sub.Intn(5) > 0 { // 80%: a proper sub-range on both dimensions
+		lo := model.Key(sub.Uint64() % keyDomain)
+		q.Keys = model.KeyRange{Lo: lo, Hi: lo + model.Key(sub.Uint64()%(keyDomain/4))}
+		span := int64(r.virtualNow-baseTime) + 130_000
+		tlo := baseTime - 130_000 + model.Timestamp(sub.Int63n(span))
+		q.Times = model.TimeRange{Lo: tlo, Hi: tlo + model.Timestamp(sub.Int63n(span))}
+	}
+	r.rep.Queries++
+	res, err := r.c.Query(q)
+	if err != nil {
+		if !r.readFaultsPossible && len(r.killedDFS) == 0 {
+			r.violate(i, "query failed with no read fault plausible: %v", err)
+		}
+		return
+	}
+	r.checkResult(i, q, res, false)
+}
+
+// retention drops chunks wholly before a horizon trailing the stream clock
+// and marks oracle entries older than it as optional-but-unique.
+func (r *runner) retention(i int) {
+	sub := r.subRNG(i)
+	horizon := r.virtualNow - 100_000 + model.Timestamp(sub.Int63n(50_000))
+	for j := range r.entries {
+		if r.entries[j].ts < horizon {
+			r.entries[j].maybeDropped = true
+		}
+	}
+	n := r.c.DropChunksBefore(horizon)
+	_ = n // count varies with flush timing; the oracle marking is what matters
+}
+
+// crashMidFlush forces every DFS write to fail, floods one indexing server
+// past its flush threshold, waits until a snapshot is provably stuck in
+// the pipeline (PendingFlushes > 0), and crashes the server with the flush
+// in flight. The fault class counts as covered only when the stuck
+// snapshot was actually observed.
+func (r *runner) crashMidFlush(i, server int) {
+	sub := r.subRNG(i)
+	r.c.FS().SetWriteFailRate(1)
+	kr := r.c.Metadata().Schema().IntervalOf(server)
+	span := uint64(kr.Hi - kr.Lo)
+	if span > 1<<16 {
+		span = 1 << 16
+	}
+	// ~24 B per tuple vs a 4 KiB chunk threshold: 256 tuples cross it.
+	for j := 0; j < 256; j++ {
+		r.virtualNow += model.Timestamp(1 + sub.Int63n(3))
+		r.insert(kr.Lo+model.Key(sub.Uint64()%(span+1)), r.virtualNow)
+	}
+	stuck := false
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if r.c.IndexServers()[server].PendingFlushes() > 0 {
+			stuck = true
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if err := r.c.KillIndexServer(server); err != nil {
+		r.violate(i, "kill index server %d: %v", server, err)
+	}
+	r.c.FS().ClearFaults()
+	if stuck {
+		r.rep.FaultsSeen[FaultCrashMidFlush] = true
+		r.rep.FaultsSeen[FaultCrash] = true
+		r.rep.FaultsSeen[FaultDFSWriteError] = true
+	}
+}
+
+// heal clears injected faults and revives every killed DFS node.
+func (r *runner) heal() {
+	r.c.FS().ClearFaults()
+	for node := range r.killedDFS {
+		r.c.FS().ReviveNode(node)
+		delete(r.killedDFS, node)
+	}
+}
+
+// barrier heals all faults, drains ingestion and the flush pipelines, and
+// verifies completeness: every acked tuple (minus retention-dropped ones)
+// is returned exactly once by a full-region query.
+func (r *runner) barrier(i int) {
+	r.heal()
+	r.c.Drain()
+	r.verifyComplete(i)
+	r.readFaultsPossible = false
+}
+
+func (r *runner) verifyComplete(i int) {
+	q := model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()}
+	res, err := r.c.Query(q)
+	if err != nil {
+		r.violate(i, "full-region query failed at barrier: %v", err)
+		return
+	}
+	r.checkResult(i, q, res, true)
+}
+
+// checkResult enforces the per-query invariants; with complete set it also
+// requires every eligible acked entry to be present.
+func (r *runner) checkResult(i int, q model.Query, res *model.Result, complete bool) {
+	seen := make(map[uint64]bool, len(res.Tuples))
+	for j := range res.Tuples {
+		t := &res.Tuples[j]
+		if j > 0 && model.CompareTuples(&res.Tuples[j-1], t) > 0 {
+			r.violate(i, "result unsorted at index %d: %v after %v", j, t, &res.Tuples[j-1])
+		}
+		if !q.Keys.Contains(t.Key) || !q.Times.Contains(t.Time) {
+			r.violate(i, "tuple %v outside query region %v/%v", t, q.Keys, q.Times)
+		}
+		if len(t.Payload) != 8 {
+			r.violate(i, "tuple %v carries a malformed payload", t)
+			continue
+		}
+		seq := binary.BigEndian.Uint64(t.Payload)
+		if seq >= uint64(len(r.entries)) {
+			r.violate(i, "tuple %v has unknown seq %d (acked %d)", t, seq, len(r.entries))
+			continue
+		}
+		e := r.entries[seq]
+		if e.key != t.Key || e.ts != t.Time {
+			r.violate(i, "seq %d returned as (%d,%d), acked as (%d,%d)",
+				seq, t.Key, t.Time, e.key, e.ts)
+		}
+		if seen[seq] {
+			r.violate(i, "seq %d returned more than once", seq)
+		}
+		seen[seq] = true
+	}
+	if !complete {
+		return
+	}
+	missing := 0
+	for seq, e := range r.entries {
+		if e.maybeDropped || seen[uint64(seq)] {
+			continue
+		}
+		if !q.Keys.Contains(e.key) || !q.Times.Contains(e.ts) {
+			continue
+		}
+		missing++
+		if missing <= 5 { // cap the noise; the count is reported below
+			r.violate(i, "acked seq %d (key=%d time=%d) missing at barrier", seq, e.key, e.ts)
+		}
+	}
+	if missing > 5 {
+		r.violate(i, "%d acked tuples missing at barrier in total", missing)
+	}
+}
+
+// checkOffsets asserts that no indexing server's committed WAL offset ever
+// moves backwards — the §V recovery contract.
+func (r *runner) checkOffsets(i int) {
+	ms := r.c.Metadata()
+	for s := 0; s < r.nIdx; s++ {
+		off := ms.Offset(s)
+		if off < r.maxOffsets[s] {
+			r.violate(i, "server %d WAL offset regressed %d -> %d", s, r.maxOffsets[s], off)
+		}
+		r.maxOffsets[s] = off
+	}
+}

@@ -1,0 +1,150 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// report fails the test on violations, printing the seed and the tail of
+// the op trace so the scenario can be replayed exactly.
+func report(t *testing.T, rep *Report) {
+	t.Helper()
+	if len(rep.Violations) == 0 {
+		return
+	}
+	tail := rep.Trace
+	if len(tail) > 30 {
+		tail = tail[len(tail)-30:]
+	}
+	t.Errorf("seed %d: %d invariant violations:\n  %s\nop trace (tail):\n  %s",
+		rep.Seed, len(rep.Violations),
+		strings.Join(rep.Violations, "\n  "),
+		strings.Join(tail, "\n  "))
+}
+
+// TestChaosSeeds drives the full harness over a bank of fixed seeds: 8 in
+// -short mode, more in full mode. Every run must finish with zero
+// invariant violations; a failure prints the seed and op trace needed to
+// reproduce it (go test ./internal/chaos -run TestChaosSeeds/seed=N).
+func TestChaosSeeds(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	ops := 60
+	if !testing.Short() {
+		for s := int64(9); s <= 24; s++ {
+			seeds = append(seeds, s)
+		}
+		ops = 140
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(sName(seed), func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(Options{Seed: seed, Ops: ops})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			report(t, rep)
+			if rep.Inserted == 0 || rep.Queries == 0 {
+				t.Errorf("seed %d: degenerate schedule (inserted=%d queries=%d)",
+					seed, rep.Inserted, rep.Queries)
+			}
+		})
+	}
+}
+
+func sName(seed int64) string {
+	return "seed=" + string(rune('0'+seed/10)) + string(rune('0'+seed%10))
+}
+
+// TestChaosTraceDeterminism: the same seed must produce the identical op
+// trace on every run — the property that makes a failing seed replayable.
+func TestChaosTraceDeterminism(t *testing.T) {
+	opts := Options{Seed: 5, Ops: 50}
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trace) != len(b.Trace) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a.Trace), len(b.Trace))
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			t.Fatalf("trace diverged at op %d:\n  run1: %s\n  run2: %s", i, a.Trace[i], b.Trace[i])
+		}
+	}
+	if a.Inserted != b.Inserted || a.Queries != b.Queries {
+		t.Errorf("op counts diverged: (%d,%d) vs (%d,%d)",
+			a.Inserted, a.Queries, b.Inserted, b.Queries)
+	}
+	report(t, a)
+	report(t, b)
+}
+
+// TestChaosFaultClassCoverage runs a hand-built schedule that provably
+// exercises each required fault class — DFS node loss, transient DFS write
+// error (observed via the injection counters), and an indexing-server
+// crash with a flush stuck in flight (observed via PendingFlushes) — and
+// still ends with zero invariant violations.
+func TestChaosFaultClassCoverage(t *testing.T) {
+	r, err := newRunner(Options{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := []op{
+		{kind: opInsert, n: 80},
+		{kind: opInsert, n: 80},
+		{kind: opBarrier},
+		// Class 1: DFS node loss while inserting and querying.
+		{kind: opKillDFS, n: 0},
+		{kind: opInsert, n: 60},
+		{kind: opQuery},
+		{kind: opBarrier},
+		// Class 2: transient DFS write errors under a forced flush.
+		{kind: opWriteFaults, n: 4},
+		{kind: opFlush},
+		{kind: opBarrier},
+		// Transient read errors under a query.
+		{kind: opReadFaults, n: 3},
+		{kind: opQuery},
+		{kind: opBarrier},
+		// Class 3: crash with a snapshot provably stuck mid-flush.
+		{kind: opCrashMidFlush, n: 1},
+		{kind: opBarrier},
+		// Plain crash + WAL replay on a different server.
+		{kind: opCrash, n: 4},
+		{kind: opInsert, n: 40},
+		{kind: opBarrier},
+	}
+	r.runSchedule(sched)
+	m := r.c.FS().Metrics()
+	injectedWrites := m.InjectedWriteFailures.Load()
+	r.c.Stop()
+
+	report(t, r.rep)
+	for _, class := range []string{FaultDFSNodeLoss, FaultDFSWriteError, FaultCrash, FaultCrashMidFlush} {
+		if !r.rep.FaultsSeen[class] {
+			t.Errorf("fault class %q not covered", class)
+		}
+	}
+	if injectedWrites == 0 {
+		t.Error("no DFS write failures were actually injected")
+	}
+}
+
+// TestChaosDurableRestart runs a seed against a disk-backed cluster, then
+// stops it, reopens from the same data directory and re-verifies that
+// every acked tuple survived — recovery across a full process "restart".
+func TestChaosDurableRestart(t *testing.T) {
+	rep, err := Run(Options{Seed: 11, Ops: 40, DataDir: t.TempDir(), Restart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, rep)
+	if rep.Inserted == 0 {
+		t.Error("degenerate schedule: nothing inserted")
+	}
+}

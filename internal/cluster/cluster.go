@@ -86,6 +86,17 @@ type Config struct {
 	Bloom chunk.BuildOptions
 	// Seed drives DFS placement and samplers.
 	Seed int64
+	// DFSFaultSeed seeds the DFS fault-injection RNG (chaos testing); kept
+	// separate from Seed so injecting faults never perturbs placement.
+	DFSFaultSeed int64
+	// SleepFn replaces time.Sleep for simulated DFS I/O time — a virtual
+	// clock makes fault-injection runs deterministic and free of wall-clock
+	// waits. Nil uses real sleeps.
+	SleepFn func(time.Duration)
+	// FlushFailHook is handed to every indexing server (including crash
+	// replacements): consulted before each chunk DFS write, a non-nil error
+	// fails the attempt. Chaos-testing injection surface.
+	FlushFailHook func(server, seq int, attempt int32) error
 	// Telemetry, when non-nil, is the metric registry every component
 	// reports into; nil runs the cluster without instrumentation (the
 	// hot paths then cost only nil checks).
@@ -190,6 +201,8 @@ func Open(cfg Config) (*Cluster, error) {
 		Replication: cfg.Replication,
 		Latency:     cfg.DFSLatency,
 		Seed:        cfg.Seed,
+		FaultSeed:   cfg.DFSFaultSeed,
+		Sleep:       cfg.SleepFn,
 	}
 	if reg != nil {
 		localReads := reg.Histogram(`waterwheel_dfs_read_seconds{locality="local"}`,
@@ -270,21 +283,7 @@ func Open(cfg Config) (*Cluster, error) {
 
 	schema := c.ms.Schema()
 	for i := 0; i < nIdx; i++ {
-		node := i / cfg.IndexServersPerNode
-		srv := ingest.NewServer(ingest.Config{
-			ID:                  i,
-			Keys:                schema.IntervalOf(i),
-			ChunkBytes:          cfg.ChunkBytes,
-			Leaves:              cfg.TemplateLeaves,
-			SkewThreshold:       cfg.SkewThreshold,
-			CheckEvery:          cfg.CheckEvery,
-			SideThresholdMillis: cfg.SideThresholdMillis,
-			Bloom:               cfg.Bloom,
-			NoTemplateReuse:     cfg.NoTemplateReuse,
-			FlushQueueDepth:     cfg.FlushQueueDepth,
-			SyncFlush:           cfg.SyncFlush,
-			Metrics:             c.ingestMetrics,
-		}, c.fs, c.ms, node)
+		srv := c.newIndexServer(i, schema.IntervalOf(i))
 		c.idx = append(c.idx, srv)
 		c.coord.SetMemExecutor(i, srv)
 	}
@@ -319,6 +318,27 @@ func Open(cfg Config) (*Cluster, error) {
 	}
 	c.registerFuncMetrics()
 	return c, nil
+}
+
+// newIndexServer builds indexing server i from the cluster config — the
+// single source of per-server settings, shared by Open and crash recovery
+// so a replacement server never silently diverges from the original.
+func (c *Cluster) newIndexServer(i int, keys model.KeyRange) *ingest.Server {
+	return ingest.NewServer(ingest.Config{
+		ID:                  i,
+		Keys:                keys,
+		ChunkBytes:          c.cfg.ChunkBytes,
+		Leaves:              c.cfg.TemplateLeaves,
+		SkewThreshold:       c.cfg.SkewThreshold,
+		CheckEvery:          c.cfg.CheckEvery,
+		SideThresholdMillis: c.cfg.SideThresholdMillis,
+		Bloom:               c.cfg.Bloom,
+		NoTemplateReuse:     c.cfg.NoTemplateReuse,
+		FlushQueueDepth:     c.cfg.FlushQueueDepth,
+		SyncFlush:           c.cfg.SyncFlush,
+		FlushFailHook:       c.cfg.FlushFailHook,
+		Metrics:             c.ingestMetrics,
+	}, c.fs, c.ms, i/c.cfg.IndexServersPerNode)
 }
 
 // metaSnapPath is the metadata snapshot file within a data directory.
@@ -566,12 +586,15 @@ func (c *Cluster) MemLen() int {
 	return n
 }
 
-// CrashIndexServer simulates an indexing-server failure and recovery (§V):
-// the server's goroutine stops, its in-memory state is discarded, and a
-// replacement replays its WAL partition from the offset stored in the
-// metadata server. Only valid in WAL mode. The call blocks until the
-// replacement has caught up with the partition head at call time.
-func (c *Cluster) CrashIndexServer(i int) error {
+// KillIndexServer crashes indexing server i without waiting for recovery:
+// the consumer goroutine detaches, the old incarnation's flusher is
+// aborted — an in-flight chunk write can no longer register its chunk or
+// advance the WAL offset, which would otherwise duplicate tuples the
+// replacement is about to replay — and a replacement server starts
+// replaying the WAL partition from the last committed offset. It returns
+// as soon as the replacement is consuming; use CrashIndexServer to also
+// wait for catch-up. Only valid in WAL mode.
+func (c *Cluster) KillIndexServer(i int) error {
 	if c.cfg.SyncIngest {
 		return fmt.Errorf("cluster: recovery requires WAL mode")
 	}
@@ -584,29 +607,35 @@ func (c *Cluster) CrashIndexServer(i int) error {
 	cs := make(chan struct{})
 	c.consStop[i] = cs
 	c.consMu.Unlock()
-	node := i / c.cfg.IndexServersPerNode
-	schema := c.ms.Schema()
-	repl := ingest.NewServer(ingest.Config{
-		ID:                  i,
-		Keys:                schema.IntervalOf(i),
-		ChunkBytes:          c.cfg.ChunkBytes,
-		Leaves:              c.cfg.TemplateLeaves,
-		SkewThreshold:       c.cfg.SkewThreshold,
-		CheckEvery:          c.cfg.CheckEvery,
-		SideThresholdMillis: c.cfg.SideThresholdMillis,
-		Bloom:               c.cfg.Bloom,
-		FlushQueueDepth:     c.cfg.FlushQueueDepth,
-		SyncFlush:           c.cfg.SyncFlush,
-		Metrics:             c.ingestMetrics,
-	}, c.fs, c.ms, node)
+	// Abort before reading the replay offset: Abort returns only after the
+	// old flusher exited and any in-flight registration completed, so the
+	// offset the replacement replays from is final.
+	c.idx[i].Abort()
+	repl := c.newIndexServer(i, c.ms.Schema().IntervalOf(i))
 	c.idx[i] = repl
 	c.coord.SetMemExecutor(i, repl)
-	head := c.log.Partition(i).Next()
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
 		repl.Consume(c.log.Partition(i), mergedStop(c.stop, cs))
 	}()
+	return nil
+}
+
+// CrashIndexServer simulates an indexing-server failure and recovery (§V):
+// the server's goroutine stops, its in-memory state is discarded, and a
+// replacement replays its WAL partition from the offset stored in the
+// metadata server. Only valid in WAL mode. The call blocks until the
+// replacement has caught up with the partition head at call time.
+func (c *Cluster) CrashIndexServer(i int) error {
+	if i < 0 || i >= len(c.idx) {
+		return fmt.Errorf("cluster: no indexing server %d", i)
+	}
+	head := c.log.Partition(i).Next()
+	if err := c.KillIndexServer(i); err != nil {
+		return err
+	}
+	repl := c.idx[i]
 	for repl.Consumed() < head {
 		select {
 		case <-c.stop:

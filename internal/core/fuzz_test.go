@@ -1,0 +1,91 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"waterwheel/internal/model"
+)
+
+// FuzzTemplateTreeInsertScan drives a template tree through an arbitrary
+// interleaving of inserts, range scans, and forced template rebuilds,
+// checking every scan against a sorted-slice oracle. The tree is configured
+// with a tiny leaf count and an aggressive skew-check cadence so adaptive
+// template updates fire constantly mid-stream — the scenario where a lost
+// or duplicated tuple during redistribution would show up immediately.
+func FuzzTemplateTreeInsertScan(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
+	f.Add([]byte{7, 0, 0, 0, 0, 6, 0, 0, 0, 0, 7, 255, 255, 255, 255})
+	// A skewed run: many inserts clustered on one key prefix, then scans.
+	skew := make([]byte, 0, 300)
+	for i := 0; i < 50; i++ {
+		skew = append(skew, 0, 0, byte(i%4), byte(i), byte(i))
+	}
+	skew = append(skew, 7, 0, 0, 255, 255)
+	f.Add(skew)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tree := NewTemplateTree(TemplateConfig{
+			Keys:          model.KeyRange{Lo: 0, Hi: 1<<16 - 1},
+			Leaves:        8,
+			Fanout:        4,
+			SkewThreshold: 0.3,
+			CheckEvery:    8,
+			MinPerLeaf:    1,
+		})
+		var oracle []model.Tuple
+
+		scan := func(kr model.KeyRange, tr model.TimeRange) {
+			var got []model.Tuple
+			tree.Range(kr, tr, nil, func(tp *model.Tuple) bool {
+				got = append(got, *tp)
+				return true
+			})
+			var want []model.Tuple
+			for _, tp := range oracle {
+				if kr.Contains(tp.Key) && tr.Contains(tp.Time) {
+					want = append(want, tp)
+				}
+			}
+			// Range visits leaves in key order but makes no intra-leaf order
+			// promise across time; compare as sorted multisets.
+			sort.Slice(got, func(i, j int) bool { return model.CompareTuples(&got[i], &got[j]) < 0 })
+			sort.Slice(want, func(i, j int) bool { return model.CompareTuples(&want[i], &want[j]) < 0 })
+			if len(got) != len(want) {
+				t.Fatalf("scan %v/%v returned %d tuples, oracle has %d", kr, tr, len(got), len(want))
+			}
+			for i := range got {
+				if model.CompareTuples(&got[i], &want[i]) != 0 {
+					t.Fatalf("scan %v/%v diverged at %d: got %v, want %v", kr, tr, i, got[i], want[i])
+				}
+			}
+		}
+
+		for len(data) >= 5 {
+			op, a, b, c, d := data[0], data[1], data[2], data[3], data[4]
+			data = data[5:]
+			switch op % 8 {
+			case 6:
+				tree.UpdateTemplate()
+			case 7:
+				lo := model.Key(a)<<8 | model.Key(b)
+				hi := model.Key(c)<<8 | model.Key(d)
+				if hi < lo {
+					lo, hi = hi, lo
+				}
+				scan(model.KeyRange{Lo: lo, Hi: hi}, model.FullTimeRange())
+			default:
+				tp := model.Tuple{
+					Key:  model.Key(a)<<8 | model.Key(b),
+					Time: model.Timestamp(c)<<8 | model.Timestamp(d),
+				}
+				tree.Insert(tp)
+				oracle = append(oracle, tp)
+			}
+		}
+		scan(model.FullKeyRange(), model.FullTimeRange())
+		if tree.Len() != len(oracle) {
+			t.Fatalf("tree.Len() = %d, oracle holds %d", tree.Len(), len(oracle))
+		}
+	})
+}

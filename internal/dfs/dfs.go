@@ -29,6 +29,10 @@ var (
 	ErrUnavailable = errors.New("dfs: no live replica")
 	ErrBadRange    = errors.New("dfs: read range out of bounds")
 	ErrNoNodes     = errors.New("dfs: no live datanodes for placement")
+	// ErrInjected marks a transient failure produced by the fault-injection
+	// hooks (SetWriteFailRate and friends) — the chaos-testing analogue of a
+	// flaky datanode or a timed-out pipeline.
+	ErrInjected = errors.New("dfs: injected fault")
 )
 
 // LatencyModel describes the simulated I/O costs.
@@ -69,6 +73,10 @@ type Config struct {
 	Latency LatencyModel
 	// Seed drives replica placement and open-delay jitter.
 	Seed int64
+	// FaultSeed seeds the fault-injection RNG. It is deliberately separate
+	// from Seed so enabling error rates never perturbs replica placement —
+	// a chaos run and its fault-free control see identical layouts.
+	FaultSeed int64
 	// Sleep is called to charge simulated time; nil means time.Sleep.
 	Sleep func(time.Duration)
 	// Dir, when non-empty, backs file contents with the local filesystem
@@ -91,6 +99,10 @@ type Metrics struct {
 	BytesRead   atomic.Int64
 	Writes      atomic.Int64
 	BytesWrite  atomic.Int64
+	// InjectedWriteFailures / InjectedReadFailures count operations failed
+	// by the fault-injection hooks (ErrInjected).
+	InjectedWriteFailures atomic.Int64
+	InjectedReadFailures  atomic.Int64
 }
 
 type file struct {
@@ -108,6 +120,16 @@ type FS struct {
 	alive []bool
 	used  []int64 // bytes per node
 	rng   *rand.Rand
+
+	// Fault injection (chaos testing): transient error rates and one-shot
+	// failure budgets, under their own lock so read-path injection does not
+	// upgrade mu and the fault RNG stream stays independent of placement.
+	faultMu        sync.Mutex
+	faultRng       *rand.Rand
+	writeFailRate  float64
+	readFailRate   float64
+	failNextWrites int
+	failNextReads  int
 
 	m Metrics
 }
@@ -142,9 +164,10 @@ func Open(cfg Config) (*FS, error) {
 		cfg:   cfg,
 		sleep: sleep,
 		files: make(map[string]*file),
-		alive: make([]bool, cfg.Nodes),
-		used:  make([]int64, cfg.Nodes),
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		alive:    make([]bool, cfg.Nodes),
+		used:     make([]int64, cfg.Nodes),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		faultRng: rand.New(rand.NewSource(cfg.FaultSeed)),
 	}
 	for i := range fs.alive {
 		fs.alive[i] = true
@@ -182,9 +205,77 @@ func transfer(n int64, bytesPerSec int64) time.Duration {
 	return time.Duration(float64(n) / float64(bytesPerSec) * float64(time.Second))
 }
 
+// --- Fault injection (chaos testing) ---
+
+// SetWriteFailRate makes each subsequent Write fail with probability p
+// (ErrInjected), before any state changes. p <= 0 disables the hook.
+func (fs *FS) SetWriteFailRate(p float64) {
+	fs.faultMu.Lock()
+	fs.writeFailRate = p
+	fs.faultMu.Unlock()
+}
+
+// SetReadFailRate makes each subsequent ReadAt fail with probability p
+// (ErrInjected), before any data is served. p <= 0 disables the hook.
+func (fs *FS) SetReadFailRate(p float64) {
+	fs.faultMu.Lock()
+	fs.readFailRate = p
+	fs.faultMu.Unlock()
+}
+
+// FailNextWrites forces the next n Writes to fail with ErrInjected,
+// independent of the probabilistic rate — deterministic outage windows.
+func (fs *FS) FailNextWrites(n int) {
+	fs.faultMu.Lock()
+	fs.failNextWrites = n
+	fs.faultMu.Unlock()
+}
+
+// FailNextReads forces the next n ReadAt calls to fail with ErrInjected.
+func (fs *FS) FailNextReads(n int) {
+	fs.faultMu.Lock()
+	fs.failNextReads = n
+	fs.faultMu.Unlock()
+}
+
+// ClearFaults resets every injected error rate and one-shot failure budget
+// (node liveness is separate; see ReviveNode).
+func (fs *FS) ClearFaults() {
+	fs.faultMu.Lock()
+	fs.writeFailRate, fs.readFailRate = 0, 0
+	fs.failNextWrites, fs.failNextReads = 0, 0
+	fs.faultMu.Unlock()
+}
+
+// injectWriteFault reports whether this Write should fail.
+func (fs *FS) injectWriteFault() bool {
+	fs.faultMu.Lock()
+	defer fs.faultMu.Unlock()
+	if fs.failNextWrites > 0 {
+		fs.failNextWrites--
+		return true
+	}
+	return fs.writeFailRate > 0 && fs.faultRng.Float64() < fs.writeFailRate
+}
+
+// injectReadFault reports whether this ReadAt should fail.
+func (fs *FS) injectReadFault() bool {
+	fs.faultMu.Lock()
+	defer fs.faultMu.Unlock()
+	if fs.failNextReads > 0 {
+		fs.failNextReads--
+		return true
+	}
+	return fs.readFailRate > 0 && fs.faultRng.Float64() < fs.readFailRate
+}
+
 // Write stores a file, placing Replication replicas on random distinct
 // live nodes. The data is copied. Writing an existing name fails.
 func (fs *FS) Write(name string, data []byte) error {
+	if fs.injectWriteFault() {
+		fs.m.InjectedWriteFailures.Add(1)
+		return fmt.Errorf("%w: write %s", ErrInjected, name)
+	}
 	fs.mu.Lock()
 	if _, ok := fs.files[name]; ok {
 		fs.mu.Unlock()
@@ -246,6 +337,10 @@ type ReadInfo struct {
 // fromNode (-1 for an external client). Locality against fromNode decides
 // the transfer cost. length < 0 reads to the end.
 func (fs *FS) ReadAt(name string, offset, length int64, fromNode int) ([]byte, ReadInfo, error) {
+	if fs.injectReadFault() {
+		fs.m.InjectedReadFailures.Add(1)
+		return nil, ReadInfo{}, fmt.Errorf("%w: read %s", ErrInjected, name)
+	}
 	fs.mu.RLock()
 	f, ok := fs.files[name]
 	if !ok {

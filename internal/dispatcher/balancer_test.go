@@ -1,0 +1,179 @@
+package dispatcher
+
+import (
+	"testing"
+
+	"waterwheel/internal/meta"
+	"waterwheel/internal/model"
+)
+
+// FuzzBalancerRebalance feeds arbitrary key samples and server counts to
+// the balancer and checks the structural invariants any accepted
+// repartition must satisfy: exactly Servers-1 bounds, strictly ascending
+// (sorted and unique), and — via the PartitionSchema they induce — a
+// contiguous cover of the full key domain with no gaps or overlaps.
+func FuzzBalancerRebalance(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(4))
+	f.Add([]byte{0, 0, 0, 0}, uint8(2))       // heavy duplicates
+	f.Add([]byte{255, 255, 255, 255}, uint8(8)) // all at the domain top
+	f.Fuzz(func(t *testing.T, raw []byte, nsrv uint8) {
+		servers := int(nsrv%16) + 2
+		if len(raw) < 2 {
+			return
+		}
+		// Tile the raw bytes into a sample large enough to clear MinSample,
+		// so the fuzzer controls the distribution, not the sample size.
+		b := NewBalancer()
+		sample := make([]model.Key, 0, b.MinSample*2)
+		for i := 0; len(sample) < b.MinSample*2; i++ {
+			j := (i * 2) % (len(raw) - 1)
+			k := model.Key(raw[j])<<8 | model.Key(raw[j+1])
+			// Shift some keys high so samples are not confined to 16 bits.
+			if i%3 == 0 {
+				k <<= 40
+			}
+			sample = append(sample, k)
+		}
+		schema := meta.EvenSchema(servers)
+		bounds, ok := b.Rebalance(schema, sample)
+		if !ok {
+			return
+		}
+		if len(bounds) != servers-1 {
+			t.Fatalf("got %d bounds for %d servers", len(bounds), servers)
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Fatalf("bounds not strictly ascending at %d: %v", i, bounds)
+			}
+		}
+		// The induced schema must cover the whole key domain contiguously.
+		ns := meta.PartitionSchema{Version: 2, Servers: servers, Bounds: bounds}
+		prev := model.KeyRange{}
+		for i := 0; i < servers; i++ {
+			iv := ns.IntervalOf(i)
+			if iv.Lo > iv.Hi {
+				t.Fatalf("server %d has an empty interval %v (bounds %v)", i, iv, bounds)
+			}
+			if i == 0 {
+				if iv.Lo != 0 {
+					t.Fatalf("domain does not start at 0: %v", iv)
+				}
+			} else if iv.Lo != prev.Hi+1 {
+				t.Fatalf("gap/overlap between server %d (%v) and %d (%v)", i-1, prev, i, iv)
+			}
+			prev = iv
+		}
+		if prev.Hi != model.MaxKey {
+			t.Fatalf("domain does not end at MaxKey: %v", prev)
+		}
+		// Spot-check routing consistency: every sampled key lands on a
+		// valid server.
+		for _, k := range sample[:32] {
+			if s := ns.ServerFor(k); s < 0 || s >= servers {
+				t.Fatalf("key %d routed to invalid server %d", k, s)
+			}
+		}
+	})
+}
+
+// TestRebalanceBelowMinSample: too little evidence must never repartition.
+func TestRebalanceBelowMinSample(t *testing.T) {
+	b := NewBalancer()
+	sample := make([]model.Key, b.MinSample-1)
+	// Maximal skew: every key on one server — still suppressed.
+	if _, ok := b.Rebalance(meta.EvenSchema(4), sample); ok {
+		t.Fatal("repartitioned below MinSample")
+	}
+	if _, ok := b.Rebalance(meta.EvenSchema(4), nil); ok {
+		t.Fatal("repartitioned on an empty sample")
+	}
+}
+
+// TestRebalanceAllIdenticalKeys: a sample collapsed onto one key is the
+// worst case for quantile cuts (all cuts equal). The balancer must either
+// decline or produce strictly ascending bounds.
+func TestRebalanceAllIdenticalKeys(t *testing.T) {
+	b := NewBalancer()
+	sample := make([]model.Key, 1024)
+	for i := range sample {
+		sample[i] = 42
+	}
+	bounds, ok := b.Rebalance(meta.EvenSchema(4), sample)
+	if !ok {
+		t.Fatal("identical-key skew not detected")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not strictly ascending: %v", bounds)
+		}
+	}
+	// The pathological mirror at the top of the domain must not overflow
+	// past MaxKey into a non-ascending schema; declining is acceptable.
+	for i := range sample {
+		sample[i] = model.MaxKey
+	}
+	if bounds, ok := b.Rebalance(meta.EvenSchema(4), sample); ok {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Fatalf("all-MaxKey sample produced invalid bounds: %v", bounds)
+			}
+		}
+	}
+}
+
+// TestRebalanceDegenerateSchema: fewer than two servers means there is
+// nothing to repartition, whatever the sample says.
+func TestRebalanceDegenerateSchema(t *testing.T) {
+	b := NewBalancer()
+	sample := make([]model.Key, 1024)
+	for i := range sample {
+		sample[i] = model.Key(i)
+	}
+	if _, ok := b.Rebalance(meta.PartitionSchema{}, sample); ok {
+		t.Fatal("repartitioned an empty schema")
+	}
+	if _, ok := b.Rebalance(meta.EvenSchema(1), sample); ok {
+		t.Fatal("repartitioned a single-server schema")
+	}
+}
+
+// TestRebalanceThresholdBoundary pins the trigger condition at the paper's
+// 0.2 threshold exactly: imbalance == threshold stays put (strict >), one
+// sample past it repartitions. The sample is large enough that the noise
+// floor (3σ) sits below 0.2, so the nominal threshold is the one tested.
+func TestRebalanceThresholdBoundary(t *testing.T) {
+	b := NewBalancer()
+	schema := meta.EvenSchema(2)
+	split := schema.Bounds[0]
+	mk := func(low, high int) []model.Key {
+		s := make([]model.Key, 0, low+high)
+		for i := 0; i < low; i++ {
+			s = append(s, model.Key(i))
+		}
+		for i := 0; i < high; i++ {
+			s = append(s, split+model.Key(i))
+		}
+		return s
+	}
+	// 600/400 of 1000: imbalance = |600-500|/500 = 0.2 — not strictly
+	// above the threshold, so no repartition.
+	if _, ok := b.Rebalance(schema, mk(600, 400)); ok {
+		t.Fatalf("repartitioned at imbalance exactly 0.2 (measured %v)", b.LastImbalance())
+	}
+	if got := b.LastImbalance(); got != 0.2 {
+		t.Fatalf("LastImbalance = %v, want 0.2", got)
+	}
+	// 601/399: imbalance 0.202 — strictly above, repartition.
+	bounds, ok := b.Rebalance(schema, mk(601, 399))
+	if !ok {
+		t.Fatalf("no repartition just past the threshold (measured %v)", b.LastImbalance())
+	}
+	if len(bounds) != 1 {
+		t.Fatalf("bounds = %v, want one separator", bounds)
+	}
+	// The new cut must move the split toward the loaded half.
+	if bounds[0] >= split {
+		t.Fatalf("separator %d did not move toward the hot range (was %d)", bounds[0], split)
+	}
+}

@@ -47,11 +47,30 @@ const (
 	flushDone
 )
 
-// pendingFlush is one swapped-out snapshot travelling through the pipeline.
-type pendingFlush struct {
+// flushPart is one swapped-out snapshot inside a flush unit.
+type flushPart struct {
 	snap *core.FlushSnapshot
 	side bool
-	// seq orders snapshots; chunks persist strictly in seq order.
+	// written marks the part's DFS write as durable, so a retry of the
+	// unit (after a later part failed) skips it: the DFS rejects writes
+	// to existing names, and rebuilding is wasted work anyway. Only the
+	// single goroutine driving processFlush for this unit touches it.
+	written bool
+	pending meta.ChunkInfo // built metadata, ID-less until registration
+	info    meta.ChunkInfo // filled at registration
+}
+
+// pendingFlush is one flush unit travelling through the pipeline. A unit
+// carries every tree snapshot covered by its WAL offset: the offset captured
+// at swap time counts ALL consumed tuples, wherever routing placed them, so
+// the main memtable and the side store always swap out together. Committing
+// an offset whose tuples were split across two independently-flushed units
+// would let recovery skip the half still in memory — the durability hole the
+// chaos harness exposed (a crash between the main flush and the side flush
+// silently dropped acked late tuples).
+type pendingFlush struct {
+	parts []flushPart
+	// seq orders flush units; chunks persist strictly in seq order.
 	seq int
 	// offset is the WAL read offset captured at swap time: committing it
 	// tells recovery that everything up to here is in chunks.
@@ -61,20 +80,36 @@ type pendingFlush struct {
 	// by queries and waiters (attempts is incremented last, publishing the
 	// outcome of each attempt).
 	state    atomic.Int32
-	chunk    atomic.Uint64 // registered chunk ID; 0 until registered
+	chunk    atomic.Uint64 // first registered chunk ID; 0 until registered
 	attempts atomic.Int32
-
-	info meta.ChunkInfo
 }
 
-// enqueueFlush swaps the tree's leaf layer into an immutable snapshot and
-// hands it to the flusher. threshold marks calls from the insert hot path,
-// which re-check the threshold under swapMu so concurrent crossings don't
-// flush tiny residue trees. Returns nil when there was nothing to flush.
+// mainInfo returns the registered chunk info of the unit's main-tree part,
+// falling back to the first part for side-only units. Valid after flushDone.
+func (pf *pendingFlush) mainInfo() meta.ChunkInfo {
+	for i := range pf.parts {
+		if !pf.parts[i].side {
+			return pf.parts[i].info
+		}
+	}
+	return pf.parts[0].info
+}
+
+// enqueueFlush swaps BOTH trees' leaf layers into immutable snapshots and
+// hands them to the flusher as one unit. threshold marks calls from the
+// insert hot path, which re-check the triggering tree's threshold under
+// swapMu so concurrent crossings don't flush tiny residue trees.
+// Returns nil when there was nothing to flush.
 //
-// Lock order: swapMu → pendMu → minMu/gate. The snapshot is appended to
+// The trees swap together because the WAL offset recorded with the unit
+// (s.consumed at swap time) covers every consumed tuple regardless of which
+// tree routing placed it in. Swapping only one tree and committing that
+// offset would declare the other tree's memory-only tuples durable; a crash
+// before their own flush would then replay past them and lose them.
+//
+// Lock order: swapMu → pendMu → minMu/gate. The snapshots are appended to
 // the pending list in the same pendMu critical section as the FlushReset,
-// so a concurrent query (which scans tree and pending under pendMu.RLock)
+// so a concurrent query (which scans trees and pending under pendMu.RLock)
 // sees each tuple in exactly one place.
 func (s *Server) enqueueFlush(tree *core.TemplateTree, isSide, threshold bool) *pendingFlush {
 	s.swapMu.Lock()
@@ -83,56 +118,73 @@ func (s *Server) enqueueFlush(tree *core.TemplateTree, isSide, threshold bool) *
 		return nil // another inserter already swapped this tree out
 	}
 	s.pendMu.Lock()
-	snap := tree.FlushReset()
-	var pf *pendingFlush
-	if snap != nil {
+	var parts []flushPart
+	if snap := s.tree.FlushReset(); snap != nil {
 		if s.cfg.NoTemplateReuse {
 			// Ablation: discard the learned template by rebuilding the whole
 			// tree with an even partition, as a non-template system would.
-			tree.UpdateTemplate()
+			s.tree.UpdateTemplate()
 		}
+		parts = append(parts, flushPart{snap: snap})
+	}
+	if s.side != nil {
+		if snap := s.side.FlushReset(); snap != nil {
+			if s.cfg.NoTemplateReuse {
+				s.side.UpdateTemplate()
+			}
+			parts = append(parts, flushPart{snap: snap, side: true})
+		}
+	}
+	var pf *pendingFlush
+	if len(parts) > 0 {
 		s.flushSeq++
 		pf = &pendingFlush{
-			snap:   snap,
-			side:   isSide,
+			parts:  parts,
 			seq:    s.flushSeq,
 			offset: s.consumed.Load(),
 		}
 		s.pending = append(s.pending, pf)
 		s.minMu.Lock()
-		if isSide {
-			s.sideData = false
-		} else {
-			s.hasData = false
-		}
+		s.hasData = false
+		s.sideData = false
 		s.minMu.Unlock()
 	}
 	s.pendMu.Unlock()
 	// Wake a flusher parked on an earlier failure so retries precede the
 	// new snapshot (preserving seq order), whether or not we swapped.
 	s.signalRetry()
-	if pf == nil {
-		return nil
-	}
 	if s.cfg.SyncFlush || s.closed {
 		// Synchronous mode (ablation/benchmark baseline) and post-Close
-		// stragglers process inline, oldest first, still in seq order.
+		// stragglers process inline, oldest first, still in seq order. This
+		// branch runs even when nothing was swapped (pf == nil): a bare
+		// Flush() over an empty memtable must still re-drive an earlier
+		// failed snapshot, since no background flusher exists to retry it.
 		if s.closed {
 			<-s.flusherDone // the background flusher has fully exited
 		}
-		s.processBacklogUpTo(pf.seq)
+		s.processBacklogUpTo(s.flushSeq)
 		return pf
+	}
+	if pf == nil {
+		return nil
 	}
 	// Backpressure: a full queue blocks the inserting goroutine here until
 	// the flusher catches up. swapMu stays held, so later threshold
 	// crossings queue behind this one while plain inserts keep landing in
-	// the fresh tree.
+	// the fresh tree. An Abort (simulated crash) closes stopCh and releases
+	// the blocked send; the snapshot is then abandoned to WAL replay.
 	select {
 	case s.flushCh <- pf:
+	case <-s.stopCh:
+		return pf
 	default:
 		stall := time.Now()
 		s.stats.Backpressure.Add(1)
-		s.flushCh <- pf
+		select {
+		case s.flushCh <- pf:
+		case <-s.stopCh:
+			return pf
+		}
 		s.cfg.Metrics.BackpressureNanos.Observe(time.Since(stall))
 	}
 	return pf
@@ -156,77 +208,171 @@ func (s *Server) signalRetry() {
 }
 
 // flusher is the per-server background goroutine: it persists snapshots
-// strictly in arrival (= seq) order. On a write failure it parks until the
-// next flush trigger instead of moving on, so no later snapshot is ever
-// durable before an earlier one — the invariant the offset commit relies on.
+// strictly in arrival (= seq) order. On a write failure it parks instead of
+// moving on, so no later snapshot is ever durable before an earlier one —
+// the invariant the offset commit relies on.
 func (s *Server) flusher() {
 	defer close(s.flusherDone)
-	for pf := range s.flushCh {
-		for !s.processFlush(pf) {
-			s.parked.Store(true)
-			select {
-			case <-s.retryCh:
-				s.parked.Store(false)
-			case <-s.stopCh:
-				// Shutdown during an outage: abandon the retry loop. The
-				// snapshot's offset was never committed, so the WAL replays
-				// it after restart — no data loss, no gap.
-				s.parked.Store(false)
+	for {
+		select {
+		case pf, ok := <-s.flushCh:
+			if !ok {
 				return
 			}
+			if !s.flushWithRetry(pf) {
+				return
+			}
+		case <-s.stopCh:
+			if s.aborted.Load() {
+				// Crash semantics (Abort): abandon queued snapshots at once.
+				// Their offsets were never committed, so WAL replay on the
+				// replacement server reproduces every tuple exactly once.
+				return
+			}
+			// Close(): flushCh is closed (or about to be, under the same
+			// swapMu section); drain what was already queued so a clean
+			// shutdown leaves nothing behind.
+			for pf := range s.flushCh {
+				if !s.flushWithRetry(pf) {
+					return
+				}
+			}
+			return
 		}
 	}
 }
 
-// processFlush builds, writes and registers one snapshot. Returns false
-// when the DFS refused the write; the snapshot then stays queryable in the
-// pending list and the caller decides when to retry.
+// flushWithRetry persists one snapshot, parking between failed attempts.
+// Returns false when the server stopped before the snapshot persisted.
+func (s *Server) flushWithRetry(pf *pendingFlush) bool {
+	backoff := time.Millisecond
+	for !s.processFlush(pf) {
+		s.parked.Store(true)
+		select {
+		case <-s.retryCh:
+		case <-time.After(backoff):
+			// Self-driven retry with capped exponential backoff: the DFS can
+			// recover while the only goroutine that would signal retryCh is
+			// itself blocked on the full flush queue (holding swapMu), so
+			// waiting exclusively for an external trigger would wedge the
+			// pipeline permanently.
+			if backoff < 64*time.Millisecond {
+				backoff *= 2
+			}
+		case <-s.stopCh:
+			// Shutdown during an outage: abandon the retry loop. The
+			// snapshot's offset was never committed, so the WAL replays
+			// it after restart — no data loss, no gap.
+			s.parked.Store(false)
+			return false
+		}
+		s.parked.Store(false)
+	}
+	return true
+}
+
+// processFlush builds, writes and registers one flush unit. Every part is
+// written to the DFS before any is registered, and all parts register in a
+// single metadata critical section (RegisterChunks) together with the offset
+// commit: a query plan sees either none or all of the unit's chunks, and the
+// WAL offset never covers a part that is not durable. Returns false when the
+// DFS refused a write; the unit then stays queryable in the pending list and
+// the caller decides when to retry.
 func (s *Server) processFlush(pf *pendingFlush) bool {
-	flushStart := time.Now()
-	data, cmeta, err := chunk.Build(pf.snap, s.cfg.Bloom)
-	if err != nil {
-		// Snapshot was non-empty, so Build cannot fail; a failure here is a
-		// programming error worth surfacing loudly.
-		panic(fmt.Sprintf("ingest: chunk build: %v", err))
-	}
-	kind := "c"
-	if pf.side {
-		kind = "side"
-	}
-	path := fmt.Sprintf("chunks/is%d-g%d-%s%d", s.cfg.ID, s.incarnation, kind, pf.seq)
-	if err := s.fs.Write(path, data); err != nil {
-		s.stats.FlushFailures.Add(1)
-		pf.state.Store(int32(flushFailed))
+	if s.aborted.Load() {
+		// Crashed: nothing may persist or commit any more. Reporting failure
+		// (not success) keeps backlog walkers and waiters from spinning on an
+		// entry that will never reach flushDone.
 		pf.attempts.Add(1)
 		return false
 	}
-	// The chunk's data region: the tuples' exact bounding box, which is at
-	// least as tight as the actual key interval × flush window.
-	region := model.Region{
-		Keys:  boundingKeys(pf.snap),
-		Times: model.TimeRange{Lo: cmeta.MinTime, Hi: cmeta.MaxTime},
+	flushStart := time.Now()
+	infos := make([]meta.ChunkInfo, len(pf.parts))
+	var totalBytes int64
+	for i := range pf.parts {
+		part := &pf.parts[i]
+		if part.written {
+			// A later part failed on a previous attempt; this one is
+			// already durable (the DFS rejects rewrites of an existing
+			// name), so the retry resumes where it stopped. The part stays
+			// unregistered until the whole unit is durable.
+			infos[i] = part.pending
+			totalBytes += part.pending.Size
+			continue
+		}
+		data, cmeta, err := chunk.Build(part.snap, s.cfg.Bloom)
+		if err != nil {
+			// Snapshot was non-empty, so Build cannot fail; a failure here is a
+			// programming error worth surfacing loudly.
+			panic(fmt.Sprintf("ingest: chunk build: %v", err))
+		}
+		kind := "c"
+		if part.side {
+			kind = "side"
+		}
+		path := fmt.Sprintf("chunks/is%d-g%d-%s%d", s.cfg.ID, s.incarnation, kind, pf.seq)
+		werr := error(nil)
+		if s.cfg.FlushFailHook != nil {
+			werr = s.cfg.FlushFailHook(s.cfg.ID, pf.seq, pf.attempts.Load())
+		}
+		if werr == nil {
+			werr = s.fs.Write(path, data)
+		}
+		if werr != nil {
+			// Parts written so far stay durable-but-unregistered; nothing
+			// registers and no offset commits until every part is written.
+			s.stats.FlushFailures.Add(1)
+			pf.state.Store(int32(flushFailed))
+			pf.attempts.Add(1)
+			return false
+		}
+		// The chunk's data region: the tuples' exact bounding box, which is
+		// at least as tight as the actual key interval × flush window.
+		infos[i] = meta.ChunkInfo{
+			Path: path,
+			Region: model.Region{
+				Keys:  boundingKeys(part.snap),
+				Times: model.TimeRange{Lo: cmeta.MinTime, Hi: cmeta.MaxTime},
+			},
+			Count:     cmeta.Count,
+			Size:      cmeta.Size,
+			HeaderLen: cmeta.HeaderLen,
+			Server:    s.cfg.ID,
+		}
+		part.pending = infos[i]
+		part.written = true
+		totalBytes += cmeta.Size
 	}
 	// Registration, horizon publication and offset commit happen in one
-	// pendMu section: a query that saw the chunk in its plan cannot read
-	// the pending list until the snapshot is marked done, and one that
-	// read the list first plans with a horizon below the new chunk ID.
+	// pendMu section: a query that saw the chunks in its plan cannot read
+	// the pending list until the unit is marked done, and one that read the
+	// list first plans with a horizon below the unit's first chunk ID.
 	s.pendMu.Lock()
-	info := s.ms.RegisterChunk(meta.ChunkInfo{
-		Path:      path,
-		Region:    region,
-		Count:     cmeta.Count,
-		Size:      cmeta.Size,
-		HeaderLen: cmeta.HeaderLen,
-		Server:    s.cfg.ID,
-	})
-	pf.info = info
-	pf.chunk.Store(uint64(info.ID))
+	if s.aborted.Load() {
+		// Abort raced with the in-flight writes: the chunk files exist but
+		// are never registered (orphaned, invisible to queries) and the WAL
+		// offset stays uncommitted, so replay on the replacement server
+		// covers these tuples. Abort's pendMu barrier orders this check
+		// strictly against the crash.
+		s.pendMu.Unlock()
+		pf.attempts.Add(1)
+		return false
+	}
+	regs := s.ms.RegisterChunks(infos)
+	for i := range pf.parts {
+		pf.parts[i].info = regs[i]
+	}
+	// The unit's chunk IDs are consecutive (batch registration), so a query
+	// horizon is never strictly between them: horizon > first ID means the
+	// plan saw the whole unit. The first ID therefore stands for the unit in
+	// the visibility check (ExecuteSubQuery) and the sweep.
+	pf.chunk.Store(uint64(regs[0].ID))
 	pf.state.Store(int32(flushDone))
 	s.commitOffsetsLocked()
 	s.sweepLocked()
 	s.pendMu.Unlock()
 	s.stats.Flushes.Add(1)
-	s.stats.FlushBytes.Add(cmeta.Size)
+	s.stats.FlushBytes.Add(totalBytes)
 	s.cfg.Metrics.FlushNanos.Observe(time.Since(flushStart))
 	s.reportLive()
 	pf.attempts.Add(1)
@@ -308,16 +454,27 @@ func (s *Server) oldestUnpersisted() *pendingFlush {
 }
 
 // waitFlush blocks until pf is registered (info, true) or an attempt past
-// `since` has failed (zero info, false).
+// `since` has failed (zero info, false). Units persist strictly in seq
+// order, so when an EARLIER unit is wedged on a failing DFS, pf itself may
+// never be attempted; waitFlush therefore also gives up as soon as any
+// write failure lands after it started waiting — during a persistent
+// outage the head unit's next retry fails within one backoff period and
+// unblocks the caller, who may re-drive the flush later per the Flush
+// contract. On a recovered DFS the head retry succeeds instead, the line
+// clears, and pf resolves normally.
 func (s *Server) waitFlush(pf *pendingFlush, since int32) (meta.ChunkInfo, bool) {
+	failsBefore := s.stats.FlushFailures.Load()
 	for {
 		if flushState(pf.state.Load()) == flushDone {
-			return pf.info, true
+			return pf.mainInfo(), true
 		}
 		if pf.attempts.Load() > since {
 			if flushState(pf.state.Load()) == flushDone {
-				return pf.info, true
+				return pf.mainInfo(), true
 			}
+			return meta.ChunkInfo{}, false
+		}
+		if s.stats.FlushFailures.Load() > failsBefore {
 			return meta.ChunkInfo{}, false
 		}
 		time.Sleep(100 * time.Microsecond)
@@ -369,9 +526,35 @@ func (s *Server) Close() {
 	s.swapMu.Lock()
 	if !s.closed {
 		s.closed = true
-		close(s.stopCh)
+		if !s.stopped.Swap(true) {
+			close(s.stopCh)
+		}
 		close(s.flushCh)
 	}
 	s.swapMu.Unlock()
 	<-s.flusherDone
+}
+
+// Abort simulates an indexing-server crash: the background flusher stops
+// without draining, and no snapshot — queued, in flight, or future — may
+// register its chunk or commit a WAL offset from this call on. The tuples
+// of abandoned snapshots were never covered by a committed offset, so WAL
+// replay on a replacement server reproduces them exactly once; a chunk
+// file a racing in-flight DFS write already created is simply never
+// registered (orphaned files are invisible to queries). Unlike Close,
+// Abort never takes swapMu, so it cannot deadlock behind an inserter that
+// is itself blocked on the full flush queue during a DFS outage — closing
+// stopCh is what releases that inserter. Idempotent; safe alongside Close.
+func (s *Server) Abort() {
+	s.aborted.Store(true)
+	if !s.stopped.Swap(true) {
+		close(s.stopCh)
+	}
+	<-s.flusherDone
+	// Barrier: a registration already inside its pendMu critical section
+	// (e.g. the synchronous-mode inline path) completes or observes the
+	// abort before this returns, so the caller reads WAL offsets only after
+	// the last possible commit from this incarnation.
+	s.pendMu.Lock()
+	s.pendMu.Unlock() //nolint:staticcheck // empty section is the barrier
 }

@@ -62,6 +62,12 @@ type Config struct {
 	// DFS write inline on the inserting goroutine — the pre-pipeline
 	// behavior, kept as the benchmark baseline and ablation switch.
 	SyncFlush bool
+	// FlushFailHook, when set, is consulted before every chunk DFS write
+	// with the producing server, the snapshot's flush sequence and the
+	// attempt number; a non-nil error fails the attempt exactly as a DFS
+	// write failure would. Fault-injection surface for chaos testing
+	// (mid-flight flusher failures).
+	FlushFailHook func(server, seq int, attempt int32) error
 	// Metrics holds optional telemetry handles; the zero value (nil
 	// handles) disables instrumentation at no cost.
 	Metrics Metrics
@@ -168,6 +174,12 @@ type Server struct {
 	flusherDone chan struct{}
 	// parked is set while the flusher waits out a DFS outage.
 	parked atomic.Bool
+	// stopped latches the (single) close of stopCh: Close takes swapMu but
+	// Abort cannot, so the two coordinate through this flag instead.
+	stopped atomic.Bool
+	// aborted marks a simulated crash (Abort): no snapshot may register its
+	// chunk or commit a WAL offset any more.
+	aborted atomic.Bool
 
 	// incarnation distinguishes chunk paths across server restarts, so a
 	// recovered server never collides with its predecessor's files.
@@ -305,10 +317,12 @@ func (s *Server) MemMinTime() (model.Timestamp, bool) {
 	s.minMu.Unlock()
 	for _, pf := range s.pending {
 		if flushState(pf.state.Load()) == flushDone {
-			continue // the registered chunk's region covers these tuples
+			continue // the registered chunks' regions cover these tuples
 		}
-		if !ok || pf.snap.MinTime < min {
-			min, ok = pf.snap.MinTime, true
+		for i := range pf.parts {
+			if t := pf.parts[i].snap.MinTime; !ok || t < min {
+				min, ok = t, true
+			}
 		}
 	}
 	return min, ok
@@ -320,12 +334,13 @@ func (s *Server) reportLive() {
 	s.ms.ReportLive(s.cfg.ID, min, !ok)
 }
 
-// Flush forces the memtable out as a chunk and waits for it to persist
-// (no-op when empty). It returns the registered chunk info and whether a
-// flush happened. When the current memtable is empty but an earlier
-// snapshot is still unpersisted (e.g. its DFS write failed), Flush retries
-// that snapshot instead, preserving the old contract that a failed flush
-// can be re-driven by calling Flush again.
+// Flush forces the in-memory state out as chunks — the memtable and, when
+// non-empty, the side store swap together as one flush unit — and waits for
+// the unit to persist (no-op when both are empty). It returns the main
+// chunk's registered info and whether a flush happened. When both trees are
+// empty but an earlier unit is still unpersisted (e.g. its DFS write
+// failed), Flush retries that unit instead, preserving the old contract
+// that a failed flush can be re-driven by calling Flush again.
 func (s *Server) Flush() (meta.ChunkInfo, bool) {
 	// Capture the retry target and its attempt count before enqueueing:
 	// the enqueue signals the parked flusher, and the race where the retry
@@ -344,16 +359,12 @@ func (s *Server) Flush() (meta.ChunkInfo, bool) {
 	return s.waitFlush(head, since)
 }
 
-// FlushAll flushes both the main memtable and the side store, then drains
-// the pipeline so every snapshot is persisted (or awaiting retry after a
-// DFS outage) when it returns.
+// FlushAll flushes both the main memtable and the side store (a single
+// Flush swaps both trees as one unit), then drains the pipeline so every
+// snapshot is persisted (or awaiting retry after a DFS outage) when it
+// returns.
 func (s *Server) FlushAll() {
 	s.Flush()
-	if s.side != nil {
-		if pf := s.enqueueFlush(s.side, true, false); pf != nil {
-			s.waitFlush(pf, 0)
-		}
-	}
 	s.DrainFlushes()
 }
 
@@ -417,7 +428,9 @@ func (s *Server) ExecuteSubQuery(sq *model.SubQuery) *model.Result {
 				continue
 			}
 		}
-		scan(pf.snap.Range)
+		for i := range pf.parts {
+			scan(pf.parts[i].snap.Range)
+		}
 	}
 	if sources > 1 && sq.Limit > 0 && len(res.Tuples) > sq.Limit {
 		res.SortTuples()
@@ -437,7 +450,9 @@ func (s *Server) MemLen() int {
 	}
 	for _, pf := range s.pending {
 		if flushState(pf.state.Load()) != flushDone {
-			n += pf.snap.Count
+			for i := range pf.parts {
+				n += pf.parts[i].snap.Count
+			}
 		}
 	}
 	return n
@@ -454,7 +469,9 @@ func (s *Server) MemBytes() int64 {
 	}
 	for _, pf := range s.pending {
 		if flushState(pf.state.Load()) != flushDone {
-			n += pf.snap.Bytes
+			for i := range pf.parts {
+				n += pf.parts[i].snap.Bytes
+			}
 		}
 	}
 	return n

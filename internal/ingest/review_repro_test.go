@@ -30,17 +30,12 @@ func TestReproBackpressureDeadlock(t *testing.T) {
 		}
 	}()
 
-	// Wait until the inserter is wedged on the full queue.
-	deadline := time.Now().Add(2 * time.Second)
-	var last int64 = -1
-	for time.Now().Before(deadline) {
-		cur := inserted.Load()
-		if cur == last && cur > 0 && cur < 1000 {
-			break
-		}
-		last = cur
-		time.Sleep(50 * time.Millisecond)
-	}
+	// Wait until the pipeline is provably wedged: the flusher is parked on
+	// the failed write and an inserter has hit backpressure on the full
+	// queue — deterministic state, not a wall-clock stall heuristic.
+	waitFor(t, func() bool {
+		return srv.parked.Load() && srv.stats.Backpressure.Load() > 0
+	})
 
 	// DFS recovers.
 	fw.fail.Store(false)

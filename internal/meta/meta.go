@@ -243,6 +243,25 @@ func (s *Server) RegisterChunk(info ChunkInfo) ChunkInfo {
 	return info
 }
 
+// RegisterChunks registers several chunks in one critical section, so their
+// IDs are consecutive and no watermark read (ChunksForWithWatermark) can
+// land between them: a query plan sees either none or all of the batch.
+// Indexing servers rely on this when a flush unit carries both a main and a
+// side snapshot covered by a single WAL offset.
+func (s *Server) RegisterChunks(infos []ChunkInfo) []ChunkInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ChunkInfo, len(infos))
+	for i, info := range infos {
+		s.nextChunk++
+		info.ID = model.ChunkID(s.nextChunk)
+		s.chunks[info.ID] = info
+		s.regions.Insert(info.Region, info.ID)
+		out[i] = info
+	}
+	return out
+}
+
 // Chunk returns the metadata of one chunk.
 func (s *Server) Chunk(id model.ChunkID) (ChunkInfo, bool) {
 	s.mu.RLock()

@@ -38,6 +38,10 @@ type Partition struct {
 	records [][]byte
 	bytes   int64
 	closed  bool
+	// waiting counts goroutines parked in ReadBlocking — a deterministic
+	// hook for tests that must act only once a reader is actually blocked,
+	// instead of sleeping and hoping.
+	waiting int
 
 	// Disk backing (nil for in-memory partitions); see disk.go.
 	path    string
@@ -140,8 +144,18 @@ func (p *Partition) ReadBlocking(offset int64, max int) ([]Record, error) {
 		if p.closed {
 			return nil, ErrClosed
 		}
+		p.waiting++
 		p.cond.Wait()
+		p.waiting--
 	}
+}
+
+// Waiting returns the number of goroutines currently blocked inside
+// ReadBlocking waiting for data.
+func (p *Partition) Waiting() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.waiting
 }
 
 // Truncate drops records with offsets below before (retention). Truncating

@@ -100,6 +100,19 @@ func TestBytesAccounting(t *testing.T) {
 	}
 }
 
+// waitBlocked waits until n goroutines are parked inside ReadBlocking —
+// the deterministic replacement for "sleep and hope the reader blocked".
+func waitBlocked(t *testing.T, p *Partition, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Waiting() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("reader never blocked (waiting=%d, want %d)", p.Waiting(), n)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
 func TestReadBlockingWakesOnAppend(t *testing.T) {
 	p := NewPartition()
 	done := make(chan []Record, 1)
@@ -110,7 +123,7 @@ func TestReadBlockingWakesOnAppend(t *testing.T) {
 		}
 		done <- recs
 	}()
-	time.Sleep(10 * time.Millisecond)
+	waitBlocked(t, p, 1)
 	p.Append([]byte("wake"))
 	select {
 	case recs := <-done:
@@ -129,7 +142,7 @@ func TestReadBlockingClose(t *testing.T) {
 		_, err := p.ReadBlocking(0, 10)
 		errCh <- err
 	}()
-	time.Sleep(10 * time.Millisecond)
+	waitBlocked(t, p, 1)
 	p.Close()
 	select {
 	case err := <-errCh:

@@ -9,11 +9,13 @@ package waterwheel
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"waterwheel/internal/bench"
 	"waterwheel/internal/chunk"
+	"waterwheel/internal/cluster"
 	"waterwheel/internal/core"
 	"waterwheel/internal/dfs"
 	"waterwheel/internal/ingest"
@@ -333,6 +335,107 @@ func BenchmarkInsertTailLatency(b *testing.B) {
 			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 			b.ReportMetric(float64(lat[len(lat)-1].Nanoseconds()), "max-ns")
 			b.ReportMetric(float64(lat[len(lat)*999/1000].Nanoseconds()), "p99.9-ns")
+		})
+	}
+}
+
+// --- parallel read path: cold multi-chunk queries ---
+
+// queryBenchCluster builds a flush-heavy deployment for the read-path
+// benchmarks: one indexing server, two query servers, ~20 small chunks,
+// and a fixed per-access DFS open delay so read parallelism is visible as
+// wall-clock time (an HDFS-like open dominates small chunk reads).
+func queryBenchCluster(b *testing.B, workers, inflight int, openDelay time.Duration, cacheBytes int64) *cluster.Cluster {
+	b.Helper()
+	c := cluster.New(cluster.Config{
+		Nodes:               1,
+		IndexServersPerNode: 1,
+		QueryServersPerNode: 2,
+		DispatchersPerNode:  1,
+		ChunkBytes:          64 << 10,
+		CacheBytes:          cacheBytes,
+		SyncIngest:          true,
+		Seed:                1,
+		DFSLatency:          dfs.LatencyModel{OpenMin: openDelay, OpenMax: openDelay},
+		QueryWorkers:        workers,
+		QueryInflightReads:  inflight,
+	})
+	c.Start()
+	payload := make([]byte, 48)
+	for i := 0; i < 18_000; i++ { // ~80 B/tuple vs 64 KiB chunks -> ~20 chunks
+		c.Insert(model.Tuple{
+			// Fibonacci hashing spreads keys over the whole uint64 domain
+			// so key-range queries of any placement hit data.
+			Key:     model.Key(uint64(i) * 0x9E3779B97F4A7C15),
+			Time:    model.Timestamp(1000 + i),
+			Payload: payload,
+		})
+	}
+	c.FlushAll()
+	return c
+}
+
+// BenchmarkColdMultiChunkQuery is the parallel dispatch engine's headline
+// number: one full-range query fanning out over ~20 chunks on 2 query
+// servers with every cache cleared first, so each subquery pays the
+// modeled DFS open delay. serial pins Workers=1 + InflightReads=1 (the
+// old engine's behavior); parallel uses the defaults.
+func BenchmarkColdMultiChunkQuery(b *testing.B) {
+	for _, mode := range []struct {
+		name              string
+		workers, inflight int
+	}{{"serial", 1, 1}, {"parallel", 0, 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := queryBenchCluster(b, mode.workers, mode.inflight, 2*time.Millisecond, 1<<30)
+			defer c.Stop()
+			q := model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for _, qs := range c.QueryServers() {
+					qs.ClearCache()
+				}
+				b.StartTimer()
+				res, err := c.Query(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Tuples) != 18_000 {
+					b.Fatalf("got %d tuples, want 18000", len(res.Tuples))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConcurrentQueryThroughput drives many concurrent key-range
+// queries through the coordinator with a cache too small to hold the
+// working set, so queries keep missing and the per-server worker pools,
+// inflight bound and single-flight all stay on the hot path.
+func BenchmarkConcurrentQueryThroughput(b *testing.B) {
+	for _, mode := range []struct {
+		name              string
+		workers, inflight int
+	}{{"workers-1", 1, 1}, {"workers-default", 0, 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := queryBenchCluster(b, mode.workers, mode.inflight, 200*time.Microsecond, 128<<10)
+			defer c.Stop()
+			var seq atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := seq.Add(1)
+					lo := model.Key((i * 0x9e3779b97f4a7c15) % (1 << 62))
+					res, err := c.Query(model.Query{
+						Keys:  model.KeyRange{Lo: lo, Hi: lo + 1<<59},
+						Times: model.FullTimeRange(),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					_ = res
+				}
+			})
 		})
 	}
 }

@@ -1,6 +1,7 @@
 // Package chaos is a deterministic fault-injection harness for a full
 // Waterwheel cluster. From a single RNG seed it pre-generates a schedule
-// interleaving inserts, temporal range queries, flushes, balancer ticks,
+// interleaving inserts, temporal range queries (solo and in concurrent
+// bursts), flushes, balancer ticks,
 // retention drops, WAL truncation and faults — DFS node kill/revive,
 // transient DFS write/read error injection, indexing-server crashes (plain
 // and provably mid-flush) — then drives the cluster through it while
@@ -27,6 +28,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"waterwheel/internal/cluster"
@@ -84,6 +86,7 @@ type opKind int
 const (
 	opInsert opKind = iota
 	opQuery
+	opQueryConcurrent
 	opFlush
 	opBalance
 	opRetention
@@ -98,7 +101,8 @@ const (
 )
 
 var opNames = map[opKind]string{
-	opInsert: "insert", opQuery: "query", opFlush: "flush-all",
+	opInsert: "insert", opQuery: "query",
+	opQueryConcurrent: "query-concurrent", opFlush: "flush-all",
 	opBalance: "tick-balance", opRetention: "retention",
 	opTruncateWAL: "truncate-wal", opKillDFS: "kill-dfs",
 	opReviveDFS: "revive-dfs", opWriteFaults: "write-faults",
@@ -117,7 +121,7 @@ type op struct {
 
 func (o op) String() string {
 	switch o.kind {
-	case opInsert:
+	case opInsert, opQueryConcurrent:
 		return fmt.Sprintf("%s n=%d", opNames[o.kind], o.n)
 	case opKillDFS, opReviveDFS:
 		return fmt.Sprintf("%s node=%d", opNames[o.kind], o.n)
@@ -139,7 +143,8 @@ var weights = []struct {
 	kind opKind
 	w    int
 }{
-	{opInsert, 30}, {opQuery, 18}, {opFlush, 7}, {opBalance, 5},
+	{opInsert, 30}, {opQuery, 14}, {opQueryConcurrent, 6},
+	{opFlush, 7}, {opBalance, 5},
 	{opRetention, 4}, {opTruncateWAL, 4}, {opKillDFS, 4}, {opReviveDFS, 6},
 	{opWriteFaults, 5}, {opReadFaults, 5}, {opCrash, 3}, {opCrashMidFlush, 2},
 	{opBarrier, 7},
@@ -173,6 +178,8 @@ func genSchedule(seed int64, nOps, nodes, nIdx int) []op {
 		switch o.kind {
 		case opInsert:
 			o.n = 20 + master.Intn(100)
+		case opQueryConcurrent:
+			o.n = 2 + master.Intn(5)
 		case opKillDFS, opReviveDFS:
 			o.n = master.Intn(nodes)
 		case opCrash, opCrashMidFlush:
@@ -326,6 +333,8 @@ func (r *runner) exec(i int, o op) {
 		r.insertBatch(i, o.n)
 	case opQuery:
 		r.query(i)
+	case opQueryConcurrent:
+		r.queryConcurrent(i, o.n)
 	case opFlush:
 		r.c.FlushAll()
 	case opBalance:
@@ -406,17 +415,23 @@ func (r *runner) insert(key model.Key, ts model.Timestamp) {
 	r.rep.Inserted++
 }
 
-// query runs one random temporal range query and checks soundness.
-func (r *runner) query(i int) {
-	sub := r.subRNG(i)
+// randQuery draws one temporal range query from sub: 80% a proper
+// sub-range on both dimensions, 20% the full region.
+func (r *runner) randQuery(sub *rand.Rand) model.Query {
 	q := model.Query{Keys: model.FullKeyRange(), Times: model.FullTimeRange()}
-	if sub.Intn(5) > 0 { // 80%: a proper sub-range on both dimensions
+	if sub.Intn(5) > 0 {
 		lo := model.Key(sub.Uint64() % keyDomain)
 		q.Keys = model.KeyRange{Lo: lo, Hi: lo + model.Key(sub.Uint64()%(keyDomain/4))}
 		span := int64(r.virtualNow-baseTime) + 130_000
 		tlo := baseTime - 130_000 + model.Timestamp(sub.Int63n(span))
 		q.Times = model.TimeRange{Lo: tlo, Hi: tlo + model.Timestamp(sub.Int63n(span))}
 	}
+	return q
+}
+
+// query runs one random temporal range query and checks soundness.
+func (r *runner) query(i int) {
+	q := r.randQuery(r.subRNG(i))
 	r.rep.Queries++
 	res, err := r.c.Query(q)
 	if err != nil {
@@ -426,6 +441,41 @@ func (r *runner) query(i int) {
 		return
 	}
 	r.checkResult(i, q, res, false)
+}
+
+// queryConcurrent fires k random queries at the cluster at once — the
+// schedule's probe for read-path races: overlapping queries contend on
+// the dispatch workers, the shared extent flights and the LRU caches.
+// The query specs are drawn up front from the op's sub-RNG and the
+// (read-only) results are checked serially afterwards, so the op stays
+// deterministic and oracle checks never race.
+func (r *runner) queryConcurrent(i, k int) {
+	sub := r.subRNG(i)
+	qs := make([]model.Query, k)
+	for j := range qs {
+		qs[j] = r.randQuery(sub)
+	}
+	results := make([]*model.Result, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for j := range qs {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			results[j], errs[j] = r.c.Query(qs[j])
+		}(j)
+	}
+	wg.Wait()
+	for j := range qs {
+		r.rep.Queries++
+		if errs[j] != nil {
+			if !r.readFaultsPossible && len(r.killedDFS) == 0 {
+				r.violate(i, "concurrent query %d failed with no read fault plausible: %v", j, errs[j])
+			}
+			continue
+		}
+		r.checkResult(i, qs[j], results[j], false)
+	}
 }
 
 // retention drops chunks wholly before a horizon trailing the stream clock

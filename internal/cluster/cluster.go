@@ -69,6 +69,13 @@ type Config struct {
 	// UseBloom enables leaf time-sketch pruning (default on; set
 	// DisableBloom to turn off).
 	DisableBloom bool
+	// QueryWorkers is each query server's subquery parallelism — how many
+	// dispatch-pool goroutines the coordinator runs against it (0 =
+	// default 4; 1 restores serial per-server dispatch).
+	QueryWorkers int
+	// QueryInflightReads bounds each query server's concurrent DFS reads
+	// (0 = default 4; 1 serializes chunk I/O).
+	QueryInflightReads int
 	// NoTemplateReuse rebuilds templates at every flush (ablation).
 	NoTemplateReuse bool
 	// FlushQueueDepth bounds each indexing server's async flush pipeline:
@@ -291,11 +298,13 @@ func Open(cfg Config) (*Cluster, error) {
 	for n := 0; n < cfg.Nodes; n++ {
 		for j := 0; j < cfg.QueryServersPerNode; j++ {
 			qs := queryexec.NewServer(queryexec.ServerConfig{
-				ID:         n*cfg.QueryServersPerNode + j,
-				Node:       n,
-				CacheBytes: cfg.CacheBytes,
-				UseBloom:   !cfg.DisableBloom,
-				Metrics:    qsMetrics,
+				ID:            n*cfg.QueryServersPerNode + j,
+				Node:          n,
+				CacheBytes:    cfg.CacheBytes,
+				UseBloom:      !cfg.DisableBloom,
+				Workers:       cfg.QueryWorkers,
+				InflightReads: cfg.QueryInflightReads,
+				Metrics:       qsMetrics,
 			}, c.fs, c.ms)
 			c.qsrv = append(c.qsrv, qs)
 			c.coord.AddQueryServer(qs)

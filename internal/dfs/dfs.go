@@ -161,9 +161,9 @@ func Open(cfg Config) (*FS, error) {
 		sleep = time.Sleep
 	}
 	fs := &FS{
-		cfg:   cfg,
-		sleep: sleep,
-		files: make(map[string]*file),
+		cfg:      cfg,
+		sleep:    sleep,
+		files:    make(map[string]*file),
 		alive:    make([]bool, cfg.Nodes),
 		used:     make([]int64, cfg.Nodes),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
@@ -423,6 +423,23 @@ func (fs *FS) Locations(name string) ([]int, error) {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, name)
 	}
 	return append([]int(nil), f.replicas...), nil
+}
+
+// LocationsBatch returns the replica node ids of each named file in a
+// single metadata round-trip (one lock acquisition instead of one per
+// file) — the coordinator's per-query locality lookup. Unknown or empty
+// names yield nil entries rather than errors, matching how the dispatch
+// planner treats chunks without location data.
+func (fs *FS) LocationsBatch(names []string) [][]int {
+	out := make([][]int, len(names))
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	for i, name := range names {
+		if f, ok := fs.files[name]; ok {
+			out[i] = append([]int(nil), f.replicas...)
+		}
+	}
+	return out
 }
 
 // Delete removes a file.

@@ -3,7 +3,6 @@ package queryexec
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +48,10 @@ type CoordinatorMetrics struct {
 	ChunkSubQueries *telemetry.Counter
 	Redispatches    *telemetry.Counter
 	QueryNanos      *telemetry.Histogram
+	// WorkersBusy tracks dispatch-pool occupancy: how many chunk
+	// subqueries are executing on query servers right now, across all
+	// in-flight queries.
+	WorkersBusy *telemetry.Gauge
 
 	// Per-policy dispatch latency histograms, registered lazily the first
 	// time a policy dispatches.
@@ -67,6 +70,7 @@ func NewCoordinatorMetrics(r *telemetry.Registry) *CoordinatorMetrics {
 		ChunkSubQueries: r.Counter("waterwheel_query_chunk_subqueries_total", "chunk subqueries dispatched to query servers"),
 		Redispatches:    r.Counter("waterwheel_query_redispatches_total", "chunk subqueries returned to the pending set after a query-server failure"),
 		QueryNanos:      r.Histogram("waterwheel_query_seconds", "end-to-end query latency"),
+		WorkersBusy:     r.Gauge("waterwheel_query_workers_busy", "chunk subqueries currently executing on query servers"),
 		reg:             r,
 	}
 }
@@ -174,6 +178,11 @@ func (c *Coordinator) Decompose(q model.Query) (memSubs, chunkSubs []*model.SubQ
 		chunkSubs = append(chunkSubs, &model.SubQuery{
 			QueryID: q.ID, Seq: seq, Region: r, Filter: q.Filter, Chunk: ci.ID,
 			Limit: q.Limit,
+			// Thread the chunk's file metadata through the plan: the
+			// dispatch loop needs Path for replica locality and the query
+			// server needs Path+HeaderLen to open the chunk — neither
+			// should repeat the metadata lookup this loop already did.
+			ChunkPath: ci.Path, ChunkHeaderLen: ci.HeaderLen,
 		})
 		seq++
 	}
@@ -361,14 +370,12 @@ func (c *Coordinator) Explain(q model.Query) ExplainInfo {
 	for _, sq := range memSubs {
 		info.MemSubQueries = append(info.MemSubQueries, *sq)
 	}
-	for _, sq := range chunkSubs {
+	ids := make([]model.ChunkID, len(chunkSubs))
+	for i, sq := range chunkSubs {
 		info.ChunkSubQueries = append(info.ChunkSubQueries, *sq)
-		if ci, ok := c.ms.Chunk(sq.Chunk); ok {
-			info.Chunks = append(info.Chunks, ci)
-		} else {
-			info.Chunks = append(info.Chunks, meta.ChunkInfo{ID: sq.Chunk})
-		}
+		ids[i] = sq.Chunk
 	}
+	info.Chunks = c.ms.ChunksByID(ids)
 	return info
 }
 
@@ -379,13 +386,80 @@ const (
 	stateDone
 )
 
+// board coordinates the sweep phase of one dispatch: workers that have
+// exhausted their preference lists block here instead of busy-spinning,
+// and are woken when a failure returns a subquery to the pending set
+// (epoch bump) or when the last subquery completes.
+type board struct {
+	mu    sync.Mutex
+	cond  sync.Cond
+	total int
+	done  int
+	epoch uint64
+}
+
+func newBoard(total int) *board {
+	b := &board{total: total}
+	b.cond.L = &b.mu
+	return b
+}
+
+// finished records one completed subquery, waking sweepers when it was
+// the last.
+func (b *board) finished() {
+	b.mu.Lock()
+	b.done++
+	if b.done == b.total {
+		b.cond.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// redispatched signals that a subquery returned to the pending set. The
+// caller must store statePending before calling, so woken sweepers
+// observe the claimable state when they rescan.
+func (b *board) redispatched() {
+	b.mu.Lock()
+	b.epoch++
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// snapshot returns (epoch, allDone) for one sweep round. Taking the epoch
+// before the claim scan makes redispatches during the scan impossible to
+// miss: wait(epoch) returns immediately when the epoch has moved on.
+func (b *board) snapshot() (uint64, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.epoch, b.done == b.total
+}
+
+// wait blocks until every subquery completed (returns true) or the epoch
+// moved past the caller's snapshot (returns false → rescan).
+func (b *board) wait(epoch uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.done < b.total && b.epoch == epoch {
+		b.cond.Wait()
+	}
+	return b.done == b.total
+}
+
+func (b *board) doneCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.done
+}
+
 // runChunkSubqueries drives the dispatch engine: the policy builds the
-// per-server preference lists, then one worker per live query server
-// claims subqueries from the shared pending set in its preference order
-// (§IV-C). A failed server's claimed subquery is returned to the pending
-// set and picked up by another server (§V); after exhausting its list a
-// server sweeps for still-pending work so re-dispatched subqueries always
-// find a host.
+// per-server preference lists, then a pool of Workers goroutines per live
+// query server claims subqueries from the shared pending set in the
+// server's preference order (§IV-C), overlapping chunk I/O so one server
+// executes several subqueries concurrently (§IV-B). A failed server's
+// claimed subqueries return to the pending set and are picked up by
+// another server's workers (§V); workers that exhaust their list sweep
+// for still-pending work, parking on the board (no busy-wait) until a
+// redispatch or completion wakes them.
 func (c *Coordinator) runChunkSubqueries(sqs []*model.SubQuery, deliver func(*model.Result), sp *telemetry.Span) error {
 	c.mu.RLock()
 	servers := append([]*Server(nil), c.qservers...)
@@ -406,86 +480,97 @@ func (c *Coordinator) runChunkSubqueries(sqs []*model.SubQuery, deliver func(*mo
 	for i, s := range live {
 		placements[i] = ServerPlacement{ID: s.ID(), Node: s.Node()}
 	}
-	locations := make([][]int, len(sqs))
+	// One batched replica-location lookup for the whole plan. Paths come
+	// from the plan itself (Decompose threads each chunk's metadata into
+	// its subquery); hand-built subqueries without a path fall back to a
+	// metadata fetch, and the resolved path is threaded onward so the
+	// executing server skips its own lookup too.
+	paths := make([]string, len(sqs))
 	for i, sq := range sqs {
-		if ci, ok := c.ms.Chunk(sq.Chunk); ok {
-			locs, err := c.fs.Locations(ci.Path)
-			if err == nil {
-				locations[i] = locs
+		if sq.ChunkPath == "" {
+			if ci, ok := c.ms.Chunk(sq.Chunk); ok {
+				sq.ChunkPath, sq.ChunkHeaderLen = ci.Path, ci.HeaderLen
 			}
 		}
+		paths[i] = sq.ChunkPath
 	}
+	locations := c.fs.LocationsBatch(paths)
 	pref := policy.Plan(sqs, locations, placements)
 
 	states := make([]atomic.Int32, len(sqs))
-	var done atomic.Int64
+	b := newBoard(len(sqs))
 	var wg sync.WaitGroup
 
 	runOne := func(s *Server, idx int) bool {
+		c.m.WorkersBusy.Add(1)
+		defer c.m.WorkersBusy.Add(-1)
 		sqSp := sp.StartChild("chunk_subquery")
 		sqSp.SetInt("chunk", int64(sqs[idx].Chunk))
 		sqSp.SetInt("query_server", int64(s.ID()))
 		r, err := s.ExecuteSubQueryTraced(sqs[idx], sqSp)
 		if err != nil {
-			// Return the subquery to the pending set; this server stops.
+			// Return the subquery to the pending set; this worker stops.
 			sqSp.SetStr("error", err.Error())
 			sqSp.End()
 			c.m.Redispatches.Inc()
 			states[idx].Store(statePending)
+			b.redispatched()
 			return false
 		}
 		sqSp.End()
 		states[idx].Store(stateDone)
-		done.Add(1)
+		b.finished()
 		deliver(r)
 		return true
 	}
 
 	for i, s := range live {
-		wg.Add(1)
-		go func(s *Server, list []int) {
-			defer wg.Done()
-			for _, idx := range list {
-				if !states[idx].CompareAndSwap(statePending, stateClaimed) {
-					continue
-				}
-				if !runOne(s, idx) {
-					return
-				}
-			}
-			// Sweep for re-dispatched (failed-elsewhere) subqueries until
-			// everything is done or this server fails too. If a subquery is
-			// claimed by a live server it will settle; if its claimant
-			// failed it returns to pending and is picked up here.
-			for !allSettled(states) {
-				progressed := false
-				for idx := range states {
-					if states[idx].CompareAndSwap(statePending, stateClaimed) {
-						progressed = true
-						if !runOne(s, idx) {
-							return
-						}
+		for w := 0; w < s.Workers(); w++ {
+			wg.Add(1)
+			go func(s *Server, list []int) {
+				defer wg.Done()
+				// Claim in preference order. Workers of the same server
+				// share the list; the CAS gives each pending subquery to
+				// exactly one worker, so together they run the server's
+				// top-k preferred pending subqueries concurrently.
+				for _, idx := range list {
+					if !states[idx].CompareAndSwap(statePending, stateClaimed) {
+						continue
+					}
+					if !runOne(s, idx) {
+						return
 					}
 				}
-				if !progressed {
-					runtime.Gosched()
+				// Sweep for re-dispatched (failed-elsewhere) subqueries
+				// until everything is done or this server fails too. If a
+				// subquery is claimed by a live server it will settle; if
+				// its claimant failed it returns to pending and is picked
+				// up here.
+				for {
+					epoch, done := b.snapshot()
+					if done {
+						return
+					}
+					progressed := false
+					for idx := range states {
+						if states[idx].CompareAndSwap(statePending, stateClaimed) {
+							progressed = true
+							if !runOne(s, idx) {
+								return
+							}
+						}
+					}
+					if !progressed && b.wait(epoch) {
+						return
+					}
 				}
-			}
-		}(s, pref[i])
-	}
-	wg.Wait()
-	if done.Load() < int64(len(sqs)) {
-		return fmt.Errorf("%w: %d/%d subqueries unserved after failures",
-			ErrNoQueryServers, int64(len(sqs))-done.Load(), len(sqs))
-	}
-	return nil
-}
-
-func allSettled(states []atomic.Int32) bool {
-	for i := range states {
-		if states[i].Load() != stateDone {
-			return false
+			}(s, pref[i])
 		}
 	}
-	return true
+	wg.Wait()
+	if n := b.doneCount(); n < len(sqs) {
+		return fmt.Errorf("%w: %d/%d subqueries unserved after failures",
+			ErrNoQueryServers, len(sqs)-n, len(sqs))
+	}
+	return nil
 }

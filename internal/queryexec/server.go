@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -36,6 +37,16 @@ type ServerConfig struct {
 	CacheBytes int64
 	// UseBloom enables time-sketch leaf pruning (ablation switch).
 	UseBloom bool
+	// Workers is the number of dispatch-pool goroutines the coordinator
+	// runs against this server — its subquery-level parallelism. The
+	// workers spend their time parked on (simulated) DFS I/O, so the
+	// default of 4 is deliberately not capped by GOMAXPROCS; 1 restores
+	// serial per-server dispatch.
+	Workers int
+	// InflightReads bounds the DFS reads this server has outstanding at
+	// once, across all of its concurrent subqueries. Zero means 4;
+	// 1 serializes chunk I/O.
+	InflightReads int
 	// Metrics holds telemetry handles, typically shared across every
 	// query server of a deployment. Nil disables instrumentation.
 	Metrics *ServerMetrics
@@ -55,25 +66,32 @@ type ServerMetrics struct {
 	LeafMisses      *telemetry.Counter
 	HeaderEvictions *telemetry.Counter
 	LeafEvictions   *telemetry.Counter
-	SubQueryNanos   *telemetry.Histogram
+	// SingleFlightDedup counts reads a subquery skipped because a
+	// concurrent subquery was already fetching the same bytes.
+	SingleFlightDedup *telemetry.Counter
+	// InflightReads gauges DFS reads currently outstanding.
+	InflightReads *telemetry.Gauge
+	SubQueryNanos *telemetry.Histogram
 }
 
 // NewServerMetrics registers the chunk-read metric set on r (nil r gives
 // all-nil, no-op handles).
 func NewServerMetrics(r *telemetry.Registry) *ServerMetrics {
 	return &ServerMetrics{
-		SubQueries:      r.Counter("waterwheel_chunk_subqueries_total", "chunk subqueries executed by query servers"),
-		LeavesRead:      r.Counter("waterwheel_chunk_leaves_read_total", "chunk leaves scanned"),
-		LeavesBloomSkip: r.Counter("waterwheel_chunk_leaves_bloom_skipped_total", "chunk leaves pruned by time sketches or secondary index"),
-		CoalescedReads:  r.Counter("waterwheel_chunk_coalesced_reads_total", "gap-coalesced file accesses for leaf ranges"),
-		BytesRead:       r.Counter("waterwheel_chunk_bytes_read_total", "chunk bytes fetched from the DFS"),
-		HeaderHits:      r.Counter(`waterwheel_cache_hits_total{unit="header"}`, "query-server cache hits by unit"),
-		HeaderMisses:    r.Counter(`waterwheel_cache_misses_total{unit="header"}`, "query-server cache misses by unit"),
-		LeafHits:        r.Counter(`waterwheel_cache_hits_total{unit="leaf"}`, "query-server cache hits by unit"),
-		LeafMisses:      r.Counter(`waterwheel_cache_misses_total{unit="leaf"}`, "query-server cache misses by unit"),
-		HeaderEvictions: r.Counter(`waterwheel_cache_evictions_total{unit="header"}`, "query-server cache evictions by unit"),
-		LeafEvictions:   r.Counter(`waterwheel_cache_evictions_total{unit="leaf"}`, "query-server cache evictions by unit"),
-		SubQueryNanos:   r.Histogram("waterwheel_chunk_subquery_seconds", "chunk subquery execution latency"),
+		SubQueries:        r.Counter("waterwheel_chunk_subqueries_total", "chunk subqueries executed by query servers"),
+		LeavesRead:        r.Counter("waterwheel_chunk_leaves_read_total", "chunk leaves scanned"),
+		LeavesBloomSkip:   r.Counter("waterwheel_chunk_leaves_bloom_skipped_total", "chunk leaves pruned by time sketches or secondary index"),
+		CoalescedReads:    r.Counter("waterwheel_chunk_coalesced_reads_total", "gap-coalesced file accesses for leaf ranges"),
+		BytesRead:         r.Counter("waterwheel_chunk_bytes_read_total", "chunk bytes fetched from the DFS"),
+		HeaderHits:        r.Counter(`waterwheel_cache_hits_total{unit="header"}`, "query-server cache hits by unit"),
+		HeaderMisses:      r.Counter(`waterwheel_cache_misses_total{unit="header"}`, "query-server cache misses by unit"),
+		LeafHits:          r.Counter(`waterwheel_cache_hits_total{unit="leaf"}`, "query-server cache hits by unit"),
+		LeafMisses:        r.Counter(`waterwheel_cache_misses_total{unit="leaf"}`, "query-server cache misses by unit"),
+		HeaderEvictions:   r.Counter(`waterwheel_cache_evictions_total{unit="header"}`, "query-server cache evictions by unit"),
+		LeafEvictions:     r.Counter(`waterwheel_cache_evictions_total{unit="leaf"}`, "query-server cache evictions by unit"),
+		SingleFlightDedup: r.Counter("waterwheel_chunk_singleflight_dedup_total", "chunk reads deduplicated into a concurrent identical read"),
+		InflightReads:     r.Gauge("waterwheel_chunk_inflight_reads", "DFS reads currently outstanding on query servers"),
+		SubQueryNanos:     r.Histogram("waterwheel_chunk_subquery_seconds", "chunk subquery execution latency"),
 	}
 }
 
@@ -89,6 +107,13 @@ type Server struct {
 	cache *lru.Cache
 	down  atomic.Bool
 
+	// workers is the resolved ServerConfig.Workers; inflight is the
+	// read-concurrency semaphore sized from InflightReads; flights dedups
+	// concurrent identical header/extent fetches across subqueries.
+	workers  int
+	inflight chan struct{}
+	flights  lru.FlightGroup
+
 	executed atomic.Int64
 }
 
@@ -99,7 +124,18 @@ func NewServer(cfg ServerConfig, fs *dfs.FS, ms *meta.Server) *Server {
 	if m == nil {
 		m = &ServerMetrics{}
 	}
-	s := &Server{cfg: cfg, fs: fs, ms: ms, m: m, cache: lru.New(cfg.CacheBytes)}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	inflight := cfg.InflightReads
+	if inflight <= 0 {
+		inflight = 4
+	}
+	s := &Server{
+		cfg: cfg, fs: fs, ms: ms, m: m, cache: lru.New(cfg.CacheBytes),
+		workers: workers, inflight: make(chan struct{}, inflight),
+	}
 	s.cache.SetEvictHook(func(key string, _ int64) {
 		// Cache keys are "h<chunk>" for headers and "l<chunk>:<leaf>".
 		if len(key) > 0 && key[0] == 'h' {
@@ -116,6 +152,14 @@ func (s *Server) ID() int { return s.cfg.ID }
 
 // Node returns the hosting cluster node.
 func (s *Server) Node() int { return s.cfg.Node }
+
+// Workers returns the server's subquery parallelism — how many dispatch
+// goroutines the coordinator runs against it.
+func (s *Server) Workers() int { return s.workers }
+
+// ClearCache drops every cached header and leaf — for cold-cache
+// benchmarks and experiments.
+func (s *Server) ClearCache() { s.cache.Clear() }
 
 // Executed returns the number of subqueries this server has run.
 func (s *Server) Executed() int64 { return s.executed.Load() }
@@ -153,37 +197,89 @@ func leafKey(id model.ChunkID, i int) string {
 	return string(b)
 }
 
-// header returns the parsed chunk header, from cache or the file system.
-func (s *Server) header(ci meta.ChunkInfo) (*chunk.Header, bool, error) {
-	if v, ok := s.cache.Get(headerKey(ci.ID)); ok {
+func extentKey(id model.ChunkID, off, length int64) string {
+	var buf [62]byte // 'e' + uint64 + ':' + int64 + ':' + int64
+	b := append(buf[:0], 'e')
+	b = strconv.AppendUint(b, uint64(id), 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, off, 10)
+	b = append(b, ':')
+	b = strconv.AppendInt(b, length, 10)
+	return string(b)
+}
+
+// readAt is the server's single DFS read site. It bounds the server's
+// outstanding reads with the inflight semaphore and counts the bytes
+// actually transferred — so the byte metric agrees with per-result
+// accounting on every path, including the header fallback's 12-byte peek.
+func (s *Server) readAt(path string, off, length int64) ([]byte, error) {
+	s.inflight <- struct{}{}
+	s.m.InflightReads.Add(1)
+	b, _, err := s.fs.ReadAt(path, off, length, s.cfg.Node)
+	s.m.InflightReads.Add(-1)
+	<-s.inflight
+	if err != nil {
+		return nil, err
+	}
+	s.m.BytesRead.Add(int64(len(b)))
+	return b, nil
+}
+
+// headerFetch carries a fetched header plus the bytes its flight leader
+// read (zero for followers, whose bytes were counted by the leader).
+type headerFetch struct {
+	h     *chunk.Header
+	bytes int64
+}
+
+// header returns the parsed chunk header, from cache or the file system,
+// plus the DFS bytes this call caused to be read. Concurrent misses of
+// the same header share one fetch via the flight group.
+func (s *Server) header(ci meta.ChunkInfo) (*chunk.Header, int64, bool, error) {
+	key := headerKey(ci.ID)
+	if v, ok := s.cache.Get(key); ok {
 		s.m.HeaderHits.Inc()
-		return v.(*chunk.Header), true, nil
+		return v.(*chunk.Header), 0, true, nil
 	}
 	s.m.HeaderMisses.Inc()
-	hlen := int64(ci.HeaderLen)
-	if hlen <= 0 {
-		// Fallback: peek, then read (two accesses; only for foreign chunks
-		// registered without header metadata).
-		prefix, _, err := s.fs.ReadAt(ci.Path, 0, 12, s.cfg.Node)
-		if err != nil {
-			return nil, false, err
+	v, err, shared := s.flights.Do(key, func() (any, error) {
+		var read int64
+		hlen := int64(ci.HeaderLen)
+		if hlen <= 0 {
+			// Fallback: peek, then read (two accesses; only for foreign
+			// chunks registered without header metadata).
+			prefix, err := s.readAt(ci.Path, 0, 12)
+			if err != nil {
+				return nil, err
+			}
+			read += int64(len(prefix))
+			n, err := chunk.PeekHeaderLen(prefix)
+			if err != nil {
+				return nil, err
+			}
+			hlen = int64(n)
 		}
-		n, err := chunk.PeekHeaderLen(prefix)
+		buf, err := s.readAt(ci.Path, 0, hlen)
 		if err != nil {
-			return nil, false, err
+			return nil, err
 		}
-		hlen = int64(n)
-	}
-	buf, _, err := s.fs.ReadAt(ci.Path, 0, hlen, s.cfg.Node)
+		read += int64(len(buf))
+		h, err := chunk.ParseHeader(buf)
+		if err != nil {
+			return nil, err
+		}
+		s.cache.Put(key, h, hlen)
+		return headerFetch{h: h, bytes: read}, nil
+	})
 	if err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
-	h, err := chunk.ParseHeader(buf)
-	if err != nil {
-		return nil, false, err
+	hf := v.(headerFetch)
+	if shared {
+		s.m.SingleFlightDedup.Inc()
+		return hf.h, 0, false, nil
 	}
-	s.cache.Put(headerKey(ci.ID), h, hlen)
-	return h, false, nil
+	return hf.h, hf.bytes, false, nil
 }
 
 // ExecuteSubQuery runs one chunk subquery: select leaves by key range and
@@ -204,12 +300,18 @@ func (s *Server) ExecuteSubQueryTraced(sq *model.SubQuery, sp *telemetry.Span) (
 	s.m.SubQueries.Inc()
 	start := time.Now()
 	res := &model.Result{QueryID: sq.QueryID}
-	ci, ok := s.ms.Chunk(sq.Chunk)
-	if !ok {
-		return nil, fmt.Errorf("queryexec: unknown chunk %d", sq.Chunk)
+	// Planned subqueries carry the chunk's file metadata; only hand-built
+	// ones pay a metadata-server round trip here.
+	ci := meta.ChunkInfo{ID: sq.Chunk, Path: sq.ChunkPath, HeaderLen: sq.ChunkHeaderLen}
+	if ci.Path == "" {
+		info, ok := s.ms.Chunk(sq.Chunk)
+		if !ok {
+			return nil, fmt.Errorf("queryexec: unknown chunk %d", sq.Chunk)
+		}
+		ci = info
 	}
 	openSp := sp.StartChild("chunk_open")
-	h, hit, err := s.header(ci)
+	h, hbytes, hit, err := s.header(ci)
 	if err != nil {
 		openSp.SetStr("error", err.Error())
 		openSp.End()
@@ -219,11 +321,12 @@ func (s *Server) ExecuteSubQueryTraced(sq *model.SubQuery, sp *telemetry.Span) (
 		res.CacheHits++
 		openSp.SetInt("cache_hit", 1)
 	} else {
-		// Header fetches count toward the byte metric like leaf reads do,
-		// so the Prometheus counter matches per-query BytesRead accounting.
-		s.m.BytesRead.Add(int64(h.HeaderLen))
-		res.BytesRead += int64(h.HeaderLen)
-		openSp.SetInt("header_bytes", int64(h.HeaderLen))
+		// hbytes is what the fetch actually transferred (header, plus the
+		// 12-byte peek on the fallback path; zero when a concurrent
+		// subquery's fetch was shared), already counted in the byte metric
+		// at the read site — so metric and result accounting agree.
+		res.BytesRead += hbytes
+		openSp.SetInt("header_bytes", hbytes)
 	}
 	openSp.End()
 	// When the chunk carries a secondary attribute index and the filter
@@ -244,7 +347,7 @@ func (s *Server) ExecuteSubQueryTraced(sq *model.SubQuery, sp *telemetry.Span) (
 	// access costs, an extra open is dearer than a few hundred KB of
 	// sequential bytes, so pruning must not fragment the read pattern.
 	const maxGapBytes = 512 << 10
-	bodies := make(map[int][]byte, len(leaves))
+	bodies := make([][]byte, len(h.Dir))
 	var missing []int
 	for _, li := range leaves {
 		if v, ok := s.cache.Get(leafKey(ci.ID, li)); ok {
@@ -256,8 +359,15 @@ func (s *Server) ExecuteSubQueryTraced(sq *model.SubQuery, sp *telemetry.Span) (
 			s.m.LeafMisses.Inc()
 		}
 	}
-	readSp := sp.StartChild("leaf_read")
-	coalesced := 0
+	// Coalesce the missing leaves into extents, then issue the extents to
+	// the DFS concurrently (bounded by the server-wide inflight
+	// semaphore). Each extent is single-flighted, so concurrent subqueries
+	// missing the same bytes ride one read that fills the cache for all.
+	type extent struct {
+		lo, hi      int // index range into missing
+		off, length int64
+	}
+	var exts []extent
 	for i := 0; i < len(missing); {
 		j := i
 		for j+1 < len(missing) {
@@ -269,26 +379,89 @@ func (s *Server) ExecuteSubQueryTraced(sq *model.SubQuery, sp *telemetry.Span) (
 		}
 		first, last := missing[i], missing[j]
 		off := h.Dir[first].Offset
-		length := h.Dir[last].Offset + h.Dir[last].Length - off
-		buf, _, err := s.fs.ReadAt(ci.Path, off, length, s.cfg.Node)
+		exts = append(exts, extent{
+			lo: i, hi: j, off: off,
+			length: h.Dir[last].Offset + h.Dir[last].Length - off,
+		})
+		i = j + 1
+	}
+	// readExtent fetches one extent (or joins an identical in-flight
+	// fetch) and slices it into bodies; extents cover disjoint leaves, so
+	// concurrent calls write disjoint bodies indices. It returns the bytes
+	// this subquery caused to be read — zero for a shared flight.
+	readExtent := func(e extent) (int64, bool, error) {
+		v, err, shared := s.flights.Do(extentKey(ci.ID, e.off, e.length), func() (any, error) {
+			b, err := s.readAt(ci.Path, e.off, e.length)
+			if err != nil {
+				return nil, err
+			}
+			for k := e.lo; k <= e.hi; k++ {
+				li := missing[k]
+				lb := b[h.Dir[li].Offset-e.off : h.Dir[li].Offset-e.off+h.Dir[li].Length]
+				s.cache.Put(leafKey(ci.ID, li), lb, int64(len(lb)))
+			}
+			return b, nil
+		})
+		if err != nil {
+			return 0, shared, err
+		}
+		b := v.([]byte)
+		for k := e.lo; k <= e.hi; k++ {
+			li := missing[k]
+			bodies[li] = b[h.Dir[li].Offset-e.off : h.Dir[li].Offset-e.off+h.Dir[li].Length]
+		}
+		if shared {
+			s.m.SingleFlightDedup.Inc()
+			return 0, true, nil
+		}
+		s.m.CoalescedReads.Inc()
+		return e.length, false, nil
+	}
+	readSp := sp.StartChild("leaf_read")
+	coalesced, dedups := 0, 0
+	if len(exts) == 1 {
+		// The common single-extent case stays on this goroutine.
+		n, shared, err := readExtent(exts[0])
 		if err != nil {
 			readSp.SetStr("error", err.Error())
 			readSp.End()
 			return nil, err
 		}
-		coalesced++
-		s.m.CoalescedReads.Inc()
-		s.m.BytesRead.Add(length)
-		res.BytesRead += length
-		for k := i; k <= j; k++ {
-			li := missing[k]
-			b := buf[h.Dir[li].Offset-off : h.Dir[li].Offset-off+h.Dir[li].Length]
-			bodies[li] = b
-			s.cache.Put(leafKey(ci.ID, li), b, int64(len(b)))
+		res.BytesRead += n
+		if shared {
+			dedups++
+		} else {
+			coalesced++
 		}
-		i = j + 1
+	} else if len(exts) > 1 {
+		var wg sync.WaitGroup
+		bytesOf := make([]int64, len(exts))
+		sharedOf := make([]bool, len(exts))
+		errOf := make([]error, len(exts))
+		for i, e := range exts {
+			wg.Add(1)
+			go func(i int, e extent) {
+				defer wg.Done()
+				bytesOf[i], sharedOf[i], errOf[i] = readExtent(e)
+			}(i, e)
+		}
+		wg.Wait()
+		for i := range exts {
+			if errOf[i] != nil {
+				readSp.SetStr("error", errOf[i].Error())
+				readSp.End()
+				return nil, errOf[i]
+			}
+			res.BytesRead += bytesOf[i]
+			if sharedOf[i] {
+				dedups++
+			} else {
+				coalesced++
+			}
+		}
 	}
 	readSp.SetInt("reads", int64(coalesced))
+	readSp.SetInt("dedup", int64(dedups))
 	readSp.SetInt("leaves_missing", int64(len(missing)))
 	readSp.SetInt("bytes", res.BytesRead)
 	readSp.End()
@@ -296,10 +469,14 @@ func (s *Server) ExecuteSubQueryTraced(sq *model.SubQuery, sp *telemetry.Span) (
 	scanSp := sp.StartChild("scan")
 	for _, li := range leaves {
 		res.LeavesRead++
+		// Matched payloads alias the (cached, shared) leaf body during the
+		// scan and are un-aliased afterwards into one arena per leaf — a
+		// single allocation instead of one per tuple.
+		arenaStart := len(res.Tuples)
+		payloadBytes := 0
 		err := chunk.ScanLeaf(bodies[li], sq.Region.Keys, sq.Region.Times, sq.Filter, func(t *model.Tuple) bool {
-			cp := *t
-			cp.Payload = append([]byte(nil), t.Payload...)
-			res.Tuples = append(res.Tuples, cp)
+			res.Tuples = append(res.Tuples, *t)
+			payloadBytes += len(t.Payload)
 			return sq.Limit <= 0 || len(res.Tuples) < sq.Limit
 		})
 		if err != nil {
@@ -307,6 +484,24 @@ func (s *Server) ExecuteSubQueryTraced(sq *model.SubQuery, sp *telemetry.Span) (
 			scanSp.SetStr("error", err.Error())
 			scanSp.End()
 			return nil, err
+		}
+		if len(res.Tuples) > arenaStart {
+			var arena []byte
+			if payloadBytes > 0 {
+				arena = make([]byte, 0, payloadBytes)
+			}
+			for i := arenaStart; i < len(res.Tuples); i++ {
+				t := &res.Tuples[i]
+				if len(t.Payload) == 0 {
+					// Empty slices still point into the body; drop the
+					// reference so results never pin leaf buffers.
+					t.Payload = nil
+					continue
+				}
+				off := len(arena)
+				arena = append(arena, t.Payload...)
+				t.Payload = arena[off:len(arena):len(arena)]
+			}
 		}
 		if sq.Limit > 0 && len(res.Tuples) >= sq.Limit {
 			break

@@ -62,6 +62,21 @@ func (g *Gauge) Set(v float64) {
 	}
 }
 
+// Add atomically adds delta (may be negative) — the up/down gauge used for
+// occupancy-style metrics such as busy workers or inflight reads.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
 // Value returns the stored value (0 for a nil Gauge).
 func (g *Gauge) Value() float64 {
 	if g == nil {

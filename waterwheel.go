@@ -83,6 +83,13 @@ type Options struct {
 	// Policy selects the subquery dispatch policy: "lada" (default),
 	// "round-robin", "hashing" or "shared-queue".
 	Policy string
+	// QueryWorkers is each query server's subquery parallelism: how many
+	// dispatch workers claim subqueries for it concurrently (0 = default
+	// 4; 1 restores serial per-server dispatch).
+	QueryWorkers int
+	// QueryInflightReads bounds each query server's concurrent DFS reads
+	// (0 = default 4; 1 serializes its chunk I/O).
+	QueryInflightReads int
 	// DisableAdaptivePartitioning turns the key balancer off.
 	DisableAdaptivePartitioning bool
 	// BalanceIntervalMillis runs the balancer on a cadence (0 = manual).
@@ -148,6 +155,8 @@ func Open(opts Options) (*DB, error) {
 		CacheBytes:            opts.CacheBytes,
 		LateDeltaMillis:       opts.LateDeltaMillis,
 		Policy:                opts.Policy,
+		QueryWorkers:          opts.QueryWorkers,
+		QueryInflightReads:    opts.QueryInflightReads,
 		DisableAdaptive:       opts.DisableAdaptivePartitioning,
 		BalanceIntervalMillis: opts.BalanceIntervalMillis,
 		DisableBloom:          opts.DisableBloom,

@@ -31,6 +31,8 @@ func main() {
 		syncIngest = flag.Bool("sync-ingest", false, "bypass the WAL (no crash recovery)")
 		simulateIO = flag.Bool("simulate-io", false, "charge HDFS-like latencies on chunk I/O")
 		dataDir    = flag.String("data-dir", "", "persist chunks/WAL/metadata here (survives restarts)")
+		durability = flag.String("durability", "", "insert ack policy with -data-dir: ack-on-write (default), ack-on-fsync (group commit), interval")
+		fsyncMs    = flag.Int64("fsync-interval-ms", 50, "background fsync cadence for -durability interval")
 		seed       = flag.Int64("seed", 0, "placement/sampling seed")
 		httpAddr   = flag.String("http", "", "serve /metrics and /debug/waterwheel on this address (empty = off)")
 	)
@@ -45,6 +47,8 @@ func main() {
 		SyncIngest:            *syncIngest,
 		SimulateIO:            *simulateIO,
 		DataDir:               *dataDir,
+		Durability:            *durability,
+		FsyncIntervalMillis:   *fsyncMs,
 		Seed:                  *seed,
 	})
 	if err != nil {

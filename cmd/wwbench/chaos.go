@@ -23,12 +23,18 @@ func runChaos(args []string) {
 		nodes   = fs.Int("nodes", 3, "cluster nodes")
 		trace   = fs.Bool("trace", false, "print the full op trace of every run")
 		dataDir = fs.String("datadir", "", "run disk-backed with a restart pass (empty: in-memory)")
+		dur     = fs.String("durability", "", "insert ack policy with -datadir: ack-on-write, ack-on-fsync, interval")
+		crash   = fs.Bool("hardcrash", false, "with -datadir: hard-crash after the schedule (discard unsynced WAL bytes), reopen, re-verify")
 	)
 	fs.Parse(args)
+	if (*crash || *dur != "") && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "wwbench chaos: -hardcrash and -durability require -datadir")
+		os.Exit(1)
+	}
 
 	failed := false
 	for s := *seed; s < *seed+int64(*seeds); s++ {
-		opts := chaos.Options{Seed: s, Ops: *ops, Nodes: *nodes}
+		opts := chaos.Options{Seed: s, Ops: *ops, Nodes: *nodes, Durability: *dur}
 		if *dataDir != "" {
 			dir, err := os.MkdirTemp(*dataDir, fmt.Sprintf("chaos-seed%d-", s))
 			if err != nil {
@@ -36,7 +42,11 @@ func runChaos(args []string) {
 				os.Exit(1)
 			}
 			opts.DataDir = dir
-			opts.Restart = true
+			if *crash {
+				opts.HardCrash = true
+			} else {
+				opts.Restart = true
+			}
 		}
 		rep, err := chaos.Run(opts)
 		if err != nil {
@@ -47,6 +57,9 @@ func runChaos(args []string) {
 		if len(rep.Violations) > 0 {
 			status = fmt.Sprintf("FAIL (%d violations)", len(rep.Violations))
 			failed = true
+		}
+		if *crash {
+			status = fmt.Sprintf("lost-acked %d (expected 0 only under ack-on-fsync): %s", rep.LostAcked, status)
 		}
 		fmt.Printf("seed %-4d ops %-4d inserted %-6d queries %-4d faults %d: %s\n",
 			rep.Seed, *ops, rep.Inserted, rep.Queries, len(rep.FaultsSeen), status)

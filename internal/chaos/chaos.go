@@ -22,6 +22,13 @@
 // by (seed, op index), and the cluster runs with a no-op DFS sleeper, a
 // fault RNG seeded from the harness seed, and manual balancer ticks, so a
 // failing seed replays the identical scenario.
+//
+// The hard-crash mode (Options.HardCrash, with a DataDir) ends the run by
+// killing the host instead of stopping it: unsynced WAL bytes are
+// discarded like a dying page cache, the cluster reopens from disk, and
+// completeness is re-verified. Under Durability="ack-on-fsync" any acked
+// tuple lost to the crash is a violation; under weaker policies losses are
+// counted in Report.LostAcked — the measured ack-durability gap.
 package chaos
 
 import (
@@ -58,6 +65,18 @@ type Options struct {
 	// Restart, with DataDir, stops the cluster after the schedule, reopens
 	// it from disk and re-verifies completeness — end-to-end durability.
 	Restart bool
+	// Durability is the cluster's insert-ack policy ("", "ack-on-write",
+	// "ack-on-fsync", "interval"); non-default values require DataDir.
+	Durability string
+	// HardCrash, with DataDir, appends a crash epilogue after the schedule:
+	// drain + checkpoint, insert a small acked tail guaranteed to miss the
+	// flush pipeline, then kill the cluster discarding every WAL byte past
+	// the fsync watermark (the page cache dies with the host), reopen, and
+	// re-verify. Under "ack-on-fsync" zero acked tuples may be lost; under
+	// any other policy lost acked tuples are counted in Report.LostAcked
+	// instead of flagged as violations — that loss window is the documented
+	// cost of the policy. Takes precedence over Restart.
+	HardCrash bool
 }
 
 func (o *Options) fill() {
@@ -77,6 +96,11 @@ type Report struct {
 	Violations []string // invariant breaches, each tagged with its op index
 	Inserted   int
 	Queries    int
+	// LostAcked counts acked tuples missing after a hard crash under a
+	// durability policy that permits loss (anything but "ack-on-fsync").
+	// Such losses are expected — the run still verifies soundness and
+	// uniqueness — but the count quantifies the ack-durability gap.
+	LostAcked  int
 	FaultsSeen map[string]bool
 }
 
@@ -222,7 +246,11 @@ type runner struct {
 	// readFaultsPossible: a read-fault op ran since the last barrier, so
 	// query errors are excusable until the next heal.
 	readFaultsPossible bool
-	nIdx               int
+	// ackLossOK: a hard crash happened under a durability policy that does
+	// not promise fsync-before-ack, so missing acked tuples are tallied in
+	// Report.LostAcked rather than reported as violations.
+	ackLossOK bool
+	nIdx      int
 }
 
 const (
@@ -249,6 +277,7 @@ func clusterConfig(opts Options) cluster.Config {
 		DFSFaultSeed:          opts.Seed + 1,
 		SleepFn:               func(time.Duration) {},
 		DataDir:               opts.DataDir,
+		Durability:            opts.Durability,
 	}
 }
 
@@ -285,6 +314,9 @@ func Run(opts Options) (*Report, error) {
 	}
 	sched := genSchedule(opts.Seed, opts.Ops, r.opts.Nodes, r.nIdx)
 	r.runSchedule(sched)
+	if opts.HardCrash && opts.DataDir != "" {
+		return r.rep, r.hardCrashEpilogue(len(sched))
+	}
 	if opts.Restart && opts.DataDir != "" {
 		r.heal()
 		r.c.Stop()
@@ -302,6 +334,50 @@ func Run(opts Options) (*Report, error) {
 	}
 	r.c.Stop()
 	return r.rep, nil
+}
+
+// hardCrashEpilogue probes the ack-durability gap. It settles the cluster
+// (heal, drain, flush, checkpoint) so the fsync watermark provably covers
+// everything acked so far, then inserts a fixed tail of tuples small
+// enough that no flush — and therefore no flush-path SyncTo — will run
+// before the crash. Under "ack-on-fsync" each of those acks already paid
+// for an fsync, so the tail survives the crash; under "ack-on-write" the
+// tail sits in the page cache and is discarded with it, surfacing as
+// Report.LostAcked after the reopen.
+func (r *runner) hardCrashEpilogue(i int) error {
+	r.heal()
+	r.c.Drain()
+	r.c.FlushAll()
+	r.c.Drain()
+	if err := r.c.Checkpoint(); err != nil {
+		r.violate(i, "checkpoint before hard crash: %v", err)
+	}
+	sub := r.subRNG(i)
+	const tail = 40 // ~1 KiB across all partitions: below every flush threshold
+	for j := 0; j < tail; j++ {
+		r.virtualNow += model.Timestamp(1 + sub.Int63n(20))
+		r.insert(model.Key(sub.Uint64()%keyDomain), r.virtualNow)
+	}
+	policy := r.opts.Durability
+	if policy == "" {
+		policy = "ack-on-write"
+	}
+	r.trace(i, "hard-crash: %d acked tail tuples under %s, then host dies", tail, policy)
+	if err := r.c.HardCrash(); err != nil {
+		r.violate(i, "hard crash: %v", err)
+	}
+	c2, err := cluster.Open(clusterConfig(r.opts))
+	if err != nil {
+		return fmt.Errorf("chaos: reopen after hard crash: %w", err)
+	}
+	r.c = c2
+	c2.Start()
+	r.trace(i+1, "hard-crash: reopened from %s", r.opts.DataDir)
+	c2.Drain()
+	r.ackLossOK = r.opts.Durability != "ack-on-fsync"
+	r.verifyComplete(i + 1)
+	c2.Stop()
+	return nil
 }
 
 func (r *runner) runSchedule(sched []op) {
@@ -410,8 +486,13 @@ func (r *runner) insert(key model.Key, ts model.Timestamp) {
 	seq := uint64(len(r.entries))
 	payload := make([]byte, 8)
 	binary.BigEndian.PutUint64(payload, seq)
+	if err := r.c.Insert(model.Tuple{Key: key, Time: ts, Payload: payload}); err != nil {
+		// Rejected means not acked: the oracle must not expect it. The
+		// harness injects no WAL-file faults, so rejections are not normally
+		// reachable here — but the contract is what we hold the system to.
+		return
+	}
 	r.entries = append(r.entries, entry{key: key, ts: ts})
-	r.c.Insert(model.Tuple{Key: key, Time: ts, Payload: payload})
 	r.rep.Inserted++
 }
 
@@ -547,6 +628,14 @@ func (r *runner) barrier(i int) {
 	r.c.Drain()
 	r.verifyComplete(i)
 	r.readFaultsPossible = false
+	if r.opts.DataDir != "" {
+		// Durable runs checkpoint at barriers so truncate-wal ops exercise
+		// the checkpoint-gated retention floor and hard crashes have a
+		// recent snapshot to restore from.
+		if err := r.c.Checkpoint(); err != nil {
+			r.violate(i, "checkpoint at barrier: %v", err)
+		}
+	}
 }
 
 func (r *runner) verifyComplete(i int) {
@@ -599,6 +688,12 @@ func (r *runner) checkResult(i int, q model.Query, res *model.Result, complete b
 			continue
 		}
 		if !q.Keys.Contains(e.key) || !q.Times.Contains(e.ts) {
+			continue
+		}
+		if r.ackLossOK {
+			// Post-hard-crash under a policy that acks before fsync: the
+			// loss is expected, quantified, and not a violation.
+			r.rep.LostAcked++
 			continue
 		}
 		missing++

@@ -118,6 +118,17 @@ type Config struct {
 	// and replays each indexing server's WAL tail from its recorded offset
 	// (§V). Incompatible with SyncIngest.
 	DataDir string
+	// Durability selects when inserts are acknowledged relative to WAL
+	// fsync in DataDir mode: "" or "ack-on-write" (ack once the record is
+	// in the OS page cache — fastest, but a host crash can drop acked
+	// tuples), "ack-on-fsync" (group commit: Insert returns only after a
+	// batched fsync covers the record), or "interval" (background fsync
+	// every FsyncIntervalMillis, bounding the loss window). Policies other
+	// than ack-on-write require DataDir.
+	Durability string
+	// FsyncIntervalMillis is the background fsync cadence for the
+	// "interval" durability policy (default 50).
+	FsyncIntervalMillis int64
 }
 
 func (c *Config) fill() {
@@ -172,6 +183,14 @@ type Cluster struct {
 	walAppends    *telemetry.Counter
 	repartitions  *telemetry.Counter
 
+	// ckptOffsets[i] is partition i's flush offset as of the last durable
+	// checkpoint — the retention floor in DataDir mode: a hard crash
+	// restores metadata from that snapshot, so WAL records above these
+	// offsets must stay replayable even though newer flush offsets exist
+	// in memory.
+	ckptMu      sync.Mutex
+	ckptOffsets []int64
+
 	rr   atomic.Uint64 // round-robin dispatcher pick for Insert
 	stop chan struct{}
 	// consStop holds one stop channel per indexing-server consumer so a
@@ -199,6 +218,13 @@ func Open(cfg Config) (*Cluster, error) {
 	cfg.fill()
 	if cfg.DataDir != "" && cfg.SyncIngest {
 		return nil, fmt.Errorf("cluster: DataDir requires the WAL pipeline (disable SyncIngest)")
+	}
+	durPolicy, err := wal.ParseDurability(cfg.Durability)
+	if err != nil {
+		return nil, err
+	}
+	if durPolicy != wal.DurabilityAckOnWrite && cfg.DataDir == "" {
+		return nil, fmt.Errorf("cluster: Durability=%q requires DataDir (an in-memory WAL has no fsync)", cfg.Durability)
 	}
 	nIdx := cfg.Nodes * cfg.IndexServersPerNode
 
@@ -230,8 +256,22 @@ func Open(cfg Config) (*Cluster, error) {
 	)
 	if cfg.DataDir != "" {
 		fsCfg.Dir = filepath.Join(cfg.DataDir, "dfs")
+		walCfg := wal.Config{
+			Durability: durPolicy,
+			Interval:   time.Duration(cfg.FsyncIntervalMillis) * time.Millisecond,
+			Metrics: wal.Metrics{
+				FsyncBatch: reg.Histogram("waterwheel_wal_fsync_batch_records",
+					"records made durable per WAL group-commit fsync (unit: records, not seconds)"),
+				CommitNanos: reg.Histogram("waterwheel_wal_commit_seconds",
+					"WAL group-commit fsync latency"),
+				Waiters: reg.Gauge("waterwheel_wal_commit_waiters",
+					"inserters parked waiting for a WAL fsync cohort"),
+				Fsyncs: reg.Counter("waterwheel_wal_fsyncs_total",
+					"WAL segment fsyncs issued by the durability pipeline"),
+			},
+		}
 		var err error
-		log, err = wal.OpenLogDir(filepath.Join(cfg.DataDir, "wal"), nIdx)
+		log, err = wal.OpenLogDirConfig(filepath.Join(cfg.DataDir, "wal"), nIdx, walCfg)
 		if err != nil {
 			return nil, err
 		}
@@ -310,15 +350,30 @@ func Open(cfg Config) (*Cluster, error) {
 			c.coord.AddQueryServer(qs)
 		}
 	}
+	if cfg.DataDir != "" {
+		c.ckptOffsets = make([]int64, nIdx)
+		for i := range c.ckptOffsets {
+			// A restored snapshot's offsets are already durable; a fresh
+			// deployment starts at zero either way.
+			c.ckptOffsets[i] = ms.Offset(i)
+		}
+	}
 	var sink dispatcher.Sink
 	if cfg.SyncIngest {
-		sink = dispatcher.SinkFunc(func(server int, t model.Tuple) {
+		sink = dispatcher.SinkFunc(func(server int, t model.Tuple) error {
 			c.idx[server].Insert(t)
+			return nil
 		})
 	} else {
-		sink = dispatcher.SinkFunc(func(server int, t model.Tuple) {
-			c.log.Partition(server).Append(model.AppendTuple(nil, &t))
+		sink = dispatcher.SinkFunc(func(server int, t model.Tuple) error {
+			// Under ack-on-fsync this append parks until a group-commit
+			// fsync covers the record; an error means the log did NOT take
+			// the tuple (stop-the-line) and the insert must not be acked.
+			if _, err := c.log.Partition(server).Append(model.AppendTuple(nil, &t)); err != nil {
+				return fmt.Errorf("cluster: wal append (server %d): %w", server, err)
+			}
 			c.walAppends.Inc()
+			return nil
 		})
 	}
 	nDisp := cfg.Nodes * cfg.DispatchersPerNode
@@ -333,6 +388,14 @@ func Open(cfg Config) (*Cluster, error) {
 // single source of per-server settings, shared by Open and crash recovery
 // so a replacement server never silently diverges from the original.
 func (c *Cluster) newIndexServer(i int, keys model.KeyRange) *ingest.Server {
+	var syncWAL func(int64) error
+	if !c.cfg.SyncIngest {
+		// Flush-offset commits must not run ahead of the WAL fsync
+		// watermark (consumers index straight from memory, possibly before
+		// any fsync): the flusher syncs its unit's offset into the log
+		// before registering chunks and committing.
+		syncWAL = c.log.Partition(i).SyncTo
+	}
 	return ingest.NewServer(ingest.Config{
 		ID:                  i,
 		Keys:                keys,
@@ -346,6 +409,7 @@ func (c *Cluster) newIndexServer(i int, keys model.KeyRange) *ingest.Server {
 		FlushQueueDepth:     c.cfg.FlushQueueDepth,
 		SyncFlush:           c.cfg.SyncFlush,
 		FlushFailHook:       c.cfg.FlushFailHook,
+		SyncWAL:             syncWAL,
 		Metrics:             c.ingestMetrics,
 	}, c.fs, c.ms, i/c.cfg.IndexServersPerNode)
 }
@@ -360,6 +424,13 @@ func metaSnapPath(dataDir string) string { return filepath.Join(dataDir, "meta.s
 func (c *Cluster) Checkpoint() error {
 	if c.cfg.DataDir == "" {
 		return nil
+	}
+	// Capture the flush offsets BEFORE taking the snapshot: offsets only
+	// grow, so whatever the snapshot records is at least these values —
+	// making them a safe retention floor once the snapshot is durable.
+	offs := make([]int64, c.log.Partitions())
+	for i := range offs {
+		offs[i] = c.ms.Offset(i)
 	}
 	snap, err := c.ms.Snapshot()
 	if err != nil {
@@ -377,6 +448,9 @@ func (c *Cluster) Checkpoint() error {
 			return err
 		}
 	}
+	c.ckptMu.Lock()
+	copy(c.ckptOffsets, offs)
+	c.ckptMu.Unlock()
 	return nil
 }
 
@@ -439,17 +513,52 @@ func (c *Cluster) Stop() {
 	}
 }
 
+// HardCrash simulates a host crash in DataDir mode: no checkpoint, no
+// drain, and every WAL byte past the last fsync watermark is discarded
+// (the OS page cache dies with the host). The cluster is unusable
+// afterwards; Open the same DataDir to get the surviving state. This is
+// the probe for the ack-durability gap: under "ack-on-fsync" every acked
+// tuple is below the watermark and survives; under "ack-on-write" acked
+// tuples still in the page cache are lost.
+func (c *Cluster) HardCrash() error {
+	if c.cfg.DataDir == "" {
+		return fmt.Errorf("cluster: HardCrash requires DataDir")
+	}
+	if c.stopped.Swap(true) {
+		return fmt.Errorf("cluster: already stopped")
+	}
+	close(c.stop)
+	c.log.Close()
+	c.wg.Wait()
+	// Abort (not Close) the flushers: in-flight work dies without
+	// checkpointing, like the host it ran on.
+	for _, srv := range c.idx {
+		srv.Abort()
+	}
+	var first error
+	for i := 0; i < c.log.Partitions(); i++ {
+		if err := c.log.Partition(i).CrashDiscardUnsynced(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // Insert routes one tuple through a dispatcher (round-robin across the
-// configured dispatchers, as multiple ingestion clients would).
-func (c *Cluster) Insert(t model.Tuple) {
+// configured dispatchers, as multiple ingestion clients would). A nil
+// return is the ack: the tuple is in the log (under "ack-on-fsync", on
+// stable storage). A non-nil error means the tuple was NOT accepted.
+func (c *Cluster) Insert(t model.Tuple) error {
 	d := c.disp[int(c.rr.Add(1))%len(c.disp)]
-	d.Dispatch(t)
+	_, err := d.Dispatch(t)
+	return err
 }
 
 // InsertVia routes a tuple through a specific dispatcher — lets callers
 // shard their input streams deterministically.
-func (c *Cluster) InsertVia(dispatcherID int, t model.Tuple) {
-	c.disp[dispatcherID%len(c.disp)].Dispatch(t)
+func (c *Cluster) InsertVia(dispatcherID int, t model.Tuple) error {
+	_, err := c.disp[dispatcherID%len(c.disp)].Dispatch(t)
+	return err
 }
 
 // Query executes a temporal range query and returns the merged result.
@@ -538,13 +647,24 @@ func (c *Cluster) DropChunksBefore(horizon model.Timestamp) int {
 
 // TruncateWALBefore advances each partition's retention horizon to its
 // indexing server's recorded flush offset: records already represented in
-// chunks are no longer needed for recovery.
+// chunks are no longer needed for recovery. In DataDir mode the horizon is
+// additionally capped at the last durable checkpoint's offset — a hard
+// crash restores metadata from that snapshot, and records between its
+// offset and the in-memory one would be needed for replay.
 func (c *Cluster) TruncateWALBefore() {
 	if c.cfg.SyncIngest {
 		return
 	}
 	for i := 0; i < c.log.Partitions(); i++ {
-		c.log.Partition(i).Truncate(c.ms.Offset(i))
+		off := c.ms.Offset(i)
+		if c.cfg.DataDir != "" {
+			c.ckptMu.Lock()
+			if ck := c.ckptOffsets[i]; ck < off {
+				off = ck
+			}
+			c.ckptMu.Unlock()
+		}
+		c.log.Partition(i).Truncate(off)
 	}
 }
 

@@ -142,6 +142,15 @@ func (c *Cluster) registerFuncMetrics() {
 			}
 			return float64(lag)
 		})
+		// Page-cache exposure: segment bytes a host crash would lose. Zero
+		// by construction while inserters are quiescent under ack-on-fsync.
+		reg.GaugeFunc("waterwheel_wal_unsynced_bytes", "WAL segment bytes appended but not yet fsynced", func() float64 {
+			var n int64
+			for i := 0; i < c.log.Partitions(); i++ {
+				n += c.log.Partition(i).UnsyncedBytes()
+			}
+			return float64(n)
+		})
 	}
 
 	// Query-server caches.

@@ -20,16 +20,18 @@ import (
 )
 
 // Sink receives routed tuples; implemented by the ingest layer (WAL
-// partitions in the full system).
+// partitions in the full system). A Send error means the tuple was NOT
+// accepted — the ack path must surface it to the producer instead of
+// acknowledging a tuple the log cannot replay.
 type Sink interface {
-	Send(server int, t model.Tuple)
+	Send(server int, t model.Tuple) error
 }
 
 // SinkFunc adapts a function to the Sink interface.
-type SinkFunc func(server int, t model.Tuple)
+type SinkFunc func(server int, t model.Tuple) error
 
 // Send implements Sink.
-func (f SinkFunc) Send(server int, t model.Tuple) { f(server, t) }
+func (f SinkFunc) Send(server int, t model.Tuple) error { return f(server, t) }
 
 // SamplerConfig tunes the sliding-window key sampler.
 type SamplerConfig struct {
@@ -140,18 +142,18 @@ func New(schema meta.PartitionSchema, sink Sink, samplerCfg SamplerConfig) *Disp
 	}
 }
 
-// Dispatch routes one tuple, returning the chosen indexing server. Only
+// Dispatch routes one tuple, returning the chosen indexing server and the
+// sink's verdict (a non-nil error means the tuple was not accepted). Only
 // one in SampleEvery tuples enters the sampler, keeping per-tuple routing
 // cheap.
-func (d *Dispatcher) Dispatch(t model.Tuple) int {
+func (d *Dispatcher) Dispatch(t model.Tuple) (int, error) {
 	d.mu.RLock()
 	server := d.schema.ServerFor(t.Key)
 	d.mu.RUnlock()
 	if d.dispatched.Add(1)%d.sampleEvery == 0 {
 		d.sampler.Observe(t.Key)
 	}
-	d.sink.Send(server, t)
-	return server
+	return server, d.sink.Send(server, t)
 }
 
 // UpdateSchema installs a newer partitioning schema; stale versions are

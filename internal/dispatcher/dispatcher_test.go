@@ -16,24 +16,25 @@ type captureSink struct {
 
 func newCaptureSink() *captureSink { return &captureSink{byDst: map[int][]model.Tuple{}} }
 
-func (c *captureSink) Send(server int, t model.Tuple) {
+func (c *captureSink) Send(server int, t model.Tuple) error {
 	c.mu.Lock()
 	c.byDst[server] = append(c.byDst[server], t)
 	c.mu.Unlock()
+	return nil
 }
 
 func TestDispatchRoutesBySchema(t *testing.T) {
 	sink := newCaptureSink()
 	schema := meta.PartitionSchema{Version: 1, Servers: 2, Bounds: []model.Key{100}}
 	d := New(schema, sink, SamplerConfig{})
-	if got := d.Dispatch(model.Tuple{Key: 50}); got != 0 {
-		t.Errorf("key 50 -> server %d", got)
+	if got, err := d.Dispatch(model.Tuple{Key: 50}); err != nil || got != 0 {
+		t.Errorf("key 50 -> server %d (err %v)", got, err)
 	}
-	if got := d.Dispatch(model.Tuple{Key: 100}); got != 1 {
-		t.Errorf("key 100 -> server %d, want 1 (boundary key goes right)", got)
+	if got, err := d.Dispatch(model.Tuple{Key: 100}); err != nil || got != 1 {
+		t.Errorf("key 100 -> server %d, want 1 (boundary key goes right; err %v)", got, err)
 	}
-	if got := d.Dispatch(model.Tuple{Key: 99}); got != 0 {
-		t.Errorf("key 99 -> server %d", got)
+	if got, err := d.Dispatch(model.Tuple{Key: 99}); err != nil || got != 0 {
+		t.Errorf("key 99 -> server %d (err %v)", got, err)
 	}
 	if len(sink.byDst[0]) != 2 || len(sink.byDst[1]) != 1 {
 		t.Errorf("sink distribution %v", sink.byDst)

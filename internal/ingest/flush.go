@@ -343,6 +343,20 @@ func (s *Server) processFlush(pf *pendingFlush) bool {
 		part.written = true
 		totalBytes += cmeta.Size
 	}
+	// Durability barrier (§V): the offset this unit is about to commit was
+	// consumed from memory, possibly ahead of any WAL fsync. Force the log
+	// durable up to it BEFORE registering — one fsync per flush, amortized
+	// to nothing against the chunk write itself. Failing here fails the
+	// attempt like a DFS write would: nothing registered, nothing
+	// committed, retried later.
+	if s.cfg.SyncWAL != nil {
+		if err := s.cfg.SyncWAL(pf.offset); err != nil {
+			s.stats.FlushFailures.Add(1)
+			pf.state.Store(int32(flushFailed))
+			pf.attempts.Add(1)
+			return false
+		}
+	}
 	// Registration, horizon publication and offset commit happen in one
 	// pendMu section: a query that saw the chunks in its plan cannot read
 	// the pending list until the unit is marked done, and one that read the

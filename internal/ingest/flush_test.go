@@ -237,6 +237,72 @@ func TestOffsetsCommitInSnapshotOrder(t *testing.T) {
 	}
 }
 
+// TestSyncWALGatesOffsetCommit is the durability barrier of the flush
+// path: a flush unit must not register its chunk or commit its WAL offset
+// until the log is fsynced up to the unit's offset. A failing SyncWAL
+// fails the flush attempt (stop the line, tuples stay queryable from the
+// pending snapshot); once the log heals, the retry commits as usual and
+// the fsync provably covered the committed offset.
+func TestSyncWALGatesOffsetCommit(t *testing.T) {
+	fs := dfs.New(dfs.Config{Nodes: 2, Replication: 1, Seed: 1, Sleep: func(time.Duration) {}})
+	ms := meta.NewServer(1)
+	var syncFail atomic.Bool
+	syncFail.Store(true)
+	var syncedTo atomic.Int64
+	cfg := Config{
+		ID: 0, ChunkBytes: 16 * 100, Leaves: 16, FlushQueueDepth: 8,
+		SideThresholdMillis: -1,
+		SyncWAL: func(upTo int64) error {
+			if syncFail.Load() {
+				return errors.New("injected fsync failure")
+			}
+			if upTo > syncedTo.Load() {
+				syncedTo.Store(upTo)
+			}
+			return nil
+		},
+	}
+	p := wal.NewPartition()
+	for i := 0; i < 150; i++ {
+		p.Append(model.AppendTuple(nil, &model.Tuple{Key: model.Key(i), Time: model.Timestamp(i)}))
+	}
+	srv := NewServer(cfg, fs, ms, 0)
+	defer srv.Close()
+	stop := make(chan struct{})
+	consDone := make(chan struct{})
+	go func() { srv.Consume(p, stop); close(consDone) }()
+	waitFor(t, func() bool { return srv.Stats().Ingested.Load() == 150 })
+	waitFor(t, func() bool { return srv.Stats().FlushFailures.Load() >= 1 })
+
+	// The unsynced snapshot must hold everything back: no chunk, no offset.
+	if got := ms.Offset(0); got != 0 {
+		t.Fatalf("offset advanced to %d past an unsynced WAL prefix", got)
+	}
+	if n := ms.ChunkCount(); n != 0 {
+		t.Fatalf("chunk registered before its WAL prefix was synced: %d", n)
+	}
+	if got := memQuery(srv, model.FullKeyRange(), model.FullTimeRange()); len(got) != 150 {
+		t.Fatalf("tuples lost during the fsync outage: %d, want 150", len(got))
+	}
+
+	// Log heals: the retry syncs, registers and commits.
+	syncFail.Store(false)
+	if _, ok := srv.Flush(); !ok {
+		t.Fatal("flush retry failed after the WAL healed")
+	}
+	srv.DrainFlushes()
+	waitFor(t, func() bool { return ms.ChunkCount() >= 1 })
+	if got, want := ms.Offset(0), srv.Consumed(); got != want {
+		t.Fatalf("offset = %d after drain, want %d", got, want)
+	}
+	if got := syncedTo.Load(); got < ms.Offset(0) {
+		t.Fatalf("offset %d committed beyond the last synced offset %d", ms.Offset(0), got)
+	}
+	close(stop)
+	p.Append(model.AppendTuple(nil, &model.Tuple{Key: 999, Time: 999})) // wake the blocked read
+	<-consDone
+}
+
 // TestCloseDrainsQueue: shutdown waits for queued snapshots instead of
 // dropping them, and post-Close flushes still work (inline).
 func TestCloseDrainsQueue(t *testing.T) {

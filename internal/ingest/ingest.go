@@ -68,6 +68,16 @@ type Config struct {
 	// write failure would. Fault-injection surface for chaos testing
 	// (mid-flight flusher failures).
 	FlushFailHook func(server, seq int, attempt int32) error
+	// SyncWAL, when set, is called with a flush unit's WAL offset before
+	// the unit registers its chunks and commits that offset — the cluster
+	// wires it to the partition's fsync barrier (wal.Partition.SyncTo). A
+	// committed offset must never exceed the durable length of the log:
+	// after a host crash the replayable log would be shorter than the
+	// committed offset, fresh appends would reuse committed offsets and
+	// the registered chunks would alias replayed tuples as duplicates. A
+	// SyncWAL error fails the flush attempt exactly as a DFS write failure
+	// would (stop the line, retry later).
+	SyncWAL func(upTo int64) error
 	// Metrics holds optional telemetry handles; the zero value (nil
 	// handles) disables instrumentation at no cost.
 	Metrics Metrics

@@ -1,0 +1,338 @@
+package wal
+
+// Group commit (paper §V): acking a tuple promises it survives an
+// indexing-server crash, which for a disk-backed partition means its WAL
+// record must be on stable storage — not in the OS page cache — before the
+// ack. Issuing fsync per append would cap ingest at the disk's sync rate,
+// so a per-partition committer goroutine batches appends into cohorts: an
+// appender parks on the partition's synced condition, the committer
+// captures the current head, issues ONE fsync, advances the watermark and
+// wakes everyone the fsync covered. All appends that arrive while an fsync
+// is in flight ride the next cohort, so the batch size scales with
+// concurrency and the fsync cost amortizes toward zero per tuple.
+//
+// The watermark (Partition.synced) is also the ceiling for everything else
+// that claims durability: flush-offset commits call SyncTo so a committed
+// offset never exceeds what the log can actually replay after a host
+// crash, and the chaos harness's hard-crash mode truncates the segment
+// back to syncedBytes to simulate losing the page cache.
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"waterwheel/internal/telemetry"
+)
+
+// Durability selects when Append acknowledges a record relative to fsync.
+type Durability int
+
+const (
+	// DurabilityAckOnWrite acks once the record is framed into the segment
+	// file (OS page cache). Fastest, but a host crash can drop acked
+	// records appended since the last Sync/Checkpoint.
+	DurabilityAckOnWrite Durability = iota
+	// DurabilityAckOnFsync acks only after a group-commit fsync covers the
+	// record: an acked tuple survives a host crash.
+	DurabilityAckOnFsync
+	// DurabilityInterval runs a background fsync every Config.Interval,
+	// bounding the loss window without per-append latency.
+	DurabilityInterval
+)
+
+// ParseDurability maps the user-facing policy names to Durability values.
+// The empty string means DurabilityAckOnWrite (today's behavior).
+func ParseDurability(s string) (Durability, error) {
+	switch s {
+	case "", "ack-on-write":
+		return DurabilityAckOnWrite, nil
+	case "ack-on-fsync":
+		return DurabilityAckOnFsync, nil
+	case "interval":
+		return DurabilityInterval, nil
+	}
+	return 0, fmt.Errorf("wal: unknown durability policy %q (want ack-on-write, ack-on-fsync or interval)", s)
+}
+
+func (d Durability) String() string {
+	switch d {
+	case DurabilityAckOnFsync:
+		return "ack-on-fsync"
+	case DurabilityInterval:
+		return "interval"
+	default:
+		return "ack-on-write"
+	}
+}
+
+// Metrics holds optional telemetry handles for the durability pipeline.
+// All handles are nil-safe, so the zero value disables instrumentation.
+type Metrics struct {
+	// FsyncBatch records how many records each fsync cohort made durable.
+	// It abuses the duration histogram: batch sizes are observed as whole
+	// "seconds" so the exposition's second-valued quantiles read directly
+	// as record counts.
+	FsyncBatch *telemetry.Histogram
+	// CommitNanos records group-commit fsync latency.
+	CommitNanos *telemetry.Histogram
+	// Waiters gauges appenders currently parked waiting for a cohort.
+	Waiters *telemetry.Gauge
+	// Fsyncs counts segment fsyncs issued by the pipeline.
+	Fsyncs *telemetry.Counter
+}
+
+// Config tunes a disk-backed partition's durability pipeline.
+type Config struct {
+	Durability Durability
+	// Interval is the background fsync cadence for DurabilityInterval
+	// (default 50ms).
+	Interval time.Duration
+	Metrics  Metrics
+}
+
+const defaultFsyncInterval = 50 * time.Millisecond
+
+// startCommitter launches the committer goroutine for policies that need
+// one. Called once from OpenPartition with the partition still private.
+func (p *Partition) startCommitter() {
+	if p.dur != DurabilityAckOnFsync && p.dur != DurabilityInterval {
+		return
+	}
+	if p.dur == DurabilityInterval && p.interval <= 0 {
+		p.interval = defaultFsyncInterval
+	}
+	p.kick = make(chan struct{}, 1)
+	p.commStop = make(chan struct{})
+	p.commDone = make(chan struct{})
+	go p.committer()
+}
+
+func (p *Partition) committer() {
+	defer close(p.commDone)
+	var tick *time.Ticker
+	var tickC <-chan time.Time
+	if p.dur == DurabilityInterval {
+		tick = time.NewTicker(p.interval)
+		tickC = tick.C
+		defer tick.Stop()
+	}
+	for {
+		select {
+		case <-p.kick:
+			p.accumulateCohort()
+			p.syncCohort()
+		case <-tickC:
+			p.syncCohort()
+		case <-p.commStop:
+			// Final cohort: cover appends that raced shutdown. A partition
+			// being crash-discarded sets fileErr first, turning this into
+			// a no-op.
+			p.syncCohort()
+			return
+		}
+	}
+}
+
+// accumulateCohort gives concurrently-running appenders a brief chance to
+// join the cohort before its fsync is issued. Without it, the first append
+// after an idle period buys an fsync for itself alone while the appenders a
+// scheduler tick behind it pay for a second one — halving the amortization
+// exactly at the cohort boundary. Yielding while the unsynced count still
+// grows costs a few scheduler passes (far below fsync latency), is bounded,
+// and converges after one pass when no one else is appending.
+func (p *Partition) accumulateCohort() {
+	prev := int64(-1)
+	for i := 0; i < 4; i++ {
+		p.mu.Lock()
+		n := p.base + int64(len(p.records)) - p.synced
+		p.mu.Unlock()
+		if n == prev {
+			return
+		}
+		prev = n
+		runtime.Gosched()
+	}
+}
+
+// kickCommitter nudges the committer without blocking; a kick that finds
+// the buffer full is redundant (a cohort is already pending).
+func (p *Partition) kickCommitter() {
+	if p.kick == nil {
+		return
+	}
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// stopCommitter shuts the committer down (idempotent) after letting it run
+// one final cohort. Waiters parked at that point are woken by the final
+// cohort's broadcast; any appender arriving later syncs inline (see
+// waitSyncedLocked's commClosed branch).
+func (p *Partition) stopCommitter() {
+	p.stopOnce.Do(func() {
+		if p.commStop == nil {
+			return
+		}
+		p.mu.Lock()
+		p.commClosed = true
+		p.syncedCond.Broadcast()
+		p.mu.Unlock()
+		close(p.commStop)
+		<-p.commDone
+	})
+}
+
+// waitSyncedLocked blocks (mu held) until the fsync watermark reaches
+// target or the line breaks. It returns nil whenever the record became
+// durable, even if a later failure poisoned the partition.
+func (p *Partition) waitSyncedLocked(target int64) error {
+	for p.synced < target && p.fileErr == nil {
+		if p.commClosed {
+			// Committer gone (shutdown path): sync inline instead of
+			// waiting for a wake-up that will never come.
+			p.mu.Unlock()
+			p.syncCohort()
+			p.mu.Lock()
+			continue
+		}
+		p.kickCommitter()
+		p.met.Waiters.Add(1)
+		p.syncedCond.Wait()
+		p.met.Waiters.Add(-1)
+	}
+	if p.synced >= target {
+		return nil
+	}
+	return p.fileErr
+}
+
+// syncCohort issues one fsync covering everything appended so far and
+// advances the watermark. syncMu keeps fsyncs from racing Compact's file
+// swap; p.mu is dropped for the fsync itself so appends keep flowing —
+// that in-flight window is precisely where the next cohort accumulates.
+func (p *Partition) syncCohort() error {
+	p.syncMu.Lock()
+	defer p.syncMu.Unlock()
+	p.mu.Lock()
+	if p.fileErr != nil {
+		err := p.fileErr
+		p.syncedCond.Broadcast()
+		p.mu.Unlock()
+		return err
+	}
+	if p.file == nil {
+		p.mu.Unlock()
+		return nil
+	}
+	head := p.base + int64(len(p.records))
+	bytes := p.fileBytes
+	if head <= p.synced {
+		p.mu.Unlock()
+		return nil
+	}
+	f := p.file
+	start := time.Now()
+	p.mu.Unlock()
+
+	err := f.Sync()
+
+	p.mu.Lock()
+	if err != nil {
+		if p.fileErr == nil {
+			p.fileErr = fmt.Errorf("wal: fsync: %w", err)
+		}
+		err = p.fileErr
+	} else {
+		p.met.Fsyncs.Inc()
+		p.met.CommitNanos.Observe(time.Since(start))
+		if head > p.synced {
+			p.met.FsyncBatch.Observe(time.Duration(head-p.synced) * time.Second)
+			p.synced = head
+			p.syncedBytes = bytes
+		}
+	}
+	p.syncedCond.Broadcast()
+	p.mu.Unlock()
+	return err
+}
+
+// SyncTo ensures every record below upTo is on stable storage before
+// returning. This is the barrier flush-offset commits take: a committed
+// offset must never run ahead of the watermark, or a host crash would
+// leave the durable log shorter than the committed offset — replay would
+// hand fresh appends already-committed offsets and the chunks registered
+// above the watermark would alias replayed tuples as duplicates. No-op for
+// in-memory partitions and when the watermark already covers upTo.
+func (p *Partition) SyncTo(upTo int64) error {
+	p.mu.Lock()
+	if p.fileErr != nil {
+		err := p.fileErr
+		p.mu.Unlock()
+		return err
+	}
+	if p.file == nil || p.synced >= upTo {
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+	return p.syncCohort()
+}
+
+// SyncedNext returns the fsync watermark: the offset the next record to
+// become durable will receive. For in-memory partitions it tracks the
+// head (there is no page cache to lose).
+func (p *Partition) SyncedNext() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.file == nil && p.fileErr == nil {
+		return p.base + int64(len(p.records))
+	}
+	return p.synced
+}
+
+// UnsyncedBytes reports segment bytes appended but not yet covered by an
+// fsync — the page-cache exposure a host crash would lose.
+func (p *Partition) UnsyncedBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.file == nil {
+		return 0
+	}
+	return p.fileBytes - p.syncedBytes
+}
+
+// CrashDiscardUnsynced simulates the page-cache loss of a host crash: it
+// poisons the partition, stops the committer, closes the segment file and
+// truncates it on disk to the last fsync watermark, discarding every byte
+// whose durability was never confirmed. The in-memory state keeps serving
+// (the dying incarnation is about to be thrown away); reopening the path
+// yields exactly the durable prefix.
+func (p *Partition) CrashDiscardUnsynced() error {
+	p.mu.Lock()
+	if p.file == nil && p.fileErr == nil {
+		p.mu.Unlock()
+		return nil
+	}
+	if p.fileErr == nil {
+		// Poison first so the committer's final cohort (and any racing
+		// manual Sync) cannot fsync bytes the "crash" is about to drop.
+		p.fileErr = fmt.Errorf("wal: simulated host crash")
+	}
+	p.syncedCond.Broadcast()
+	p.mu.Unlock()
+	p.stopCommitter()
+	p.syncMu.Lock()
+	defer p.syncMu.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.file == nil {
+		return nil
+	}
+	p.file.Close()
+	p.file = nil
+	return os.Truncate(p.path, walMagicLen+p.syncedBytes)
+}

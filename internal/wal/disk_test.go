@@ -4,7 +4,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
+
+	"waterwheel/internal/telemetry"
 )
 
 func TestDiskPartitionPersistsAcrossReopen(t *testing.T) {
@@ -14,8 +18,8 @@ func TestDiskPartitionPersistsAcrossReopen(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 50; i++ {
-		if off := p.Append([]byte(fmt.Sprintf("r%d", i))); off != int64(i) {
-			t.Fatalf("offset %d", off)
+		if off, err := p.Append([]byte(fmt.Sprintf("r%d", i))); err != nil || off != int64(i) {
+			t.Fatalf("offset %d, err %v", off, err)
 		}
 	}
 	if err := p.Sync(); err != nil {
@@ -37,8 +41,8 @@ func TestDiskPartitionPersistsAcrossReopen(t *testing.T) {
 		t.Fatalf("reopened read: %v, %v", recs, err)
 	}
 	// Appends continue from the persisted head.
-	if off := p2.Append([]byte("new")); off != 50 {
-		t.Fatalf("continued offset %d", off)
+	if off, err := p2.Append([]byte("new")); err != nil || off != 50 {
+		t.Fatalf("continued offset %d, err %v", off, err)
 	}
 }
 
@@ -87,8 +91,8 @@ func TestDiskCompactReclaims(t *testing.T) {
 	if err != nil || len(recs) != 10 {
 		t.Fatalf("post-compact read: %d recs, %v", len(recs), err)
 	}
-	if off := p.Append([]byte("x")); off != 100 {
-		t.Fatalf("post-compact append offset %d", off)
+	if off, err := p.Append([]byte("x")); err != nil || off != 100 {
+		t.Fatalf("post-compact append offset %d, err %v", off, err)
 	}
 	p.CloseFile()
 	p2, err := OpenPartitionFile(path)
@@ -159,8 +163,246 @@ func TestAppendAfterCloseFileSticksError(t *testing.T) {
 	p, _ := OpenPartitionFile(path)
 	p.Append([]byte("a"))
 	p.CloseFile()
-	p.Append([]byte("b")) // in-memory append still works; disk error sticks
+	// Stop-the-line: a record the segment cannot hold must not be acked or
+	// retained, or a restart would silently lose it.
+	if _, err := p.Append([]byte("b")); err == nil {
+		t.Fatal("append after CloseFile succeeded")
+	}
 	if p.Err() == nil {
 		t.Fatal("expected sticky error after CloseFile")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("failed append retained in memory: len=%d", p.Len())
+	}
+}
+
+func TestAppendDiskFailureStopsTheLine(t *testing.T) {
+	// Regression: a disk-append failure used to be swallowed — the record
+	// stayed queryable in memory, its offset was acked, and flushes later
+	// committed past it, so a restart silently lost an acked tuple. Inject
+	// a failing file by swapping the handle for a read-only one.
+	path := filepath.Join(t.TempDir(), "p.wal")
+	p, err := OpenPartitionFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	p.file.Close()
+	ro, err := os.Open(path) // O_RDONLY: writes fail with EBADF
+	if err != nil {
+		p.mu.Unlock()
+		t.Fatal(err)
+	}
+	p.file = ro
+	p.mu.Unlock()
+
+	if _, err := p.Append([]byte("lost?")); err == nil {
+		t.Fatal("append with failing file reported success")
+	}
+	if p.Err() == nil {
+		t.Fatal("disk failure not sticky")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("failed record retained in memory: len=%d", p.Len())
+	}
+	if p.Next() != 1 {
+		t.Fatalf("failed record consumed an offset: next=%d", p.Next())
+	}
+	// The line stays stopped.
+	if _, err := p.Append([]byte("again")); err == nil {
+		t.Fatal("append after sticky error succeeded")
+	}
+}
+
+func TestDiskTornTailTruncatedOnOpen(t *testing.T) {
+	// Regression: a torn append followed by further appends used to
+	// corrupt the partition permanently — the torn record's bytes stayed
+	// in the file, the next incarnation appended fresh frames after them,
+	// and the restart after THAT misparsed the interleaving as an offset
+	// gap and refused to open. Truncating the tail on open fixes it.
+	path := filepath.Join(t.TempDir(), "p.wal")
+	p, _ := OpenPartitionFile(path)
+	p.Append([]byte("keep-one"))
+	p.Append([]byte("keep-two"))
+	p.Append([]byte("torn-payload"))
+	p.Sync()
+	p.CloseFile()
+	st, _ := os.Stat(path)
+	os.Truncate(path, st.Size()-5) // crash mid-append: payload short
+
+	p2, err := OpenPartitionFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Next() != 2 {
+		t.Fatalf("after torn open: next=%d, want 2", p2.Next())
+	}
+	if st2, _ := os.Stat(path); st2.Size() >= st.Size()-5 {
+		t.Fatalf("torn tail not cut: %d bytes on disk", st2.Size())
+	}
+	// Appends after the torn open land where the torn record was.
+	if off, err := p2.Append([]byte("fresh-a")); err != nil || off != 2 {
+		t.Fatalf("append after torn open: off=%d err=%v", off, err)
+	}
+	p2.Append([]byte("fresh-b"))
+	p2.Sync()
+	p2.CloseFile()
+
+	p3, err := OpenPartitionFile(path)
+	if err != nil {
+		t.Fatalf("reopen after post-torn appends: %v", err)
+	}
+	if p3.Next() != 4 {
+		t.Fatalf("final next=%d, want 4", p3.Next())
+	}
+	recs, _ := p3.Read(0, 10)
+	want := []string{"keep-one", "keep-two", "fresh-a", "fresh-b"}
+	for i, w := range want {
+		if string(recs[i].Data) != w {
+			t.Fatalf("record %d = %q, want %q", i, recs[i].Data, w)
+		}
+	}
+}
+
+func TestDiskCrashDiscardUnsyncedKeepsWatermarkOnly(t *testing.T) {
+	// Simulated page-cache drop: no record above the fsync barrier may
+	// survive, and the reopened partition must report exactly the
+	// committed watermark.
+	path := filepath.Join(t.TempDir(), "p.wal")
+	p, err := OpenPartitionFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		p.Append([]byte(fmt.Sprintf("durable-%d", i)))
+	}
+	if err := p.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		p.Append([]byte(fmt.Sprintf("cached-%d", i)))
+	}
+	if got := p.SyncedNext(); got != 10 {
+		t.Fatalf("watermark %d, want 10", got)
+	}
+	if p.UnsyncedBytes() == 0 {
+		t.Fatal("unsynced bytes not tracked")
+	}
+	if err := p.CrashDiscardUnsynced(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := OpenPartitionFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Next() != 10 {
+		t.Fatalf("reopened next=%d, want the watermark 10", p2.Next())
+	}
+	if p2.SyncedNext() != 10 || p2.UnsyncedBytes() != 0 {
+		t.Fatalf("reopened watermark=%d unsynced=%d", p2.SyncedNext(), p2.UnsyncedBytes())
+	}
+	recs, _ := p2.Read(0, 100)
+	if len(recs) != 10 || string(recs[9].Data) != "durable-9" {
+		t.Fatalf("reopened records: %d", len(recs))
+	}
+}
+
+func TestDiskGroupCommitAmortizesAndLosesNothing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.wal")
+	fsyncs := &telemetry.Counter{}
+	p, err := OpenPartition(path, Config{
+		Durability: DurabilityAckOnFsync,
+		Metrics:    Metrics{Fsyncs: fsyncs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, perG = 16, 40
+	var wg sync.WaitGroup
+	var appendErr atomic.Value
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if _, err := p.Append([]byte(fmt.Sprintf("g%d-%d", g, i))); err != nil {
+					appendErr.Store(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err, _ := appendErr.Load().(error); err != nil {
+		t.Fatal(err)
+	}
+	total := int64(goroutines * perG)
+	if got := p.SyncedNext(); got != total {
+		t.Fatalf("watermark %d after %d acked appends", got, total)
+	}
+	if n := fsyncs.Value(); n >= total {
+		t.Fatalf("no group-commit amortization: %d fsyncs for %d appends", n, total)
+	}
+	// Every acked append survives a simulated host crash.
+	if err := p.CrashDiscardUnsynced(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := OpenPartitionFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Next() != total {
+		t.Fatalf("crash lost acked records: reopened next=%d, want %d", p2.Next(), total)
+	}
+}
+
+func TestDiskCompactDoesNotBlockAppends(t *testing.T) {
+	// Regression: Compact used to hold the partition lock across the whole
+	// rewrite + fsync, stalling every append for the duration. The hook
+	// parks Compact mid-rewrite (no locks held); an append must complete
+	// while it is parked.
+	path := filepath.Join(t.TempDir(), "p.wal")
+	p, _ := OpenPartitionFile(path)
+	for i := 0; i < 200; i++ {
+		p.Append(make([]byte, 64))
+	}
+	p.Truncate(150)
+
+	parked := make(chan struct{})
+	release := make(chan struct{})
+	compactHook = func() {
+		close(parked)
+		<-release
+	}
+	defer func() { compactHook = nil }()
+
+	done := make(chan error, 1)
+	go func() { done <- p.Compact() }()
+	<-parked
+	// Compaction is in flight and parked; the append must not wait for it.
+	if off, err := p.Append([]byte("during-compact")); err != nil || off != 200 {
+		close(release)
+		t.Fatalf("append during compaction: off=%d err=%v", off, err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The record appended during the rewrite made it into the new file.
+	p.CloseFile()
+	p2, err := OpenPartitionFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Base() != 150 || p2.Next() != 201 {
+		t.Fatalf("after compact: base=%d next=%d", p2.Base(), p2.Next())
+	}
+	recs, _ := p2.Read(200, 1)
+	if len(recs) != 1 || string(recs[0].Data) != "during-compact" {
+		t.Fatalf("delta record lost: %v", recs)
 	}
 }

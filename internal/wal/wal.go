@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 )
 
 // ErrCompacted is returned when a read targets offsets below the retention
@@ -47,32 +48,78 @@ type Partition struct {
 	path    string
 	file    *os.File
 	fileErr error
+
+	// Durability pipeline (disk-backed partitions only); see commit.go.
+	// syncMu serializes fsyncs against file swaps (Compact) and is always
+	// taken before mu. synced/syncedBytes form the fsync watermark: every
+	// record below offset `synced` — the first fileBytes bytes of the
+	// segment body being syncedBytes — is on stable storage.
+	dur         Durability
+	interval    time.Duration
+	met         Metrics
+	syncMu      sync.Mutex
+	syncedCond  *sync.Cond
+	synced      int64
+	fileBytes   int64
+	syncedBytes int64
+	kick        chan struct{}
+	commStop    chan struct{}
+	commDone    chan struct{}
+	commClosed  bool
+	stopOnce    sync.Once
 }
 
 // NewPartition creates an empty partition.
 func NewPartition() *Partition {
 	p := &Partition{}
 	p.cond = sync.NewCond(&p.mu)
+	p.syncedCond = sync.NewCond(&p.mu)
 	return p
 }
 
 // Append stores one record, returning its offset. The data is copied. For
 // disk-backed partitions the record is also framed into the segment file;
-// a write failure is surfaced through Err and fails later appends.
-func (p *Partition) Append(data []byte) int64 {
+// a write failure fails the append — the record is NOT retained in memory,
+// so a tuple the log cannot hold is never acked, never consumed, and never
+// covered by a flush-offset commit (stop-the-line, matching the flush
+// pipeline's semantics). The error is sticky: once the segment is broken
+// every later append fails until the partition is reopened.
+//
+// Under DurabilityAckOnFsync, Append additionally blocks until the fsync
+// watermark covers the new record: the committer goroutine batches all
+// appends that arrive while an fsync is in flight into the next cohort,
+// so concurrent appenders share (amortize) fsyncs instead of issuing one
+// each.
+func (p *Partition) Append(data []byte) (int64, error) {
 	cp := append([]byte(nil), data...)
 	p.mu.Lock()
+	if p.fileErr != nil {
+		err := p.fileErr
+		p.mu.Unlock()
+		return 0, err
+	}
 	off := p.base + int64(len(p.records))
-	if p.file != nil && p.fileErr == nil {
+	if p.file != nil {
 		if err := p.appendToFileLocked(off, cp); err != nil {
 			p.fileErr = fmt.Errorf("wal: segment append: %w", err)
+			err = p.fileErr
+			// A broken line also fails parked group-commit waiters.
+			p.syncedCond.Broadcast()
+			p.mu.Unlock()
+			return 0, err
 		}
+		p.fileBytes += recordHeaderLen + int64(len(cp))
 	}
 	p.records = append(p.records, cp)
 	p.bytes += int64(len(cp))
 	p.cond.Broadcast()
+	if p.file == nil || p.dur != DurabilityAckOnFsync {
+		p.mu.Unlock()
+		return off, nil
+	}
+	err := p.waitSyncedLocked(off + 1)
 	p.mu.Unlock()
-	return off
+	return off, err
 }
 
 // Err reports a sticky disk-backing failure, if any.
@@ -179,7 +226,15 @@ func (p *Partition) Truncate(before int64) {
 	if p.file != nil && p.fileErr == nil {
 		if err := writeBaseFile(basePath(p.path), p.base); err != nil {
 			p.fileErr = fmt.Errorf("wal: persist horizon: %w", err)
+			p.syncedCond.Broadcast()
 		}
+	}
+	// The logical horizon can pass the fsync watermark (records may be
+	// retired before they were ever synced); the watermark never regresses,
+	// but it must keep covering at least the horizon so SyncTo on retired
+	// offsets stays a no-op.
+	if p.synced < p.base {
+		p.synced = p.base
 	}
 }
 

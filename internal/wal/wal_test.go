@@ -11,8 +11,8 @@ import (
 func TestAppendAssignsIncreasingOffsets(t *testing.T) {
 	p := NewPartition()
 	for i := 0; i < 10; i++ {
-		if off := p.Append([]byte{byte(i)}); off != int64(i) {
-			t.Fatalf("offset %d, want %d", off, i)
+		if off, err := p.Append([]byte{byte(i)}); err != nil || off != int64(i) {
+			t.Fatalf("offset %d, want %d (err %v)", off, i, err)
 		}
 	}
 	if p.Next() != 10 {
@@ -72,7 +72,7 @@ func TestTruncateAndCompactedError(t *testing.T) {
 		t.Fatalf("post-truncate read = %v, %v", recs, err)
 	}
 	// Offsets keep increasing after truncation.
-	if off := p.Append([]byte("new")); off != 10 {
+	if off, _ := p.Append([]byte("new")); off != 10 {
 		t.Errorf("offset after truncate = %d, want 10", off)
 	}
 	// Truncate beyond head clamps.

@@ -35,7 +35,11 @@ func (db *DB) Serve(addr string) (*NetServer, error) {
 			// Payloads alias the request buffer; copy before handing to the
 			// ingestion pipeline.
 			tuples[i].Payload = append([]byte(nil), tuples[i].Payload...)
-			db.Insert(tuples[i])
+			if err := db.Insert(tuples[i]); err != nil {
+				// Do not ack over the wire what the log did not take; the
+				// client sees which prefix (if any) was accepted.
+				return nil, fmt.Errorf("waterwheel: insert %d/%d rejected: %w", i, len(tuples), err)
+			}
 		}
 		return nil, nil
 	})

@@ -131,6 +131,19 @@ type Options struct {
 	// the previous state (indexing servers replay their WAL tails).
 	// Incompatible with SyncIngest.
 	DataDir string
+	// Durability selects when Insert acknowledges a tuple relative to WAL
+	// fsync (DataDir mode): "" or "ack-on-write" acks once the record is
+	// written to the OS page cache (fastest; a host crash can drop acked
+	// tuples appended since the last Checkpoint), "ack-on-fsync" group-
+	// commits — Insert returns only after a batched fsync covers the
+	// record, so an acked tuple survives a host crash — and "interval"
+	// fsyncs in the background every FsyncIntervalMillis, bounding the
+	// loss window without per-insert latency. Requires DataDir for any
+	// policy other than ack-on-write.
+	Durability string
+	// FsyncIntervalMillis is the background fsync cadence for the
+	// "interval" durability policy (default 50).
+	FsyncIntervalMillis int64
 	// Seed makes placement and sampling deterministic.
 	Seed int64
 }
@@ -164,6 +177,8 @@ func Open(opts Options) (*DB, error) {
 		FlushQueueDepth:       opts.FlushQueueDepth,
 		SyncFlush:             opts.SyncFlush,
 		DataDir:               opts.DataDir,
+		Durability:            opts.Durability,
+		FsyncIntervalMillis:   opts.FsyncIntervalMillis,
 		Seed:                  opts.Seed,
 		TraceCapacity:         opts.TraceCapacity,
 	}
@@ -190,16 +205,25 @@ func (db *DB) Checkpoint() error { return db.c.Checkpoint() }
 
 // Insert ingests one tuple. Safe for concurrent use. With the default WAL
 // pipeline the tuple becomes visible to queries within a consumption
-// round-trip; call Drain for a strict insert→query barrier.
-func (db *DB) Insert(t Tuple) {
-	db.c.Insert(t)
+// round-trip; call Drain for a strict insert→query barrier. A nil return
+// is the ack — under Durability "ack-on-fsync" it means the tuple is on
+// stable storage; an error means the tuple was NOT accepted (e.g. the WAL
+// segment hit a disk error) and should be resubmitted after the fault is
+// resolved.
+func (db *DB) Insert(t Tuple) error {
+	return db.c.Insert(t)
 }
 
-// InsertBatch ingests a batch of tuples.
-func (db *DB) InsertBatch(ts []Tuple) {
+// InsertBatch ingests a batch of tuples, stopping at the first rejected
+// tuple: tuples before the returned error's position were acked, the
+// failed tuple and everything after it were not.
+func (db *DB) InsertBatch(ts []Tuple) error {
 	for i := range ts {
-		db.c.Insert(ts[i])
+		if err := db.c.Insert(ts[i]); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Query runs a temporal range query and returns the merged, sorted result.

@@ -6,6 +6,7 @@
 //	wwql -addr 127.0.0.1:7070 insert 42 1700000000000 hello
 //	wwql -addr 127.0.0.1:7070 query -keys 0:100 -times 0:2000000000000
 //	wwql -addr 127.0.0.1:7070 trace -keys 0:100 -times 0:2000000000000
+//	wwql -addr 127.0.0.1:7070 agg -kind sum -field 0 -keys 0:100 -times 0:2000000000000
 //	wwql -addr 127.0.0.1:7070 stats
 //	wwql -addr 127.0.0.1:7070 metrics
 //	wwql -addr 127.0.0.1:7070 flush | drain
@@ -74,7 +75,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		fatalf("usage: wwql [-addr host:port] insert|query|trace|stats|metrics|flush|drain ...")
+		fatalf("usage: wwql [-addr host:port] insert|query|trace|agg|stats|metrics|flush|drain ...")
 	}
 
 	cl, err := waterwheel.Dial(*addr)
@@ -135,6 +136,47 @@ func main() {
 		if tr != nil {
 			fmt.Print(tr.Format())
 		}
+
+	case "agg":
+		fs := flag.NewFlagSet("agg", flag.ExitOnError)
+		keys := fs.String("keys", "", "key range lo:hi (default: all)")
+		times := fs.String("times", "", "time range lo:hi in ms (default: all)")
+		kind := fs.String("kind", "count", "aggregate: count|min|max|sum")
+		field := fs.Uint("field", 0, "payload offset of the aggregated uint64 field")
+		fs.Parse(args[1:])
+		k, err := waterwheel.ParseAggKind(*kind)
+		if err != nil {
+			fatalf("bad -kind: %v", err)
+		}
+		q := waterwheel.AggregateQuery{
+			Keys: waterwheel.FullKeyRange(), Times: waterwheel.FullTimeRange(),
+			Kind: k, Field: uint32(*field),
+		}
+		if *keys != "" {
+			lo, hi, err := parseRange(*keys)
+			if err != nil {
+				fatalf("bad -keys: %v", err)
+			}
+			q.Keys = waterwheel.KeyRange{Lo: waterwheel.Key(lo), Hi: waterwheel.Key(hi)}
+		}
+		if *times != "" {
+			lo, hi, err := parseRange(*times)
+			if err != nil {
+				fatalf("bad -times: %v", err)
+			}
+			q.Times = waterwheel.TimeRange{Lo: waterwheel.Timestamp(lo), Hi: waterwheel.Timestamp(hi)}
+		}
+		res, err := cl.Aggregate(q)
+		if err != nil {
+			fatalf("agg: %v", err)
+		}
+		if v, ok := res.Value(); ok {
+			fmt.Printf("%s = %d\n", k, v)
+		} else {
+			fmt.Printf("%s = undefined (no tuples carry the field)\n", k)
+		}
+		fmt.Printf("count=%d values=%d (%d subqueries, %d chunks from metadata, %d leaves pushed down, %d scanned, %d skipped, %d bytes read)\n",
+			res.Count, res.Values, res.SubQueries, res.MetaChunks, res.PushdownLeaves, res.LeavesRead, res.LeavesSkipped, res.BytesRead)
 
 	case "metrics":
 		text, err := cl.Metrics()

@@ -1,8 +1,9 @@
 // Package chaos is a deterministic fault-injection harness for a full
 // Waterwheel cluster. From a single RNG seed it pre-generates a schedule
 // interleaving inserts, temporal range queries (solo and in concurrent
-// bursts), flushes, balancer ticks,
-// retention drops, WAL truncation and faults — DFS node kill/revive,
+// bursts), aggregate queries cross-checked against the tuple path,
+// chunk-format flips (so v1 and v2 chunks coexist), flushes, balancer
+// ticks, retention drops, WAL truncation and faults — DFS node kill/revive,
 // transient DFS write/read error injection, indexing-server crashes (plain
 // and provably mid-flush) — then drives the cluster through it while
 // checking global invariants after every step:
@@ -38,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"waterwheel/internal/chunk"
 	"waterwheel/internal/cluster"
 	"waterwheel/internal/model"
 )
@@ -96,6 +98,12 @@ type Report struct {
 	Violations []string // invariant breaches, each tagged with its op index
 	Inserted   int
 	Queries    int
+	// AggChecks counts aggregate queries whose result was verified exactly
+	// against the tuples a simultaneous range query returned.
+	AggChecks int
+	// FormatFlips counts chunk-format switches executed by the schedule, so
+	// a mixed-format run can prove both layouts were written.
+	FormatFlips int
 	// LostAcked counts acked tuples missing after a hard crash under a
 	// durability policy that permits loss (anything but "ack-on-fsync").
 	// Such losses are expected — the run still verifies soundness and
@@ -111,6 +119,8 @@ const (
 	opInsert opKind = iota
 	opQuery
 	opQueryConcurrent
+	opAggQuery
+	opFlipFormat
 	opFlush
 	opBalance
 	opRetention
@@ -127,6 +137,7 @@ const (
 var opNames = map[opKind]string{
 	opInsert: "insert", opQuery: "query",
 	opQueryConcurrent: "query-concurrent", opFlush: "flush-all",
+	opAggQuery: "agg-query", opFlipFormat: "flip-chunk-format",
 	opBalance: "tick-balance", opRetention: "retention",
 	opTruncateWAL: "truncate-wal", opKillDFS: "kill-dfs",
 	opReviveDFS: "revive-dfs", opWriteFaults: "write-faults",
@@ -168,6 +179,7 @@ var weights = []struct {
 	w    int
 }{
 	{opInsert, 30}, {opQuery, 14}, {opQueryConcurrent, 6},
+	{opAggQuery, 8}, {opFlipFormat, 4},
 	{opFlush, 7}, {opBalance, 5},
 	{opRetention, 4}, {opTruncateWAL, 4}, {opKillDFS, 4}, {opReviveDFS, 6},
 	{opWriteFaults, 5}, {opReadFaults, 5}, {opCrash, 3}, {opCrashMidFlush, 2},
@@ -411,6 +423,10 @@ func (r *runner) exec(i int, o op) {
 		r.query(i)
 	case opQueryConcurrent:
 		r.queryConcurrent(i, o.n)
+	case opAggQuery:
+		r.aggQuery(i)
+	case opFlipFormat:
+		r.flipFormat()
 	case opFlush:
 		r.c.FlushAll()
 	case opBalance:
@@ -522,6 +538,80 @@ func (r *runner) query(i int) {
 		return
 	}
 	r.checkResult(i, q, res, false)
+}
+
+// aggQuery cross-checks the aggregation-pushdown path against the tuple
+// path: the SUM aggregate over a random region is sandwiched between two
+// tuple queries of the same region. WAL consumption is asynchronous, so
+// tuples may become visible at any point between the three calls — but
+// visibility only grows, so when both tuple queries fold to the same
+// partial the visible set provably did not move and the aggregate (which
+// ran in between) must match it bit-for-bit. Chaos payloads are the
+// 8-byte oracle sequence number, so field 0 is a valid uint64 on every
+// tuple. When the folds differ the stream was still settling and the op
+// only checks soundness of the tuple results.
+func (r *runner) aggQuery(i int) {
+	q := r.randQuery(r.subRNG(i))
+	excusable := len(r.killedDFS) > 0
+	fold := func(res *model.Result) model.AggPartial {
+		var p model.AggPartial
+		for j := range res.Tuples {
+			p.AddTuple(&res.Tuples[j], 0)
+		}
+		return p
+	}
+	r.rep.Queries++
+	before, err := r.c.Query(q)
+	if err != nil {
+		if !r.readFaultsPossible && !excusable {
+			r.violate(i, "query failed with no read fault plausible: %v", err)
+		}
+		return
+	}
+	r.checkResult(i, q, before, false)
+	agg, err := r.c.Aggregate(model.AggregateQuery{
+		Keys: q.Keys, Times: q.Times, Kind: model.AggSum, Field: 0,
+	})
+	if err != nil {
+		if !r.readFaultsPossible && !excusable {
+			r.violate(i, "aggregate failed with no read fault plausible: %v", err)
+		}
+		return
+	}
+	r.rep.Queries++
+	after, err := r.c.Query(q)
+	if err != nil {
+		if !r.readFaultsPossible && !excusable {
+			r.violate(i, "query failed with no read fault plausible: %v", err)
+		}
+		return
+	}
+	r.checkResult(i, q, after, false)
+	want := fold(before)
+	if want != fold(after) {
+		return // stream still settling: the sandwich cannot pin the exact answer
+	}
+	if agg.Count != want.Count || agg.Values != want.Values || agg.Sum != want.Sum {
+		r.violate(i, "aggregate mismatch: count=%d/%d values=%d/%d sum=%d/%d (got/want)",
+			agg.Count, want.Count, agg.Values, want.Values, agg.Sum, want.Sum)
+	} else if want.Values > 0 && (agg.Min != want.Min || agg.Max != want.Max) {
+		r.violate(i, "aggregate min/max mismatch: min=%d/%d max=%d/%d (got/want)",
+			agg.Min, want.Min, agg.Max, want.Max)
+	} else {
+		r.rep.AggChecks++
+	}
+}
+
+// flipFormat alternates the chunk format the indexing servers write —
+// v1 on odd flips, back to v2 on even — so a schedule with flips and
+// flushes queries clusters holding both layouts at once.
+func (r *runner) flipFormat() {
+	r.rep.FormatFlips++
+	if r.rep.FormatFlips%2 == 1 {
+		r.c.SetChunkFormat(chunk.FormatV1)
+	} else {
+		r.c.SetChunkFormat(chunk.FormatV2)
+	}
 }
 
 // queryConcurrent fires k random queries at the cluster at once — the

@@ -135,6 +135,46 @@ func TestChaosFaultClassCoverage(t *testing.T) {
 	}
 }
 
+// TestChaosMixedFormats drives a hand-built schedule that flips the chunk
+// format between flushes, so the cluster holds v1 and v2 chunks at once,
+// and cross-checks temporal and aggregate queries against the oracle in
+// that mixed state. The run must prove both that formats actually flipped
+// and that aggregate results were verified exactly.
+func TestChaosMixedFormats(t *testing.T) {
+	r, err := newRunner(Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := []op{
+		{kind: opInsert, n: 100}, // flushed as v2 (the default)
+		{kind: opFlush},
+		{kind: opFlipFormat}, // → v1
+		{kind: opInsert, n: 100},
+		{kind: opFlush},
+		{kind: opQuery},
+		// Barrier before each aggregate check: with ingestion quiescent the
+		// sandwich always pins an exact answer, so AggChecks must advance.
+		{kind: opBarrier},
+		{kind: opAggQuery},
+		{kind: opFlipFormat}, // → back to v2
+		{kind: opInsert, n: 100},
+		{kind: opFlush},
+		{kind: opBarrier},
+		{kind: opAggQuery},
+		{kind: opQueryConcurrent, n: 4},
+		{kind: opBarrier},
+	}
+	r.runSchedule(sched)
+	r.c.Stop()
+	report(t, r.rep)
+	if r.rep.FormatFlips != 2 {
+		t.Errorf("format flips = %d, want 2", r.rep.FormatFlips)
+	}
+	if r.rep.AggChecks == 0 {
+		t.Error("no aggregate query was verified against the tuple path")
+	}
+}
+
 // TestChaosDurableRestart runs a seed against a disk-backed cluster, then
 // stops it, reopens from the same data directory and re-verifies that
 // every acked tuple survived — recovery across a full process "restart".

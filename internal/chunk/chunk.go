@@ -32,15 +32,55 @@ import (
 	"waterwheel/internal/model"
 )
 
-var magic = [8]byte{'W', 'W', 'C', 'H', 'U', 'N', 'K', '1'}
+// Format versions. The magic's last byte carries the version, so readers
+// dispatch per chunk: a cluster can hold v1 and v2 chunks side by side.
+const (
+	// FormatV1 is the original row layout: leaf bodies are sequences of
+	// model-encoded tuples.
+	FormatV1 = 1
+	// FormatV2 is the columnar layout: leaf bodies hold delta-varint key,
+	// delta-of-delta timestamp and payload columns, and the header carries
+	// per-leaf key bounds plus a pre-aggregate block.
+	FormatV2 = 2
+)
+
+var (
+	magicV1 = [8]byte{'W', 'W', 'C', 'H', 'U', 'N', 'K', '1'}
+	magicV2 = [8]byte{'W', 'W', 'C', 'H', 'U', 'N', 'K', '2'}
+)
 
 // ErrCorrupt reports a malformed chunk.
 var ErrCorrupt = errors.New("chunk: corrupt data")
 
+// ErrUnsupportedVersion reports a well-formed Waterwheel chunk magic whose
+// format version this build does not speak — distinct from ErrCorrupt so a
+// version skew fails loudly instead of as "corrupt data".
+var ErrUnsupportedVersion = errors.New("chunk: unsupported format version")
+
 const (
 	flagBloom = 1 << iota
 	flagSecondary
+	flagAgg
 )
+
+// formatOf identifies the chunk format from the first 8 bytes.
+func formatOf(prefix []byte) (int, error) {
+	if len(prefix) < 8 {
+		return 0, fmt.Errorf("%w: short prefix", ErrCorrupt)
+	}
+	for i := 0; i < 7; i++ {
+		if prefix[i] != magicV1[i] {
+			return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		}
+	}
+	switch prefix[7] {
+	case '1':
+		return FormatV1, nil
+	case '2':
+		return FormatV2, nil
+	}
+	return 0, fmt.Errorf("%w: magic version byte %q", ErrUnsupportedVersion, prefix[7])
+}
 
 // SecondarySpec enables a secondary bloom index over a non-key,
 // non-temporal attribute — the extension the paper lists as future work
@@ -57,7 +97,7 @@ type SecondarySpec struct {
 // BuildOptions tunes chunk construction.
 type BuildOptions struct {
 	// BucketMillis is the time mini-range width for leaf bloom sketches
-	// (default 1000 ms).
+	// and v2 pre-aggregate buckets (default 1000 ms).
 	BucketMillis int64
 	// FPRate is the sketch false-positive target (default 0.01).
 	FPRate float64
@@ -66,6 +106,16 @@ type BuildOptions struct {
 	// Secondary, when non-nil, adds per-leaf bloom filters over the given
 	// payload attribute.
 	Secondary *SecondarySpec
+	// Format selects the chunk format version to write: FormatV1 or
+	// FormatV2. Zero means FormatV2, the default since the columnar
+	// layout landed; readers dispatch on the magic either way.
+	Format int
+	// AggField is the payload byte offset of the big-endian uint64 field
+	// the v2 pre-aggregate block summarizes (default 0 — the payload's
+	// leading field).
+	AggField uint32
+	// DisableAgg omits the v2 pre-aggregate block (ablation switch).
+	DisableAgg bool
 }
 
 func (o *BuildOptions) fill() {
@@ -74,6 +124,9 @@ func (o *BuildOptions) fill() {
 	}
 	if o.FPRate <= 0 || o.FPRate >= 1 {
 		o.FPRate = 0.01
+	}
+	if o.Format == 0 {
+		o.Format = FormatV2
 	}
 }
 
@@ -97,15 +150,33 @@ type Meta struct {
 	HeaderLen int
 	// Size is the total chunk size in bytes.
 	Size int64
+	// Format is the chunk format version written (FormatV1 or FormatV2).
+	Format int
+	// Agg summarizes the designated aggregate field over the whole chunk
+	// (v2 with pre-aggregates only; nil otherwise). Registered with the
+	// chunk's metadata so the coordinator can answer aggregate subqueries
+	// over fully covered chunks without dispatching them.
+	Agg *model.ChunkAgg
 }
 
 // Build serializes a flush snapshot into a chunk, returning the bytes and
-// metadata.
+// metadata. The format version comes from opts (default FormatV2).
 func Build(snap *core.FlushSnapshot, opts BuildOptions) ([]byte, Meta, error) {
 	if snap == nil || snap.Count == 0 {
 		return nil, Meta{}, errors.New("chunk: empty snapshot")
 	}
 	opts.fill()
+	switch opts.Format {
+	case FormatV1:
+		return buildV1(snap, opts)
+	case FormatV2:
+		return buildV2(snap, opts)
+	}
+	return nil, Meta{}, fmt.Errorf("%w: cannot build format %d", ErrUnsupportedVersion, opts.Format)
+}
+
+// buildV1 serializes the original row layout.
+func buildV1(snap *core.FlushSnapshot, opts BuildOptions) ([]byte, Meta, error) {
 	nLeaves := len(snap.Leaves)
 
 	// Encode leaf bodies and collect directory info.
@@ -177,7 +248,7 @@ func Build(snap *core.FlushSnapshot, opts BuildOptions) ([]byte, Meta, error) {
 	}
 
 	out := make([]byte, 0, hlen+len(body))
-	out = append(out, magic[:]...)
+	out = append(out, magicV1[:]...)
 	out = appendU32(out, uint32(hlen))
 	out = appendU64(out, uint64(snap.Count))
 	out = appendU64(out, uint64(snap.MinTime))
@@ -227,6 +298,7 @@ func Build(snap *core.FlushSnapshot, opts BuildOptions) ([]byte, Meta, error) {
 		Leaves:    nLeaves,
 		HeaderLen: hlen,
 		Size:      int64(len(out)),
+		Format:    FormatV1,
 	}
 	return out, meta, nil
 }
@@ -262,6 +334,17 @@ type Header struct {
 	// SecondaryFilters holds each leaf's secondary attribute filter (nil
 	// for empty leaves or when the index is absent).
 	SecondaryFilters []*bloom.Filter
+	// LeafKeys bounds each leaf's keys exactly (v2 only; nil for v1).
+	// Entries of empty leaves are zero and must be gated on Dir.Count.
+	LeafKeys []model.KeyRange
+	// HasAgg reports whether the v2 pre-aggregate block is present.
+	HasAgg bool
+	// AggField is the payload offset of the pre-aggregated uint64 field;
+	// valid only when HasAgg.
+	AggField uint32
+	// LeafAggs holds each leaf's pre-aggregate buckets (len = Leaves when
+	// HasAgg; nil otherwise).
+	LeafAggs []LeafAgg
 }
 
 // payloadU64 extracts the big-endian uint64 at the given payload offset.
@@ -273,26 +356,27 @@ func payloadU64(p []byte, off uint32) (uint64, bool) {
 }
 
 // PeekHeaderLen returns the header block length from a chunk prefix of at
-// least 12 bytes, so a reader can fetch exactly the header.
+// least 12 bytes, so a reader can fetch exactly the header. It dispatches
+// on the magic: any supported format version parses, an unknown version
+// returns ErrUnsupportedVersion.
 func PeekHeaderLen(prefix []byte) (int, error) {
 	if len(prefix) < 12 {
 		return 0, fmt.Errorf("%w: short prefix", ErrCorrupt)
 	}
-	for i := range magic {
-		if prefix[i] != magic[i] {
-			return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
-		}
+	if _, err := formatOf(prefix); err != nil {
+		return 0, err
 	}
 	return int(binary.BigEndian.Uint32(prefix[8:12])), nil
 }
 
 // ParseHeader decodes the header block (buf must hold at least HeaderLen
-// bytes).
+// bytes) of any supported format version, dispatching on the magic.
 func ParseHeader(buf []byte) (*Header, error) {
 	hlen, err := PeekHeaderLen(buf)
 	if err != nil {
 		return nil, err
 	}
+	format, _ := formatOf(buf)
 	if len(buf) < hlen {
 		return nil, fmt.Errorf("%w: header truncated (%d < %d)", ErrCorrupt, len(buf), hlen)
 	}
@@ -301,6 +385,7 @@ func ParseHeader(buf []byte) (*Header, error) {
 		return nil, fmt.Errorf("%w: header too small", ErrCorrupt)
 	}
 	h := &Header{}
+	h.Format = format
 	h.HeaderLen = hlen
 	h.Count = int(binary.BigEndian.Uint64(buf[12:20]))
 	h.MinTime = model.Timestamp(binary.BigEndian.Uint64(buf[20:28]))
@@ -313,8 +398,18 @@ func ParseHeader(buf []byte) (*Header, error) {
 	if nLeaves < 1 || nLeaves > 1<<24 {
 		return nil, fmt.Errorf("%w: leaf count %d", ErrCorrupt, nLeaves)
 	}
+	known := byte(flagBloom | flagSecondary)
+	if format >= FormatV2 {
+		known |= flagAgg
+	}
+	if flags&^known != 0 {
+		return nil, fmt.Errorf("%w: unknown flags %#x", ErrCorrupt, flags&^known)
+	}
 	pos := fixed
 	need := pos + (nLeaves-1)*8 + nLeaves*36
+	if format >= FormatV2 {
+		need += nLeaves * 16 // per-leaf key bounds
+	}
 	if hlen < need {
 		return nil, fmt.Errorf("%w: directory truncated", ErrCorrupt)
 	}
@@ -343,6 +438,17 @@ func ParseHeader(buf []byte) (*Header, error) {
 		totalLen += h.Dir[i].Length
 	}
 	h.Size = int64(hlen) + totalLen
+	if format >= FormatV2 {
+		h.LeafKeys = make([]model.KeyRange, nLeaves)
+		for i := range h.LeafKeys {
+			h.LeafKeys[i].Lo = model.Key(binary.BigEndian.Uint64(buf[pos:]))
+			h.LeafKeys[i].Hi = model.Key(binary.BigEndian.Uint64(buf[pos+8:]))
+			pos += 16
+			if h.Dir[i].Count > 0 && h.LeafKeys[i].Lo > h.LeafKeys[i].Hi {
+				return nil, fmt.Errorf("%w: leaf %d key bounds inverted", ErrCorrupt, i)
+			}
+		}
+	}
 	h.Sketches = make([]*bloom.TimeSketch, nLeaves)
 	if flags&flagBloom != 0 {
 		for i := 0; i < nLeaves; i++ {
@@ -359,7 +465,7 @@ func ParseHeader(buf []byte) (*Header, error) {
 			}
 			sk, _, err := bloom.DecodeTimeSketch(buf[pos : pos+slen])
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("%w: sketch %d: %v", ErrCorrupt, i, err)
 			}
 			h.Sketches[i] = sk
 			pos += slen
@@ -387,11 +493,18 @@ func ParseHeader(buf []byte) (*Header, error) {
 			}
 			f, _, err := bloom.Decode(buf[pos : pos+slen])
 			if err != nil {
-				return nil, err
+				return nil, fmt.Errorf("%w: secondary filter %d: %v", ErrCorrupt, i, err)
 			}
 			h.SecondaryFilters[i] = f
 			pos += slen
 		}
+	}
+	if flags&flagAgg != 0 {
+		n, err := parseAggBlock(h, buf[:hlen], pos)
+		if err != nil {
+			return nil, err
+		}
+		pos = n
 	}
 	return h, nil
 }
@@ -438,15 +551,75 @@ func (h *Header) SelectLeavesFor(kr model.KeyRange, tr model.TimeRange, useBloom
 	return read, pruned
 }
 
-// DecodeLeaf decodes the tuples of one leaf body (the bytes at
-// Dir[i].Offset..+Length). Payloads alias buf.
-func DecodeLeaf(buf []byte) ([]model.Tuple, error) {
-	return model.DecodeTuples(buf)
+// DecodeLeaf decodes the tuples of leaf li (body holds the bytes at
+// Dir[li].Offset..+Length), dispatching on the chunk format. Payloads
+// alias body. The result is pre-sized from the directory's tuple count.
+func (h *Header) DecodeLeaf(li int, body []byte) ([]model.Tuple, error) {
+	if h.Format == FormatV1 {
+		return model.DecodeTuplesInto(make([]model.Tuple, 0, h.Dir[li].Count), body)
+	}
+	var cols LeafColumns
+	if err := h.DecodeColumns(li, body, &cols); err != nil {
+		return nil, err
+	}
+	out := make([]model.Tuple, len(cols.Keys))
+	for j := range out {
+		out[j] = model.Tuple{
+			Key:     cols.Keys[j],
+			Time:    cols.Times[j],
+			Payload: cols.Payload[cols.Starts[j]:cols.Starts[j+1]],
+		}
+	}
+	return out, nil
 }
 
-// ScanLeaf visits the leaf's tuples matching the ranges and filter in key
-// order, stopping early when fn returns false. It decodes incrementally,
-// skipping payload copies for non-matching tuples.
+// ScanLeaf visits leaf li's tuples matching the ranges and filter in key
+// order, stopping early when fn returns false — dispatching on the chunk
+// format (row decode for v1, columnar for v2). Payloads alias body.
+func (h *Header) ScanLeaf(li int, body []byte, kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn func(*model.Tuple) bool) error {
+	var cols LeafColumns
+	return h.ScanLeafWith(&cols, li, body, kr, tr, filter, fn)
+}
+
+// ScanLeafWith is ScanLeaf with caller-owned column scratch, so a
+// multi-leaf scan decodes every leaf into the same buffers.
+func (h *Header) ScanLeafWith(cols *LeafColumns, li int, body []byte, kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn func(*model.Tuple) bool) error {
+	if h.Format == FormatV1 {
+		return ScanLeaf(body, kr, tr, filter, fn)
+	}
+	if err := h.DecodeColumns(li, body, cols); err != nil {
+		return err
+	}
+	n := len(cols.Keys)
+	// Leaves are key-sorted: binary-search the first candidate, stop past
+	// the range. The column scan touches only key/time words until a tuple
+	// matches — no per-tuple header decode.
+	lo := sort.Search(n, func(j int) bool { return cols.Keys[j] >= kr.Lo })
+	for j := lo; j < n; j++ {
+		if cols.Keys[j] > kr.Hi {
+			return nil
+		}
+		if cols.Times[j] < tr.Lo || cols.Times[j] > tr.Hi {
+			continue
+		}
+		t := model.Tuple{
+			Key:     cols.Keys[j],
+			Time:    cols.Times[j],
+			Payload: cols.Payload[cols.Starts[j]:cols.Starts[j+1]],
+		}
+		if !filter.Matches(&t) {
+			continue
+		}
+		if !fn(&t) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanLeaf visits a v1 row-encoded leaf's tuples matching the ranges and
+// filter in key order, stopping early when fn returns false. It decodes
+// incrementally, skipping payload copies for non-matching tuples.
 func ScanLeaf(buf []byte, kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn func(*model.Tuple) bool) error {
 	for len(buf) > 0 {
 		t, n, err := model.DecodeTuple(buf)

@@ -9,7 +9,7 @@ import (
 )
 
 // buildSnapshot makes a flush snapshot via a real template tree.
-func buildSnapshot(t *testing.T, n int, leaves int) *core.FlushSnapshot {
+func buildSnapshot(t testing.TB, n int, leaves int) *core.FlushSnapshot {
 	t.Helper()
 	tree := core.NewTemplateTree(core.TemplateConfig{
 		Keys: model.KeyRange{Lo: 0, Hi: model.Key(n * 2)}, Leaves: leaves,
@@ -57,7 +57,7 @@ func TestBuildAndParseRoundTrip(t *testing.T) {
 	total := 0
 	var prev model.Key
 	for i, d := range h.Dir {
-		tuples, err := DecodeLeaf(data[d.Offset : d.Offset+d.Length])
+		tuples, err := h.DecodeLeaf(i, data[d.Offset:d.Offset+d.Length])
 		if err != nil {
 			t.Fatalf("leaf %d: %v", i, err)
 		}
@@ -165,8 +165,8 @@ func TestScanLeaf(t *testing.T) {
 	tr := model.TimeRange{Lo: 1100, Hi: 1300}
 	f := model.KeyMod(4, 0)
 	var scanned []model.Tuple
-	for _, d := range h.Dir {
-		err := ScanLeaf(data[d.Offset:d.Offset+d.Length], kr, tr, f, func(tp *model.Tuple) bool {
+	for li, d := range h.Dir {
+		err := h.ScanLeaf(li, data[d.Offset:d.Offset+d.Length], kr, tr, f, func(tp *model.Tuple) bool {
 			cp := *tp
 			cp.Payload = append([]byte(nil), tp.Payload...)
 			scanned = append(scanned, cp)
@@ -177,8 +177,8 @@ func TestScanLeaf(t *testing.T) {
 		}
 	}
 	want := 0
-	for _, d := range h.Dir {
-		tuples, _ := DecodeLeaf(data[d.Offset : d.Offset+d.Length])
+	for li, d := range h.Dir {
+		tuples, _ := h.DecodeLeaf(li, data[d.Offset:d.Offset+d.Length])
 		for i := range tuples {
 			tp := &tuples[i]
 			if kr.Contains(tp.Key) && tr.Contains(tp.Time) && f.Matches(tp) {
@@ -197,7 +197,7 @@ func TestScanLeafEarlyStop(t *testing.T) {
 	h, _ := ParseHeader(data)
 	n := 0
 	d := h.Dir[0]
-	ScanLeaf(data[d.Offset:d.Offset+d.Length], model.FullKeyRange(), model.FullTimeRange(), nil,
+	h.ScanLeaf(0, data[d.Offset:d.Offset+d.Length], model.FullKeyRange(), model.FullTimeRange(), nil,
 		func(*model.Tuple) bool { n++; return n < 5 })
 	if n != 5 {
 		t.Errorf("visited %d", n)
@@ -243,7 +243,7 @@ func TestSingleLeafChunk(t *testing.T) {
 	if h.Leaves != 1 || len(h.Bounds) != 0 || meta.Count != 1 {
 		t.Fatalf("h=%+v meta=%+v", h.Meta, meta)
 	}
-	tuples, _ := DecodeLeaf(data[h.Dir[0].Offset : h.Dir[0].Offset+h.Dir[0].Length])
+	tuples, _ := h.DecodeLeaf(0, data[h.Dir[0].Offset:h.Dir[0].Offset+h.Dir[0].Length])
 	if len(tuples) != 1 || tuples[0].Key != 5 || string(tuples[0].Payload) != "p" {
 		t.Fatalf("tuples = %v", tuples)
 	}
@@ -279,7 +279,7 @@ func TestParseHeaderNeverPanics(t *testing.T) {
 				if d.Offset < 0 || d.Length < 0 || d.Offset+d.Length > int64(len(bad)) {
 					return // out-of-range extents are the caller's bounds check
 				}
-				ScanLeaf(bad[d.Offset:d.Offset+d.Length], model.FullKeyRange(), model.FullTimeRange(), nil,
+				h.ScanLeaf(li, bad[d.Offset:d.Offset+d.Length], model.FullKeyRange(), model.FullTimeRange(), nil,
 					func(*model.Tuple) bool { return true })
 			}
 		}()
@@ -296,7 +296,7 @@ func TestTruncatedChunkDataErrors(t *testing.T) {
 	if d.Length < 10 {
 		t.Skip("leaf too small")
 	}
-	err := ScanLeaf(data[d.Offset:d.Offset+d.Length-5], model.FullKeyRange(), model.FullTimeRange(), nil,
+	err := h.ScanLeaf(0, data[d.Offset:d.Offset+d.Length-5], model.FullKeyRange(), model.FullTimeRange(), nil,
 		func(*model.Tuple) bool { return true })
 	if err == nil {
 		t.Fatal("truncated leaf scanned without error")

@@ -1,0 +1,92 @@
+package chunk
+
+import (
+	"errors"
+	"testing"
+
+	"waterwheel/internal/model"
+)
+
+// decodeErrOK reports whether an error from a decode path is an accepted
+// rejection class. Corrupt or truncated input must surface as ErrCorrupt
+// (or the model layer's short-buffer error inside v1 row bodies), and a
+// magic from the future as ErrUnsupportedVersion — anything else means a
+// decode path leaked an internal failure mode.
+func decodeErrOK(err error) bool {
+	return errors.Is(err, ErrCorrupt) ||
+		errors.Is(err, ErrUnsupportedVersion) ||
+		errors.Is(err, model.ErrShortBuffer)
+}
+
+// FuzzChunkOpen throws arbitrary bytes at the whole chunk read path —
+// header parse, leaf selection, row/columnar decode, scans and
+// pre-aggregate folds. The invariant: malformed input is rejected with a
+// typed error, never a panic, an over-read past the input, or an
+// unbounded allocation. The seed corpus covers both format versions in
+// every section combination, plus truncations and a future-version magic.
+func FuzzChunkOpen(f *testing.F) {
+	snap := buildSnapshot(f, 300, 8)
+	add := func(opts BuildOptions) []byte {
+		data, _, err := Build(snap, opts)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		return data
+	}
+	add(BuildOptions{Format: FormatV1})
+	add(BuildOptions{Format: FormatV1, Secondary: &SecondarySpec{Offset: 0}, DisableBloom: true})
+	v2 := add(BuildOptions{Format: FormatV2})
+	add(BuildOptions{Format: FormatV2, DisableBloom: true})
+	add(BuildOptions{Format: FormatV2, DisableAgg: true})
+	add(BuildOptions{Format: FormatV2, Secondary: &SecondarySpec{Offset: 0}})
+	// Truncations at section-ish boundaries and a v3 magic.
+	f.Add(v2[:len(v2)/2])
+	f.Add(v2[:57])
+	f.Add(v2[:12])
+	future := append([]byte(nil), v2...)
+	future[7] = '3'
+	f.Add(future)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ParseHeader(data)
+		if err != nil {
+			if !decodeErrOK(err) {
+				t.Fatalf("ParseHeader error class: %v", err)
+			}
+			return
+		}
+		// The header parsed: every downstream read must stay inside data
+		// and fail typed on inconsistencies the header could not catch.
+		read, _ := h.SelectLeaves(model.FullKeyRange(), model.FullTimeRange(), true)
+		full := model.FullTimeRange()
+		var agg model.AggPartial
+		var cols LeafColumns
+		for _, li := range read {
+			d := h.Dir[li]
+			if d.Offset < 0 || d.Length < 0 || d.Offset+d.Length > int64(len(data)) {
+				// The DFS read of this extent would fail before decoding; the
+				// in-memory path's job ends at not trusting these bounds.
+				continue
+			}
+			body := data[d.Offset : d.Offset+d.Length]
+			if _, err := h.DecodeLeaf(li, body); err != nil && !decodeErrOK(err) {
+				t.Fatalf("DecodeLeaf(%d) error class: %v", li, err)
+			}
+			err := h.ScanLeafWith(&cols, li, body, model.FullKeyRange(), full, nil,
+				func(*model.Tuple) bool { return true })
+			if err != nil && !decodeErrOK(err) {
+				t.Fatalf("ScanLeaf(%d) error class: %v", li, err)
+			}
+			h.FoldLeafAggAll(li, false, &agg)
+			if d.Count > 0 {
+				mid := model.TimeRange{Lo: d.MinT, Hi: d.MaxT}
+				h.FoldLeafAgg(li, mid, false, &agg)
+			}
+			err = h.AggregateLeaf(li, body, &cols, model.FullKeyRange(), full, nil, nil, 0, false, &agg)
+			if err != nil && !decodeErrOK(err) {
+				t.Fatalf("AggregateLeaf(%d) error class: %v", li, err)
+			}
+		}
+	})
+}

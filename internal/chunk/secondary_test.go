@@ -78,7 +78,7 @@ func TestSecondaryPruning(t *testing.T) {
 	found := false
 	for _, li := range read {
 		d := h.Dir[li]
-		ScanLeaf(data[d.Offset:d.Offset+d.Length], model.FullKeyRange(), model.FullTimeRange(),
+		h.ScanLeaf(li, data[d.Offset:d.Offset+d.Length], model.FullKeyRange(), model.FullTimeRange(),
 			model.PayloadU64(0, model.CmpEQ, v), func(*model.Tuple) bool {
 				found = true
 				return false

@@ -1,0 +1,459 @@
+// Chunk format v2: columnar leaves behind the WWCHUNK2 magic.
+//
+// The header keeps the v1 shape (fixed fields, leaf bounds, directory,
+// sketches, optional secondary filters) and adds two sections:
+//
+//	[nLeaves × {8B minKey, 8B maxKey}]            after the directory
+//	[flagAgg: pre-aggregate block, see agg.go]    at the end
+//
+// Leaf bodies are laid out as columns instead of row-encoded tuples:
+//
+//	[4B keyColLen][4B tsColLen][4B lenColLen]
+//	[key column]   1 encoding byte, then either count×8B fixed words or
+//	               uvarint deltas (keys are sorted, so deltas are ≥ 0);
+//	               the builder picks whichever is smaller.
+//	[ts column]    zigzag varints: first timestamp, first delta, then
+//	               delta-of-deltas — near-constant arrival cadence costs
+//	               ~1 byte per tuple.
+//	[len column]   1 encoding byte: constant payload length as a single
+//	               uvarint (the common fixed-schema case), or one uvarint
+//	               per tuple.
+//	[payloads]     concatenated payload bytes (the remaining body).
+//
+// Empty leaves have zero-length bodies. All decode paths bounds-check
+// before slicing and return ErrCorrupt on malformed input — a corrupt
+// chunk must never panic or over-read.
+package chunk
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"waterwheel/internal/bloom"
+	"waterwheel/internal/core"
+	"waterwheel/internal/model"
+)
+
+const (
+	keyEncFixed = 0 // count × 8B big-endian words
+	keyEncDelta = 1 // uvarint first key, then uvarint deltas
+
+	lenEncConst = 0 // single uvarint payload length shared by all tuples
+	lenEncVar   = 1 // one uvarint payload length per tuple
+)
+
+// leafScratch holds reusable column buffers for the builder.
+type leafScratch struct {
+	keys, ts, lens []byte
+}
+
+// appendLeafV2 appends the columnar encoding of one non-empty leaf.
+func appendLeafV2(dst []byte, entries []model.Tuple, sc *leafScratch) []byte {
+	n := len(entries)
+	var vb [binary.MaxVarintLen64]byte
+
+	// Key column: try sorted-delta uvarints, fall back to fixed 8B words
+	// when the keys are too spread out for deltas to win (dense random
+	// uint64 keys varint-expand past fixed width).
+	sc.keys = append(sc.keys[:0], keyEncDelta)
+	prev := uint64(0)
+	for j := range entries {
+		k := uint64(entries[j].Key)
+		m := binary.PutUvarint(vb[:], k-prev)
+		sc.keys = append(sc.keys, vb[:m]...)
+		prev = k
+	}
+	if len(sc.keys) > 1+8*n {
+		sc.keys = append(sc.keys[:0], keyEncFixed)
+		for j := range entries {
+			sc.keys = appendU64(sc.keys, uint64(entries[j].Key))
+		}
+	}
+
+	// Timestamp column: delta-of-delta zigzag varints.
+	sc.ts = sc.ts[:0]
+	var prevT, prevD int64
+	for j := range entries {
+		t := int64(entries[j].Time)
+		var v int64
+		switch j {
+		case 0:
+			v = t
+		case 1:
+			v = t - prevT
+			prevD = v
+		default:
+			d := t - prevT
+			v = d - prevD
+			prevD = d
+		}
+		m := binary.PutVarint(vb[:], v)
+		sc.ts = append(sc.ts, vb[:m]...)
+		prevT = t
+	}
+
+	// Payload-length column: fixed-schema payloads collapse to one word.
+	same := true
+	for j := 1; j < n; j++ {
+		if len(entries[j].Payload) != len(entries[0].Payload) {
+			same = false
+			break
+		}
+	}
+	if same {
+		sc.lens = append(sc.lens[:0], lenEncConst)
+		m := binary.PutUvarint(vb[:], uint64(len(entries[0].Payload)))
+		sc.lens = append(sc.lens, vb[:m]...)
+	} else {
+		sc.lens = append(sc.lens[:0], lenEncVar)
+		for j := range entries {
+			m := binary.PutUvarint(vb[:], uint64(len(entries[j].Payload)))
+			sc.lens = append(sc.lens, vb[:m]...)
+		}
+	}
+
+	dst = appendU32(dst, uint32(len(sc.keys)))
+	dst = appendU32(dst, uint32(len(sc.ts)))
+	dst = appendU32(dst, uint32(len(sc.lens)))
+	dst = append(dst, sc.keys...)
+	dst = append(dst, sc.ts...)
+	dst = append(dst, sc.lens...)
+	for j := range entries {
+		dst = append(dst, entries[j].Payload...)
+	}
+	return dst
+}
+
+// buildV2 serializes a flush snapshot in the columnar v2 layout.
+func buildV2(snap *core.FlushSnapshot, opts BuildOptions) ([]byte, Meta, error) {
+	nLeaves := len(snap.Leaves)
+	aggField := opts.AggField
+	if aggField == 0 && snap.AggField != 0 {
+		aggField = snap.AggField
+	}
+
+	dir := make([]LeafInfo, nLeaves)
+	leafKeys := make([]model.KeyRange, nLeaves)
+	sketches := make([][]byte, nLeaves)
+	secondary := make([][]byte, nLeaves)
+	var leafAggs []LeafAgg
+	var chunkAgg *model.ChunkAgg
+	if !opts.DisableAgg {
+		leafAggs = make([]LeafAgg, nLeaves)
+		chunkAgg = &model.ChunkAgg{Field: aggField}
+	}
+	var body []byte
+	var sc leafScratch
+	for i, entries := range snap.Leaves {
+		start := len(body)
+		info := LeafInfo{Count: len(entries)}
+		if len(entries) > 0 {
+			info.MinT, info.MaxT = entries[0].Time, entries[0].Time
+			leafKeys[i], _ = snap.LeafKeyRange(i)
+		}
+		var sk *bloom.TimeSketch
+		if !opts.DisableBloom && len(entries) > 0 {
+			est := len(entries)/4 + 16
+			sk = bloom.NewTimeSketch(opts.BucketMillis, est, opts.FPRate)
+		}
+		var sec *bloom.Filter
+		if opts.Secondary != nil && len(entries) > 0 {
+			sec = bloom.NewWithEstimates(len(entries), opts.FPRate)
+		}
+		for j := range entries {
+			e := &entries[j]
+			if e.Time < info.MinT {
+				info.MinT = e.Time
+			}
+			if e.Time > info.MaxT {
+				info.MaxT = e.Time
+			}
+			if sk != nil {
+				sk.AddTime(int64(e.Time))
+			}
+			if sec != nil {
+				if v, ok := payloadU64(e.Payload, opts.Secondary.Offset); ok {
+					sec.Add(v)
+				}
+			}
+			if chunkAgg != nil {
+				chunkAgg.AddTuple(e, aggField)
+			}
+		}
+		if len(entries) > 0 {
+			body = appendLeafV2(body, entries, &sc)
+			if leafAggs != nil {
+				leafAggs[i] = buildLeafAgg(entries, aggField, opts.BucketMillis,
+					int64(info.MinT), int64(info.MaxT))
+			}
+		}
+		info.Length = int64(len(body) - start)
+		dir[i] = info // Offset fixed up after the header size is known.
+		if sk != nil {
+			sketches[i] = sk.AppendTo(nil)
+		}
+		if sec != nil {
+			secondary[i] = sec.AppendTo(nil)
+		}
+	}
+
+	const fixed = 8 + 4 + 8 + 8 + 8 + 8 + 8 + 4 + 1
+	hlen := fixed + (nLeaves-1)*8 + nLeaves*36 + nLeaves*16
+	// Unlike v1, the sketch section exists only when the bloom flag is set
+	// (v1 wrote per-leaf zero lengths its parser never reads; v2 parses
+	// sections back to back, so the layout must match the flags exactly).
+	if !opts.DisableBloom {
+		for _, s := range sketches {
+			hlen += 4 + len(s)
+		}
+	}
+	if opts.Secondary != nil {
+		hlen += 4
+		for _, s := range secondary {
+			hlen += 4 + len(s)
+		}
+	}
+	if leafAggs != nil {
+		hlen += aggBlockSize(leafAggs)
+	}
+	off := int64(hlen)
+	for i := range dir {
+		dir[i].Offset = off
+		off += dir[i].Length
+	}
+
+	out := make([]byte, 0, hlen+len(body))
+	out = append(out, magicV2[:]...)
+	out = appendU32(out, uint32(hlen))
+	out = appendU64(out, uint64(snap.Count))
+	out = appendU64(out, uint64(snap.MinTime))
+	out = appendU64(out, uint64(snap.MaxTime))
+	out = appendU64(out, uint64(snap.Keys.Lo))
+	out = appendU64(out, uint64(snap.Keys.Hi))
+	out = appendU32(out, uint32(nLeaves))
+	flags := byte(0)
+	if !opts.DisableBloom {
+		flags |= flagBloom
+	}
+	if opts.Secondary != nil {
+		flags |= flagSecondary
+	}
+	if leafAggs != nil {
+		flags |= flagAgg
+	}
+	out = append(out, flags)
+	for _, b := range snap.Bounds {
+		out = appendU64(out, uint64(b))
+	}
+	for _, d := range dir {
+		out = appendU64(out, uint64(d.Offset))
+		out = appendU64(out, uint64(d.Length))
+		out = appendU32(out, uint32(d.Count))
+		out = appendU64(out, uint64(d.MinT))
+		out = appendU64(out, uint64(d.MaxT))
+	}
+	for _, kr := range leafKeys {
+		out = appendU64(out, uint64(kr.Lo))
+		out = appendU64(out, uint64(kr.Hi))
+	}
+	if !opts.DisableBloom {
+		for _, s := range sketches {
+			out = appendU32(out, uint32(len(s)))
+			out = append(out, s...)
+		}
+	}
+	if opts.Secondary != nil {
+		out = appendU32(out, opts.Secondary.Offset)
+		for _, s := range secondary {
+			out = appendU32(out, uint32(len(s)))
+			out = append(out, s...)
+		}
+	}
+	if leafAggs != nil {
+		out = appendAggBlock(out, aggField, leafAggs)
+	}
+	if len(out) != hlen {
+		return nil, Meta{}, fmt.Errorf("chunk: v2 header size miscomputed: %d != %d", len(out), hlen)
+	}
+	out = append(out, body...)
+
+	meta := Meta{
+		Count:     snap.Count,
+		MinTime:   snap.MinTime,
+		MaxTime:   snap.MaxTime,
+		Keys:      snap.Keys,
+		Leaves:    nLeaves,
+		HeaderLen: hlen,
+		Size:      int64(len(out)),
+		Format:    FormatV2,
+		Agg:       chunkAgg,
+	}
+	return out, meta, nil
+}
+
+// LeafColumns is one decoded v2 leaf as parallel columns. Payload aliases
+// the leaf body; tuple j's payload is Payload[Starts[j]:Starts[j+1]].
+type LeafColumns struct {
+	Keys  []model.Key
+	Times []model.Timestamp
+	// Starts has len(Keys)+1 entries indexing tuple payloads.
+	Starts  []uint32
+	Payload []byte
+}
+
+func growKeys(s []model.Key, n int) []model.Key {
+	if cap(s) < n {
+		return make([]model.Key, n)
+	}
+	return s[:n]
+}
+
+func growTimes(s []model.Timestamp, n int) []model.Timestamp {
+	if cap(s) < n {
+		return make([]model.Timestamp, n)
+	}
+	return s[:n]
+}
+
+func growU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+// DecodeColumns decodes v2 leaf li's body into cols, reusing its buffers.
+// Every slice access is bounds-checked up front: corrupt bodies return
+// ErrCorrupt, never panic.
+func (h *Header) DecodeColumns(li int, body []byte, cols *LeafColumns) error {
+	if h.Format != FormatV2 {
+		return fmt.Errorf("%w: columnar decode of v%d leaf", ErrUnsupportedVersion, h.Format)
+	}
+	n := h.Dir[li].Count
+	cols.Keys = growKeys(cols.Keys, 0)
+	cols.Times = growTimes(cols.Times, 0)
+	cols.Starts = growU32(cols.Starts, 0)
+	cols.Payload = nil
+	if n == 0 {
+		return nil
+	}
+	if len(body) < 12 {
+		return fmt.Errorf("%w: leaf %d body too small", ErrCorrupt, li)
+	}
+	kl := int64(binary.BigEndian.Uint32(body[0:4]))
+	tl := int64(binary.BigEndian.Uint32(body[4:8]))
+	ll := int64(binary.BigEndian.Uint32(body[8:12]))
+	if 12+kl+tl+ll > int64(len(body)) {
+		return fmt.Errorf("%w: leaf %d columns overflow body", ErrCorrupt, li)
+	}
+	// The timestamp column holds exactly n varints of ≥ 1 byte each, so a
+	// directory count the body cannot possibly hold is corruption — this
+	// also bounds the allocations below by the body size.
+	if int64(n) > tl {
+		return fmt.Errorf("%w: leaf %d count %d exceeds ts column", ErrCorrupt, li, n)
+	}
+	keys := body[12 : 12+kl]
+	ts := body[12+kl : 12+kl+tl]
+	lens := body[12+kl+tl : 12+kl+tl+ll]
+	pay := body[12+kl+tl+ll:]
+
+	cols.Keys = growKeys(cols.Keys, n)
+	if len(keys) < 1 {
+		return fmt.Errorf("%w: leaf %d key column empty", ErrCorrupt, li)
+	}
+	switch keys[0] {
+	case keyEncFixed:
+		if len(keys) != 1+8*n {
+			return fmt.Errorf("%w: leaf %d fixed key column length", ErrCorrupt, li)
+		}
+		p := keys[1:]
+		for j := 0; j < n; j++ {
+			cols.Keys[j] = model.Key(binary.BigEndian.Uint64(p[8*j:]))
+		}
+	case keyEncDelta:
+		p := keys[1:]
+		var acc uint64
+		for j := 0; j < n; j++ {
+			d, m := binary.Uvarint(p)
+			if m <= 0 {
+				return fmt.Errorf("%w: leaf %d key varint %d", ErrCorrupt, li, j)
+			}
+			p = p[m:]
+			acc += d
+			cols.Keys[j] = model.Key(acc)
+		}
+		if len(p) != 0 {
+			return fmt.Errorf("%w: leaf %d key column trailing bytes", ErrCorrupt, li)
+		}
+	default:
+		return fmt.Errorf("%w: leaf %d key encoding %d", ErrCorrupt, li, keys[0])
+	}
+
+	cols.Times = growTimes(cols.Times, n)
+	{
+		p := ts
+		var prevT, prevD int64
+		for j := 0; j < n; j++ {
+			v, m := binary.Varint(p)
+			if m <= 0 {
+				return fmt.Errorf("%w: leaf %d ts varint %d", ErrCorrupt, li, j)
+			}
+			p = p[m:]
+			switch j {
+			case 0:
+				prevT = v
+			case 1:
+				prevD = v
+				prevT += v
+			default:
+				prevD += v
+				prevT += prevD
+			}
+			cols.Times[j] = model.Timestamp(prevT)
+		}
+		if len(p) != 0 {
+			return fmt.Errorf("%w: leaf %d ts column trailing bytes", ErrCorrupt, li)
+		}
+	}
+
+	cols.Starts = growU32(cols.Starts, n+1)
+	if len(lens) < 1 {
+		return fmt.Errorf("%w: leaf %d len column empty", ErrCorrupt, li)
+	}
+	switch lens[0] {
+	case lenEncConst:
+		c, m := binary.Uvarint(lens[1:])
+		if m <= 0 || 1+m != len(lens) {
+			return fmt.Errorf("%w: leaf %d const len column", ErrCorrupt, li)
+		}
+		if c > uint64(len(pay)) || c*uint64(n) != uint64(len(pay)) {
+			return fmt.Errorf("%w: leaf %d payload size mismatch", ErrCorrupt, li)
+		}
+		for j := 0; j <= n; j++ {
+			cols.Starts[j] = uint32(uint64(j) * c)
+		}
+	case lenEncVar:
+		p := lens[1:]
+		var acc uint64
+		cols.Starts[0] = 0
+		for j := 0; j < n; j++ {
+			v, m := binary.Uvarint(p)
+			if m <= 0 {
+				return fmt.Errorf("%w: leaf %d len varint %d", ErrCorrupt, li, j)
+			}
+			p = p[m:]
+			acc += v
+			if acc > uint64(len(pay)) {
+				return fmt.Errorf("%w: leaf %d payloads overflow body", ErrCorrupt, li)
+			}
+			cols.Starts[j+1] = uint32(acc)
+		}
+		if len(p) != 0 || acc != uint64(len(pay)) {
+			return fmt.Errorf("%w: leaf %d payload size mismatch", ErrCorrupt, li)
+		}
+	default:
+		return fmt.Errorf("%w: leaf %d len encoding %d", ErrCorrupt, li, lens[0])
+	}
+	cols.Payload = pay
+	return nil
+}

@@ -1,0 +1,234 @@
+package chunk
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"waterwheel/internal/core"
+	"waterwheel/internal/model"
+	"waterwheel/internal/workload"
+)
+
+// buildMixedSnapshot makes a snapshot whose payloads vary in size, with
+// only some carrying a full uint64 aggregate field — the shape that
+// exercises Values < Count in the pre-aggregate paths.
+func buildMixedSnapshot(t testing.TB, n, leaves int, seed int64) *core.FlushSnapshot {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tree := core.NewTemplateTree(core.TemplateConfig{
+		Keys: model.KeyRange{Lo: 0, Hi: model.Key(n)}, Leaves: leaves,
+	})
+	for i := 0; i < n; i++ {
+		var payload []byte
+		if rng.Intn(4) > 0 { // 3/4 carry the aggregate field
+			payload = make([]byte, 8+rng.Intn(8))
+			binary.BigEndian.PutUint64(payload, uint64(rng.Intn(10_000)))
+		} else {
+			payload = make([]byte, rng.Intn(8)) // too short for the field
+		}
+		tree.Insert(model.Tuple{
+			Key:     model.Key(rng.Intn(n)),
+			Time:    model.Timestamp(1_000_000 + rng.Intn(60_000)),
+			Payload: payload,
+		})
+	}
+	snap := tree.FlushReset()
+	if snap == nil {
+		t.Fatal("nil snapshot")
+	}
+	return snap
+}
+
+// collect runs a range query against a parsed chunk the way a query
+// server does — leaf selection then per-leaf scans — and returns the
+// matching tuples.
+func collect(t *testing.T, h *Header, data []byte, kr model.KeyRange, tr model.TimeRange) []model.Tuple {
+	t.Helper()
+	var out []model.Tuple
+	read, _ := h.SelectLeaves(kr, tr, true)
+	for _, li := range read {
+		d := h.Dir[li]
+		err := h.ScanLeaf(li, data[d.Offset:d.Offset+d.Length], kr, tr, nil, func(tp *model.Tuple) bool {
+			cp := *tp
+			cp.Payload = append([]byte(nil), tp.Payload...)
+			out = append(out, cp)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("leaf %d: %v", li, err)
+		}
+	}
+	return out
+}
+
+// TestV1V2QueryEquivalence builds the same snapshot in both formats and
+// checks random range queries return identical tuples from each — the
+// columnar layout is an encoding change, not a semantic one.
+func TestV1V2QueryEquivalence(t *testing.T) {
+	snap := buildMixedSnapshot(t, 2000, 16, 42)
+	v1, m1, err := Build(snap, BuildOptions{Format: FormatV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, m2, err := Build(snap, BuildOptions{Format: FormatV2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Count != m2.Count || m1.Keys != m2.Keys || m1.MinTime != m2.MinTime || m1.MaxTime != m2.MaxTime {
+		t.Fatalf("meta diverged: %+v vs %+v", m1, m2)
+	}
+	h1, err := ParseHeader(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := ParseHeader(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		kr := model.FullKeyRange()
+		tr := model.FullTimeRange()
+		if trial > 0 { // trial 0 checks the full region
+			a, b := model.Key(rng.Intn(2000)), model.Key(rng.Intn(2000))
+			if a > b {
+				a, b = b, a
+			}
+			kr = model.KeyRange{Lo: a, Hi: b}
+			x, y := 1_000_000+rng.Intn(60_000), 1_000_000+rng.Intn(60_000)
+			if x > y {
+				x, y = y, x
+			}
+			tr = model.TimeRange{Lo: model.Timestamp(x), Hi: model.Timestamp(y)}
+		}
+		r1 := collect(t, h1, v1, kr, tr)
+		r2 := collect(t, h2, v2, kr, tr)
+		if len(r1) != len(r2) {
+			t.Fatalf("trial %d: %d tuples from v1, %d from v2", trial, len(r1), len(r2))
+		}
+		for i := range r1 {
+			if r1[i].Key != r2[i].Key || r1[i].Time != r2[i].Time || string(r1[i].Payload) != string(r2[i].Payload) {
+				t.Fatalf("trial %d tuple %d: %+v vs %+v", trial, i, r1[i], r2[i])
+			}
+		}
+	}
+}
+
+// bruteAgg folds tuples matching tr into a partial the slow way.
+func bruteAgg(tuples []model.Tuple, tr model.TimeRange, field uint32) model.AggPartial {
+	var p model.AggPartial
+	for i := range tuples {
+		if tr.Contains(tuples[i].Time) {
+			p.AddTuple(&tuples[i], field)
+		}
+	}
+	return p
+}
+
+// TestAggFoldEquivalence checks every pre-aggregate shortcut against a
+// brute-force fold over the decoded tuples: the chunk-level summary in
+// Meta.Agg, the whole-leaf fold, and the partial-range bucket fold plus
+// complementary scan that together answer a boundary leaf.
+func TestAggFoldEquivalence(t *testing.T) {
+	snap := buildMixedSnapshot(t, 1500, 8, 99)
+	data, meta, err := Build(snap, BuildOptions{Format: FormatV2, BucketMillis: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseHeader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.HasAgg || meta.Agg == nil {
+		t.Fatal("v2 chunk missing pre-aggregates")
+	}
+
+	// Chunk-level: Meta.Agg vs all tuples.
+	var all []model.Tuple
+	for li, d := range h.Dir {
+		tuples, err := h.DecodeLeaf(li, data[d.Offset:d.Offset+d.Length])
+		if err != nil {
+			t.Fatalf("leaf %d: %v", li, err)
+		}
+		all = append(all, tuples...)
+
+		// Whole-leaf fold vs brute force over the leaf.
+		var got model.AggPartial
+		if !h.FoldLeafAggAll(li, false, &got) {
+			if d.Count > 0 {
+				t.Fatalf("leaf %d: no pre-aggregates", li)
+			}
+			continue
+		}
+		want := bruteAgg(tuples, model.FullTimeRange(), h.AggField)
+		if got != want {
+			t.Fatalf("leaf %d whole-leaf fold: %+v != %+v", li, got, want)
+		}
+	}
+	want := bruteAgg(all, model.FullTimeRange(), meta.Agg.Field)
+	if meta.Agg.AggPartial != want {
+		t.Fatalf("chunk agg %+v != brute %+v", meta.Agg.AggPartial, want)
+	}
+
+	// Partial-range: bucket fold + excluded scan vs brute force, over
+	// random time windows per leaf.
+	rng := rand.New(rand.NewSource(3))
+	var cols LeafColumns
+	for li, d := range h.Dir {
+		if d.Count == 0 {
+			continue
+		}
+		tuples, _ := h.DecodeLeaf(li, data[d.Offset:d.Offset+d.Length])
+		for trial := 0; trial < 50; trial++ {
+			span := int64(d.MaxT - d.MinT + 1)
+			lo := int64(d.MinT) + rng.Int63n(span+2000) - 1000
+			hi := lo + rng.Int63n(span+2000)
+			tr := model.TimeRange{Lo: model.Timestamp(lo), Hi: model.Timestamp(hi)}
+			var got model.AggPartial
+			var ex *model.TimeRange
+			if w, ok := h.FoldLeafAgg(li, tr, false, &got); ok {
+				ex = &w
+			}
+			err := h.AggregateLeaf(li, data[d.Offset:d.Offset+d.Length], &cols,
+				model.FullKeyRange(), tr, nil, ex, h.AggField, false, &got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := bruteAgg(tuples, tr, h.AggField); got != want {
+				t.Fatalf("leaf %d window [%d,%d]: fold+scan %+v != brute %+v", li, lo, hi, got, want)
+			}
+		}
+	}
+}
+
+// TestV2CompressionRatio is the regression guard for the columnar
+// encoding: on the standard T-Drive-like workload (sorted clustered
+// z-order keys, near-constant arrival cadence, fixed 16-byte payloads)
+// v2 must spend at most 0.7× the bytes per tuple v1 does.
+func TestV2CompressionRatio(t *testing.T) {
+	gen := workload.NewTDrive(workload.TDriveConfig{Taxis: 500, Seed: 11})
+	tree := core.NewTemplateTree(core.TemplateConfig{Keys: gen.KeySpan(), Leaves: 64})
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		tree.Insert(gen.Next())
+	}
+	snap := tree.FlushReset()
+	if snap == nil {
+		t.Fatal("nil snapshot")
+	}
+	v1, _, err := Build(snap, BuildOptions{Format: FormatV1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _, err := Build(snap, BuildOptions{Format: FormatV2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1 := float64(len(v1)) / n
+	b2 := float64(len(v2)) / n
+	t.Logf("bytes/tuple: v1=%.1f v2=%.1f ratio=%.2f", b1, b2, b2/b1)
+	if b2 > 0.7*b1 {
+		t.Fatalf("v2 bytes/tuple %.1f exceeds 0.7× v1 (%.1f)", b2, 0.7*b1)
+	}
+}

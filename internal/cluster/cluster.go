@@ -191,6 +191,10 @@ type Cluster struct {
 	ckptMu      sync.Mutex
 	ckptOffsets []int64
 
+	// chunkFormat is the SetChunkFormat override, remembered so replacement
+	// index servers spawned by crash recovery keep flushing the same format.
+	chunkFormat atomic.Int32
+
 	rr   atomic.Uint64 // round-robin dispatcher pick for Insert
 	stop chan struct{}
 	// consStop holds one stop channel per indexing-server consumer so a
@@ -396,7 +400,7 @@ func (c *Cluster) newIndexServer(i int, keys model.KeyRange) *ingest.Server {
 		// before registering chunks and committing.
 		syncWAL = c.log.Partition(i).SyncTo
 	}
-	return ingest.NewServer(ingest.Config{
+	srv := ingest.NewServer(ingest.Config{
 		ID:                  i,
 		Keys:                keys,
 		ChunkBytes:          c.cfg.ChunkBytes,
@@ -412,6 +416,10 @@ func (c *Cluster) newIndexServer(i int, keys model.KeyRange) *ingest.Server {
 		SyncWAL:             syncWAL,
 		Metrics:             c.ingestMetrics,
 	}, c.fs, c.ms, i/c.cfg.IndexServersPerNode)
+	if f := c.chunkFormat.Load(); f != 0 {
+		srv.SetChunkFormat(int(f))
+	}
+	return srv
 }
 
 // metaSnapPath is the metadata snapshot file within a data directory.
@@ -564,6 +572,24 @@ func (c *Cluster) InsertVia(dispatcherID int, t model.Tuple) error {
 // Query executes a temporal range query and returns the merged result.
 func (c *Cluster) Query(q model.Query) (*model.Result, error) {
 	return c.coord.Execute(q)
+}
+
+// Aggregate executes an aggregate query (COUNT/MIN/MAX/SUM over a key
+// range × time range) with aggregation pushdown: fully covered chunks and
+// leaves are answered from metadata and header pre-aggregates without
+// touching leaf bodies.
+func (c *Cluster) Aggregate(q model.AggregateQuery) (*model.AggResult, error) {
+	return c.coord.ExecuteAggregate(q)
+}
+
+// SetChunkFormat switches the chunk format (chunk.FormatV1/V2) used by
+// every indexing server's subsequent flushes; zero restores the configured
+// default. Existing chunks keep their format — readers dispatch per chunk.
+func (c *Cluster) SetChunkFormat(f int) {
+	c.chunkFormat.Store(int32(f))
+	for _, srv := range c.idx {
+		srv.SetChunkFormat(f)
+	}
 }
 
 // Drain blocks until every WAL partition has been fully consumed by its

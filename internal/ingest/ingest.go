@@ -191,6 +191,10 @@ type Server struct {
 	// chunk or commit a WAL offset any more.
 	aborted atomic.Bool
 
+	// chunkFormat, when non-zero, overrides Bloom.Format for later flushes
+	// (SetChunkFormat) — the live format-migration switch.
+	chunkFormat atomic.Int32
+
 	// incarnation distinguishes chunk paths across server restarts, so a
 	// recovered server never collides with its predecessor's files.
 	incarnation uint64
@@ -239,6 +243,12 @@ func NewServer(cfg Config, fs ChunkWriter, ms *meta.Server, node int) *Server {
 
 // Stats returns the server's counters.
 func (s *Server) Stats() *Stats { return &s.stats }
+
+// SetChunkFormat switches the chunk format (chunk.FormatV1/V2) used by
+// subsequent flushes. Zero restores the configured default. Chunks already
+// written keep their format; readers dispatch on the magic, so mixed
+// formats coexist in one cluster.
+func (s *Server) SetChunkFormat(f int) { s.chunkFormat.Store(int32(f)) }
 
 // TreeStats exposes the memtable tree's instrumentation.
 func (s *Server) TreeStats() *core.Stats { return s.tree.Stats() }
@@ -407,24 +417,56 @@ func (s *Server) ExecuteSubQuery(sq *model.SubQuery) *model.Result {
 	s.pendMu.RLock()
 	defer s.pendMu.RUnlock()
 	res := &model.Result{QueryID: sq.QueryID}
+	if sq.Agg != nil {
+		// Aggregate subquery: fold matching tuples instead of copying them
+		// out. Limit does not apply to aggregates.
+		agg := &model.AggPartial{}
+		res.Agg = agg
+		s.scanSources(sq, func(rangeFn treeRange) {
+			rangeFn(sq.Region.Keys, sq.Region.Times, sq.Filter, func(t *model.Tuple) bool {
+				if sq.Agg.CountOnly {
+					agg.Count++
+				} else {
+					agg.AddTuple(t, sq.Agg.Field)
+				}
+				return true
+			})
+		})
+		return res
+	}
 	sources := 0
-	scan := func(rangeFn func(model.KeyRange, model.TimeRange, *model.Filter, func(*model.Tuple) bool)) {
+	s.scanSources(sq, func(rangeFn treeRange) {
 		base := len(res.Tuples)
 		rangeFn(sq.Region.Keys, sq.Region.Times, sq.Filter, func(t *model.Tuple) bool {
 			cp := *t
 			cp.Payload = append([]byte(nil), t.Payload...)
 			res.Tuples = append(res.Tuples, cp)
+			// Each source may hold lower keys than where the previous
+			// source's limit cut off, so every source scans with its own
+			// budget and the combined result is re-cut on sorted order below.
 			return sq.Limit <= 0 || len(res.Tuples)-base < sq.Limit
 		})
 		if len(res.Tuples) > base {
 			sources++
 		}
+	})
+	if sources > 1 && sq.Limit > 0 && len(res.Tuples) > sq.Limit {
+		res.SortTuples()
+		res.Tuples = res.Tuples[:sq.Limit]
 	}
+	return res
+}
+
+// treeRange is the common range-scan signature of the in-memory sources.
+type treeRange = func(model.KeyRange, model.TimeRange, *model.Filter, func(*model.Tuple) bool)
+
+// scanSources invokes scan once per in-memory source a subquery must cover:
+// the live tree, the side store, and each pending snapshot the query's plan
+// could not have seen as a chunk (the AsOfChunk visibility rule). The
+// caller must hold pendMu.RLock so the source set is frozen for the scan.
+func (s *Server) scanSources(sq *model.SubQuery, scan func(treeRange)) {
 	scan(s.tree.Range)
 	if s.side != nil {
-		// Each source may hold lower keys than where the previous source's
-		// limit cut off, so every source scans with its own budget and the
-		// combined result is re-cut on sorted order below.
 		scan(s.side.Range)
 	}
 	for _, pf := range s.pending {
@@ -442,11 +484,6 @@ func (s *Server) ExecuteSubQuery(sq *model.SubQuery) *model.Result {
 			scan(pf.parts[i].snap.Range)
 		}
 	}
-	if sources > 1 && sq.Limit > 0 && len(res.Tuples) > sq.Limit {
-		res.SortTuples()
-		res.Tuples = res.Tuples[:sq.Limit]
-	}
-	return res
 }
 
 // MemLen returns the number of in-memory tuples: both trees plus pending

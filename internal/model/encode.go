@@ -62,16 +62,47 @@ func AppendTuples(dst []byte, ts []Tuple) []byte {
 	return dst
 }
 
-// DecodeTuples decodes every tuple in buf. Payloads alias buf.
+// CountTuples walks the tuple headers in buf and returns how many encoded
+// tuples it holds, without touching payload bytes. It errors where a
+// decode of the same buffer would.
+func CountTuples(buf []byte) (int, error) {
+	n := 0
+	for len(buf) > 0 {
+		if len(buf) < tupleHeaderSize {
+			return 0, ErrShortBuffer
+		}
+		total := tupleHeaderSize + int(binary.BigEndian.Uint32(buf[16:20]))
+		if len(buf) < total {
+			return 0, fmt.Errorf("%w: need %d bytes, have %d", ErrShortBuffer, total, len(buf))
+		}
+		buf = buf[total:]
+		n++
+	}
+	return n, nil
+}
+
+// DecodeTuples decodes every tuple in buf. Payloads alias buf. The result
+// is allocated exactly: a cheap header walk counts the tuples first, so
+// the append loop never reallocates.
 func DecodeTuples(buf []byte) ([]Tuple, error) {
-	var out []Tuple
+	n, err := CountTuples(buf)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeTuplesInto(make([]Tuple, 0, n), buf)
+}
+
+// DecodeTuplesInto appends every tuple in buf to dst — the capacity-hint
+// form of DecodeTuples for callers that know the count (e.g. from a chunk
+// leaf directory) or reuse a scratch slice. Payloads alias buf.
+func DecodeTuplesInto(dst []Tuple, buf []byte) ([]Tuple, error) {
 	for len(buf) > 0 {
 		t, n, err := DecodeTuple(buf)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, t)
+		dst = append(dst, t)
 		buf = buf[n:]
 	}
-	return out, nil
+	return dst, nil
 }

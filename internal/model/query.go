@@ -76,6 +76,10 @@ type SubQuery struct {
 	// hand-built subqueries (tests, tools) working.
 	ChunkPath      string
 	ChunkHeaderLen int
+	// Agg, when non-nil, turns this into an aggregate subquery: the
+	// executor folds matching tuples into Result.Agg instead of returning
+	// them, using chunk pre-aggregates where leaves are fully covered.
+	Agg *AggSpec
 }
 
 // String implements fmt.Stringer.
@@ -101,6 +105,12 @@ type Result struct {
 	BytesRead int64
 	// CacheHits counts subquery cache-unit hits on query servers.
 	CacheHits int
+	// Agg is the partial aggregate of an aggregate subquery (SubQuery.Agg
+	// set); nil on the tuple-returning path.
+	Agg *AggPartial
+	// AggPushdown counts leaves answered from header pre-aggregates
+	// without reading the leaf body.
+	AggPushdown int
 }
 
 // SortTuples orders the result tuples by (key, time, payload) so results
@@ -125,4 +135,11 @@ func (r *Result) MergeCounters(o *Result) {
 	r.LeavesSkipped += o.LeavesSkipped
 	r.BytesRead += o.BytesRead
 	r.CacheHits += o.CacheHits
+	r.AggPushdown += o.AggPushdown
+	if o.Agg != nil {
+		if r.Agg == nil {
+			r.Agg = &AggPartial{}
+		}
+		r.Agg.Merge(o.Agg)
+	}
 }

@@ -52,6 +52,11 @@ type CoordinatorMetrics struct {
 	// subqueries are executing on query servers right now, across all
 	// in-flight queries.
 	WorkersBusy *telemetry.Gauge
+	// AggQueries counts aggregate queries; AggMetaChunks counts chunks they
+	// answered entirely from registered chunk summaries — no subquery, no
+	// header read.
+	AggQueries    *telemetry.Counter
+	AggMetaChunks *telemetry.Counter
 
 	// Per-policy dispatch latency histograms, registered lazily the first
 	// time a policy dispatches.
@@ -71,6 +76,8 @@ func NewCoordinatorMetrics(r *telemetry.Registry) *CoordinatorMetrics {
 		Redispatches:    r.Counter("waterwheel_query_redispatches_total", "chunk subqueries returned to the pending set after a query-server failure"),
 		QueryNanos:      r.Histogram("waterwheel_query_seconds", "end-to-end query latency"),
 		WorkersBusy:     r.Gauge("waterwheel_query_workers_busy", "chunk subqueries currently executing on query servers"),
+		AggQueries:      r.Counter("waterwheel_agg_queries_total", "aggregate queries executed by the coordinator"),
+		AggMetaChunks:   r.Counter("waterwheel_agg_meta_chunks_total", "chunks answered from metadata summaries during aggregate queries"),
 		reg:             r,
 	}
 }
@@ -348,6 +355,137 @@ func (c *Coordinator) execute(q model.Query, root *telemetry.Span) (*model.Resul
 	mergeSp.End()
 	finish(nil)
 	return res, tr, nil
+}
+
+// regionCovers reports whether outer fully contains inner.
+func regionCovers(outer, inner model.Region) bool {
+	return outer.Keys.Lo <= inner.Keys.Lo && inner.Keys.Hi <= outer.Keys.Hi &&
+		outer.Times.Lo <= inner.Times.Lo && inner.Times.Hi <= outer.Times.Hi
+}
+
+// ExecuteAggregate runs an aggregate query (COUNT/MIN/MAX/SUM over a
+// key×time region) with aggregation pushdown at every level: chunks whose
+// region lies fully inside an unfiltered query are answered from their
+// registered summary without any subquery; the remaining chunk subqueries
+// let query servers answer covered leaves from header pre-aggregates; the
+// fresh-data path folds memtable tuples on the indexing servers. Only
+// partial aggregates travel — never tuples.
+func (c *Coordinator) ExecuteAggregate(q model.AggregateQuery) (*model.AggResult, error) {
+	// Register like a tuple query so pending-snapshot sweeping respects this
+	// query's chunk horizon for the duration of the scan.
+	mq := c.ms.RegisterQuery(model.Query{ID: q.ID, Keys: q.Keys, Times: q.Times, Filter: q.Filter})
+	defer c.ms.CompleteQuery(mq.ID)
+
+	c.m.AggQueries.Inc()
+	start := time.Now()
+	spec := &model.AggSpec{Field: q.Field, CountOnly: q.Kind == model.AggCount}
+	res := &model.AggResult{QueryID: mq.ID, Kind: q.Kind}
+	qRegion := q.Region()
+
+	chunks, watermark := c.ms.ChunksForWithWatermark(qRegion)
+	seq := 0
+	var chunkSubs []*model.SubQuery
+	for _, ci := range chunks {
+		r, ok := qRegion.Intersect(ci.Region)
+		if !ok {
+			continue
+		}
+		// Meta-level pushdown: every tuple of a fully covered chunk matches
+		// an unfiltered query, so its registered count/summary is exact.
+		if q.Filter == nil && regionCovers(qRegion, ci.Region) {
+			if spec.CountOnly {
+				res.Count += uint64(ci.Count)
+				res.MetaChunks++
+				continue
+			}
+			if ci.Agg != nil && ci.Agg.Field == q.Field {
+				res.AggPartial.Merge(&ci.Agg.AggPartial)
+				res.MetaChunks++
+				continue
+			}
+		}
+		chunkSubs = append(chunkSubs, &model.SubQuery{
+			QueryID: mq.ID, Seq: seq, Region: r, Filter: q.Filter, Chunk: ci.ID,
+			ChunkPath: ci.Path, ChunkHeaderLen: ci.HeaderLen,
+			Agg: spec,
+		})
+		seq++
+	}
+	var memSubs []*model.SubQuery
+	for _, lr := range c.ms.LiveRegions() {
+		if lr.Empty || !lr.Keys.Overlaps(q.Keys) {
+			continue
+		}
+		lo := lr.MinTime - model.Timestamp(c.cfg.LateDeltaMillis)
+		if q.Times.Hi < lo {
+			continue
+		}
+		kr, _ := lr.Keys.Intersect(q.Keys)
+		memSubs = append(memSubs, &model.SubQuery{
+			QueryID: mq.ID, Seq: seq,
+			Region:      model.Region{Keys: kr, Times: q.Times},
+			Filter:      q.Filter,
+			Chunk:       model.MemChunk,
+			IndexServer: lr.Server,
+			AsOfChunk:   watermark,
+			Agg:         spec,
+		})
+		seq++
+	}
+	c.m.AggMetaChunks.Add(int64(res.MetaChunks))
+	c.m.MemSubQueries.Add(int64(len(memSubs)))
+	c.m.ChunkSubQueries.Add(int64(len(chunkSubs)))
+	res.SubQueries = len(memSubs) + len(chunkSubs)
+
+	var mu sync.Mutex
+	collect := func(r *model.Result) {
+		if r == nil {
+			return
+		}
+		mu.Lock()
+		if r.Agg != nil {
+			res.AggPartial.Merge(r.Agg)
+		}
+		res.PushdownLeaves += r.AggPushdown
+		res.LeavesRead += r.LeavesRead
+		res.LeavesSkipped += r.LeavesSkipped
+		res.BytesRead += r.BytesRead
+		res.CacheHits += r.CacheHits
+		mu.Unlock()
+	}
+
+	c.mu.RLock()
+	execs := make([]MemExecutor, 0, len(memSubs))
+	for _, sq := range memSubs {
+		execs = append(execs, c.memExec[sq.IndexServer])
+	}
+	c.mu.RUnlock()
+	for i, sq := range memSubs {
+		if execs[i] == nil {
+			err := fmt.Errorf("queryexec: no executor for indexing server %d", sq.IndexServer)
+			c.m.QueryErrors.Inc()
+			return nil, err
+		}
+	}
+	var wg sync.WaitGroup
+	for i, sq := range memSubs {
+		wg.Add(1)
+		go func(e MemExecutor, sq *model.SubQuery) {
+			defer wg.Done()
+			collect(e.ExecuteSubQuery(sq))
+		}(execs[i], sq)
+	}
+	var chunkErr error
+	if len(chunkSubs) > 0 {
+		chunkErr = c.runChunkSubqueries(chunkSubs, collect, nil)
+	}
+	wg.Wait()
+	c.m.QueryNanos.Observe(time.Since(start))
+	if chunkErr != nil {
+		c.m.QueryErrors.Inc()
+		return nil, chunkErr
+	}
+	return res, nil
 }
 
 // ExplainInfo describes how a query would execute, for introspection and

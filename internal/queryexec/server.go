@@ -72,6 +72,14 @@ type ServerMetrics struct {
 	// InflightReads gauges DFS reads currently outstanding.
 	InflightReads *telemetry.Gauge
 	SubQueryNanos *telemetry.Histogram
+	// AggPushdownLeaves counts leaves an aggregate subquery answered from
+	// header pre-aggregates without reading the leaf body; AggScannedLeaves
+	// counts leaves it had to decode. Their ratio is the pushdown hit rate.
+	AggPushdownLeaves *telemetry.Counter
+	AggScannedLeaves  *telemetry.Counter
+	// AggBytesSaved gauges the cumulative leaf-body bytes aggregation
+	// pushdown avoided fetching from the DFS.
+	AggBytesSaved *telemetry.Gauge
 }
 
 // NewServerMetrics registers the chunk-read metric set on r (nil r gives
@@ -92,6 +100,9 @@ func NewServerMetrics(r *telemetry.Registry) *ServerMetrics {
 		SingleFlightDedup: r.Counter("waterwheel_chunk_singleflight_dedup_total", "chunk reads deduplicated into a concurrent identical read"),
 		InflightReads:     r.Gauge("waterwheel_chunk_inflight_reads", "DFS reads currently outstanding on query servers"),
 		SubQueryNanos:     r.Histogram("waterwheel_chunk_subquery_seconds", "chunk subquery execution latency"),
+		AggPushdownLeaves: r.Counter("waterwheel_agg_pushdown_leaves_total", "leaves answered from header pre-aggregates without a body read"),
+		AggScannedLeaves:  r.Counter("waterwheel_agg_scanned_leaves_total", "leaves aggregate subqueries had to decode"),
+		AggBytesSaved:     r.Gauge("waterwheel_agg_pushdown_bytes_saved_total", "leaf-body bytes aggregation pushdown avoided reading"),
 	}
 }
 
@@ -341,6 +352,77 @@ func (s *Server) ExecuteSubQueryTraced(sq *model.SubQuery, sp *telemetry.Span) (
 	res.LeavesSkipped += pruned
 	s.m.LeavesBloomSkip.Add(int64(pruned))
 
+	// Aggregate subqueries fold into res.Agg instead of collecting tuples,
+	// answering covered leaves from header pre-aggregates where possible.
+	if sq.Agg != nil {
+		if err := s.executeAgg(sq, ci, h, leaves, res, sp); err != nil {
+			return nil, err
+		}
+		s.m.LeavesRead.Add(int64(res.LeavesRead))
+		s.m.SubQueryNanos.Observe(time.Since(start))
+		return res, nil
+	}
+
+	bodies, err := s.fetchLeafBodies(ci, h, leaves, res, sp)
+	if err != nil {
+		return nil, err
+	}
+
+	scanSp := sp.StartChild("scan")
+	var cols chunk.LeafColumns
+	for _, li := range leaves {
+		res.LeavesRead++
+		// Matched payloads alias the (cached, shared) leaf body during the
+		// scan and are un-aliased afterwards into one arena per leaf — a
+		// single allocation instead of one per tuple.
+		arenaStart := len(res.Tuples)
+		payloadBytes := 0
+		err := h.ScanLeafWith(&cols, li, bodies[li], sq.Region.Keys, sq.Region.Times, sq.Filter, func(t *model.Tuple) bool {
+			res.Tuples = append(res.Tuples, *t)
+			payloadBytes += len(t.Payload)
+			return sq.Limit <= 0 || len(res.Tuples) < sq.Limit
+		})
+		if err != nil {
+			err = fmt.Errorf("queryexec: chunk %d leaf %d: %w", ci.ID, li, err)
+			scanSp.SetStr("error", err.Error())
+			scanSp.End()
+			return nil, err
+		}
+		if len(res.Tuples) > arenaStart {
+			var arena []byte
+			if payloadBytes > 0 {
+				arena = make([]byte, 0, payloadBytes)
+			}
+			for i := arenaStart; i < len(res.Tuples); i++ {
+				t := &res.Tuples[i]
+				if len(t.Payload) == 0 {
+					// Empty slices still point into the body; drop the
+					// reference so results never pin leaf buffers.
+					t.Payload = nil
+					continue
+				}
+				off := len(arena)
+				arena = append(arena, t.Payload...)
+				t.Payload = arena[off:len(arena):len(arena)]
+			}
+		}
+		if sq.Limit > 0 && len(res.Tuples) >= sq.Limit {
+			break
+		}
+	}
+	scanSp.SetInt("leaves", int64(res.LeavesRead))
+	scanSp.SetInt("bloom_skipped", int64(res.LeavesSkipped))
+	scanSp.SetInt("tuples", int64(len(res.Tuples)))
+	scanSp.End()
+	s.m.LeavesRead.Add(int64(res.LeavesRead))
+	s.m.SubQueryNanos.Observe(time.Since(start))
+	return res, nil
+}
+
+// fetchLeafBodies returns the bodies of the given leaves (indexed by leaf
+// number), reading uncached ones from the DFS with extent coalescing and
+// single-flight dedup, and charging bytes and cache counters to res.
+func (s *Server) fetchLeafBodies(ci meta.ChunkInfo, h *chunk.Header, leaves []int, res *model.Result, sp *telemetry.Span) ([][]byte, error) {
 	// Partition wanted leaves into cached and missing, then coalesce
 	// missing extents into ranged reads. Gaps (cached or pruned leaves)
 	// up to maxGapBytes are read through rather than split: at HDFS-like
@@ -465,53 +547,85 @@ func (s *Server) ExecuteSubQueryTraced(sq *model.SubQuery, sp *telemetry.Span) (
 	readSp.SetInt("leaves_missing", int64(len(missing)))
 	readSp.SetInt("bytes", res.BytesRead)
 	readSp.End()
+	return bodies, nil
+}
 
-	scanSp := sp.StartChild("scan")
+// executeAgg runs an aggregate subquery: leaves whose keys are fully
+// inside the query range are answered from the header — the leaf count for
+// COUNT, the pre-aggregate buckets otherwise — without reading their
+// bodies. Only boundary leaves (and leaves the header can't answer) are
+// fetched and column-scanned, with the bucket-folded window excluded.
+func (s *Server) executeAgg(sq *model.SubQuery, ci meta.ChunkInfo, h *chunk.Header, leaves []int, res *model.Result, sp *telemetry.Span) error {
+	spec := sq.Agg
+	agg := &model.AggPartial{}
+	res.Agg = agg
+	kr, tr := sq.Region.Keys, sq.Region.Times
+	// exclude[li] is the bucket window already folded for a partially
+	// covered leaf; scan[li] marks leaves that still need their body.
+	var scan []int
+	exclude := make(map[int]model.TimeRange)
+	var savedBytes int64
 	for _, li := range leaves {
-		res.LeavesRead++
-		// Matched payloads alias the (cached, shared) leaf body during the
-		// scan and are un-aliased afterwards into one arena per leaf — a
-		// single allocation instead of one per tuple.
-		arenaStart := len(res.Tuples)
-		payloadBytes := 0
-		err := chunk.ScanLeaf(bodies[li], sq.Region.Keys, sq.Region.Times, sq.Filter, func(t *model.Tuple) bool {
-			res.Tuples = append(res.Tuples, *t)
-			payloadBytes += len(t.Payload)
-			return sq.Limit <= 0 || len(res.Tuples) < sq.Limit
-		})
-		if err != nil {
-			err = fmt.Errorf("queryexec: chunk %d leaf %d: %w", ci.ID, li, err)
-			scanSp.SetStr("error", err.Error())
-			scanSp.End()
-			return nil, err
+		d := h.Dir[li]
+		if d.Count == 0 {
+			continue
 		}
-		if len(res.Tuples) > arenaStart {
-			var arena []byte
-			if payloadBytes > 0 {
-				arena = make([]byte, 0, payloadBytes)
-			}
-			for i := arenaStart; i < len(res.Tuples); i++ {
-				t := &res.Tuples[i]
-				if len(t.Payload) == 0 {
-					// Empty slices still point into the body; drop the
-					// reference so results never pin leaf buffers.
-					t.Payload = nil
+		// Pushdown needs exact leaf key bounds (v2 only), no filter, and —
+		// for value aggregates — a pre-aggregate block over the queried
+		// field. COUNT folds bucket/directory counts regardless of field.
+		pushable := sq.Filter == nil && h.Format == chunk.FormatV2 &&
+			kr.Lo <= h.LeafKeys[li].Lo && h.LeafKeys[li].Hi <= kr.Hi &&
+			(spec.CountOnly || (h.HasAgg && h.AggField == spec.Field))
+		if pushable {
+			if tr.Lo <= d.MinT && d.MaxT <= tr.Hi {
+				// Whole leaf matches: exact from the directory count alone
+				// for COUNT, else from folding every bucket.
+				if spec.CountOnly {
+					agg.Count += uint64(d.Count)
+					res.AggPushdown++
+					savedBytes += d.Length
 					continue
 				}
-				off := len(arena)
-				arena = append(arena, t.Payload...)
-				t.Payload = arena[off:len(arena):len(arena)]
+				if h.FoldLeafAggAll(li, false, agg) {
+					res.AggPushdown++
+					savedBytes += d.Length
+					continue
+				}
+			} else if w, ok := h.FoldLeafAgg(li, tr, spec.CountOnly, agg); ok {
+				// Partially covered: buckets inside tr are folded; the scan
+				// skips tuples in that window.
+				exclude[li] = w
 			}
 		}
-		if sq.Limit > 0 && len(res.Tuples) >= sq.Limit {
-			break
-		}
+		scan = append(scan, li)
 	}
-	scanSp.SetInt("leaves", int64(res.LeavesRead))
-	scanSp.SetInt("bloom_skipped", int64(res.LeavesSkipped))
-	scanSp.SetInt("tuples", int64(len(res.Tuples)))
-	scanSp.End()
-	s.m.LeavesRead.Add(int64(res.LeavesRead))
-	s.m.SubQueryNanos.Observe(time.Since(start))
-	return res, nil
+	res.LeavesSkipped = len(leaves) - len(scan) - res.AggPushdown + res.LeavesSkipped
+	s.m.AggPushdownLeaves.Add(int64(res.AggPushdown))
+	s.m.AggBytesSaved.Add(float64(savedBytes))
+	if len(scan) > 0 {
+		bodies, err := s.fetchLeafBodies(ci, h, scan, res, sp)
+		if err != nil {
+			return err
+		}
+		scanSp := sp.StartChild("agg_scan")
+		var cols chunk.LeafColumns
+		for _, li := range scan {
+			res.LeavesRead++
+			var ex *model.TimeRange
+			if w, ok := exclude[li]; ok {
+				ex = &w
+			}
+			if err := h.AggregateLeaf(li, bodies[li], &cols, kr, tr, sq.Filter, ex, spec.Field, spec.CountOnly, agg); err != nil {
+				err = fmt.Errorf("queryexec: chunk %d leaf %d: %w", ci.ID, li, err)
+				scanSp.SetStr("error", err.Error())
+				scanSp.End()
+				return err
+			}
+		}
+		scanSp.SetInt("leaves", int64(res.LeavesRead))
+		scanSp.End()
+		s.m.AggScannedLeaves.Add(int64(len(scan)))
+	}
+	sp.SetInt("agg_pushdown", int64(res.AggPushdown))
+	return nil
 }

@@ -58,6 +58,21 @@ func (db *DB) Serve(addr string) (*NetServer, error) {
 		}
 		return buf.Bytes(), nil
 	})
+	s.Handle("agg", func(payload []byte) ([]byte, error) {
+		var q AggregateQuery
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&q); err != nil {
+			return nil, fmt.Errorf("waterwheel: bad aggregate query: %w", err)
+		}
+		res, err := db.Aggregate(q)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
 	s.Handle("drain", func([]byte) ([]byte, error) {
 		db.Drain()
 		return nil, nil
@@ -143,6 +158,23 @@ func (cl *Client) Query(q Query) (*Result, error) {
 		return nil, err
 	}
 	var res Result
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Aggregate runs an aggregate query remotely.
+func (cl *Client) Aggregate(q AggregateQuery) (*AggResult, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&q); err != nil {
+		return nil, err
+	}
+	payload, err := cl.c.Call("agg", buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var res AggResult
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&res); err != nil {
 		return nil, err
 	}

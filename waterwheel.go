@@ -53,7 +53,26 @@ type (
 	Result = model.Result
 	// Filter is a serializable predicate over tuples (the paper's fq).
 	Filter = model.Filter
+	// AggregateQuery computes COUNT/MIN/MAX/SUM over a key range × time
+	// range instead of returning tuples.
+	AggregateQuery = model.AggregateQuery
+	// AggResult carries an aggregate query's folded partial plus pushdown
+	// execution metadata.
+	AggResult = model.AggResult
+	// AggKind selects the aggregate function.
+	AggKind = model.AggKind
 )
+
+// Aggregate kinds.
+const (
+	AggCount = model.AggCount
+	AggMin   = model.AggMin
+	AggMax   = model.AggMax
+	AggSum   = model.AggSum
+)
+
+// ParseAggKind parses "count", "min", "max" or "sum".
+func ParseAggKind(s string) (AggKind, error) { return model.ParseAggKind(s) }
 
 // MaxKey is the largest key.
 const MaxKey = model.MaxKey
@@ -108,6 +127,17 @@ type Options struct {
 	// goroutine instead of the background flusher — the pre-pipeline
 	// behavior, kept as a benchmark baseline and ablation switch.
 	SyncFlush bool
+	// AggregateField is the payload offset of the big-endian uint64 field
+	// summarized by per-leaf pre-aggregates in v2 chunks (default 0).
+	// Aggregate queries over this field answer fully covered leaves from
+	// chunk headers without reading leaf bodies.
+	AggregateField uint32
+	// DisableAggregates skips building pre-aggregate blocks (ablation /
+	// header-size control). COUNT pushdown still works from leaf counts.
+	DisableAggregates bool
+	// ChunkFormat pins the chunk format written by flushes: 1 for the
+	// row-encoded v1 layout, 2 (or 0, the default) for columnar v2.
+	ChunkFormat int
 	// EnableSecondaryIndex builds per-leaf bloom filters over the
 	// big-endian uint64 payload field at SecondaryIndexOffset (the paper's
 	// §VIII future-work extension). Queries whose filter pins that field
@@ -191,6 +221,9 @@ func Open(opts Options) (*DB, error) {
 	if opts.EnableSecondaryIndex {
 		cfg.Bloom.Secondary = &chunk.SecondarySpec{Offset: opts.SecondaryIndexOffset}
 	}
+	cfg.Bloom.AggField = opts.AggregateField
+	cfg.Bloom.DisableAgg = opts.DisableAggregates
+	cfg.Bloom.Format = opts.ChunkFormat
 	c, err := cluster.Open(cfg)
 	if err != nil {
 		return nil, err
@@ -237,6 +270,17 @@ func (db *DB) Query(q Query) (*Result, error) {
 // QueryRange is shorthand for Query with no predicate.
 func (db *DB) QueryRange(keys KeyRange, times TimeRange) (*Result, error) {
 	return db.Query(Query{Keys: keys, Times: times})
+}
+
+// Aggregate runs an aggregate query (COUNT/MIN/MAX/SUM over a key range ×
+// time range), answering as much as possible from chunk metadata and
+// header pre-aggregates instead of reading leaf bodies. The result's
+// counters report how much of the work pushdown saved.
+func (db *DB) Aggregate(q AggregateQuery) (*AggResult, error) {
+	if db.closed {
+		return nil, ErrClosed
+	}
+	return db.c.Aggregate(q)
 }
 
 // Drain blocks until all accepted tuples are visible to queries.

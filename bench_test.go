@@ -43,7 +43,10 @@ func TestTable1Capabilities(t *testing.T) { runExperiment(t, "table1", 0.1) }
 
 func BenchmarkFig7aInsertThroughput(b *testing.B) {
 	g := workload.NewTDrive(workload.TDriveConfig{Seed: 1})
-	tuples := make([]model.Tuple, b.N)
+	// Fixed-size working set: the parent benchmark body runs with b.N == 1,
+	// so sizing this buffer by b.N fed every sub-benchmark iteration the
+	// same single tuple — a degenerate hot-key stream.
+	tuples := make([]model.Tuple, 200_000)
 	for i := range tuples {
 		tuples[i] = g.Next()
 	}
@@ -506,6 +509,133 @@ func BenchmarkConcurrentQueryThroughput(b *testing.B) {
 			})
 		})
 	}
+}
+
+// --- vectorized batch ingest: one call per batch from wire to leaf ---
+
+// BenchmarkInsertBatchThroughput prices the batch pipeline at the two
+// layers the vectorization touches. The "tree" legs drive
+// TemplateTree.InsertBatch with the same workload and leaf count as
+// BenchmarkFig7aInsertThroughput/template, so batch=1 reproduces that
+// baseline and larger batches show the per-leaf merge amortization. The
+// "db" legs go end to end through the public API over the default WAL
+// pipeline — one DispatchBatch, one WAL AppendBatch per partition run,
+// one batched consume — where batch=1 is the per-tuple Insert cost. Each
+// benchmark op is ONE TUPLE, so ns/op across legs compare directly.
+func BenchmarkInsertBatchThroughput(b *testing.B) {
+	g := workload.NewTDrive(workload.TDriveConfig{Seed: 1})
+	tuples := make([]model.Tuple, 200_000)
+	for i := range tuples {
+		tuples[i] = g.Next()
+	}
+	sizes := []int{1, 16, 64, 256, 1024}
+	for _, size := range sizes {
+		b.Run(fmt.Sprintf("tree/batch-%d", size), func(b *testing.B) {
+			idx := core.NewTemplateTree(core.TemplateConfig{
+				Keys: model.KeyRange{Lo: 0, Hi: 1 << 32}, Leaves: 1024,
+			})
+			b.ResetTimer()
+			for pos := 0; pos < b.N; pos += size {
+				n := size
+				if pos+n > b.N {
+					n = b.N - pos
+				}
+				start := pos % len(tuples)
+				if start+n > len(tuples) {
+					start = 0
+				}
+				idx.InsertBatch(tuples[start : start+n])
+			}
+		})
+	}
+	for _, size := range sizes {
+		b.Run(fmt.Sprintf("db/batch-%d", size), func(b *testing.B) {
+			db, err := Open(Options{ChunkBytes: 256 << 20, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			b.ResetTimer()
+			for pos := 0; pos < b.N; pos += size {
+				n := size
+				if pos+n > b.N {
+					n = b.N - pos
+				}
+				start := pos % len(tuples)
+				if start+n > len(tuples) {
+					start = 0
+				}
+				if err := db.InsertBatch(tuples[start : start+n]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// The durability legs: under ack-on-fsync a batch must cost one fsync
+	// cohort, not one per tuple — reported as fsyncs/batch. The batch-1 leg
+	// is the serial counterpart: a single client pays a full group-commit
+	// round (one fsync latency) per tuple, which is where batching buys its
+	// largest factor. Keep iteration counts modest; each op is an fsync.
+	b.Run("db-fsync/batch-1", func(b *testing.B) {
+		db, err := Open(Options{
+			DataDir:             b.TempDir(),
+			Durability:          "ack-on-fsync",
+			IndexServersPerNode: 1,
+			ChunkBytes:          256 << 20,
+			Seed:                1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := db.Insert(tuples[i%len(tuples)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("db-fsync/batch-256", func(b *testing.B) {
+		db, err := Open(Options{
+			DataDir:             b.TempDir(),
+			Durability:          "ack-on-fsync",
+			IndexServersPerNode: 1, // one partition: each batch is one run
+			ChunkBytes:          256 << 20,
+			Seed:                1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		const size = 256
+		b.ResetTimer()
+		batches := 0
+		for pos := 0; pos < b.N; pos += size {
+			n := size
+			if pos+n > b.N {
+				n = b.N - pos
+			}
+			start := pos % len(tuples)
+			if start+n > len(tuples) {
+				start = 0
+			}
+			if err := db.InsertBatch(tuples[start : start+n]); err != nil {
+				b.Fatal(err)
+			}
+			batches++
+		}
+		b.StopTimer()
+		var fsyncs float64
+		for _, m := range db.c.Telemetry().Snapshot() {
+			if m.Name == "waterwheel_wal_fsyncs_total" {
+				fsyncs = m.Value
+			}
+		}
+		b.ReportMetric(fsyncs/float64(batches), "fsyncs/batch")
+		if fsyncs > float64(batches)*2 {
+			b.Fatalf("%.0f fsyncs for %d batches: cohorts not amortized", fsyncs, batches)
+		}
+	})
 }
 
 // --- end-to-end throughput of the public API ---

@@ -31,6 +31,7 @@ func main() {
 		experiment = flag.String("experiment", "all", "experiment id or \"all\"")
 		scale      = flag.Float64("scale", 1.0, "workload scale factor")
 		seed       = flag.Int64("seed", 42, "random seed")
+		batch      = flag.Int("batch", 0, "insert batch size for insert workloads (0/1 = per-tuple)")
 		verbose    = flag.Bool("v", false, "log progress")
 		list       = flag.Bool("list", false, "list experiment ids and exit")
 	)
@@ -40,7 +41,7 @@ func main() {
 		fmt.Println(strings.Join(bench.IDs(), "\n"))
 		return
 	}
-	opt := bench.Options{Scale: *scale, Seed: *seed}
+	opt := bench.Options{Scale: *scale, Seed: *seed, Batch: *batch}
 	if *verbose {
 		opt.Log = os.Stderr
 	}

@@ -26,6 +26,10 @@ type Options struct {
 	Scale float64
 	// Seed drives all randomness.
 	Seed int64
+	// Batch sets the client-side insert batch size for insert-heavy
+	// experiments (fig15, batchsweep). 0 or 1 means per-tuple inserts;
+	// larger values route contiguous slices through InsertBatch.
+	Batch int
 	// Log, when non-nil, receives progress lines.
 	Log io.Writer
 }

@@ -45,6 +45,7 @@ func TestRunUnknown(t *testing.T) {
 func TestIDsComplete(t *testing.T) {
 	want := []string{
 		"ablation-bloom", "ablation-lada", "ablation-sidestore", "ablation-template",
+		"batchsweep",
 		"ext-secondary",
 		"fig10", "fig11a", "fig11b", "fig12a", "fig12b", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "fig7a", "fig7b", "fig8", "fig9",
@@ -61,6 +62,8 @@ func TestIDsComplete(t *testing.T) {
 		}
 	}
 }
+
+func TestBatchSweepSmoke(t *testing.T) { smoke(t, "batchsweep", 0.02, 5) }
 
 func TestFig7aSmoke(t *testing.T)  { smoke(t, "fig7a", 0.05, 4) }
 func TestFig7bSmoke(t *testing.T)  { smoke(t, "fig7b", 0.05, 3) }

@@ -51,6 +51,7 @@ const (
 	FaultDFSReadError  = "dfs-read-error"
 	FaultCrash         = "index-server-crash"
 	FaultCrashMidFlush = "index-server-crash-mid-flush"
+	FaultWALAppend     = "wal-append-error"
 )
 
 // Options configures one harness run.
@@ -108,8 +109,12 @@ type Report struct {
 	// durability policy that permits loss (anything but "ack-on-fsync").
 	// Such losses are expected — the run still verifies soundness and
 	// uniqueness — but the count quantifies the ack-durability gap.
-	LostAcked  int
-	FaultsSeen map[string]bool
+	LostAcked int
+	// BatchRejections counts vectorized inserts that an armed WAL append
+	// fault actually stopped mid-batch; the acked prefix of each entered
+	// the oracle and the rejected tail did not.
+	BatchRejections int
+	FaultsSeen      map[string]bool
 }
 
 // opKind enumerates schedule steps.
@@ -117,6 +122,7 @@ type opKind int
 
 const (
 	opInsert opKind = iota
+	opInsertBatch
 	opQuery
 	opQueryConcurrent
 	opAggQuery
@@ -135,7 +141,7 @@ const (
 )
 
 var opNames = map[opKind]string{
-	opInsert: "insert", opQuery: "query",
+	opInsert: "insert", opInsertBatch: "insert-batch", opQuery: "query",
 	opQueryConcurrent: "query-concurrent", opFlush: "flush-all",
 	opAggQuery: "agg-query", opFlipFormat: "flip-chunk-format",
 	opBalance: "tick-balance", opRetention: "retention",
@@ -158,6 +164,8 @@ func (o op) String() string {
 	switch o.kind {
 	case opInsert, opQueryConcurrent:
 		return fmt.Sprintf("%s n=%d", opNames[o.kind], o.n)
+	case opInsertBatch:
+		return fmt.Sprintf("%s n=%d fault=%v", opNames[o.kind], o.n, o.alt)
 	case opKillDFS, opReviveDFS:
 		return fmt.Sprintf("%s node=%d", opNames[o.kind], o.n)
 	case opCrash, opCrashMidFlush:
@@ -178,7 +186,7 @@ var weights = []struct {
 	kind opKind
 	w    int
 }{
-	{opInsert, 30}, {opQuery, 14}, {opQueryConcurrent, 6},
+	{opInsert, 22}, {opInsertBatch, 8}, {opQuery, 14}, {opQueryConcurrent, 6},
 	{opAggQuery, 8}, {opFlipFormat, 4},
 	{opFlush, 7}, {opBalance, 5},
 	{opRetention, 4}, {opTruncateWAL, 4}, {opKillDFS, 4}, {opReviveDFS, 6},
@@ -214,6 +222,9 @@ func genSchedule(seed int64, nOps, nodes, nIdx int) []op {
 		switch o.kind {
 		case opInsert:
 			o.n = 20 + master.Intn(100)
+		case opInsertBatch:
+			o.n = 20 + master.Intn(200)
+			o.alt = master.Intn(2) == 0 // arm a one-shot WAL append fault
 		case opQueryConcurrent:
 			o.n = 2 + master.Intn(5)
 		case opKillDFS, opReviveDFS:
@@ -419,6 +430,8 @@ func (r *runner) exec(i int, o op) {
 	switch o.kind {
 	case opInsert:
 		r.insertBatch(i, o.n)
+	case opInsertBatch:
+		r.insertVectorBatch(i, o.n, o.alt)
 	case opQuery:
 		r.query(i)
 	case opQueryConcurrent:
@@ -510,6 +523,75 @@ func (r *runner) insert(key model.Key, ts model.Timestamp) {
 	}
 	r.entries = append(r.entries, entry{key: key, ts: ts})
 	r.rep.Inserted++
+}
+
+// insertVectorBatch drives n tuples through Cluster.InsertBatch — the
+// vectorized wire-to-leaf path — optionally arming a one-shot WAL append
+// fault on a random partition first. The cluster reports an exact acked
+// prefix; only that prefix enters the oracle. The barrier's soundness and
+// completeness checks then prove prefix-ack exactness end to end: a lost
+// acked tuple fails completeness, and a rejected tuple that leaked into
+// the trees surfaces as an unknown or mismatched sequence number.
+func (r *runner) insertVectorBatch(i, n int, fault bool) {
+	sub := r.subRNG(i)
+	hot := model.Key(sub.Uint64() % keyDomain)
+	batch := make([]model.Tuple, 0, n)
+	for j := 0; j < n; j++ {
+		var key model.Key
+		if sub.Intn(10) < 3 {
+			key = hot + model.Key(sub.Uint64()%256) // skewed cluster
+		} else {
+			key = model.Key(sub.Uint64() % keyDomain)
+		}
+		r.virtualNow += model.Timestamp(1 + sub.Int63n(30))
+		ts := r.virtualNow
+		switch lat := sub.Intn(100); {
+		case lat < 3: // very late: side-store territory (>60 s)
+			ts -= 60_000 + model.Timestamp(sub.Int63n(60_000))
+		case lat < 13: // mildly late: stays in the main tree
+			ts -= model.Timestamp(sub.Int63n(30_000))
+		}
+		if ts < 0 {
+			ts = 0
+		}
+		payload := make([]byte, 8)
+		binary.BigEndian.PutUint64(payload, uint64(len(r.entries))+uint64(len(batch)))
+		batch = append(batch, model.Tuple{Key: key, Time: ts, Payload: payload})
+	}
+	target := -1
+	if fault {
+		// Aim at the partition a mid-batch tuple routes to, so the shot
+		// reliably fires mid-batch rather than on a partition the batch
+		// never reaches.
+		target = r.c.Metadata().Schema().ServerFor(batch[len(batch)/2].Key)
+		r.c.WAL().Partition(target).FailNextAppends(1)
+		r.rep.FaultsSeen[FaultWALAppend] = true
+	}
+	accepted, err := r.c.InsertBatch(batch)
+	if target >= 0 {
+		// Disarm an unfired shot (the batch may never route to the target
+		// partition) so it cannot reject an unrelated later insert.
+		r.c.WAL().Partition(target).FailNextAppends(0)
+	}
+	if err == nil && accepted != len(batch) {
+		r.violate(i, "InsertBatch acked %d/%d without an error", accepted, len(batch))
+	}
+	if err != nil {
+		if accepted >= len(batch) {
+			r.violate(i, "InsertBatch reported an error after a full ack: %v", err)
+		}
+		if !fault {
+			r.violate(i, "InsertBatch failed with no armed fault: %v", err)
+		}
+		r.rep.BatchRejections++
+	}
+	if accepted > len(batch) {
+		accepted = len(batch)
+	}
+	for j := 0; j < accepted; j++ {
+		r.entries = append(r.entries, entry{key: batch[j].Key, ts: batch[j].Time})
+		r.rep.Inserted++
+	}
 }
 
 // randQuery draws one temporal range query from sub: 80% a proper

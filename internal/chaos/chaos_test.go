@@ -135,6 +135,43 @@ func TestChaosFaultClassCoverage(t *testing.T) {
 	}
 }
 
+// TestChaosBatchWALFault runs a hand-built schedule that provably drives
+// the vectorized insert path into a mid-batch WAL append fault — every
+// insert-batch op arms a one-shot rejection on some partition — and then
+// verifies prefix-ack exactness at heal barriers: completeness proves no
+// acked tuple was dropped, soundness proves no rejected tuple leaked in.
+func TestChaosBatchWALFault(t *testing.T) {
+	r, err := newRunner(Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := []op{
+		{kind: opInsert, n: 80},
+		{kind: opInsertBatch, n: 150, alt: true},
+		{kind: opBarrier},
+		{kind: opInsertBatch, n: 200, alt: true},
+		{kind: opQuery},
+		{kind: opInsertBatch, n: 120}, // no fault: must fully ack
+		{kind: opBarrier},
+		// A fault while a crash-recovered server replays its WAL tail.
+		{kind: opCrash, n: 0},
+		{kind: opInsertBatch, n: 150, alt: true},
+		{kind: opBarrier},
+	}
+	r.runSchedule(sched)
+	r.c.Stop()
+	report(t, r.rep)
+	if !r.rep.FaultsSeen[FaultWALAppend] {
+		t.Error("WAL append fault class not covered")
+	}
+	if r.rep.BatchRejections == 0 {
+		t.Error("no armed WAL fault actually stopped a batch: the probe is inert")
+	}
+	if r.rep.Inserted == 0 {
+		t.Error("degenerate schedule: nothing inserted")
+	}
+}
+
 // TestChaosMixedFormats drives a hand-built schedule that flips the chunk
 // format between flushes, so the cluster holds v1 and v2 chunks at once,
 // and cross-checks temporal and aggregate queries against the oracle in

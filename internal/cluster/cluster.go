@@ -182,6 +182,12 @@ type Cluster struct {
 	ingestMetrics ingest.Metrics
 	walAppends    *telemetry.Counter
 	repartitions  *telemetry.Counter
+	insertBatches *telemetry.Counter
+	// batchRecords observes each InsertBatch's size. It reuses the
+	// duration histogram the way wal_fsync_batch_records does: sizes are
+	// recorded as whole "seconds" so second-valued quantiles read directly
+	// as record counts.
+	batchRecords *telemetry.Histogram
 
 	// ckptOffsets[i] is partition i's flush offset as of the last durable
 	// checkpoint — the retention floor in DataDir mode: a hard crash
@@ -325,6 +331,9 @@ func Open(cfg Config) (*Cluster, error) {
 	}
 	c.walAppends = reg.Counter("waterwheel_wal_appends_total", "records appended to WAL partitions")
 	c.repartitions = reg.Counter("waterwheel_repartitions_total", "adaptive key repartitions installed")
+	c.insertBatches = reg.Counter("waterwheel_insert_batches_total", "batches routed through InsertBatch")
+	c.batchRecords = reg.Histogram("waterwheel_insert_batch_records",
+		"tuples per InsertBatch call (unit: records, not seconds)")
 	c.coord = queryexec.NewCoordinator(queryexec.CoordinatorConfig{
 		LateDeltaMillis: cfg.LateDeltaMillis,
 		Policy:          queryexec.PolicyByName(cfg.Policy),
@@ -364,21 +373,9 @@ func Open(cfg Config) (*Cluster, error) {
 	}
 	var sink dispatcher.Sink
 	if cfg.SyncIngest {
-		sink = dispatcher.SinkFunc(func(server int, t model.Tuple) error {
-			c.idx[server].Insert(t)
-			return nil
-		})
+		sink = directSink{c}
 	} else {
-		sink = dispatcher.SinkFunc(func(server int, t model.Tuple) error {
-			// Under ack-on-fsync this append parks until a group-commit
-			// fsync covers the record; an error means the log did NOT take
-			// the tuple (stop-the-line) and the insert must not be acked.
-			if _, err := c.log.Partition(server).Append(model.AppendTuple(nil, &t)); err != nil {
-				return fmt.Errorf("cluster: wal append (server %d): %w", server, err)
-			}
-			c.walAppends.Inc()
-			return nil
-		})
+		sink = walSink{c}
 	}
 	nDisp := cfg.Nodes * cfg.DispatchersPerNode
 	for i := 0; i < nDisp; i++ {
@@ -386,6 +383,66 @@ func Open(cfg Config) (*Cluster, error) {
 	}
 	c.registerFuncMetrics()
 	return c, nil
+}
+
+// walSink is the dispatcher sink of the WAL pipeline: routed tuples are
+// appended to the target server's partition; the ack follows the log.
+type walSink struct{ c *Cluster }
+
+// Send appends one tuple. Under ack-on-fsync the append parks until a
+// group-commit fsync covers the record; an error means the log did NOT
+// take the tuple (stop-the-line) and the insert must not be acked.
+func (s walSink) Send(server int, t model.Tuple) error {
+	if _, err := s.c.log.Partition(server).Append(model.AppendTuple(nil, &t)); err != nil {
+		return fmt.Errorf("cluster: wal append (server %d): %w", server, err)
+	}
+	s.c.walAppends.Inc()
+	return nil
+}
+
+// SendBatch encodes the whole run into one buffer (record slices alias
+// it — the buffer is sized exactly, so they can never share appended
+// bytes) and persists it with one AppendBatch: one partition lock, one
+// segment write, and under ack-on-fsync one fsync cohort for the run.
+// AppendBatch is all-or-nothing, so a failed run acks none of its
+// tuples — exactly the prefix contract DispatchBatch requires.
+func (s walSink) SendBatch(server int, ts []model.Tuple) (int, error) {
+	if len(ts) == 1 {
+		if err := s.Send(server, ts[0]); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	total := 0
+	for i := range ts {
+		total += model.EncodedSize(&ts[i])
+	}
+	buf := make([]byte, 0, total)
+	datas := make([][]byte, len(ts))
+	for i := range ts {
+		pos := len(buf)
+		buf = model.AppendTuple(buf, &ts[i])
+		datas[i] = buf[pos:len(buf):len(buf)]
+	}
+	if _, err := s.c.log.Partition(server).AppendBatch(datas); err != nil {
+		return 0, fmt.Errorf("cluster: wal append batch (server %d): %w", server, err)
+	}
+	s.c.walAppends.Add(int64(len(ts)))
+	return len(ts), nil
+}
+
+// directSink is the SyncIngest sink: dispatchers call the indexing
+// servers in-process, bypassing the WAL (no replay-based recovery).
+type directSink struct{ c *Cluster }
+
+func (s directSink) Send(server int, t model.Tuple) error {
+	s.c.idx[server].Insert(t)
+	return nil
+}
+
+func (s directSink) SendBatch(server int, ts []model.Tuple) (int, error) {
+	s.c.idx[server].InsertBatch(ts)
+	return len(ts), nil
 }
 
 // newIndexServer builds indexing server i from the cluster config — the
@@ -560,6 +617,21 @@ func (c *Cluster) Insert(t model.Tuple) error {
 	d := c.disp[int(c.rr.Add(1))%len(c.disp)]
 	_, err := d.Dispatch(t)
 	return err
+}
+
+// InsertBatch routes a whole batch through one dispatcher as a unit:
+// one schema pass, one WAL append (and one fsync cohort under
+// ack-on-fsync) per contiguous same-server run. Returns how many tuples
+// were accepted — always a prefix ts[:n] of the input — and the error
+// that stopped the rest; n == len(ts) iff err == nil.
+func (c *Cluster) InsertBatch(ts []model.Tuple) (int, error) {
+	if len(ts) == 0 {
+		return 0, nil
+	}
+	c.insertBatches.Inc()
+	c.batchRecords.Observe(time.Duration(len(ts)) * time.Second)
+	d := c.disp[int(c.rr.Add(1))%len(c.disp)]
+	return d.DispatchBatch(ts)
 }
 
 // InsertVia routes a tuple through a specific dispatcher — lets callers

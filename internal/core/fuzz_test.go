@@ -8,11 +8,12 @@ import (
 )
 
 // FuzzTemplateTreeInsertScan drives a template tree through an arbitrary
-// interleaving of inserts, range scans, and forced template rebuilds,
-// checking every scan against a sorted-slice oracle. The tree is configured
-// with a tiny leaf count and an aggressive skew-check cadence so adaptive
-// template updates fire constantly mid-stream — the scenario where a lost
-// or duplicated tuple during redistribution would show up immediately.
+// interleaving of single inserts, staged batch inserts, range scans, and
+// forced template rebuilds, checking every scan against a sorted-slice
+// oracle. The tree is configured with a tiny leaf count and an aggressive
+// skew-check cadence so adaptive template updates fire constantly
+// mid-stream — the scenario where a lost or duplicated tuple during
+// redistribution or a mid-batch leaf merge would show up immediately.
 func FuzzTemplateTreeInsertScan(f *testing.F) {
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11})
 	f.Add([]byte{7, 0, 0, 0, 0, 6, 0, 0, 0, 0, 7, 255, 255, 255, 255})
@@ -23,6 +24,13 @@ func FuzzTemplateTreeInsertScan(f *testing.F) {
 	}
 	skew = append(skew, 7, 0, 0, 255, 255)
 	f.Add(skew)
+	// A batch-heavy run: stage dup-keyed tuples, flush as one batch, scan.
+	batchy := make([]byte, 0, 300)
+	for i := 0; i < 40; i++ {
+		batchy = append(batchy, 5, 0, byte(i%3), byte(i), byte(i))
+	}
+	batchy = append(batchy, 4, 0, 0, 0, 0, 7, 0, 0, 255, 255)
+	f.Add(batchy)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tree := NewTemplateTree(TemplateConfig{
@@ -34,6 +42,7 @@ func FuzzTemplateTreeInsertScan(f *testing.F) {
 			MinPerLeaf:    1,
 		})
 		var oracle []model.Tuple
+		var pending []model.Tuple // staged for the next InsertBatch
 
 		scan := func(kr model.KeyRange, tr model.TimeRange) {
 			var got []model.Tuple
@@ -65,6 +74,17 @@ func FuzzTemplateTreeInsertScan(f *testing.F) {
 			op, a, b, c, d := data[0], data[1], data[2], data[3], data[4]
 			data = data[5:]
 			switch op % 8 {
+			case 4:
+				// Flush the staged batch through the vectorized path; only
+				// now do the staged tuples become visible to the oracle.
+				tree.InsertBatch(pending)
+				oracle = append(oracle, pending...)
+				pending = nil
+			case 5:
+				pending = append(pending, model.Tuple{
+					Key:  model.Key(a)<<8 | model.Key(b),
+					Time: model.Timestamp(c)<<8 | model.Timestamp(d),
+				})
 			case 6:
 				tree.UpdateTemplate()
 			case 7:
@@ -83,6 +103,8 @@ func FuzzTemplateTreeInsertScan(f *testing.F) {
 				oracle = append(oracle, tp)
 			}
 		}
+		tree.InsertBatch(pending)
+		oracle = append(oracle, pending...)
 		scan(model.FullKeyRange(), model.FullTimeRange())
 		if tree.Len() != len(oracle) {
 			t.Fatalf("tree.Len() = %d, oracle holds %d", tree.Len(), len(oracle))

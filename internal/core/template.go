@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -64,22 +65,84 @@ func (c *TemplateConfig) fill() {
 // template allows a leaf to overflow its nominal capacity — imbalance is
 // handled by template update, never by splitting.
 type tleaf struct {
-	mu      sync.Mutex
+	mu sync.Mutex
+	// entries is the live window buf[head:head+len(entries)], sorted by
+	// key. buf keeps slack on BOTH ends so a batch merge can shift
+	// whichever side of the insertion region is cheaper — on uniform keys
+	// that halves the bytes moved per merge versus always shifting the
+	// suffix right. Readers only ever see entries; buf/head are the
+	// mutators' bookkeeping.
 	entries []model.Tuple
+	buf     []model.Tuple
+	head    int
 	// n mirrors len(entries) for lock-free skew checks.
 	n atomic.Int32
 	// minT/maxT bound the timestamps in the leaf (valid when n > 0).
 	minT, maxT model.Timestamp
 }
 
+// growLocked reallocates the leaf buffer with room for at least extra more
+// tuples, recentering the live window so both ends regain slack.
+func (lf *tleaf) growLocked(extra int) {
+	n := len(lf.entries)
+	newCap := 2*(n+extra) + 8
+	buf := make([]model.Tuple, newCap)
+	head := (newCap - n - extra) / 2
+	copy(buf[head:head+n], lf.entries)
+	lf.buf, lf.head = buf, head
+	lf.entries = buf[head : head+n]
+}
+
+// insertOneLocked places a single tuple through the batch path: one
+// closure-free upper-bound search, then a one-slot shift of whichever
+// side of the insertion point is shorter. Equal-key placement matches
+// insertLocked exactly.
+func (lf *tleaf) insertOneLocked(tp model.Tuple) {
+	n := len(lf.entries)
+	if n == 0 {
+		if len(lf.buf) == 0 {
+			lf.growLocked(1)
+		}
+		lf.head = len(lf.buf) / 2
+		lf.entries = lf.buf[lf.head : lf.head+1]
+		lf.entries[0] = tp
+		lf.minT, lf.maxT = tp.Time, tp.Time
+		return
+	}
+	if tp.Time < lf.minT {
+		lf.minT = tp.Time
+	}
+	if tp.Time > lf.maxT {
+		lf.maxT = tp.Time
+	}
+	pos := upperBound(lf.entries, tp.Key)
+	if 2*pos < n && lf.head > 0 {
+		copy(lf.buf[lf.head-1:], lf.buf[lf.head:lf.head+pos])
+		lf.head--
+		lf.entries = lf.buf[lf.head : lf.head+n+1]
+		lf.entries[pos] = tp
+		return
+	}
+	if lf.head+n == len(lf.buf) {
+		lf.growLocked(1)
+	}
+	lf.entries = lf.buf[lf.head : lf.head+n+1]
+	copy(lf.entries[pos+1:], lf.entries[pos:n])
+	lf.entries[pos] = tp
+}
+
 func (lf *tleaf) insertLocked(t model.Tuple) {
 	i := sort.Search(len(lf.entries), func(i int) bool {
 		return lf.entries[i].Key > t.Key
 	})
-	lf.entries = append(lf.entries, model.Tuple{})
-	copy(lf.entries[i+1:], lf.entries[i:])
+	n := len(lf.entries)
+	if lf.head+n == len(lf.buf) {
+		lf.growLocked(1)
+	}
+	lf.entries = lf.buf[lf.head : lf.head+n+1]
+	copy(lf.entries[i+1:], lf.entries[i:n])
 	lf.entries[i] = t
-	if len(lf.entries) == 1 {
+	if n == 0 {
 		lf.minT, lf.maxT = t.Time, t.Time
 	} else {
 		if t.Time < lf.minT {
@@ -88,6 +151,158 @@ func (lf *tleaf) insertLocked(t model.Tuple) {
 		if t.Time > lf.maxT {
 			lf.maxT = t.Time
 		}
+	}
+}
+
+// mergeLocked merges a key-sorted run (equal keys in arrival order) into
+// the leaf. New tuples land *after* existing equal keys — the same
+// placement insertLocked's strict `>` search produces — and the run's
+// internal order is preserved, so a merged batch is indistinguishable from
+// inserting its tuples one at a time. The run must not alias lf.buf.
+//
+// Existing entries move in block memmoves, one per equal-key group of the
+// run, and the merge runs toward whichever end of the buffer is closer to
+// the insertion region: a run landing in the lower half shifts the prefix
+// left into front slack instead of shifting the (larger) suffix right. A
+// run of m tuples costs O(m + moved) bulk copies instead of m searches and
+// m element shifts.
+func (lf *tleaf) mergeLocked(run []model.Tuple) {
+	if len(run) == 0 {
+		return
+	}
+	if len(lf.entries) == 0 {
+		lf.minT, lf.maxT = run[0].Time, run[0].Time
+	}
+	for i := range run {
+		if run[i].Time < lf.minT {
+			lf.minT = run[i].Time
+		}
+		if run[i].Time > lf.maxT {
+			lf.maxT = run[i].Time
+		}
+	}
+	n, m := len(lf.entries), len(run)
+	if n == 0 {
+		if len(lf.buf) < m {
+			lf.growLocked(m)
+		}
+		lf.head = (len(lf.buf) - m) / 2
+		lf.entries = lf.buf[lf.head : lf.head+m]
+		copy(lf.entries, run)
+		return
+	}
+	// Pick the merge direction by the run's median insertion point, then
+	// fall back to whichever side actually has room (growing recenters, so
+	// after a grow the back always has room).
+	pos := upperBound(lf.entries, run[m/2].Key)
+	forward := 2*pos < n
+	if forward && lf.head < m {
+		if len(lf.buf)-lf.head-n >= m {
+			forward = false
+		} else {
+			lf.growLocked(m)
+			forward = lf.head >= m
+		}
+	} else if !forward && len(lf.buf)-lf.head-n < m {
+		if lf.head >= m {
+			forward = true
+		} else {
+			lf.growLocked(m)
+			forward = false
+		}
+	}
+	if forward {
+		lf.mergeForwardLocked(run)
+	} else {
+		lf.mergeBackwardLocked(run)
+	}
+}
+
+// upperBound returns the first index in the key-sorted entries whose key
+// is strictly greater than k — the slot where new arrivals of key k land,
+// after all existing equal keys.
+func upperBound(entries []model.Tuple, k model.Key) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if entries[mid].Key > k {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// mergeBackwardLocked extends the window rightward and merges right to
+// left, moving the existing entries that sort above each equal-key group
+// of the run. Caller guarantees m free slots after the window.
+func (lf *tleaf) mergeBackwardLocked(run []model.Tuple) {
+	n, m := len(lf.entries), len(run)
+	lf.entries = lf.buf[lf.head : lf.head+n+m]
+	if lf.entries[n-1].Key <= run[0].Key {
+		// The whole run sorts after the existing tail (equal existing keys
+		// stay below the new arrivals).
+		copy(lf.entries[n:], run)
+		return
+	}
+	dst := n + m // exclusive write cursor, filled right to left
+	src := n     // exclusive end of not-yet-merged existing entries
+	for j := m; j > 0; {
+		k := run[j-1].Key
+		i := j - 1
+		for i > 0 && run[i-1].Key == k {
+			i--
+		}
+		lo := upperBound(lf.entries[:src], k)
+		if blk := src - lo; blk > 0 {
+			copy(lf.entries[dst-blk:dst], lf.entries[lo:src])
+			dst -= blk
+			src = lo
+		}
+		copy(lf.entries[dst-(j-i):dst], run[i:j])
+		dst -= j - i
+		j = i
+	}
+}
+
+// mergeForwardLocked extends the window leftward into front slack and
+// merges left to right: existing entries that sort at or below each group
+// (including existing equal keys, which must stay before new arrivals)
+// shift left by the room the pending run elements no longer need. Caller
+// guarantees m free slots before the window.
+func (lf *tleaf) mergeForwardLocked(run []model.Tuple) {
+	n, m := len(lf.entries), len(run)
+	base := lf.head
+	lf.head -= m
+	lf.entries = lf.buf[lf.head : base+n]
+	d := lf.head // write cursor in buf, filled left to right
+	src := 0     // start of not-yet-merged existing entries
+	for i := 0; i < m; {
+		k := run[i].Key
+		j := i + 1
+		for j < m && run[j].Key == k {
+			j++
+		}
+		// Existing entries with key <= k (equal keys included) precede the
+		// group; binary search the strict upper bound among the unmerged.
+		lo, hi := src, n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if lf.buf[base+mid].Key > k {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if blk := lo - src; blk > 0 {
+			copy(lf.buf[d:d+blk], lf.buf[base+src:base+lo])
+			d += blk
+			src = lo
+		}
+		copy(lf.buf[d:d+(j-i)], run[i:j])
+		d += j - i
+		i = j
 	}
 }
 
@@ -134,6 +349,16 @@ type TemplateTree struct {
 	floorSkew atomic.Uint64
 	stats     *Stats
 	ownsStats bool
+
+	// scratch recycles InsertBatch's routing tags and gather buffer so the
+	// steady-state batch path allocates nothing.
+	scratch sync.Pool
+}
+
+// insertScratch is the reusable working set of one InsertBatch call.
+type insertScratch struct {
+	tags []uint64
+	run  []model.Tuple
 }
 
 var _ Index = (*TemplateTree)(nil)
@@ -300,6 +525,121 @@ func (t *TemplateTree) Insert(tp model.Tuple) {
 	}
 }
 
+// InsertBatch adds a batch of tuples with amortized per-tuple cost. Every
+// tuple is routed once against the flattened separator list (leaf li
+// covers [bounds[li-1], bounds[li]); identical to the template descent),
+// and (leaf index, arrival position) is packed into one machine word.
+// Sorting the packed words — a branch-predictable uint64 pdqsort, no
+// comparison closures — groups the batch by destination leaf while the
+// position half keeps arrival order, so the grouping is stable by
+// construction. Each per-leaf run is then gathered, stable-sorted by key
+// (preserving arrival order among equal keys, matching Insert's equal-key
+// contract), and merged into its leaf with block memmoves instead of a
+// binary search plus element shift per tuple. The gate is taken once and
+// skew-check accounting is amortized to one atomic add per batch. A batch
+// of one degenerates to Insert, so the two paths cannot diverge.
+func (t *TemplateTree) InsertBatch(ts []model.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	if len(ts) == 1 {
+		t.Insert(ts[0])
+		return
+	}
+	sc, _ := t.scratch.Get().(*insertScratch)
+	if sc == nil {
+		sc = &insertScratch{}
+	}
+	if cap(sc.tags) < len(ts) {
+		sc.tags = make([]uint64, len(ts))
+		sc.run = make([]model.Tuple, len(ts))
+	}
+	tags := sc.tags[:len(ts)]
+	scratch := sc.run[:len(ts)]
+	var bytes int64
+	t.gate.RLock()
+	bounds := t.bounds
+	for i := range ts {
+		bytes += int64(ts[i].Size())
+		k := ts[i].Key
+		lo, hi := 0, len(bounds)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if k < bounds[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		tags[i] = uint64(lo)<<32 | uint64(uint32(i))
+	}
+	slices.Sort(tags)
+	pos := 0
+	for pos < len(tags) {
+		li := int(tags[pos] >> 32)
+		end := pos + 1
+		for end < len(tags) && int(tags[end]>>32) == li {
+			end++
+		}
+		lf := t.leaves[li]
+		if end == pos+1 {
+			// Runs of one dominate when the batch spreads over many
+			// leaves; skip the gather and merge machinery entirely.
+			lf.mu.Lock()
+			lf.insertOneLocked(ts[uint32(tags[pos])])
+			lf.n.Store(int32(len(lf.entries)))
+			lf.mu.Unlock()
+			pos = end
+			continue
+		}
+		run := scratch[:end-pos]
+		for j := pos; j < end; j++ {
+			run[j-pos] = ts[uint32(tags[j])]
+		}
+		sortRunByKey(run)
+		lf.mu.Lock()
+		lf.mergeLocked(run)
+		lf.n.Store(int32(len(lf.entries)))
+		lf.mu.Unlock()
+		pos = end
+	}
+	n := int64(len(ts))
+	t.count.Add(n)
+	t.bytes.Add(bytes)
+	c := t.sinceChk.Add(n)
+	t.gate.RUnlock()
+	// The gather buffer holds stale Tuple copies (payload pointers) until
+	// the next batch overwrites it; bound the retention by not pooling
+	// outsized one-off batches.
+	if cap(sc.tags) <= 1<<16 {
+		t.scratch.Put(sc)
+	}
+	t.stats.Inserts.Add(n)
+	if c >= int64(t.cfg.CheckEvery) {
+		t.maybeUpdate()
+	}
+}
+
+// sortRunByKey stable-sorts one per-leaf run by key, keeping equal keys
+// in arrival order. Runs are typically a handful of tuples (a batch
+// spread over many leaves), where insertion sort beats any general sort;
+// big runs — hot leaves under skew — fall back to the stdlib stable sort.
+func sortRunByKey(run []model.Tuple) {
+	if len(run) <= 32 {
+		for i := 1; i < len(run); i++ {
+			tp := run[i]
+			j := i - 1
+			for j >= 0 && run[j].Key > tp.Key {
+				run[j+1] = run[j]
+				j--
+			}
+			run[j+1] = tp
+		}
+		return
+	}
+	sort.SliceStable(run, func(i, j int) bool { return run[i].Key < run[j].Key })
+}
+
 // maybeUpdate runs the skewness check and, when it fires, the template
 // update. A try-lock ensures a single checker.
 func (t *TemplateTree) maybeUpdate() {
@@ -392,7 +732,13 @@ func (t *TemplateTree) redistributeLocked(sorted []model.Tuple) {
 			})
 		}
 		if end > pos {
-			lf.entries = append(lf.entries[:0], sorted[pos:end]...)
+			// Fresh centered buffer: redistribution owns the new leaves, and
+			// centering re-arms the two-ended slack the batch merge exploits.
+			n := end - pos
+			lf.buf = make([]model.Tuple, 2*n+8)
+			lf.head = (len(lf.buf) - n) / 2
+			lf.entries = lf.buf[lf.head : lf.head+n]
+			copy(lf.entries, sorted[pos:end])
 			lf.minT, lf.maxT = lf.entries[0].Time, lf.entries[0].Time
 			for _, e := range lf.entries {
 				if e.Time < lf.minT {
@@ -577,7 +923,9 @@ func (t *TemplateTree) FlushReset() *FlushSnapshot {
 	}
 	first := true
 	for i, lf := range t.leaves {
-		snap.Leaves[i] = lf.entries
+		// Cap the handed-off slice: the snapshot must not be able to see
+		// the buffer slack, and the leaf abandons buf wholesale below.
+		snap.Leaves[i] = lf.entries[:len(lf.entries):len(lf.entries)]
 		if len(lf.entries) > 0 {
 			if first {
 				snap.MinTime, snap.MaxTime, first = lf.minT, lf.maxT, false
@@ -590,7 +938,7 @@ func (t *TemplateTree) FlushReset() *FlushSnapshot {
 				}
 			}
 		}
-		lf.entries = nil
+		lf.entries, lf.buf, lf.head = nil, nil, 0
 		lf.n.Store(0)
 	}
 	t.count.Store(0)

@@ -25,13 +25,30 @@ import (
 // acknowledging a tuple the log cannot replay.
 type Sink interface {
 	Send(server int, t model.Tuple) error
+	// SendBatch delivers a run of tuples bound for one server, returning
+	// how many were accepted (a prefix: ts[:n]) and the error that stopped
+	// the rest. n == len(ts) iff err == nil. Implementations that can
+	// persist the run atomically must report either the whole run or none
+	// of it, so the ack prefix never covers an unpersisted tuple.
+	SendBatch(server int, ts []model.Tuple) (int, error)
 }
 
-// SinkFunc adapts a function to the Sink interface.
+// SinkFunc adapts a function to the Sink interface, with a per-tuple
+// SendBatch loop as the default batch behavior.
 type SinkFunc func(server int, t model.Tuple) error
 
 // Send implements Sink.
 func (f SinkFunc) Send(server int, t model.Tuple) error { return f(server, t) }
+
+// SendBatch implements Sink by looping Send, stopping at the first error.
+func (f SinkFunc) SendBatch(server int, ts []model.Tuple) (int, error) {
+	for i, t := range ts {
+		if err := f(server, t); err != nil {
+			return i, err
+		}
+	}
+	return len(ts), nil
+}
 
 // SamplerConfig tunes the sliding-window key sampler.
 type SamplerConfig struct {
@@ -154,6 +171,51 @@ func (d *Dispatcher) Dispatch(t model.Tuple) (int, error) {
 		d.sampler.Observe(t.Key)
 	}
 	return server, d.sink.Send(server, t)
+}
+
+// DispatchBatch routes a whole batch under one schema read: every
+// tuple's server is computed in a single RLock pass, the batch is sliced
+// into maximal contiguous same-server runs — contiguity preserves the
+// client's order, which is what makes the accepted set an exact prefix
+// when a run fails mid-batch — and each run goes to the sink with one
+// SendBatch call. Returns how many tuples were accepted (ts[:n]) and the
+// error that stopped the rest. Key sampling keeps the one-in-SampleEvery
+// cadence with a single atomic add for the whole batch.
+func (d *Dispatcher) DispatchBatch(ts []model.Tuple) (int, error) {
+	if len(ts) == 0 {
+		return 0, nil
+	}
+	if len(ts) == 1 {
+		if _, err := d.Dispatch(ts[0]); err != nil {
+			return 0, err
+		}
+		return 1, nil
+	}
+	servers := make([]int, len(ts))
+	d.mu.RLock()
+	for i := range ts {
+		servers[i] = d.schema.ServerFor(ts[i].Key)
+	}
+	d.mu.RUnlock()
+	base := d.dispatched.Add(uint64(len(ts))) - uint64(len(ts))
+	for i := range ts {
+		if (base+uint64(i)+1)%d.sampleEvery == 0 {
+			d.sampler.Observe(ts[i].Key)
+		}
+	}
+	accepted := 0
+	for accepted < len(ts) {
+		run := accepted + 1
+		for run < len(ts) && servers[run] == servers[accepted] {
+			run++
+		}
+		n, err := d.sink.SendBatch(servers[accepted], ts[accepted:run])
+		accepted += n
+		if err != nil {
+			return accepted, err
+		}
+	}
+	return accepted, nil
 }
 
 // UpdateSchema installs a newer partitioning schema; stale versions are

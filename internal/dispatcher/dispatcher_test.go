@@ -23,6 +23,15 @@ func (c *captureSink) Send(server int, t model.Tuple) error {
 	return nil
 }
 
+func (c *captureSink) SendBatch(server int, ts []model.Tuple) (int, error) {
+	for i, t := range ts {
+		if err := c.Send(server, t); err != nil {
+			return i, err
+		}
+	}
+	return len(ts), nil
+}
+
 func TestDispatchRoutesBySchema(t *testing.T) {
 	sink := newCaptureSink()
 	schema := meta.PartitionSchema{Version: 1, Servers: 2, Bounds: []model.Key{100}}

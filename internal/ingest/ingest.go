@@ -299,6 +299,129 @@ func (s *Server) Insert(t model.Tuple) {
 	}
 }
 
+// InsertBatch ingests a batch of tuples with the per-tuple bookkeeping
+// amortized across the batch: one watermark advance (to the batch max),
+// one side-store split against the settled watermark, one minMu critical
+// section, at most one reportLive, and one InsertBatch per target tree.
+// A batch of one degenerates to Insert, so the paths cannot diverge.
+func (s *Server) InsertBatch(ts []model.Tuple) {
+	if len(ts) == 0 {
+		return
+	}
+	if len(ts) == 1 {
+		s.Insert(ts[0])
+		return
+	}
+	s.insertBatchAt(ts, -1)
+}
+
+// insertBatchAt is the batch ingest core, with an optional consumed-offset
+// advance (nextOff >= 0, WAL consumption path). The offset store and the
+// tree inserts share one pendMu read section while a flush swap captures
+// its offset under pendMu write — so the offset a snapshot commits can
+// never cover a consumed tuple that is not yet in a tree. (The per-tuple
+// Consume loop had a hair-thin window between the offset store and the
+// Insert where an external Flush could commit an offset covering a tuple
+// still in flight; routing consumption through here closes it.) Side
+// effects that re-take pendMu — reportLive, threshold flush enqueues —
+// are deferred past the read section, since pendMu is not reentrant.
+func (s *Server) insertBatchAt(ts []model.Tuple, nextOff int64) {
+	n := s.stats.Ingested.Add(int64(len(ts)))
+	var start time.Time
+	sampled := s.cfg.Metrics.InsertNanos != nil && n%insertSampleEvery < int64(len(ts))
+	if sampled {
+		start = time.Now()
+	}
+	maxT := ts[0].Time
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Time > maxT {
+			maxT = ts[i].Time
+		}
+	}
+	wm := s.watermark.Load()
+	for int64(maxT) > wm && !s.watermark.CompareAndSwap(wm, int64(maxT)) {
+		wm = s.watermark.Load()
+	}
+	// Split against the watermark the whole batch settled on. (Serially, a
+	// tuple's side decision sees only the watermark of its prefix — but
+	// side-vs-main placement is a storage-layout choice, not a semantic
+	// one: queries scan both, so results are identical either way.)
+	main := ts
+	var side []model.Tuple
+	if s.side != nil {
+		cut := s.watermark.Load() - s.cfg.SideThresholdMillis
+		for i := range ts {
+			if int64(ts[i].Time) < cut {
+				main = make([]model.Tuple, 0, len(ts))
+				for j := range ts {
+					if int64(ts[j].Time) < cut {
+						side = append(side, ts[j])
+					} else {
+						main = append(main, ts[j])
+					}
+				}
+				break
+			}
+		}
+	}
+	if len(side) > 0 {
+		s.stats.SideRouted.Add(int64(len(side)))
+	}
+	var mainMin, sideMin model.Timestamp
+	if len(main) > 0 {
+		mainMin = main[0].Time
+		for i := 1; i < len(main); i++ {
+			if main[i].Time < mainMin {
+				mainMin = main[i].Time
+			}
+		}
+	}
+	if len(side) > 0 {
+		sideMin = side[0].Time
+		for i := 1; i < len(side); i++ {
+			if side[i].Time < sideMin {
+				sideMin = side[i].Time
+			}
+		}
+	}
+	s.minMu.Lock()
+	changed := false
+	if len(main) > 0 && (!s.hasData || mainMin < s.minTime) {
+		s.minTime = mainMin
+		s.hasData = true
+		changed = true
+	}
+	if len(side) > 0 && (!s.sideData || sideMin < s.sideMin) {
+		s.sideMin = sideMin
+		s.sideData = true
+		changed = true
+	}
+	s.minMu.Unlock()
+	s.pendMu.RLock()
+	if nextOff >= 0 {
+		s.consumed.Store(nextOff)
+	}
+	if len(main) > 0 {
+		s.tree.InsertBatch(main)
+	}
+	if len(side) > 0 {
+		s.side.InsertBatch(side)
+	}
+	s.pendMu.RUnlock()
+	if changed {
+		s.reportLive()
+	}
+	if s.tree.Bytes() >= s.cfg.ChunkBytes {
+		s.enqueueFlush(s.tree, false, true)
+	}
+	if s.side != nil && s.side.Bytes() >= s.cfg.ChunkBytes/4 {
+		s.enqueueFlush(s.side, true, true)
+	}
+	if sampled {
+		s.cfg.Metrics.InsertNanos.Observe(time.Since(start))
+	}
+}
+
 func (s *Server) insertSide(t model.Tuple) {
 	s.stats.SideRouted.Add(1)
 	s.minMu.Lock()
@@ -566,7 +689,7 @@ func (s *Server) Consume(p *wal.Partition, stop <-chan struct{}) error {
 			return nil
 		default:
 		}
-		recs, err := p.Read(s.consumed.Load(), 256)
+		recs, err := p.Read(s.consumed.Load(), 2048)
 		if err != nil {
 			return fmt.Errorf("ingest: consume: %w", err)
 		}
@@ -581,21 +704,54 @@ func (s *Server) Consume(p *wal.Partition, stop <-chan struct{}) error {
 			}
 			continue
 		}
-		for _, r := range recs {
+		// Decode the whole read as one batch, arena-copying payloads into a
+		// single buffer: decoded payloads alias the WAL's retained record
+		// buffers (for AppendBatch, one buffer per *batch*), and without the
+		// copy each tuple would pin its entire source buffer for its
+		// lifetime in the tree.
+		batch := make([]model.Tuple, len(recs))
+		arenaLen := 0
+		for i, r := range recs {
 			t, _, derr := model.DecodeTuple(r.Data)
 			if derr != nil {
 				return fmt.Errorf("ingest: bad record at offset %d: %w", r.Offset, derr)
 			}
-			t.Payload = append([]byte(nil), t.Payload...)
-			// Advance the offset before Insert: a flush triggered inside
-			// Insert records the offset durably, and the flushed chunk
-			// includes this very tuple — recording r.Offset would replay it
-			// into a duplicate after recovery.
-			s.consumed.Store(r.Offset + 1)
-			s.Insert(t)
+			batch[i] = t
+			arenaLen += len(t.Payload)
 			if r.Offset < head {
 				s.stats.Recovered.Add(1)
 			}
+		}
+		arena := make([]byte, 0, arenaLen)
+		for i := range batch {
+			pos := len(arena)
+			arena = append(arena, batch[i].Payload...)
+			batch[i].Payload = arena[pos:len(arena):len(arena)]
+		}
+		// The offset advances with the inserts inside one pendMu read
+		// section (see insertBatchAt): a flush swap — whether triggered by
+		// this batch's threshold crossing afterwards or by a concurrent
+		// Flush — snapshots an offset that covers exactly the tuples already
+		// in trees, so recovery neither replays duplicates nor skips tuples.
+		//
+		// Sub-batch at chunk-budget boundaries so flush swaps land where the
+		// per-tuple loop put them: each sub-batch fills the memtable to the
+		// threshold at most once, keeping chunk sizes near ChunkBytes instead
+		// of ballooning to the WAL read size.
+		pos := 0
+		for pos < len(batch) {
+			budget := s.cfg.ChunkBytes - s.tree.Bytes()
+			end := pos
+			var sz int64
+			for end < len(batch) && sz < budget {
+				sz += int64(batch[end].Size())
+				end++
+			}
+			if end == pos {
+				end = pos + 1 // tree already at threshold; still make progress
+			}
+			s.insertBatchAt(batch[pos:end], recs[end-1].Offset+1)
+			pos = end
 		}
 		s.reportLive()
 	}

@@ -1,0 +1,201 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"waterwheel/internal/telemetry"
+)
+
+func TestAppendBatchOffsetsAndRead(t *testing.T) {
+	p := NewPartition()
+	p.Append([]byte("pre"))
+	datas := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	off, err := p.AppendBatch(datas)
+	if err != nil || off != 1 {
+		t.Fatalf("batch offset %d, err %v", off, err)
+	}
+	if p.Next() != 4 {
+		t.Fatalf("Next = %d, want 4", p.Next())
+	}
+	recs, err := p.Read(0, 10)
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("read = %d recs, %v", len(recs), err)
+	}
+	want := []string{"pre", "a", "bb", "ccc"}
+	for i, w := range want {
+		if recs[i].Offset != int64(i) || string(recs[i].Data) != w {
+			t.Fatalf("record %d = (%d, %q), want (%d, %q)", i, recs[i].Offset, recs[i].Data, i, w)
+		}
+	}
+	// Bytes accounting matches the per-record equivalent.
+	q := NewPartition()
+	q.Append([]byte("pre"))
+	for _, d := range datas {
+		q.Append(d)
+	}
+	if p.Bytes() != q.Bytes() {
+		t.Errorf("batch bytes %d != serial bytes %d", p.Bytes(), q.Bytes())
+	}
+	// Empty and single-record batches degenerate cleanly.
+	if off, err := p.AppendBatch(nil); err != nil || off != p.Next() {
+		t.Errorf("empty batch: off=%d err=%v", off, err)
+	}
+	if off, err := p.AppendBatch([][]byte{[]byte("solo")}); err != nil || off != 4 {
+		t.Errorf("single batch: off=%d err=%v", off, err)
+	}
+}
+
+func TestAppendBatchCopiesData(t *testing.T) {
+	p := NewPartition()
+	buf := []byte("mutate-me")
+	p.AppendBatch([][]byte{buf, []byte("x")})
+	buf[0] = 'X'
+	recs, _ := p.Read(0, 1)
+	if string(recs[0].Data) != "mutate-me" {
+		t.Error("batch append did not copy the record")
+	}
+}
+
+func TestAppendBatchPersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.wal")
+	p, err := OpenPartitionFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	datas := make([][]byte, 20)
+	for i := range datas {
+		datas[i] = []byte(fmt.Sprintf("r%d", i))
+	}
+	if off, err := p.AppendBatch(datas); err != nil || off != 0 {
+		t.Fatalf("batch offset %d, err %v", off, err)
+	}
+	p.Sync()
+	p.CloseFile()
+
+	p2, err := OpenPartitionFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Next() != 20 {
+		t.Fatalf("reopened next=%d, want 20", p2.Next())
+	}
+	recs, _ := p2.Read(0, 100)
+	for i, r := range recs {
+		if string(r.Data) != fmt.Sprintf("r%d", i) {
+			t.Fatalf("record %d = %q", i, r.Data)
+		}
+	}
+}
+
+func TestAppendBatchAllOrNothingOnDiskFailure(t *testing.T) {
+	// A mid-batch write failure must accept NONE of the batch: the ack
+	// prefix seen by the producer must never cover a record the segment
+	// did not take. Inject the failure by swapping the handle for a
+	// read-only one.
+	path := filepath.Join(t.TempDir(), "p.wal")
+	p, err := OpenPartitionFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Append([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	p.mu.Lock()
+	p.file.Close()
+	ro, err := os.Open(path) // O_RDONLY: writes fail with EBADF
+	if err != nil {
+		p.mu.Unlock()
+		t.Fatal(err)
+	}
+	p.file = ro
+	p.mu.Unlock()
+
+	if _, err := p.AppendBatch([][]byte{[]byte("a"), []byte("b"), []byte("c")}); err == nil {
+		t.Fatal("batch append with failing file reported success")
+	}
+	if p.Err() == nil {
+		t.Fatal("disk failure not sticky")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("failed batch retained in memory: len=%d", p.Len())
+	}
+	if p.Next() != 1 {
+		t.Fatalf("failed batch consumed offsets: next=%d", p.Next())
+	}
+}
+
+func TestAppendBatchSingleFsyncCohort(t *testing.T) {
+	// Under ack-on-fsync, one batch must cost one fsync cohort, not one
+	// fsync per record — the durability amortization the batch path is for.
+	path := filepath.Join(t.TempDir(), "p.wal")
+	fsyncs := &telemetry.Counter{}
+	p, err := OpenPartition(path, Config{
+		Durability: DurabilityAckOnFsync,
+		Metrics:    Metrics{Fsyncs: fsyncs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batches, perBatch = 8, 64
+	for b := 0; b < batches; b++ {
+		datas := make([][]byte, perBatch)
+		for i := range datas {
+			datas[i] = []byte(fmt.Sprintf("b%d-%d", b, i))
+		}
+		if _, err := p.AppendBatch(datas); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := int64(batches * perBatch)
+	if got := p.SyncedNext(); got != total {
+		t.Fatalf("watermark %d after %d acked records", got, total)
+	}
+	// A serial driver sees at most one cohort per batch (plus slack for a
+	// committer pass that catches a batch across two fsyncs).
+	if n := fsyncs.Value(); n > batches+1 {
+		t.Fatalf("%d fsyncs for %d batches: no cohort amortization", n, batches)
+	}
+	// Every acked record survives a simulated host crash.
+	if err := p.CrashDiscardUnsynced(); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := OpenPartitionFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Next() != total {
+		t.Fatalf("crash lost acked records: reopened next=%d, want %d", p2.Next(), total)
+	}
+}
+
+func TestFailNextAppendsInjectsThenRecovers(t *testing.T) {
+	// The chaos hook: injected faults reject the append without poisoning
+	// the partition, unlike real disk errors.
+	p := NewPartition()
+	p.Append([]byte("before"))
+	p.FailNextAppends(1)
+	if _, err := p.Append([]byte("dropped")); !errors.Is(err, ErrInjectedAppend) {
+		t.Fatalf("err = %v, want ErrInjectedAppend", err)
+	}
+	if p.Err() != nil {
+		t.Fatalf("injected fault became sticky: %v", p.Err())
+	}
+	if off, err := p.Append([]byte("after")); err != nil || off != 1 {
+		t.Fatalf("append after injected fault: off=%d err=%v", off, err)
+	}
+	// Batch appends honor the same hook, rejecting the whole batch.
+	p.FailNextAppends(1)
+	if _, err := p.AppendBatch([][]byte{[]byte("x"), []byte("y")}); !errors.Is(err, ErrInjectedAppend) {
+		t.Fatalf("batch err = %v, want ErrInjectedAppend", err)
+	}
+	if p.Next() != 2 {
+		t.Fatalf("rejected batch consumed offsets: next=%d", p.Next())
+	}
+	if _, err := p.AppendBatch([][]byte{[]byte("x"), []byte("y")}); err != nil {
+		t.Fatalf("batch after injected fault: %v", err)
+	}
+}

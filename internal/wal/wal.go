@@ -8,6 +8,7 @@
 package wal
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -21,6 +22,9 @@ var ErrCompacted = errors.New("wal: offset below retention horizon")
 
 // ErrClosed is returned by blocking reads once the partition is closed.
 var ErrClosed = errors.New("wal: partition closed")
+
+// ErrInjectedAppend is the transient failure armed by FailNextAppends.
+var ErrInjectedAppend = errors.New("wal: injected append fault")
 
 // Record is one log entry with its assigned offset.
 type Record struct {
@@ -48,6 +52,8 @@ type Partition struct {
 	path    string
 	file    *os.File
 	fileErr error
+	// failAppends arms FailNextAppends's transient (non-sticky) faults.
+	failAppends int
 
 	// Durability pipeline (disk-backed partitions only); see commit.go.
 	// syncMu serializes fsyncs against file swaps (Compact) and is always
@@ -98,6 +104,11 @@ func (p *Partition) Append(data []byte) (int64, error) {
 		p.mu.Unlock()
 		return 0, err
 	}
+	if p.failAppends > 0 {
+		p.failAppends--
+		p.mu.Unlock()
+		return 0, ErrInjectedAppend
+	}
 	off := p.base + int64(len(p.records))
 	if p.file != nil {
 		if err := p.appendToFileLocked(off, cp); err != nil {
@@ -120,6 +131,89 @@ func (p *Partition) Append(data []byte) (int64, error) {
 	err := p.waitSyncedLocked(off + 1)
 	p.mu.Unlock()
 	return off, err
+}
+
+// AppendBatch stores a batch of records under ONE lock acquisition,
+// returning the offset of the first. The batch is framed into a single
+// buffer outside the lock (offsets patched in once they are known) and
+// written to the segment with one file write; the retained in-memory
+// records alias the payload sections of that buffer, so the whole batch
+// costs one allocation. Failure is all-or-nothing: on a disk error no
+// record of the batch is retained or acked — callers see the same
+// stop-the-line semantics as Append, just at batch granularity.
+//
+// Under DurabilityAckOnFsync the batch parks once for a watermark
+// covering its LAST record, so a single fsync cohort acks the whole
+// batch — the per-batch analogue of group commit's per-appender
+// amortization.
+func (p *Partition) AppendBatch(datas [][]byte) (int64, error) {
+	if len(datas) == 0 {
+		return p.Next(), nil
+	}
+	if len(datas) == 1 {
+		return p.Append(datas[0])
+	}
+	total := 0
+	for _, d := range datas {
+		total += recordHeaderLen + len(d)
+	}
+	buf := make([]byte, total)
+	hdrPos := make([]int, len(datas))
+	cps := make([][]byte, len(datas))
+	pos := 0
+	for i, d := range datas {
+		hdrPos[i] = pos
+		binary.BigEndian.PutUint32(buf[pos+8:pos+recordHeaderLen], uint32(len(d)))
+		end := pos + recordHeaderLen + len(d)
+		copy(buf[pos+recordHeaderLen:end], d)
+		cps[i] = buf[pos+recordHeaderLen : end : end]
+		pos = end
+	}
+	p.mu.Lock()
+	if p.fileErr != nil {
+		err := p.fileErr
+		p.mu.Unlock()
+		return 0, err
+	}
+	if p.failAppends > 0 {
+		p.failAppends--
+		p.mu.Unlock()
+		return 0, ErrInjectedAppend
+	}
+	off := p.base + int64(len(p.records))
+	for i := range hdrPos {
+		binary.BigEndian.PutUint64(buf[hdrPos[i]:hdrPos[i]+8], uint64(off+int64(i)))
+	}
+	if p.file != nil {
+		if _, err := p.file.Write(buf); err != nil {
+			p.fileErr = fmt.Errorf("wal: segment append: %w", err)
+			err = p.fileErr
+			p.syncedCond.Broadcast()
+			p.mu.Unlock()
+			return 0, err
+		}
+		p.fileBytes += int64(total)
+	}
+	p.records = append(p.records, cps...)
+	p.bytes += int64(total) - int64(len(datas))*recordHeaderLen
+	p.cond.Broadcast()
+	if p.file == nil || p.dur != DurabilityAckOnFsync {
+		p.mu.Unlock()
+		return off, nil
+	}
+	err := p.waitSyncedLocked(off + int64(len(datas)))
+	p.mu.Unlock()
+	return off, err
+}
+
+// FailNextAppends arms a transient fault: the next n Append/AppendBatch
+// calls fail before touching memory or disk, then the partition recovers
+// on its own — unlike a real segment failure the error is NOT sticky.
+// Chaos-test hook for proving prefix-ack exactness on mid-batch faults.
+func (p *Partition) FailNextAppends(n int) {
+	p.mu.Lock()
+	p.failAppends = n
+	p.mu.Unlock()
 }
 
 // Err reports a sticky disk-backing failure, if any.

@@ -31,17 +31,21 @@ func (db *DB) Serve(addr string) (*NetServer, error) {
 		if err != nil {
 			return nil, fmt.Errorf("waterwheel: bad insert batch: %w", err)
 		}
+		// Payloads alias the request buffer; copy them into one arena before
+		// handing the batch to the ingestion pipeline.
+		total := 0
 		for i := range tuples {
-			// Payloads alias the request buffer; copy before handing to the
-			// ingestion pipeline.
-			tuples[i].Payload = append([]byte(nil), tuples[i].Payload...)
-			if err := db.Insert(tuples[i]); err != nil {
-				// Do not ack over the wire what the log did not take; the
-				// client sees which prefix (if any) was accepted.
-				return nil, fmt.Errorf("waterwheel: insert %d/%d rejected: %w", i, len(tuples), err)
-			}
+			total += len(tuples[i].Payload)
 		}
-		return nil, nil
+		arena := make([]byte, 0, total)
+		for i := range tuples {
+			pos := len(arena)
+			arena = append(arena, tuples[i].Payload...)
+			tuples[i].Payload = arena[pos:len(arena):len(arena)]
+		}
+		// Do not ack over the wire what the log did not take; on failure the
+		// returned BatchError tells the client which prefix was accepted.
+		return nil, db.InsertBatch(tuples)
 	})
 	s.Handle("query", func(payload []byte) ([]byte, error) {
 		var q Query

@@ -23,6 +23,7 @@ package waterwheel
 
 import (
 	"errors"
+	"fmt"
 
 	"waterwheel/internal/chunk"
 	"waterwheel/internal/cluster"
@@ -247,14 +248,34 @@ func (db *DB) Insert(t Tuple) error {
 	return db.c.Insert(t)
 }
 
-// InsertBatch ingests a batch of tuples, stopping at the first rejected
-// tuple: tuples before the returned error's position were acked, the
-// failed tuple and everything after it were not.
+// BatchError reports a partially-rejected batch: ts[:Index] were acked,
+// ts[Index:] were not. Unwrap yields the underlying cause.
+type BatchError struct {
+	// Index is the position of the first unacked tuple.
+	Index int
+	// Len is the size of the submitted batch.
+	Len int
+	// Err is the failure that stopped the batch.
+	Err error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("waterwheel: insert %d/%d rejected: %v", e.Index, e.Len, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// InsertBatch ingests a batch of tuples as one unit through the whole
+// pipeline: one routing pass in the dispatcher, one WAL append (and one
+// fsync cohort under Durability "ack-on-fsync") per contiguous
+// same-server run, and batched memtable merges on the indexing servers.
+// On failure it returns a *BatchError with exact prefix-ack semantics:
+// tuples before the error's Index were acked, the rest were not. A batch
+// of one behaves identically to Insert.
 func (db *DB) InsertBatch(ts []Tuple) error {
-	for i := range ts {
-		if err := db.c.Insert(ts[i]); err != nil {
-			return err
-		}
+	n, err := db.c.InsertBatch(ts)
+	if err != nil {
+		return &BatchError{Index: n, Len: len(ts), Err: err}
 	}
 	return nil
 }

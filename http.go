@@ -67,6 +67,9 @@ func (db *DB) serveDebug(w http.ResponseWriter, _ *http.Request) {
 		SchemaVersion: db.c.Metadata().Schema().Version,
 	}
 	for _, srv := range db.c.IndexServers() {
+		if srv == nil { // retired slot
+			continue
+		}
 		snap.IndexServers = append(snap.IndexServers, debugIndexServer{
 			ID:              srv.ID(),
 			Ingested:        srv.Stats().Ingested.Load(),

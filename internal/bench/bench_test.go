@@ -50,6 +50,7 @@ func TestIDsComplete(t *testing.T) {
 		"fig10", "fig11a", "fig11b", "fig12a", "fig12b", "fig13",
 		"fig14", "fig15", "fig16", "fig17", "fig7a", "fig7b", "fig8", "fig9",
 		"flushpipe",
+		"handoff",
 		"table1",
 	}
 	got := IDs()
@@ -141,6 +142,18 @@ func TestFlushPipeSmoke(t *testing.T) {
 		t.Skip("simulated I/O sleeps")
 	}
 	smoke(t, "flushpipe", 0.05, 2)
+}
+
+func TestHandoffSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live cluster with handoff waits")
+	}
+	rep := smoke(t, "handoff", 0.05, 2)
+	for _, row := range rep.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Fatalf("handoff %s: not verified: %v", row[0], row)
+		}
+	}
 }
 
 func TestExtSecondarySmoke(t *testing.T) {

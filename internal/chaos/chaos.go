@@ -42,6 +42,7 @@ import (
 	"waterwheel/internal/chunk"
 	"waterwheel/internal/cluster"
 	"waterwheel/internal/model"
+	"waterwheel/internal/telemetry"
 )
 
 // Fault classes a run can prove it exercised (Report.FaultsSeen keys).
@@ -52,6 +53,11 @@ const (
 	FaultCrash         = "index-server-crash"
 	FaultCrashMidFlush = "index-server-crash-mid-flush"
 	FaultWALAppend     = "wal-append-error"
+	// Elastic classes (Options.Elastic runs and the takeover suite).
+	FaultElasticAdd   = "elastic-add-server"
+	FaultElasticDecom = "elastic-decommission"
+	FaultTakeover     = "standby-takeover"
+	FaultHandoff      = "planned-handoff"
 )
 
 // Options configures one harness run.
@@ -80,6 +86,19 @@ type Options struct {
 	// instead of flagged as violations — that loss window is the documented
 	// cost of the policy. Takes precedence over Restart.
 	HardCrash bool
+	// Elastic mixes elastic scale-out ops into the random schedule —
+	// add-server, decommission, kill-with-standby, planned handoff — and
+	// runs the cluster with hot standbys on every active slot. Slot ids in
+	// the schedule are resolved against the live topology at execution
+	// time, so the op sequence stays a pure function of the seed even as
+	// the slot set changes.
+	Elastic bool
+	// ShipWAL, with Elastic, tails the standbys over the WAL-shipping
+	// transport (loopback RPC) instead of in-process partition reads.
+	ShipWAL bool
+	// Telemetry, when set, is plumbed into the cluster so the run's
+	// handoff metrics (pause, lag, count) can be asserted afterwards.
+	Telemetry *telemetry.Registry
 }
 
 func (o *Options) fill() {
@@ -138,6 +157,11 @@ const (
 	opCrash
 	opCrashMidFlush
 	opBarrier
+	// Elastic ops (only generated when Options.Elastic is set).
+	opAddServer
+	opDecommission
+	opKillWithStandby
+	opPromote
 )
 
 var opNames = map[opKind]string{
@@ -149,6 +173,8 @@ var opNames = map[opKind]string{
 	opReviveDFS: "revive-dfs", opWriteFaults: "write-faults",
 	opReadFaults: "read-faults", opCrash: "crash",
 	opCrashMidFlush: "crash-mid-flush", opBarrier: "barrier",
+	opAddServer: "add-server", opDecommission: "decommission",
+	opKillWithStandby: "kill-with-standby", opPromote: "promote-standby",
 }
 
 // op is one pre-generated schedule step. All parameters are fixed at
@@ -168,8 +194,9 @@ func (o op) String() string {
 		return fmt.Sprintf("%s n=%d fault=%v", opNames[o.kind], o.n, o.alt)
 	case opKillDFS, opReviveDFS:
 		return fmt.Sprintf("%s node=%d", opNames[o.kind], o.n)
-	case opCrash, opCrashMidFlush:
-		return fmt.Sprintf("%s server=%d", opNames[o.kind], o.n)
+	case opCrash, opCrashMidFlush, opDecommission, opKillWithStandby, opPromote:
+		// n is a pick index, resolved against the live slot set at exec time.
+		return fmt.Sprintf("%s pick=%d", opNames[o.kind], o.n)
 	case opWriteFaults, opReadFaults:
 		if o.alt {
 			return fmt.Sprintf("%s rate=%.2f", opNames[o.kind], o.rate)
@@ -194,12 +221,32 @@ var weights = []struct {
 	{opBarrier, 7},
 }
 
+// elasticWeights extends the mix for Options.Elastic runs: topology churn
+// is rare enough that data ops still dominate, frequent enough that a
+// multi-seed run grows, shrinks and fails over the slot set several times.
+var elasticWeights = []struct {
+	kind opKind
+	w    int
+}{
+	{opAddServer, 2}, {opDecommission, 2}, {opKillWithStandby, 2}, {opPromote, 2},
+}
+
 // genSchedule derives the op sequence from the seed alone. nIdx and nodes
-// bound the id parameters.
-func genSchedule(seed int64, nOps, nodes, nIdx int) []op {
+// bound the id parameters; elastic adds the topology-churn ops to the mix.
+// Elastic server picks are stored as raw indexes and reduced modulo the
+// live slot set at execution time, so the schedule stays a pure function
+// of the seed even though the topology it runs against evolves.
+func genSchedule(seed int64, nOps, nodes, nIdx int, elastic bool) []op {
 	master := rand.New(rand.NewSource(seed))
+	mix := weights
+	if elastic {
+		mix = append(append([]struct {
+			kind opKind
+			w    int
+		}{}, weights...), elasticWeights...)
+	}
 	total := 0
-	for _, w := range weights {
+	for _, w := range mix {
 		total += w.w
 	}
 	sched := make([]op, 0, nOps)
@@ -211,7 +258,7 @@ func genSchedule(seed int64, nOps, nodes, nIdx int) []op {
 			o.kind = opBarrier // always end healed and fully verified
 		} else {
 			pick := master.Intn(total)
-			for _, w := range weights {
+			for _, w := range mix {
 				if pick < w.w {
 					o.kind = w.kind
 					break
@@ -229,7 +276,7 @@ func genSchedule(seed int64, nOps, nodes, nIdx int) []op {
 			o.n = 2 + master.Intn(5)
 		case opKillDFS, opReviveDFS:
 			o.n = master.Intn(nodes)
-		case opCrash, opCrashMidFlush:
+		case opCrash, opCrashMidFlush, opDecommission, opKillWithStandby, opPromote:
 			o.n = master.Intn(nIdx)
 		case opWriteFaults:
 			o.alt = master.Intn(2) == 0
@@ -301,6 +348,10 @@ func clusterConfig(opts Options) cluster.Config {
 		SleepFn:               func(time.Duration) {},
 		DataDir:               opts.DataDir,
 		Durability:            opts.Durability,
+		HotStandby:            opts.Elastic,
+		ShipStandbyWAL:        opts.ShipWAL,
+		StandbyLagRecords:     32,
+		Telemetry:             opts.Telemetry,
 	}
 }
 
@@ -335,7 +386,7 @@ func Run(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	sched := genSchedule(opts.Seed, opts.Ops, r.opts.Nodes, r.nIdx)
+	sched := genSchedule(opts.Seed, opts.Ops, r.opts.Nodes, r.nIdx, opts.Elastic)
 	r.runSchedule(sched)
 	if opts.HardCrash && opts.DataDir != "" {
 		return r.rep, r.hardCrashEpilogue(len(sched))
@@ -471,15 +522,118 @@ func (r *runner) exec(i int, o op) {
 		r.readFaultsPossible = true
 		r.rep.FaultsSeen[FaultDFSReadError] = true
 	case opCrash:
-		if err := r.c.KillIndexServer(o.n); err != nil {
-			r.violate(i, "kill index server %d: %v", o.n, err)
+		server := r.pickSlot(o.n)
+		if err := r.c.KillIndexServer(server); err != nil {
+			r.violate(i, "kill index server %d: %v", server, err)
 		}
 		r.rep.FaultsSeen[FaultCrash] = true
+		if r.opts.Elastic {
+			// Hot standbys are on, so the kill resolved as a takeover.
+			r.rep.FaultsSeen[FaultTakeover] = true
+		}
 	case opCrashMidFlush:
-		r.crashMidFlush(i, o.n)
+		r.crashMidFlush(i, r.pickSlot(o.n))
+	case opAddServer:
+		r.addServer(i)
+	case opDecommission:
+		r.decommission(i, o.n)
+	case opKillWithStandby:
+		r.killWithStandby(i, o.n)
+	case opPromote:
+		r.promote(i, o.n)
 	case opBarrier:
 		r.barrier(i)
 	}
+}
+
+// pickSlot reduces a schedule pick index to a live slot id. The slot set
+// may have grown or shrunk since the schedule was generated; the reduction
+// is deterministic given the op history, so a seed still replays exactly.
+func (r *runner) pickSlot(pick int) int {
+	slots := r.c.ActiveSlots()
+	return slots[pick%len(slots)]
+}
+
+// maxExtraSlots caps schedule-driven add-server growth so a churn-heavy
+// seed cannot grow the cluster without bound.
+const maxExtraSlots = 4
+
+func (r *runner) addServer(i int) {
+	if len(r.c.ActiveSlots()) >= r.nIdx+maxExtraSlots {
+		r.trace(i, "add-server skipped: at slot cap")
+		return
+	}
+	id, err := r.c.AddIndexServer()
+	if err != nil {
+		r.violate(i, "add index server: %v", err)
+		return
+	}
+	r.trace(i, "add-server: slot %d joined, %d active", id, len(r.c.ActiveSlots()))
+	r.rep.FaultsSeen[FaultElasticAdd] = true
+}
+
+func (r *runner) decommission(i, pick int) {
+	slots := r.c.ActiveSlots()
+	if len(slots) < 3 {
+		r.trace(i, "decommission skipped: only %d active slots", len(slots))
+		return
+	}
+	server := slots[pick%len(slots)]
+	// Decommission drains the slot through the flush pipeline; with DFS
+	// nodes down a replicated write can be impossible and the drain would
+	// never finish. Revive nodes first (any operator would) but leave
+	// rate-based write faults armed — those retries must still converge.
+	for node := range r.killedDFS {
+		r.c.FS().ReviveNode(node)
+		delete(r.killedDFS, node)
+	}
+	if err := r.c.DecommissionIndexServer(server); err != nil {
+		r.violate(i, "decommission index server %d: %v", server, err)
+		return
+	}
+	r.trace(i, "decommission: slot %d drained out, %d active", server, len(r.c.ActiveSlots()))
+	r.rep.FaultsSeen[FaultElasticDecom] = true
+}
+
+// killWithStandby guarantees a standby exists and has bounded replay lag
+// before killing the owner, so the takeover path (promote + WAL tail
+// replay) is what recovers — not a cold rebuild.
+func (r *runner) killWithStandby(i, pick int) {
+	server := r.pickSlot(pick)
+	if !r.c.HasStandby(server) {
+		if err := r.c.StartStandby(server); err != nil {
+			r.violate(i, "start standby for slot %d: %v", server, err)
+			return
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if lag := r.c.StandbyLag(server); lag >= 0 && lag <= 64 {
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if err := r.c.KillIndexServer(server); err != nil {
+		r.violate(i, "kill index server %d with standby: %v", server, err)
+		return
+	}
+	r.rep.FaultsSeen[FaultCrash] = true
+	r.rep.FaultsSeen[FaultTakeover] = true
+}
+
+func (r *runner) promote(i, pick int) {
+	server := r.pickSlot(pick)
+	if !r.c.HasStandby(server) {
+		if err := r.c.StartStandby(server); err != nil {
+			r.violate(i, "start standby for slot %d: %v", server, err)
+			return
+		}
+	}
+	if err := r.c.PromoteStandby(server); err != nil {
+		r.violate(i, "promote standby for slot %d: %v", server, err)
+		return
+	}
+	r.rep.FaultsSeen[FaultHandoff] = true
 }
 
 // insertBatch acks n tuples through the dispatchers and records them in
@@ -882,7 +1036,13 @@ func (r *runner) checkResult(i int, q model.Query, res *model.Result, complete b
 // moves backwards — the §V recovery contract.
 func (r *runner) checkOffsets(i int) {
 	ms := r.c.Metadata()
-	for s := 0; s < r.nIdx; s++ {
+	// The slot set can grow mid-run; track every slot ever seen. Retired
+	// slots keep their final offset, which the invariant still covers.
+	nSlots := ms.Schema().Servers
+	for len(r.maxOffsets) < nSlots {
+		r.maxOffsets = append(r.maxOffsets, 0)
+	}
+	for s := 0; s < nSlots; s++ {
 		off := ms.Offset(s)
 		if off < r.maxOffsets[s] {
 			r.violate(i, "server %d WAL offset regressed %d -> %d", s, r.maxOffsets[s], off)

@@ -1,0 +1,116 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTakeoverSchedules drives every scripted takeover scenario: each one
+// aims a failover, scale-out or scale-in at a specific hostile moment and
+// must end with zero invariant violations — zero acked-tuple loss under
+// ack-on-fsync, sorted and region-contained results at every barrier, and
+// every handoff's ingest pause under takeoverPauseBound.
+func TestTakeoverSchedules(t *testing.T) {
+	if len(TakeoverSchedules) < 8 {
+		t.Fatalf("takeover suite holds %d schedules, want at least 8", len(TakeoverSchedules))
+	}
+	for _, s := range TakeoverSchedules {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunTakeover(s, t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			report(t, rep.Report)
+			if rep.Handoffs == 0 {
+				t.Error("no ownership handoff was recorded")
+			}
+			if rep.PauseMax > takeoverPauseBound {
+				t.Errorf("ingest pause %v exceeds the one-flush-interval bound %v",
+					rep.PauseMax, takeoverPauseBound)
+			}
+			if rep.Inserted == 0 {
+				t.Error("degenerate schedule: nothing inserted")
+			}
+			if rep.LostAcked != 0 {
+				t.Errorf("ack-on-fsync lost %d acked tuples across takeovers", rep.LostAcked)
+			}
+			t.Logf("%s: handoffs=%d pause_max=%v pause_p99=%v lag_max=%d records inserted=%d",
+				s.Name, rep.Handoffs, rep.PauseMax, rep.PauseP99, rep.LagMax, rep.Inserted)
+		})
+	}
+}
+
+// TestTakeoverFaultCoverage proves the suite as a whole exercises every
+// elastic fault class — standby takeover, planned handoff, add, and
+// decommission — so no scenario can silently degrade into a no-op.
+func TestTakeoverFaultCoverage(t *testing.T) {
+	covered := map[string]bool{}
+	for _, s := range TakeoverSchedules {
+		rep, err := RunTakeover(s, t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		report(t, rep.Report)
+		for class := range rep.FaultsSeen {
+			covered[class] = true
+		}
+	}
+	for _, class := range []string{FaultTakeover, FaultHandoff, FaultElasticAdd, FaultElasticDecom, FaultCrash} {
+		if !covered[class] {
+			t.Errorf("elastic fault class %q never exercised by the takeover suite", class)
+		}
+	}
+}
+
+// TestChaosElasticSeeds runs the random harness with topology churn mixed
+// into the schedule: add-server, decommission, kill-with-standby and
+// planned handoffs interleave with the usual fault classes, with hot
+// standbys on every active slot. The oracle invariants must hold on every
+// seed exactly as in the static-topology bank.
+func TestChaosElasticSeeds(t *testing.T) {
+	seeds := []int64{41, 42, 43, 44}
+	ops := 60
+	if !testing.Short() {
+		for s := int64(45); s <= 52; s++ {
+			seeds = append(seeds, s)
+		}
+		ops = 120
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(Options{
+				Seed: seed, Ops: ops, DataDir: t.TempDir(),
+				Durability: "ack-on-fsync", Elastic: true,
+			})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			report(t, rep)
+			if rep.Inserted == 0 || rep.Queries == 0 {
+				t.Errorf("seed %d: degenerate schedule (inserted=%d queries=%d)",
+					seed, rep.Inserted, rep.Queries)
+			}
+		})
+	}
+}
+
+// TestChaosElasticShippedWAL repeats one elastic seed with standbys tailing
+// over the WAL-shipping transport — the exact read path a standby on a
+// remote host would use.
+func TestChaosElasticShippedWAL(t *testing.T) {
+	rep, err := Run(Options{
+		Seed: 61, Ops: 60, DataDir: t.TempDir(),
+		Durability: "ack-on-fsync", Elastic: true, ShipWAL: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report(t, rep)
+	if rep.Inserted == 0 {
+		t.Error("degenerate schedule: nothing inserted")
+	}
+}

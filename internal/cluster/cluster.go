@@ -12,6 +12,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -27,6 +28,7 @@ import (
 	"waterwheel/internal/model"
 	"waterwheel/internal/queryexec"
 	"waterwheel/internal/telemetry"
+	"waterwheel/internal/transport"
 	"waterwheel/internal/wal"
 )
 
@@ -129,6 +131,21 @@ type Config struct {
 	// FsyncIntervalMillis is the background fsync cadence for the
 	// "interval" durability policy (default 50).
 	FsyncIntervalMillis int64
+	// HotStandby keeps a WAL-tailing standby shadow per active indexing
+	// server (WAL mode only): a kill becomes a takeover instead of a
+	// replay-from-offset, and PromoteStandby performs a planned handoff.
+	// After every takeover or promotion a fresh standby is started for the
+	// new owner automatically.
+	HotStandby bool
+	// StandbyLagRecords is the catch-up threshold of a planned handoff:
+	// PromoteStandby waits until the standby's replay position is within
+	// this many records of the partition head before flipping ownership
+	// (default 64).
+	StandbyLagRecords int
+	// ShipStandbyWAL tails standbys through the WAL-shipping transport (a
+	// loopback RPC server) instead of in-process partition reads —
+	// exercising the exact path a standby on another host would use.
+	ShipStandbyWAL bool
 }
 
 func (c *Config) fill() {
@@ -159,6 +176,9 @@ func (c *Config) fill() {
 	if c.Replication <= 0 {
 		c.Replication = 3
 	}
+	if c.StandbyLagRecords <= 0 {
+		c.StandbyLagRecords = 64
+	}
 	c.Bloom.DisableBloom = c.Bloom.DisableBloom || c.DisableBloom
 }
 
@@ -170,10 +190,32 @@ type Cluster struct {
 	ms    *meta.Server
 	log   *wal.Log
 	disp  []*dispatcher.Dispatcher
-	idx   []*ingest.Server
 	qsrv  []*queryexec.Server
 	coord *queryexec.Coordinator
 	bal   *dispatcher.Balancer
+
+	// idx[i] is slot i's indexing server — nil once the slot is retired.
+	// retired[i] flips (permanently) when slot i is decommissioned; the WAL
+	// sink consults it to reroute stragglers dispatched under a pre-removal
+	// schema. Both grow under idxMu as elastic scale-out adds slots.
+	idxMu   sync.RWMutex
+	idx     []*ingest.Server
+	retired []bool
+
+	// elasticMu serializes topology operations (add, decommission, kill,
+	// promote, rebalance) against each other; the data path never takes it.
+	elasticMu sync.Mutex
+
+	// standbys maps slot -> its hot standby (HotStandby mode or explicit
+	// StartStandby). closeTail releases a shipping client, when one exists.
+	standbyMu sync.Mutex
+	standbys  map[int]*standbyHandle
+
+	// shipSrv is the lazily started loopback WAL-shipping endpoint used
+	// when ShipStandbyWAL routes standby tails through the transport.
+	shipMu   sync.Mutex
+	shipSrv  *transport.Server
+	shipAddr string
 
 	// Telemetry plumbing; all handles are nil-safe no-ops when
 	// Config.Telemetry is unset.
@@ -188,6 +230,14 @@ type Cluster struct {
 	// recorded as whole "seconds" so second-valued quantiles read directly
 	// as record counts.
 	batchRecords *telemetry.Histogram
+	// Handoff instrumentation: handoffs counts ownership flips (planned
+	// promotions and standby takeovers); handoffLag observes the standby's
+	// replay lag behind the partition head at the flip (records-as-seconds,
+	// like batchRecords); handoffPause observes the ingest-visible pause —
+	// ownership fence to new-owner consumer running.
+	handoffs     *telemetry.Counter
+	handoffLag   *telemetry.Histogram
+	handoffPause *telemetry.Histogram
 
 	// ckptOffsets[i] is partition i's flush offset as of the last durable
 	// checkpoint — the retention floor in DataDir mode: a hard crash
@@ -266,6 +316,26 @@ func Open(cfg Config) (*Cluster, error) {
 	)
 	if cfg.DataDir != "" {
 		fsCfg.Dir = filepath.Join(cfg.DataDir, "dfs")
+		// Restore metadata BEFORE opening the log: elastic scale-out may
+		// have grown the slot count past the configured nIdx in a previous
+		// incarnation, and slot i <-> partition i means the log must open
+		// with one partition per snapshot slot, retired ones included.
+		snap, err := os.ReadFile(metaSnapPath(cfg.DataDir))
+		switch {
+		case err == nil:
+			ms, err = meta.Restore(snap)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: metadata restore: %w", err)
+			}
+		case os.IsNotExist(err):
+			ms = meta.NewServer(nIdx)
+		default:
+			return nil, fmt.Errorf("cluster: metadata snapshot: %w", err)
+		}
+		nTotal := nIdx
+		if s := ms.Schema().Servers; s > nTotal {
+			nTotal = s
+		}
 		walCfg := wal.Config{
 			Durability: durPolicy,
 			Interval:   time.Duration(cfg.FsyncIntervalMillis) * time.Millisecond,
@@ -280,22 +350,9 @@ func Open(cfg Config) (*Cluster, error) {
 					"WAL segment fsyncs issued by the durability pipeline"),
 			},
 		}
-		var err error
-		log, err = wal.OpenLogDirConfig(filepath.Join(cfg.DataDir, "wal"), nIdx, walCfg)
+		log, err = wal.OpenLogDirConfig(filepath.Join(cfg.DataDir, "wal"), nTotal, walCfg)
 		if err != nil {
 			return nil, err
-		}
-		snap, err := os.ReadFile(metaSnapPath(cfg.DataDir))
-		switch {
-		case err == nil:
-			ms, err = meta.Restore(snap)
-			if err != nil {
-				return nil, fmt.Errorf("cluster: metadata restore: %w", err)
-			}
-		case os.IsNotExist(err):
-			ms = meta.NewServer(nIdx)
-		default:
-			return nil, fmt.Errorf("cluster: metadata snapshot: %w", err)
 		}
 	} else {
 		ms = meta.NewServer(nIdx)
@@ -334,6 +391,12 @@ func Open(cfg Config) (*Cluster, error) {
 	c.insertBatches = reg.Counter("waterwheel_insert_batches_total", "batches routed through InsertBatch")
 	c.batchRecords = reg.Histogram("waterwheel_insert_batch_records",
 		"tuples per InsertBatch call (unit: records, not seconds)")
+	c.handoffs = reg.Counter("waterwheel_handoffs_total",
+		"region ownership handoffs (planned promotions and standby takeovers)")
+	c.handoffLag = reg.Histogram("waterwheel_handoff_lag_records",
+		"standby replay lag behind the partition head at an ownership flip (unit: records, not seconds)")
+	c.handoffPause = reg.Histogram("waterwheel_handoff_pause_seconds",
+		"ingest-visible pause of a handoff: ownership fence until the new owner's consumer is running")
 	c.coord = queryexec.NewCoordinator(queryexec.CoordinatorConfig{
 		LateDeltaMillis: cfg.LateDeltaMillis,
 		Policy:          queryexec.PolicyByName(cfg.Policy),
@@ -342,9 +405,22 @@ func Open(cfg Config) (*Cluster, error) {
 	}, c.ms, c.fs)
 
 	schema := c.ms.Schema()
-	for i := 0; i < nIdx; i++ {
-		srv := c.newIndexServer(i, schema.IntervalOf(i))
+	nTotal := nIdx
+	if schema.Servers > nTotal {
+		nTotal = schema.Servers
+	}
+	c.standbys = make(map[int]*standbyHandle)
+	for i := 0; i < nTotal; i++ {
+		if !schema.Active(i) {
+			// Retired (or never-provisioned) slot: it keeps its WAL
+			// partition and chunk history but runs no server.
+			c.idx = append(c.idx, nil)
+			c.retired = append(c.retired, true)
+			continue
+		}
+		srv := c.newIndexServer(i, schema.IntervalOf(i), ms.Epoch(i), false)
 		c.idx = append(c.idx, srv)
+		c.retired = append(c.retired, false)
 		c.coord.SetMemExecutor(i, srv)
 	}
 	qsMetrics := queryexec.NewServerMetrics(reg)
@@ -364,7 +440,7 @@ func Open(cfg Config) (*Cluster, error) {
 		}
 	}
 	if cfg.DataDir != "" {
-		c.ckptOffsets = make([]int64, nIdx)
+		c.ckptOffsets = make([]int64, nTotal)
 		for i := range c.ckptOffsets {
 			// A restored snapshot's offsets are already durable; a fresh
 			// deployment starts at zero either way.
@@ -385,19 +461,84 @@ func Open(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// standbyHandle pairs a hot standby with the resources backing its tail.
+type standbyHandle struct {
+	sb        *ingest.Standby
+	closeTail func() // releases a WAL-shipping client; nil for local tails
+}
+
+func (h *standbyHandle) release() {
+	if h.closeTail != nil {
+		h.closeTail()
+		h.closeTail = nil
+	}
+}
+
+// server returns slot i's indexing server, nil when the slot is retired
+// or out of range.
+func (c *Cluster) server(i int) *ingest.Server {
+	c.idxMu.RLock()
+	defer c.idxMu.RUnlock()
+	if i < 0 || i >= len(c.idx) {
+		return nil
+	}
+	return c.idx[i]
+}
+
+// servers returns a snapshot of the slot table; retired slots are nil.
+func (c *Cluster) servers() []*ingest.Server {
+	c.idxMu.RLock()
+	defer c.idxMu.RUnlock()
+	return append([]*ingest.Server(nil), c.idx...)
+}
+
+// isRetired reports whether slot i has been decommissioned.
+func (c *Cluster) isRetired(i int) bool {
+	c.idxMu.RLock()
+	defer c.idxMu.RUnlock()
+	return i >= 0 && i < len(c.retired) && c.retired[i]
+}
+
 // walSink is the dispatcher sink of the WAL pipeline: routed tuples are
 // appended to the target server's partition; the ack follows the log.
+//
+// Elastic scale-out makes routing decisions revocable: a dispatcher may
+// have picked a server under a schema that a concurrent decommission has
+// since replaced. The sink closes that window in two layers — a retired
+// mask consulted before appending, and the partition seal that
+// decommission sets after the mask, so even an append already past the
+// mask check fails with ErrSealed instead of landing in a log nobody
+// replays. Either way the tuple reroutes through the current schema and
+// the producer's ack still means "in a live partition".
 type walSink struct{ c *Cluster }
+
+// rerouteHops bounds reroute retries; each hop needs a concurrent
+// decommission of the freshly chosen target to continue the chain.
+const rerouteHops = 16
 
 // Send appends one tuple. Under ack-on-fsync the append parks until a
 // group-commit fsync covers the record; an error means the log did NOT
 // take the tuple (stop-the-line) and the insert must not be acked.
 func (s walSink) Send(server int, t model.Tuple) error {
-	if _, err := s.c.log.Partition(server).Append(model.AppendTuple(nil, &t)); err != nil {
-		return fmt.Errorf("cluster: wal append (server %d): %w", server, err)
+	for hop := 0; ; hop++ {
+		if hop > rerouteHops {
+			return fmt.Errorf("cluster: wal append: no active slot for key %d after %d reroutes", t.Key, hop)
+		}
+		if s.c.isRetired(server) {
+			server = s.c.ms.Schema().ServerFor(t.Key)
+			continue
+		}
+		_, err := s.c.log.Partition(server).Append(model.AppendTuple(nil, &t))
+		if errors.Is(err, wal.ErrSealed) {
+			server = s.c.ms.Schema().ServerFor(t.Key)
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("cluster: wal append (server %d): %w", server, err)
+		}
+		s.c.walAppends.Inc()
+		return nil
 	}
-	s.c.walAppends.Inc()
-	return nil
 }
 
 // SendBatch encodes the whole run into one buffer (record slices alias
@@ -413,6 +554,9 @@ func (s walSink) SendBatch(server int, ts []model.Tuple) (int, error) {
 		}
 		return 1, nil
 	}
+	if s.c.isRetired(server) {
+		return s.resend(ts)
+	}
 	total := 0
 	for i := range ts {
 		total += model.EncodedSize(&ts[i])
@@ -425,9 +569,26 @@ func (s walSink) SendBatch(server int, ts []model.Tuple) (int, error) {
 		datas[i] = buf[pos:len(buf):len(buf)]
 	}
 	if _, err := s.c.log.Partition(server).AppendBatch(datas); err != nil {
+		if errors.Is(err, wal.ErrSealed) {
+			return s.resend(ts)
+		}
 		return 0, fmt.Errorf("cluster: wal append batch (server %d): %w", server, err)
 	}
 	s.c.walAppends.Add(int64(len(ts)))
+	return len(ts), nil
+}
+
+// resend is the slow path after a decommission invalidated a batch's
+// routing: each tuple re-resolves against the current schema and goes
+// through the per-tuple Send (the run may now span several servers).
+// Stopping at the first error keeps the prefix-ack contract intact.
+func (s walSink) resend(ts []model.Tuple) (int, error) {
+	schema := s.c.ms.Schema()
+	for i := range ts {
+		if err := s.Send(schema.ServerFor(ts[i].Key), ts[i]); err != nil {
+			return i, err
+		}
+	}
 	return len(ts), nil
 }
 
@@ -446,9 +607,13 @@ func (s directSink) SendBatch(server int, ts []model.Tuple) (int, error) {
 }
 
 // newIndexServer builds indexing server i from the cluster config — the
-// single source of per-server settings, shared by Open and crash recovery
-// so a replacement server never silently diverges from the original.
-func (c *Cluster) newIndexServer(i int, keys model.KeyRange) *ingest.Server {
+// single source of per-server settings, shared by Open, crash recovery,
+// elastic scale-out and standby shadows so a replacement server never
+// silently diverges from the original. epoch is the ownership epoch the
+// incarnation registers flushes under (0 only in SyncIngest mode, which
+// has no ownership); passive builds a standby shadow that neither
+// flushes nor reports a live region until promoted.
+func (c *Cluster) newIndexServer(i int, keys model.KeyRange, epoch int64, passive bool) *ingest.Server {
 	var syncWAL func(int64) error
 	if !c.cfg.SyncIngest {
 		// Flush-offset commits must not run ahead of the WAL fsync
@@ -456,7 +621,12 @@ func (c *Cluster) newIndexServer(i int, keys model.KeyRange) *ingest.Server {
 		// any fsync): the flusher syncs its unit's offset into the log
 		// before registering chunks and committing.
 		syncWAL = c.log.Partition(i).SyncTo
+	} else {
+		epoch = 0
 	}
+	// Added servers can outnumber the configured nodes; wrap the DFS
+	// placement preference instead of pointing past the last node.
+	node := (i / c.cfg.IndexServersPerNode) % c.cfg.Nodes
 	srv := ingest.NewServer(ingest.Config{
 		ID:                  i,
 		Keys:                keys,
@@ -472,7 +642,9 @@ func (c *Cluster) newIndexServer(i int, keys model.KeyRange) *ingest.Server {
 		FlushFailHook:       c.cfg.FlushFailHook,
 		SyncWAL:             syncWAL,
 		Metrics:             c.ingestMetrics,
-	}, c.fs, c.ms, i/c.cfg.IndexServersPerNode)
+		Epoch:               epoch,
+		Passive:             passive,
+	}, c.fs, c.ms, node)
 	if f := c.chunkFormat.Load(); f != 0 {
 		srv.SetChunkFormat(int(f))
 	}
@@ -526,9 +698,13 @@ func (c *Cluster) Start() {
 		return
 	}
 	if !c.cfg.SyncIngest {
+		srvs := c.servers()
 		c.consMu.Lock()
-		c.consStop = make([]chan struct{}, len(c.idx))
-		for i, srv := range c.idx {
+		c.consStop = make([]chan struct{}, len(srvs))
+		for i, srv := range srvs {
+			if srv == nil {
+				continue // retired slot: no consumer
+			}
 			cs := make(chan struct{})
 			c.consStop[i] = cs
 			c.wg.Add(1)
@@ -538,6 +714,13 @@ func (c *Cluster) Start() {
 			}(i, srv, cs)
 		}
 		c.consMu.Unlock()
+		if c.cfg.HotStandby {
+			for i, srv := range srvs {
+				if srv != nil {
+					c.StartStandby(i)
+				}
+			}
+		}
 	}
 	if !c.cfg.DisableAdaptive && c.cfg.BalanceIntervalMillis > 0 {
 		c.wg.Add(1)
@@ -563,12 +746,15 @@ func (c *Cluster) Stop() {
 		return
 	}
 	close(c.stop)
+	c.stopStandbys()
 	c.log.Close()
 	c.wg.Wait()
 	// Stop the background flushers, draining queued snapshots so the final
 	// checkpoint records their offsets.
-	for _, srv := range c.idx {
-		srv.Close()
+	for _, srv := range c.servers() {
+		if srv != nil {
+			srv.Close()
+		}
 	}
 	if c.cfg.DataDir != "" {
 		c.Checkpoint() // best effort; state is also rebuildable from the WAL
@@ -576,6 +762,28 @@ func (c *Cluster) Stop() {
 			c.log.Partition(i).CloseFile()
 		}
 	}
+}
+
+// stopStandbys halts and discards every hot standby, then shuts the
+// loopback shipping endpoint down.
+func (c *Cluster) stopStandbys() {
+	c.standbyMu.Lock()
+	hs := make([]*standbyHandle, 0, len(c.standbys))
+	for slot, h := range c.standbys {
+		hs = append(hs, h)
+		delete(c.standbys, slot)
+	}
+	c.standbyMu.Unlock()
+	for _, h := range hs {
+		h.sb.Close()
+		h.release()
+	}
+	c.shipMu.Lock()
+	if c.shipSrv != nil {
+		c.shipSrv.Close()
+		c.shipSrv = nil
+	}
+	c.shipMu.Unlock()
 }
 
 // HardCrash simulates a host crash in DataDir mode: no checkpoint, no
@@ -593,12 +801,15 @@ func (c *Cluster) HardCrash() error {
 		return fmt.Errorf("cluster: already stopped")
 	}
 	close(c.stop)
+	c.stopStandbys()
 	c.log.Close()
 	c.wg.Wait()
 	// Abort (not Close) the flushers: in-flight work dies without
 	// checkpointing, like the host it ran on.
-	for _, srv := range c.idx {
-		srv.Abort()
+	for _, srv := range c.servers() {
+		if srv != nil {
+			srv.Abort()
+		}
 	}
 	var first error
 	for i := 0; i < c.log.Partitions(); i++ {
@@ -659,8 +870,10 @@ func (c *Cluster) Aggregate(q model.AggregateQuery) (*model.AggResult, error) {
 // default. Existing chunks keep their format — readers dispatch per chunk.
 func (c *Cluster) SetChunkFormat(f int) {
 	c.chunkFormat.Store(int32(f))
-	for _, srv := range c.idx {
-		srv.SetChunkFormat(f)
+	for _, srv := range c.servers() {
+		if srv != nil {
+			srv.SetChunkFormat(f)
+		}
 	}
 }
 
@@ -671,7 +884,10 @@ func (c *Cluster) Drain() {
 	if c.cfg.SyncIngest {
 		return
 	}
-	for i, srv := range c.idx {
+	for i, srv := range c.servers() {
+		if srv == nil {
+			continue
+		}
 		p := c.log.Partition(i)
 		for srv.Consumed() < p.Next() {
 			time.Sleep(200 * time.Microsecond)
@@ -680,15 +896,23 @@ func (c *Cluster) Drain() {
 	// Consumption alone no longer implies persistence: wait out the flush
 	// pipelines too, so "insert, Drain, query/crash" keeps its pre-async
 	// determinism.
-	for _, srv := range c.idx {
-		srv.DrainFlushes()
+	for _, srv := range c.servers() {
+		if srv != nil {
+			srv.DrainFlushes()
+			// The consumer stores its offset a beat before it reports the
+			// live region; force a report so queries issued right after
+			// Drain plan against the drained memtable's true extent.
+			srv.PublishLive()
+		}
 	}
 }
 
 // FlushAll forces every indexing server to flush its memtables.
 func (c *Cluster) FlushAll() {
-	for _, srv := range c.idx {
-		srv.FlushAll()
+	for _, srv := range c.servers() {
+		if srv != nil {
+			srv.FlushAll()
+		}
 	}
 }
 
@@ -700,6 +924,11 @@ func (c *Cluster) TickBalance() bool {
 	if c.cfg.DisableAdaptive {
 		return false
 	}
+	// Repartitioning is a topology change: serialize it against elastic
+	// operations so a balance round never fans out intervals computed from
+	// a schema an add/decommission is concurrently replacing.
+	c.elasticMu.Lock()
+	defer c.elasticMu.Unlock()
 	var sample []model.Key
 	for _, d := range c.disp {
 		sample = append(sample, d.Sampler().Sample()...)
@@ -717,9 +946,16 @@ func (c *Cluster) TickBalance() bool {
 	for _, d := range c.disp {
 		d.UpdateSchema(newSchema)
 	}
-	for i, srv := range c.idx {
-		srv.SetKeys(newSchema.IntervalOf(i))
+	for i, srv := range c.servers() {
+		if srv != nil {
+			srv.SetKeys(newSchema.IntervalOf(i))
+		}
 	}
+	c.standbyMu.Lock()
+	for slot, h := range c.standbys {
+		h.sb.SetKeys(newSchema.IntervalOf(slot))
+	}
+	c.standbyMu.Unlock()
 	c.repartitions.Inc()
 	return true
 }
@@ -757,8 +993,14 @@ func (c *Cluster) TruncateWALBefore() {
 		off := c.ms.Offset(i)
 		if c.cfg.DataDir != "" {
 			c.ckptMu.Lock()
-			if ck := c.ckptOffsets[i]; ck < off {
-				off = ck
+			if i < len(c.ckptOffsets) {
+				if ck := c.ckptOffsets[i]; ck < off {
+					off = ck
+				}
+			} else {
+				// A slot added after the last checkpoint has no durable
+				// floor yet: retain everything.
+				off = 0
 			}
 			c.ckptMu.Unlock()
 		}
@@ -777,8 +1019,23 @@ func (c *Cluster) FS() *dfs.FS { return c.fs }
 // Coordinator returns the query coordinator.
 func (c *Cluster) Coordinator() *queryexec.Coordinator { return c.coord }
 
-// IndexServers returns the indexing servers.
-func (c *Cluster) IndexServers() []*ingest.Server { return c.idx }
+// IndexServers returns a snapshot of the slot table. The index IS the
+// slot id, so retired slots appear as nil entries — callers iterating
+// must skip them.
+func (c *Cluster) IndexServers() []*ingest.Server { return c.servers() }
+
+// ActiveSlots returns the slot ids that currently run an indexing server.
+func (c *Cluster) ActiveSlots() []int {
+	c.idxMu.RLock()
+	defer c.idxMu.RUnlock()
+	out := make([]int, 0, len(c.idx))
+	for i, srv := range c.idx {
+		if srv != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
 
 // QueryServers returns the query servers.
 func (c *Cluster) QueryServers() []*queryexec.Server { return c.qsrv }
@@ -798,8 +1055,10 @@ func (c *Cluster) TraceRing() *telemetry.TraceRing { return c.traces }
 // Ingested returns the total tuples accepted by the indexing servers.
 func (c *Cluster) Ingested() int64 {
 	var n int64
-	for _, srv := range c.idx {
-		n += srv.Stats().Ingested.Load()
+	for _, srv := range c.servers() {
+		if srv != nil {
+			n += srv.Stats().Ingested.Load()
+		}
 	}
 	return n
 }
@@ -807,62 +1066,461 @@ func (c *Cluster) Ingested() int64 {
 // MemLen returns the total buffered (unflushed) tuples.
 func (c *Cluster) MemLen() int {
 	n := 0
-	for _, srv := range c.idx {
-		n += srv.MemLen()
+	for _, srv := range c.servers() {
+		if srv != nil {
+			n += srv.MemLen()
+		}
 	}
 	return n
 }
 
+// detachConsumer stops slot i's consumer goroutine (closing its stop
+// channel) and installs a fresh channel for the successor, growing the
+// table when elastic scale-out added slots after Start. Requires Start to
+// have run for an existing slot's channel to be present; a nil entry
+// (retired slot, or a slot added before Start) just gets a new channel.
+func (c *Cluster) detachConsumer(i int) chan struct{} {
+	c.consMu.Lock()
+	defer c.consMu.Unlock()
+	for len(c.consStop) <= i {
+		c.consStop = append(c.consStop, nil)
+	}
+	if cs := c.consStop[i]; cs != nil {
+		close(cs)
+	}
+	cs := make(chan struct{})
+	c.consStop[i] = cs
+	return cs
+}
+
+// runConsumer starts slot i's WAL consumption goroutine.
+func (c *Cluster) runConsumer(i int, srv *ingest.Server, cs chan struct{}) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		srv.Consume(c.log.Partition(i), mergedStop(c.stop, cs))
+	}()
+}
+
+// takeStandby removes and returns slot i's standby handle, nil if none.
+func (c *Cluster) takeStandby(i int) *standbyHandle {
+	c.standbyMu.Lock()
+	defer c.standbyMu.Unlock()
+	h := c.standbys[i]
+	delete(c.standbys, i)
+	return h
+}
+
+// HasStandby reports whether slot i currently runs a hot standby.
+func (c *Cluster) HasStandby(i int) bool {
+	c.standbyMu.Lock()
+	defer c.standbyMu.Unlock()
+	_, ok := c.standbys[i]
+	return ok
+}
+
+// StandbyLag returns how many WAL records slot i's standby still has to
+// replay to reach the partition head, or -1 when the slot has no standby.
+func (c *Cluster) StandbyLag(i int) int64 {
+	c.standbyMu.Lock()
+	h := c.standbys[i]
+	c.standbyMu.Unlock()
+	if h == nil {
+		return -1
+	}
+	lag := c.log.Partition(i).Next() - h.sb.Consumed()
+	if lag < 0 {
+		lag = 0
+	}
+	return lag
+}
+
+// shipTail opens a WAL-shipping tail for partition i through the lazily
+// started loopback transport endpoint.
+func (c *Cluster) shipTail(i int) (wal.Tail, func(), error) {
+	c.shipMu.Lock()
+	defer c.shipMu.Unlock()
+	if c.shipSrv == nil {
+		srv := transport.NewServer()
+		wal.RegisterShipping(srv, c.log)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, nil, fmt.Errorf("cluster: wal shipping listen: %w", err)
+		}
+		c.shipSrv, c.shipAddr = srv, addr
+	}
+	cl, err := transport.Dial(c.shipAddr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: wal shipping dial: %w", err)
+	}
+	return wal.NewRemoteTail(cl, i), func() { cl.Close() }, nil
+}
+
+// StartStandby launches a hot standby for slot i: a passive shadow server
+// tailing the slot's WAL partition (through the shipping transport when
+// ShipStandbyWAL is set), ready to take over on PromoteStandby or a kill.
+// WAL mode only; one standby per slot — a slot that already has one is a
+// no-op (idempotent for operator scripts and the HotStandby auto-attach).
+func (c *Cluster) StartStandby(i int) error {
+	c.elasticMu.Lock()
+	defer c.elasticMu.Unlock()
+	return c.startStandbyLocked(i)
+}
+
+func (c *Cluster) startStandbyLocked(i int) error {
+	if c.cfg.SyncIngest {
+		return fmt.Errorf("cluster: standbys require WAL mode")
+	}
+	if c.server(i) == nil {
+		return fmt.Errorf("cluster: no indexing server %d", i)
+	}
+	c.standbyMu.Lock()
+	_, exists := c.standbys[i]
+	c.standbyMu.Unlock()
+	if exists {
+		return nil
+	}
+	var (
+		tail      wal.Tail = c.log.Partition(i)
+		closeTail func()
+	)
+	if c.cfg.ShipStandbyWAL {
+		rt, release, err := c.shipTail(i)
+		if err != nil {
+			return err
+		}
+		tail, closeTail = rt, release
+	}
+	keys := c.ms.Schema().IntervalOf(i)
+	sb := ingest.NewStandby(ingest.StandbyConfig{
+		Slot:      i,
+		NewServer: func() *ingest.Server { return c.newIndexServer(i, keys, 0, true) },
+		ReplayOffset: c.reg.Gauge(fmt.Sprintf(`waterwheel_standby_replay_offset{slot="%d"}`, i),
+			"next WAL offset the slot's hot standby will replay"),
+	}, c.ms, tail)
+	c.standbyMu.Lock()
+	c.standbys[i] = &standbyHandle{sb: sb, closeTail: closeTail}
+	c.standbyMu.Unlock()
+	sb.Start()
+	return nil
+}
+
+// StopStandby halts and discards slot i's hot standby without promoting.
+func (c *Cluster) StopStandby(i int) error {
+	c.elasticMu.Lock()
+	defer c.elasticMu.Unlock()
+	h := c.takeStandby(i)
+	if h == nil {
+		return fmt.Errorf("cluster: slot %d has no standby", i)
+	}
+	h.sb.Close()
+	h.release()
+	return nil
+}
+
+// takeover flips slot i's ownership to a successor: the promoted standby
+// shadow when h is non-nil, else a fresh server replaying the WAL from
+// the committed offset. The flip is one metadata CAS (TransferOwnership
+// bumps the fencing epoch, records the handoff offset and reads the
+// nominal interval atomically), so a flush the deposed incarnation still
+// has in flight fails with ErrFenced instead of committing chunks or
+// offsets under the new owner. Ingest into the partition never pauses —
+// the measured handoff pause is consumer detach to successor consuming.
+func (c *Cluster) takeover(i int, h *standbyHandle) error {
+	pauseStart := time.Now()
+	cs := c.detachConsumer(i)
+	old := c.server(i)
+	handoffOff := c.ms.Offset(i)
+	if h != nil {
+		handoffOff = h.sb.Consumed()
+	}
+	lag := c.log.Partition(i).Next() - handoffOff
+	if lag < 0 {
+		lag = 0
+	}
+	epoch, kr, err := c.ms.TransferOwnership(i, handoffOff)
+	if err != nil {
+		return err
+	}
+	// Abort AFTER the fence: the old flusher exits on its next (rejected)
+	// registration attempt, and Abort reaps it without letting in-flight
+	// work move the metadata the successor starts from.
+	if old != nil {
+		old.Abort()
+	}
+	var repl *ingest.Server
+	if h != nil {
+		h.sb.Halt()
+		repl = h.sb.Promote(epoch)
+		repl.SetKeys(kr)
+		h.release()
+	} else {
+		repl = c.newIndexServer(i, kr, epoch, false)
+	}
+	c.idxMu.Lock()
+	c.idx[i] = repl
+	c.idxMu.Unlock()
+	c.coord.SetMemExecutor(i, repl)
+	c.runConsumer(i, repl, cs)
+	c.handoffs.Inc()
+	c.handoffLag.Observe(time.Duration(lag) * time.Second)
+	c.handoffPause.Observe(time.Since(pauseStart))
+	if c.cfg.HotStandby && !c.stopped.Load() {
+		c.startStandbyLocked(i)
+	}
+	return nil
+}
+
+// PromoteStandby performs a planned region handoff: wait for slot i's
+// standby to catch up within StandbyLagRecords of the partition head,
+// then atomically transfer ownership to the promoted shadow. The old
+// owner is fenced; ingest into the slot's partition continues throughout.
+func (c *Cluster) PromoteStandby(i int) error {
+	if c.cfg.SyncIngest {
+		return fmt.Errorf("cluster: handoff requires WAL mode")
+	}
+	c.elasticMu.Lock()
+	defer c.elasticMu.Unlock()
+	if c.server(i) == nil {
+		return fmt.Errorf("cluster: no indexing server %d", i)
+	}
+	c.standbyMu.Lock()
+	h := c.standbys[i]
+	c.standbyMu.Unlock()
+	if h == nil {
+		return fmt.Errorf("cluster: slot %d has no standby", i)
+	}
+	// Catch-up gate: flip only once the shadow is near the head, bounding
+	// the replay debt the new owner inherits.
+	p := c.log.Partition(i)
+	for p.Next()-h.sb.Consumed() > int64(c.cfg.StandbyLagRecords) {
+		select {
+		case <-c.stop:
+			return fmt.Errorf("cluster: stopped during handoff")
+		default:
+		}
+		if err := h.sb.Err(); err != nil {
+			return fmt.Errorf("cluster: standby replay: %w", err)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return c.takeover(i, c.takeStandby(i))
+}
+
+// AddIndexServer grows the cluster by one indexing server (elastic
+// scale-out): the widest active nominal key interval splits at its
+// midpoint, the log grows the matching WAL partition (slot i <->
+// partition i), and the new server starts consuming immediately —
+// ingest never pauses. Returns the new slot id. WAL mode only.
+func (c *Cluster) AddIndexServer() (int, error) {
+	if c.cfg.SyncIngest {
+		return 0, fmt.Errorf("cluster: elastic scale-out requires WAL mode")
+	}
+	c.elasticMu.Lock()
+	defer c.elasticMu.Unlock()
+	split, at, ok := widestSplit(c.ms.Schema())
+	if !ok {
+		return 0, fmt.Errorf("cluster: no splittable key interval")
+	}
+	newSchema, id, err := c.ms.AddServer(split, at)
+	if err != nil {
+		return 0, err
+	}
+	_, pi, err := c.log.AddPartition()
+	if err != nil {
+		return 0, err
+	}
+	if pi != id {
+		return 0, fmt.Errorf("cluster: slot/partition misalignment: slot %d, partition %d", id, pi)
+	}
+	if c.cfg.DataDir != "" {
+		c.ckptMu.Lock()
+		c.ckptOffsets = append(c.ckptOffsets, 0)
+		c.ckptMu.Unlock()
+	}
+	srv := c.newIndexServer(id, newSchema.IntervalOf(id), c.ms.Epoch(id), false)
+	c.idxMu.Lock()
+	c.idx = append(c.idx, srv)
+	c.retired = append(c.retired, false)
+	c.idxMu.Unlock()
+	c.coord.SetMemExecutor(id, srv)
+	if c.started.Load() {
+		c.runConsumer(id, srv, c.detachConsumer(id))
+	}
+	// The split slot's nominal interval narrowed; its actual interval
+	// stays wide until its buffered tuples flush (§III-D), handled by the
+	// metadata server. Only then do the dispatchers learn the new schema —
+	// the new slot's consumer is already running, so no tuple ever waits.
+	if old := c.server(split); old != nil {
+		old.SetKeys(newSchema.IntervalOf(split))
+	}
+	c.standbyMu.Lock()
+	if h := c.standbys[split]; h != nil {
+		h.sb.SetKeys(newSchema.IntervalOf(split))
+	}
+	c.standbyMu.Unlock()
+	for _, d := range c.disp {
+		d.UpdateSchema(newSchema)
+	}
+	if c.cfg.HotStandby && c.started.Load() {
+		c.startStandbyLocked(id)
+	}
+	return id, nil
+}
+
+// widestSplit picks the active slot with the widest nominal interval and
+// the midpoint key to split it at; ok is false when every active interval
+// is a single key.
+func widestSplit(schema meta.PartitionSchema) (split int, at model.Key, ok bool) {
+	var best uint64
+	for _, id := range schema.ActiveSlots() {
+		kr := schema.IntervalOf(id)
+		if kr.Hi <= kr.Lo {
+			continue
+		}
+		if w := uint64(kr.Hi - kr.Lo); !ok || w > best {
+			split, at, best, ok = id, kr.Lo+(kr.Hi-kr.Lo)/2+1, w, true
+		}
+	}
+	return split, at, ok
+}
+
+// DecommissionIndexServer retires slot i with zero acked-tuple loss: the
+// schema drops the slot (new traffic routes to the absorbing neighbor),
+// stragglers already routed to it reroute off the retired mask and the
+// partition seal, the consumer drains the now-final partition head, a
+// final flush turns everything buffered into registered chunks, and a
+// last ownership transfer fences the slot forever. The slot's WAL
+// partition and chunk history remain readable. WAL mode only; the last
+// active slot cannot retire.
+func (c *Cluster) DecommissionIndexServer(i int) error {
+	if c.cfg.SyncIngest {
+		return fmt.Errorf("cluster: elastic scale-out requires WAL mode")
+	}
+	c.elasticMu.Lock()
+	defer c.elasticMu.Unlock()
+	srv := c.server(i)
+	if srv == nil {
+		return fmt.Errorf("cluster: no indexing server %d", i)
+	}
+	// 1. Drop the slot from the schema and fan the change out: new tuples
+	// route to the absorbing neighbors, whose key sets widen.
+	newSchema, err := c.ms.RemoveServer(i)
+	if err != nil {
+		return err
+	}
+	for j, s := range c.servers() {
+		if s != nil && j != i {
+			s.SetKeys(newSchema.IntervalOf(j))
+		}
+	}
+	c.standbyMu.Lock()
+	for slot, h := range c.standbys {
+		if slot != i {
+			h.sb.SetKeys(newSchema.IntervalOf(slot))
+		}
+	}
+	c.standbyMu.Unlock()
+	for _, d := range c.disp {
+		d.UpdateSchema(newSchema)
+	}
+	// 2. Retire + seal: a straggler dispatched under the old schema either
+	// sees the mask before appending or bounces off the sealed partition —
+	// both reroute it through the new schema, so after this point the
+	// partition head is final (modulo appends already inside the lock,
+	// which land before Seal returns).
+	c.idxMu.Lock()
+	c.retired[i] = true
+	c.idxMu.Unlock()
+	p := c.log.Partition(i)
+	p.Seal()
+	// 3. The standby is moot: the final flush will empty the partition.
+	if h := c.takeStandby(i); h != nil {
+		h.sb.Close()
+		h.release()
+	}
+	// 4. Drain the final head, then stop the consumer.
+	head := p.Next()
+	for srv.Consumed() < head {
+		select {
+		case <-c.stop:
+			return fmt.Errorf("cluster: stopped during decommission")
+		default:
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	c.consMu.Lock()
+	if i < len(c.consStop) && c.consStop[i] != nil {
+		close(c.consStop[i])
+		c.consStop[i] = nil
+	}
+	c.consMu.Unlock()
+	// 5. Final flush: every buffered tuple becomes a registered chunk, the
+	// replay offset commits to the head, and the live region empties (the
+	// coordinator stops planning mem-subqueries for the slot). A transient
+	// DFS fault can park the flusher with the snapshot unregistered — and
+	// DrainFlushes returns on a parked flusher — so keep re-driving the
+	// flush until the committed offset provably covers the sealed head.
+	// Each Flush re-signals a parked retry and waits for its outcome, so
+	// this loop spins only as fast as DFS attempts fail.
+	for c.ms.Offset(i) < head {
+		select {
+		case <-c.stop:
+			return fmt.Errorf("cluster: stopped during decommission")
+		default:
+		}
+		srv.FlushAll()
+	}
+	// 6. Fence forever: even a flusher goroutine that somehow survived
+	// cannot register under the retired slot again.
+	if _, _, err := c.ms.TransferOwnership(i, head); err != nil {
+		return err
+	}
+	srv.Close()
+	c.idxMu.Lock()
+	c.idx[i] = nil
+	c.idxMu.Unlock()
+	c.handoffs.Inc()
+	return nil
+}
+
 // KillIndexServer crashes indexing server i without waiting for recovery:
-// the consumer goroutine detaches, the old incarnation's flusher is
-// aborted — an in-flight chunk write can no longer register its chunk or
-// advance the WAL offset, which would otherwise duplicate tuples the
-// replacement is about to replay — and a replacement server starts
-// replaying the WAL partition from the last committed offset. It returns
-// as soon as the replacement is consuming; use CrashIndexServer to also
-// wait for catch-up. Only valid in WAL mode.
+// the consumer goroutine detaches and ownership transfers atomically to a
+// successor — the hot standby's warm shadow when one is running, else a
+// fresh server replaying the WAL partition from the last committed
+// offset. The transfer bumps the slot's fencing epoch BEFORE the
+// successor starts, so a chunk registration the dead incarnation still
+// has in flight is rejected instead of committing an offset the
+// successor's replay assumed stable (the pre-epoch code relied on Abort
+// ordering alone and could re-register regions the replay had already
+// covered). It returns as soon as the successor is consuming; use
+// CrashIndexServer to also wait for catch-up. Only valid in WAL mode.
 func (c *Cluster) KillIndexServer(i int) error {
 	if c.cfg.SyncIngest {
 		return fmt.Errorf("cluster: recovery requires WAL mode")
 	}
-	if i < 0 || i >= len(c.idx) {
+	c.elasticMu.Lock()
+	defer c.elasticMu.Unlock()
+	if c.server(i) == nil {
 		return fmt.Errorf("cluster: no indexing server %d", i)
 	}
-	// Stop the old consumer (the "crash"): its in-memory state is lost.
-	c.consMu.Lock()
-	close(c.consStop[i])
-	cs := make(chan struct{})
-	c.consStop[i] = cs
-	c.consMu.Unlock()
-	// Abort before reading the replay offset: Abort returns only after the
-	// old flusher exited and any in-flight registration completed, so the
-	// offset the replacement replays from is final.
-	c.idx[i].Abort()
-	repl := c.newIndexServer(i, c.ms.Schema().IntervalOf(i))
-	c.idx[i] = repl
-	c.coord.SetMemExecutor(i, repl)
-	c.wg.Add(1)
-	go func() {
-		defer c.wg.Done()
-		repl.Consume(c.log.Partition(i), mergedStop(c.stop, cs))
-	}()
-	return nil
+	return c.takeover(i, c.takeStandby(i))
 }
 
 // CrashIndexServer simulates an indexing-server failure and recovery (§V):
 // the server's goroutine stops, its in-memory state is discarded, and a
-// replacement replays its WAL partition from the offset stored in the
-// metadata server. Only valid in WAL mode. The call blocks until the
-// replacement has caught up with the partition head at call time.
+// successor (standby shadow or WAL replay) takes over. Only valid in WAL
+// mode. The call blocks until the successor has caught up with the
+// partition head at call time.
 func (c *Cluster) CrashIndexServer(i int) error {
-	if i < 0 || i >= len(c.idx) {
+	if c.server(i) == nil {
 		return fmt.Errorf("cluster: no indexing server %d", i)
 	}
 	head := c.log.Partition(i).Next()
 	if err := c.KillIndexServer(i); err != nil {
 		return err
 	}
-	repl := c.idx[i]
+	repl := c.server(i)
 	for repl.Consumed() < head {
 		select {
 		case <-c.stop:

@@ -20,49 +20,70 @@ func (c *Cluster) registerFuncMetrics() {
 	reg.CounterFunc("waterwheel_ingest_tuples_total", "tuples accepted by indexing servers", c.Ingested)
 	reg.CounterFunc("waterwheel_ingest_flushes_total", "memtable flushes to DFS chunks", func() int64 {
 		var n int64
-		for _, srv := range c.idx {
+		for _, srv := range c.servers() {
+			if srv == nil {
+				continue
+			}
 			n += srv.Stats().Flushes.Load()
 		}
 		return n
 	})
 	reg.CounterFunc("waterwheel_ingest_flush_bytes_total", "chunk bytes written by flushes", func() int64 {
 		var n int64
-		for _, srv := range c.idx {
+		for _, srv := range c.servers() {
+			if srv == nil {
+				continue
+			}
 			n += srv.Stats().FlushBytes.Load()
 		}
 		return n
 	})
 	reg.CounterFunc("waterwheel_ingest_flush_failures_total", "flushes that failed to write or register", func() int64 {
 		var n int64
-		for _, srv := range c.idx {
+		for _, srv := range c.servers() {
+			if srv == nil {
+				continue
+			}
 			n += srv.Stats().FlushFailures.Load()
 		}
 		return n
 	})
 	reg.CounterFunc("waterwheel_ingest_side_routed_total", "very-late tuples admitted to side stores", func() int64 {
 		var n int64
-		for _, srv := range c.idx {
+		for _, srv := range c.servers() {
+			if srv == nil {
+				continue
+			}
 			n += srv.Stats().SideRouted.Load()
 		}
 		return n
 	})
 	reg.CounterFunc("waterwheel_ingest_recovered_total", "tuples replayed from the WAL after crashes", func() int64 {
 		var n int64
-		for _, srv := range c.idx {
+		for _, srv := range c.servers() {
+			if srv == nil {
+				continue
+			}
 			n += srv.Stats().Recovered.Load()
 		}
 		return n
 	})
 	reg.CounterFunc("waterwheel_template_updates_total", "adaptive template rebuilds across memtable trees", func() int64 {
 		var n int64
-		for _, srv := range c.idx {
+		for _, srv := range c.servers() {
+			if srv == nil {
+				continue
+			}
 			n += srv.TreeStats().TemplateUpdates.Load()
 		}
 		return n
 	})
 	reg.GaugeFunc("waterwheel_memtable_bytes", "bytes buffered in memtables (tree + side store)", func() float64 {
 		var n int64
-		for _, srv := range c.idx {
+		for _, srv := range c.servers() {
+			if srv == nil {
+				continue
+			}
 			n += srv.MemBytes()
 		}
 		return float64(n)
@@ -72,21 +93,30 @@ func (c *Cluster) registerFuncMetrics() {
 	})
 	reg.GaugeFunc("waterwheel_flush_queue_depth", "memtable snapshots swapped out but not yet registered as chunks", func() float64 {
 		n := 0
-		for _, srv := range c.idx {
+		for _, srv := range c.servers() {
+			if srv == nil {
+				continue
+			}
 			n += srv.PendingFlushes()
 		}
 		return float64(n)
 	})
 	reg.CounterFunc("waterwheel_ingest_backpressure_total", "threshold-crossing inserts that blocked on a full flush queue", func() int64 {
 		var n int64
-		for _, srv := range c.idx {
+		for _, srv := range c.servers() {
+			if srv == nil {
+				continue
+			}
 			n += srv.Stats().Backpressure.Load()
 		}
 		return n
 	})
 	reg.GaugeFunc("waterwheel_skewness_max", "worst current template skewness S(P,D) across indexing servers", func() float64 {
 		worst := 0.0
-		for _, srv := range c.idx {
+		for _, srv := range c.servers() {
+			if srv == nil {
+				continue
+			}
 			if s := srv.SkewnessFactor(); s > worst {
 				worst = s
 			}
@@ -135,7 +165,10 @@ func (c *Cluster) registerFuncMetrics() {
 	if !c.cfg.SyncIngest {
 		reg.GaugeFunc("waterwheel_wal_backlog", "WAL records appended but not yet consumed", func() float64 {
 			var lag int64
-			for i, srv := range c.idx {
+			for i, srv := range c.servers() {
+				if srv == nil {
+					continue
+				}
 				if d := c.log.Partition(i).Next() - srv.Consumed(); d > 0 {
 					lag += d
 				}
@@ -165,7 +198,10 @@ func (c *Cluster) registerFuncMetrics() {
 	// Watermark: the largest event time observed, for stream-lag panels.
 	reg.GaugeFunc("waterwheel_watermark_millis", "largest event timestamp observed by any indexing server", func() float64 {
 		var hi model.Timestamp
-		for _, srv := range c.idx {
+		for _, srv := range c.servers() {
+			if srv == nil {
+				continue
+			}
 			if w := srv.Watermark(); w > hi {
 				hi = w
 			}

@@ -14,7 +14,7 @@ import (
 // contiguous cover of the full key domain with no gaps or overlaps.
 func FuzzBalancerRebalance(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint8(4))
-	f.Add([]byte{0, 0, 0, 0}, uint8(2))       // heavy duplicates
+	f.Add([]byte{0, 0, 0, 0}, uint8(2))         // heavy duplicates
 	f.Add([]byte{255, 255, 255, 255}, uint8(8)) // all at the domain top
 	f.Fuzz(func(t *testing.T, raw []byte, nsrv uint8) {
 		servers := int(nsrv%16) + 2

@@ -269,14 +269,15 @@ func NewBalancer() *Balancer { return &Balancer{Threshold: 0.2, MinSample: 256} 
 // schema and returns the maximum relative deviation from the mean:
 // max_i |n_i - mean| / mean. Returns 0 for empty samples.
 func (b *Balancer) Imbalance(schema meta.PartitionSchema, sample []model.Key) float64 {
-	if len(sample) == 0 || schema.Servers < 2 {
+	active := schema.ActiveCount()
+	if len(sample) == 0 || active < 2 {
 		return 0
 	}
-	counts := make([]int, schema.Servers)
+	counts := make([]int, active)
 	for _, k := range sample {
-		counts[schema.ServerFor(k)]++
+		counts[schema.PositionFor(k)]++
 	}
-	mean := float64(len(sample)) / float64(schema.Servers)
+	mean := float64(len(sample)) / float64(active)
 	worst := 0.0
 	for _, c := range counts {
 		dev := float64(c) - mean
@@ -297,11 +298,12 @@ func (b *Balancer) Imbalance(schema meta.PartitionSchema, sample []model.Key) fl
 // sampling noise floor (≈3σ of a multinomial share estimate) so small
 // samples do not cause repartition thrash.
 func (b *Balancer) Rebalance(schema meta.PartitionSchema, sample []model.Key) ([]model.Key, bool) {
-	if len(sample) < b.MinSample || schema.Servers < 2 {
+	active := schema.ActiveCount()
+	if len(sample) < b.MinSample || active < 2 {
 		return nil, false
 	}
 	threshold := b.Threshold
-	if noise := 3 * math.Sqrt(float64(schema.Servers)/float64(len(sample))); noise > threshold {
+	if noise := 3 * math.Sqrt(float64(active)/float64(len(sample))); noise > threshold {
 		threshold = noise
 	}
 	imbalance := b.Imbalance(schema, sample)
@@ -311,9 +313,9 @@ func (b *Balancer) Rebalance(schema meta.PartitionSchema, sample []model.Key) ([
 	}
 	sorted := append([]model.Key(nil), sample...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	bounds := make([]model.Key, 0, schema.Servers-1)
-	for i := 1; i < schema.Servers; i++ {
-		idx := i * len(sorted) / schema.Servers
+	bounds := make([]model.Key, 0, active-1)
+	for i := 1; i < active; i++ {
+		idx := i * len(sorted) / active
 		if idx >= len(sorted) {
 			idx = len(sorted) - 1
 		}

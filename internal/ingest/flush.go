@@ -112,6 +112,12 @@ func (pf *pendingFlush) mainInfo() meta.ChunkInfo {
 // so a concurrent query (which scans trees and pending under pendMu.RLock)
 // sees each tuple in exactly one place.
 func (s *Server) enqueueFlush(tree *core.TemplateTree, isSide, threshold bool) *pendingFlush {
+	if s.passive.Load() {
+		// A standby's shadow never flushes: the active owner persists the
+		// slot's data. The shadow memtable just grows until promotion (or
+		// until the standby resets it against the owner's commits).
+		return nil
+	}
 	s.swapMu.Lock()
 	defer s.swapMu.Unlock()
 	if threshold && tree.Bytes() < s.thresholdFor(isSide) {
@@ -147,6 +153,7 @@ func (s *Server) enqueueFlush(tree *core.TemplateTree, isSide, threshold bool) *
 		s.minMu.Lock()
 		s.hasData = false
 		s.sideData = false
+		s.keysSet = false
 		s.minMu.Unlock()
 	}
 	s.pendMu.Unlock()
@@ -247,6 +254,12 @@ func (s *Server) flusher() {
 func (s *Server) flushWithRetry(pf *pendingFlush) bool {
 	backoff := time.Millisecond
 	for !s.processFlush(pf) {
+		if s.fenced.Load() {
+			// Deposed incarnation: the metadata server rejects its writes
+			// for good. Exit instead of retrying forever; the new owner
+			// replays the WAL tail this unit would have covered.
+			return false
+		}
 		s.parked.Store(true)
 		select {
 		case <-s.retryCh:
@@ -279,6 +292,10 @@ func (s *Server) flushWithRetry(pf *pendingFlush) bool {
 // DFS refused a write; the unit then stays queryable in the pending list and
 // the caller decides when to retry.
 func (s *Server) processFlush(pf *pendingFlush) bool {
+	if s.fenced.Load() {
+		pf.attempts.Add(1)
+		return false
+	}
 	if s.aborted.Load() {
 		// Crashed: nothing may persist or commit any more. Reporting failure
 		// (not success) keeps backlog walkers and waiters from spinning on an
@@ -380,7 +397,43 @@ func (s *Server) processFlush(pf *pendingFlush) bool {
 		pf.attempts.Add(1)
 		return false
 	}
-	regs := s.ms.RegisterChunks(infos)
+	var regs []meta.ChunkInfo
+	if e := s.epoch.Load(); e > 0 {
+		// Epoch-guarded path: the chunks and the replay offset commit in
+		// ONE metadata critical section (RegisterFlushOwned), so an
+		// ownership transfer can never land between them — the promoted
+		// standby would otherwise replay records already in a registered
+		// chunk. The committed offset is the contiguous persisted prefix
+		// with this unit counted done.
+		commit := int64(-1)
+		for _, q := range s.pending {
+			if q != pf && flushState(q.state.Load()) != flushDone {
+				break
+			}
+			commit = q.offset
+			if q == pf {
+				break
+			}
+		}
+		var rerr error
+		regs, rerr = s.ms.RegisterFlushOwned(s.cfg.ID, e, infos, commit)
+		if rerr != nil {
+			// Fenced: ownership of the slot moved to a newer incarnation.
+			// This server is deposed — nothing it buffers may ever reach
+			// metadata again, and retrying is pointless by construction.
+			s.fenced.Store(true)
+			s.stats.FlushFailures.Add(1)
+			pf.state.Store(int32(flushFailed))
+			s.pendMu.Unlock()
+			pf.attempts.Add(1)
+			return false
+		}
+		if commit > s.committedOff {
+			s.committedOff = commit
+		}
+	} else {
+		regs = s.ms.RegisterChunks(infos)
+	}
 	for i := range pf.parts {
 		pf.parts[i].info = regs[i]
 	}
@@ -390,7 +443,9 @@ func (s *Server) processFlush(pf *pendingFlush) bool {
 	// the visibility check (ExecuteSubQuery) and the sweep.
 	pf.chunk.Store(uint64(regs[0].ID))
 	pf.state.Store(int32(flushDone))
-	s.commitOffsetsLocked()
+	if s.epoch.Load() <= 0 {
+		s.commitOffsetsLocked()
+	}
 	s.sweepLocked()
 	s.pendMu.Unlock()
 	s.stats.Flushes.Add(1)

@@ -81,6 +81,18 @@ type Config struct {
 	// Metrics holds optional telemetry handles; the zero value (nil
 	// handles) disables instrumentation at no cost.
 	Metrics Metrics
+	// Epoch is the ownership epoch this incarnation holds its slot under.
+	// When positive, chunk registrations and offset commits go through the
+	// epoch-guarded metadata APIs and are rejected once ownership moves
+	// (meta.TransferOwnership bumps the slot's epoch): a deposed owner can
+	// linger, but it cannot write metadata. Zero bypasses fencing.
+	Epoch int64
+	// Passive builds the server as a hot standby's shadow: it indexes
+	// tuples normally (so a promotion inherits a warm memtable) but never
+	// flushes, never reports a live region, and never commits offsets —
+	// the active owner of the slot does all three. Activate flips the
+	// server live.
+	Passive bool
 }
 
 // ChunkWriter is the slice of the DFS the ingest path needs: durable,
@@ -155,12 +167,25 @@ type Server struct {
 	// watermark is the largest event timestamp observed.
 	watermark atomic.Int64
 	// minTime is the smallest timestamp in the current memtable; reset on
-	// flush. Guarded by minMu.
+	// flush. Guarded by minMu. keyLo/keyHi bound the keys in both live
+	// trees (main and side, which always swap out together), valid while
+	// keysSet; the box only grows between swaps, so it covers the trees'
+	// contents even when routing placed old-interval keys here after a
+	// repartition — that box is what keeps the slot's actual interval in
+	// metadata honest.
 	minMu    sync.Mutex
 	minTime  model.Timestamp
 	hasData  bool
 	sideMin  model.Timestamp
 	sideData bool
+	keyLo    model.Key
+	keyHi    model.Key
+	keysSet  bool
+
+	// reportMu serializes live-region reports end to end (state measurement
+	// plus the metadata call), so a stale measurement can never overwrite a
+	// fresher one at the metadata server.
+	reportMu sync.Mutex
 
 	// swapMu serializes threshold checks, FlushReset swaps and flush-queue
 	// sends, so snapshots enter the queue in seq order and backpressure
@@ -190,6 +215,14 @@ type Server struct {
 	// aborted marks a simulated crash (Abort): no snapshot may register its
 	// chunk or commit a WAL offset any more.
 	aborted atomic.Bool
+	// passive suppresses flushes, live-region reports and offset commits
+	// while the server shadows an active owner (hot standby).
+	passive atomic.Bool
+	// epoch is the ownership epoch metadata writes are guarded by (>0).
+	epoch atomic.Int64
+	// fenced latches the first ErrFenced from the metadata server: the
+	// incarnation has been deposed and its flusher must stop retrying.
+	fenced atomic.Bool
 
 	// chunkFormat, when non-zero, overrides Bloom.Format for later flushes
 	// (SetChunkFormat) — the live format-migration switch.
@@ -233,6 +266,8 @@ func NewServer(cfg Config, fs ChunkWriter, ms *meta.Server, node int) *Server {
 		s.side = core.NewTemplateTree(sideCfg)
 	}
 	s.watermark.Store(int64(model.MinTimestamp))
+	s.epoch.Store(cfg.Epoch)
+	s.passive.Store(cfg.Passive)
 	if cfg.SyncFlush {
 		close(s.flusherDone) // no background goroutine to wait for
 	} else {
@@ -279,6 +314,7 @@ func (s *Server) Insert(t model.Tuple) {
 		s.minTime = t.Time
 		s.hasData = true
 	}
+	changed = s.growKeyBoxLocked(t.Key, t.Key) || changed
 	s.minMu.Unlock()
 	s.tree.Insert(t)
 	if changed {
@@ -384,6 +420,15 @@ func (s *Server) insertBatchAt(ts []model.Tuple, nextOff int64) {
 			}
 		}
 	}
+	kLo, kHi := ts[0].Key, ts[0].Key
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Key < kLo {
+			kLo = ts[i].Key
+		}
+		if ts[i].Key > kHi {
+			kHi = ts[i].Key
+		}
+	}
 	s.minMu.Lock()
 	changed := false
 	if len(main) > 0 && (!s.hasData || mainMin < s.minTime) {
@@ -396,6 +441,7 @@ func (s *Server) insertBatchAt(ts []model.Tuple, nextOff int64) {
 		s.sideData = true
 		changed = true
 	}
+	changed = s.growKeyBoxLocked(kLo, kHi) || changed
 	s.minMu.Unlock()
 	s.pendMu.RLock()
 	if nextOff >= 0 {
@@ -430,6 +476,7 @@ func (s *Server) insertSide(t model.Tuple) {
 		s.sideMin = t.Time
 		s.sideData = true
 	}
+	changed = s.growKeyBoxLocked(t.Key, t.Key) || changed
 	s.minMu.Unlock()
 	s.side.Insert(t)
 	if changed {
@@ -442,20 +489,55 @@ func (s *Server) insertSide(t model.Tuple) {
 	}
 }
 
-// MemMinTime returns the left temporal bound of the live (memtable) region:
-// the minimum over both trees and every pending snapshot whose chunk is not
-// yet registered (those tuples are still served from memory, so the live
-// region must keep covering them), and whether any data is buffered.
+// growKeyBoxLocked widens the live trees' key bounding box to cover
+// [lo, hi] and reports whether it changed. Requires minMu.
+func (s *Server) growKeyBoxLocked(lo, hi model.Key) bool {
+	if !s.keysSet {
+		s.keyLo, s.keyHi, s.keysSet = lo, hi, true
+		return true
+	}
+	changed := false
+	if lo < s.keyLo {
+		s.keyLo = lo
+		changed = true
+	}
+	if hi > s.keyHi {
+		s.keyHi = hi
+		changed = true
+	}
+	return changed
+}
+
+// MemMinTime returns the left temporal bound of the live (memtable) region
+// and whether any data is buffered.
 func (s *Server) MemMinTime() (model.Timestamp, bool) {
+	min, _, ok := s.MemBounds()
+	return min, ok
+}
+
+// MemBounds returns the live (memtable) region's exact extent: the minimum
+// timestamp and the key bounding box over both trees and every pending
+// snapshot whose chunk is not yet registered (those tuples are still served
+// from memory, so the live region must keep covering them), and whether any
+// data is buffered. The key box is what the metadata server unions into the
+// slot's actual interval — it covers old-interval tuples a repartition or
+// split stranded in this memtable, whatever the current nominal interval
+// says.
+func (s *Server) MemBounds() (model.Timestamp, model.KeyRange, bool) {
 	s.pendMu.RLock()
 	defer s.pendMu.RUnlock()
 	s.minMu.Lock()
 	min, ok := model.Timestamp(0), false
+	var keys model.KeyRange
 	if s.hasData {
 		min, ok = s.minTime, true
 	}
 	if s.sideData && (!ok || s.sideMin < min) {
 		min, ok = s.sideMin, true
+	}
+	hasKeys := s.keysSet
+	if hasKeys {
+		keys = model.KeyRange{Lo: s.keyLo, Hi: s.keyHi}
 	}
 	s.minMu.Unlock()
 	for _, pf := range s.pending {
@@ -466,16 +548,67 @@ func (s *Server) MemMinTime() (model.Timestamp, bool) {
 			if t := pf.parts[i].snap.MinTime; !ok || t < min {
 				min, ok = t, true
 			}
+			kr := boundingKeys(pf.parts[i].snap)
+			if !hasKeys {
+				keys, hasKeys = kr, true
+			} else {
+				if kr.Lo < keys.Lo {
+					keys.Lo = kr.Lo
+				}
+				if kr.Hi > keys.Hi {
+					keys.Hi = kr.Hi
+				}
+			}
 		}
 	}
-	return min, ok
+	return min, keys, ok
 }
 
 // reportLive pushes the current live-region state to the metadata server.
+// A passive shadow stays silent: the slot's live region belongs to the
+// active owner until promotion. reportMu makes the measurement and the
+// metadata call atomic, so concurrent reporters (inserter, consumer,
+// flusher) publish in measurement order and a stale snapshot of the state
+// can never overwrite a fresher one.
 func (s *Server) reportLive() {
-	min, ok := s.MemMinTime()
-	s.ms.ReportLive(s.cfg.ID, min, !ok)
+	if s.passive.Load() {
+		return
+	}
+	s.reportMu.Lock()
+	defer s.reportMu.Unlock()
+	min, keys, ok := s.MemBounds()
+	s.ms.ReportLive(s.cfg.ID, min, keys, !ok)
 }
+
+// PublishLive forces an immediate live-region report — callers that just
+// drained the WAL into this server (cluster Drain, takeover barriers) use
+// it to make the memtable's extent visible to query planning before they
+// read, closing the hair-thin window between a consumed batch's offset
+// store and the consumer loop's own report.
+func (s *Server) PublishLive() { s.reportLive() }
+
+// Activate flips a passive shadow live under the given ownership epoch —
+// the final step of a promotion, after meta.TransferOwnership fenced the
+// old owner. The committed-offset floor snaps to the slot's metadata
+// offset (final once the old owner is fenced) and the live region is
+// published.
+func (s *Server) Activate(epoch int64) {
+	s.epoch.Store(epoch)
+	s.pendMu.Lock()
+	if off := s.ms.Offset(s.cfg.ID); off > s.committedOff {
+		s.committedOff = off
+	}
+	s.pendMu.Unlock()
+	s.passive.Store(false)
+	s.reportLive()
+}
+
+// Epoch returns the ownership epoch this incarnation writes metadata under.
+func (s *Server) Epoch() int64 { return s.epoch.Load() }
+
+// Fenced reports whether a metadata write was rejected because ownership
+// of the slot moved to a newer incarnation.
+func (s *Server) Fenced() bool { return s.fenced.Load() }
 
 // Flush forces the in-memory state out as chunks — the memtable and, when
 // non-empty, the side store swap together as one flush unit — and waits for
@@ -677,8 +810,12 @@ func (s *Server) SetKeys(kr model.KeyRange) {
 // on an idle partition.
 func (s *Server) Consume(p *wal.Partition, stop <-chan struct{}) error {
 	start := s.ms.Offset(s.cfg.ID)
-	base := p.Base()
-	if start < base {
+	// A promoted standby already replayed its shadow memtable up to
+	// consumed; resuming below that would insert those records twice.
+	if c := s.consumed.Load(); c > start {
+		start = c
+	}
+	if base := p.Base(); start < base {
 		start = base
 	}
 	s.consumed.Store(start)
@@ -704,29 +841,14 @@ func (s *Server) Consume(p *wal.Partition, stop <-chan struct{}) error {
 			}
 			continue
 		}
-		// Decode the whole read as one batch, arena-copying payloads into a
-		// single buffer: decoded payloads alias the WAL's retained record
-		// buffers (for AppendBatch, one buffer per *batch*), and without the
-		// copy each tuple would pin its entire source buffer for its
-		// lifetime in the tree.
-		batch := make([]model.Tuple, len(recs))
-		arenaLen := 0
-		for i, r := range recs {
-			t, _, derr := model.DecodeTuple(r.Data)
-			if derr != nil {
-				return fmt.Errorf("ingest: bad record at offset %d: %w", r.Offset, derr)
-			}
-			batch[i] = t
-			arenaLen += len(t.Payload)
-			if r.Offset < head {
+		batch, derr := decodeRecords(recs)
+		if derr != nil {
+			return fmt.Errorf("ingest: consume: %w", derr)
+		}
+		for i := range recs {
+			if recs[i].Offset < head {
 				s.stats.Recovered.Add(1)
 			}
-		}
-		arena := make([]byte, 0, arenaLen)
-		for i := range batch {
-			pos := len(arena)
-			arena = append(arena, batch[i].Payload...)
-			batch[i].Payload = arena[pos:len(arena):len(arena)]
 		}
 		// The offset advances with the inserts inside one pendMu read
 		// section (see insertBatchAt): a flush swap — whether triggered by
@@ -759,3 +881,28 @@ func (s *Server) Consume(p *wal.Partition, stop <-chan struct{}) error {
 
 // Consumed returns the next WAL offset the server will read.
 func (s *Server) Consumed() int64 { return s.consumed.Load() }
+
+// decodeRecords decodes WAL records into tuples, arena-copying payloads
+// into a single buffer: decoded payloads alias the WAL's retained record
+// buffers (for AppendBatch, one buffer per *batch*), and without the copy
+// each tuple would pin its entire source buffer for its lifetime in the
+// tree. Shared by the consumption loop and the standby replayer.
+func decodeRecords(recs []wal.Record) ([]model.Tuple, error) {
+	batch := make([]model.Tuple, len(recs))
+	arenaLen := 0
+	for i, r := range recs {
+		t, _, err := model.DecodeTuple(r.Data)
+		if err != nil {
+			return nil, fmt.Errorf("bad record at offset %d: %w", r.Offset, err)
+		}
+		batch[i] = t
+		arenaLen += len(t.Payload)
+	}
+	arena := make([]byte, 0, arenaLen)
+	for i := range batch {
+		pos := len(arena)
+		arena = append(arena, batch[i].Payload...)
+		batch[i].Payload = arena[pos:len(arena):len(arena)]
+	}
+	return batch, nil
+}

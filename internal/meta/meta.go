@@ -48,31 +48,95 @@ type ChunkInfo struct {
 	Agg *model.ChunkAgg
 }
 
-// PartitionSchema is the global key partitioning: server i of Servers owns
-// [Bounds[i-1], Bounds[i]) with the outermost intervals extended to the
-// domain edges.
+// PartitionSchema is the global key partitioning. Slot ids are stable for
+// the lifetime of the cluster (slot i <-> WAL partition i), but the set of
+// *active* slots changes as servers are added and decommissioned: the
+// active slots, listed in ascending key order in Slots, own consecutive
+// key intervals separated by Bounds. A nil Slots means every slot
+// 0..Servers-1 is active in id order (the static-cluster layout every
+// schema had before elastic scale-out).
 type PartitionSchema struct {
 	// Version increases with every repartition.
 	Version int64
-	// Servers is the number of indexing servers.
+	// Servers is the total number of slots ever allocated, active or not.
 	Servers int
-	// Bounds has Servers-1 separator keys, ascending.
+	// Slots lists the active slot ids in ascending key order. nil means
+	// the identity layout over [0, Servers).
+	Slots []int
+	// Bounds has ActiveCount()-1 separator keys, ascending: the j-th
+	// active slot owns [Bounds[j-1], Bounds[j]) with the outermost
+	// intervals extended to the domain edges.
 	Bounds []model.Key
 }
 
-// ServerFor returns the indexing server owning key k.
-func (s PartitionSchema) ServerFor(k model.Key) int {
+// ActiveCount returns the number of active slots.
+func (s PartitionSchema) ActiveCount() int {
+	if s.Slots == nil {
+		return s.Servers
+	}
+	return len(s.Slots)
+}
+
+// ActiveSlots returns the active slot ids in ascending key order.
+func (s PartitionSchema) ActiveSlots() []int {
+	if s.Slots != nil {
+		return append([]int(nil), s.Slots...)
+	}
+	out := make([]int, s.Servers)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Active reports whether slot i currently owns a key interval.
+func (s PartitionSchema) Active(i int) bool {
+	return s.slotIndex(i) >= 0
+}
+
+// slotIndex returns slot i's position in key order, or -1 if retired.
+func (s PartitionSchema) slotIndex(i int) int {
+	if s.Slots == nil {
+		if i >= 0 && i < s.Servers {
+			return i
+		}
+		return -1
+	}
+	for j, id := range s.Slots {
+		if id == i {
+			return j
+		}
+	}
+	return -1
+}
+
+// PositionFor returns the key-order position of the active slot owning k.
+func (s PartitionSchema) PositionFor(k model.Key) int {
 	return sort.Search(len(s.Bounds), func(i int) bool { return k < s.Bounds[i] })
 }
 
-// IntervalOf returns the nominal key interval of server i.
-func (s PartitionSchema) IntervalOf(i int) model.KeyRange {
-	kr := model.FullKeyRange()
-	if i > 0 {
-		kr.Lo = s.Bounds[i-1]
+// ServerFor returns the indexing server (slot id) owning key k.
+func (s PartitionSchema) ServerFor(k model.Key) int {
+	j := s.PositionFor(k)
+	if s.Slots == nil {
+		return j
 	}
-	if i < len(s.Bounds) {
-		kr.Hi = s.Bounds[i] - 1
+	return s.Slots[j]
+}
+
+// IntervalOf returns the nominal key interval of slot i. A retired slot
+// owns nothing and gets an empty (inverted) range.
+func (s PartitionSchema) IntervalOf(i int) model.KeyRange {
+	j := s.slotIndex(i)
+	if j < 0 {
+		return model.KeyRange{Lo: 1, Hi: 0}
+	}
+	kr := model.FullKeyRange()
+	if j > 0 {
+		kr.Lo = s.Bounds[j-1]
+	}
+	if j < len(s.Bounds) {
+		kr.Hi = s.Bounds[j] - 1
 	}
 	return kr
 }
@@ -125,6 +189,8 @@ type Server struct {
 	chunks    map[model.ChunkID]ChunkInfo
 	regions   *rtree.Tree // region -> ChunkID
 	offsets   []int64
+	epochs    []int64
+	handoffs  []int64
 	queries   map[uint64]QueryInfo
 	nextChunk uint64
 	nextQuery uint64
@@ -137,17 +203,20 @@ func NewServer(indexServers int) *Server {
 		indexServers = 1
 	}
 	s := &Server{
-		schema:  EvenSchema(indexServers),
-		chunks:  make(map[model.ChunkID]ChunkInfo),
-		regions: rtree.New(16),
-		offsets: make([]int64, indexServers),
-		queries: make(map[uint64]QueryInfo),
-		actual:  make([]model.KeyRange, indexServers),
-		live:    make([]LiveRegion, indexServers),
+		schema:   EvenSchema(indexServers),
+		chunks:   make(map[model.ChunkID]ChunkInfo),
+		regions:  rtree.New(16),
+		offsets:  make([]int64, indexServers),
+		epochs:   make([]int64, indexServers),
+		handoffs: make([]int64, indexServers),
+		queries:  make(map[uint64]QueryInfo),
+		actual:   make([]model.KeyRange, indexServers),
+		live:     make([]LiveRegion, indexServers),
 	}
 	for i := range s.actual {
 		s.actual[i] = s.schema.IntervalOf(i)
 		s.live[i] = LiveRegion{Server: i, Keys: s.actual[i], Empty: true}
+		s.epochs[i] = 1
 	}
 	return s
 }
@@ -161,18 +230,21 @@ func (s *Server) Schema() PartitionSchema {
 
 func clonedSchema(p PartitionSchema) PartitionSchema {
 	p.Bounds = append([]model.Key(nil), p.Bounds...)
+	if p.Slots != nil {
+		p.Slots = append([]int(nil), p.Slots...)
+	}
 	return p
 }
 
-// SetSchema installs a new key partitioning (same server count), bumping
-// the version. Each server's actual interval becomes the union of its old
-// actual interval and its new nominal interval until the next flush
-// shrinks it (§III-D).
+// SetSchema installs a new key partitioning (same active-slot set),
+// bumping the version. Each server's actual interval becomes the union of
+// its old actual interval and its new nominal interval until the next
+// flush shrinks it (§III-D).
 func (s *Server) SetSchema(bounds []model.Key) (PartitionSchema, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(bounds) != s.schema.Servers-1 {
-		return PartitionSchema{}, fmt.Errorf("meta: schema needs %d bounds, got %d", s.schema.Servers-1, len(bounds))
+	if want := s.schema.ActiveCount() - 1; len(bounds) != want {
+		return PartitionSchema{}, fmt.Errorf("meta: schema needs %d bounds, got %d", want, len(bounds))
 	}
 	for i := 1; i < len(bounds); i++ {
 		if bounds[i] <= bounds[i-1] {
@@ -182,21 +254,21 @@ func (s *Server) SetSchema(bounds []model.Key) (PartitionSchema, error) {
 	s.schema = PartitionSchema{
 		Version: s.schema.Version + 1,
 		Servers: s.schema.Servers,
+		Slots:   s.schema.Slots,
 		Bounds:  append([]model.Key(nil), bounds...),
 	}
 	for i := range s.actual {
+		// Widen unconditionally — never snap to nominal here. The live
+		// region's Empty flag can be stale (WAL backlog acked but not yet
+		// consumed), so narrowing on it would hide backlog tuples routed
+		// under the old schema. The next ReportLive shrinks the actual
+		// interval to nominal ∪ the server's measured key box.
 		nom := s.schema.IntervalOf(i)
-		if s.live[i].Empty {
-			// Nothing buffered: the actual interval snaps to nominal.
-			s.actual[i] = nom
-		} else {
-			// Buffered tuples from the old interval remain; widen.
-			if nom.Lo < s.actual[i].Lo {
-				s.actual[i].Lo = nom.Lo
-			}
-			if nom.Hi > s.actual[i].Hi {
-				s.actual[i].Hi = nom.Hi
-			}
+		if nom.Lo < s.actual[i].Lo {
+			s.actual[i].Lo = nom.Lo
+		}
+		if nom.Hi > s.actual[i].Hi {
+			s.actual[i].Hi = nom.Hi
 		}
 		s.live[i].Keys = s.actual[i]
 	}
@@ -211,16 +283,33 @@ func (s *Server) Actual(server int) model.KeyRange {
 }
 
 // ReportLive updates an indexing server's live region after inserts or a
-// flush. Empty=true marks the memtable as drained, which also snaps the
-// actual interval back to the nominal one.
-func (s *Server) ReportLive(server int, minTime model.Timestamp, empty bool) {
+// flush. keys is the exact key bounding box of the server's in-memory
+// tuples (memtable, side store, unregistered snapshots); the actual
+// interval becomes the union of the nominal interval and that box, so it
+// covers every buffered tuple however stale the routing that placed it —
+// and shrinks back to nominal on its own as flushes drain the old keys.
+// Empty=true marks the memtable as drained (keys is ignored), which snaps
+// the actual interval to the nominal one. The box is measured by the
+// server itself, so a schema change between the measurement and this call
+// cannot invalidate it: the box covers the buffered tuples regardless of
+// which schema routed them.
+func (s *Server) ReportLive(server int, minTime model.Timestamp, keys model.KeyRange, empty bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if server < 0 || server >= len(s.live) {
 		return
 	}
+	nom := s.schema.IntervalOf(server)
 	if empty {
-		s.actual[server] = s.schema.IntervalOf(server)
+		s.actual[server] = nom
+	} else {
+		if keys.Lo < nom.Lo {
+			nom.Lo = keys.Lo
+		}
+		if keys.Hi > nom.Hi {
+			nom.Hi = keys.Hi
+		}
+		s.actual[server] = nom
 	}
 	s.live[server] = LiveRegion{
 		Server:  server,
@@ -419,6 +508,8 @@ type persistentState struct {
 	Live      []LiveRegion
 	Chunks    []ChunkInfo
 	Offsets   []int64
+	Epochs    []int64
+	Handoffs  []int64
 	Queries   []QueryInfo
 	NextChunk uint64
 	NextQuery uint64
@@ -432,6 +523,8 @@ func (s *Server) Snapshot() ([]byte, error) {
 		Actual:    append([]model.KeyRange(nil), s.actual...),
 		Live:      append([]LiveRegion(nil), s.live...),
 		Offsets:   append([]int64(nil), s.offsets...),
+		Epochs:    append([]int64(nil), s.epochs...),
+		Handoffs:  append([]int64(nil), s.handoffs...),
 		NextChunk: s.nextChunk,
 		NextQuery: s.nextQuery,
 	}
@@ -460,6 +553,14 @@ func Restore(data []byte) (*Server, error) {
 	s.actual = st.Actual
 	s.live = st.Live
 	s.offsets = st.Offsets
+	// Snapshots predating ownership epochs carry none: every slot starts
+	// at epoch 1, the value NewServer seeded.
+	if st.Epochs != nil {
+		s.epochs = st.Epochs
+	}
+	if st.Handoffs != nil {
+		s.handoffs = st.Handoffs
+	}
 	s.nextChunk = st.NextChunk
 	s.nextQuery = st.NextQuery
 	for _, c := range st.Chunks {

@@ -66,9 +66,9 @@ func TestRepartitionWidensActualIntervals(t *testing.T) {
 	// flushes, both servers' actual intervals cover the overlap.
 	srv := NewServer(2)
 	srv.SetSchema([]model.Key{180})
-	// Both servers hold data.
-	srv.ReportLive(0, 1000, false)
-	srv.ReportLive(1, 1000, false)
+	// Both servers hold data spanning their whole current interval.
+	srv.ReportLive(0, 1000, srv.Actual(0), false)
+	srv.ReportLive(1, 1000, srv.Actual(1), false)
 	srv.SetSchema([]model.Key{150})
 
 	a0, a1 := srv.Actual(0), srv.Actual(1)
@@ -82,7 +82,7 @@ func TestRepartitionWidensActualIntervals(t *testing.T) {
 		t.Error("actual intervals should overlap right after repartition")
 	}
 	// After server 0 flushes (memtable empty), its actual snaps to nominal.
-	srv.ReportLive(0, 2000, true)
+	srv.ReportLive(0, 2000, model.KeyRange{}, true)
 	a0 = srv.Actual(0)
 	if a0.Hi != 149 {
 		t.Errorf("post-flush actual %v, want Hi=149", a0)
@@ -129,12 +129,12 @@ func TestLiveRegions(t *testing.T) {
 	if len(lr) != 2 || !lr[0].Empty {
 		t.Fatalf("initial live regions %+v", lr)
 	}
-	srv.ReportLive(0, 5000, false)
+	srv.ReportLive(0, 5000, srv.Actual(0), false)
 	lr = srv.LiveRegions()
 	if lr[0].Empty || lr[0].MinTime != 5000 {
 		t.Errorf("live region %+v", lr[0])
 	}
-	srv.ReportLive(99, 0, false) // out of range: ignored
+	srv.ReportLive(99, 0, model.KeyRange{}, false) // out of range: ignored
 }
 
 func TestOffsets(t *testing.T) {
@@ -168,7 +168,7 @@ func TestQueryRegistry(t *testing.T) {
 func TestSnapshotRestore(t *testing.T) {
 	srv := NewServer(3)
 	srv.SetSchema([]model.Key{1000, 2000})
-	srv.ReportLive(1, 777, false)
+	srv.ReportLive(1, 777, srv.Actual(1), false)
 	c := srv.RegisterChunk(ChunkInfo{Path: "p", Region: region(0, 10, 0, 10), Count: 3, Size: 99, Server: 1})
 	srv.SetOffset(2, 555)
 	q := srv.RegisterQuery(model.Query{Keys: model.KeyRange{Lo: 1, Hi: 2}, Times: model.TimeRange{Lo: 3, Hi: 4}})

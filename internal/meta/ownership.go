@@ -1,0 +1,195 @@
+package meta
+
+import (
+	"errors"
+	"fmt"
+
+	"waterwheel/internal/model"
+)
+
+// ErrFenced is returned by the epoch-guarded registration APIs when the
+// caller's ownership epoch is stale: ownership of the slot has been
+// transferred since the caller last held it, and its writes must not
+// reach the chunk registry or the replay offsets.
+var ErrFenced = errors.New("meta: ownership epoch fenced")
+
+// Epoch returns the current ownership epoch of a slot. Epochs start at 1
+// and bump on every TransferOwnership; an indexing-server incarnation
+// records the epoch it was built under and is fenced once it lags.
+func (s *Server) Epoch(server int) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if server < 0 || server >= len(s.epochs) {
+		return 0
+	}
+	return s.epochs[server]
+}
+
+// HandoffOffset returns the WAL offset recorded at the slot's last
+// ownership transfer — where the incoming owner resumed replay.
+func (s *Server) HandoffOffset(server int) int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if server < 0 || server >= len(s.handoffs) {
+		return 0
+	}
+	return s.handoffs[server]
+}
+
+// TransferOwnership is the atomic ownership flip of a region handoff (and
+// equally the claim a crash replacement makes before replaying): in one
+// critical section it bumps the slot's fencing epoch, records the WAL
+// handoff offset, and reads the slot's nominal key interval. After it
+// returns, any flush the deposed incarnation still has in flight fails
+// with ErrFenced, so the metadata the new owner starts from cannot change
+// under it.
+func (s *Server) TransferOwnership(server int, handoffOff int64) (int64, model.KeyRange, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if server < 0 || server >= len(s.epochs) {
+		return 0, model.KeyRange{}, fmt.Errorf("meta: transfer ownership: no slot %d", server)
+	}
+	s.epochs[server]++
+	s.handoffs[server] = handoffOff
+	return s.epochs[server], s.schema.IntervalOf(server), nil
+}
+
+// RegisterFlushOwned registers a flush unit's chunks and advances the
+// slot's replay offset in one epoch-guarded critical section. The two
+// must move together: if an ownership transfer could land between the
+// chunk registration and the offset commit, the incoming owner would
+// replay records that are already in a registered chunk and duplicate
+// them. The offset only moves forward; a stale epoch rejects the whole
+// unit with ErrFenced and registers nothing.
+func (s *Server) RegisterFlushOwned(server int, epoch int64, infos []ChunkInfo, off int64) ([]ChunkInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if server < 0 || server >= len(s.epochs) {
+		return nil, fmt.Errorf("meta: register flush: no slot %d", server)
+	}
+	if epoch != s.epochs[server] {
+		return nil, ErrFenced
+	}
+	out := make([]ChunkInfo, len(infos))
+	for i, info := range infos {
+		s.nextChunk++
+		info.ID = model.ChunkID(s.nextChunk)
+		s.chunks[info.ID] = info
+		s.regions.Insert(info.Region, info.ID)
+		out[i] = info
+	}
+	if off > s.offsets[server] {
+		s.offsets[server] = off
+	}
+	return out, nil
+}
+
+// SetOffsetOwned is the epoch-guarded form of SetOffset.
+func (s *Server) SetOffsetOwned(server int, epoch int64, off int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if server < 0 || server >= len(s.epochs) {
+		return fmt.Errorf("meta: set offset: no slot %d", server)
+	}
+	if epoch != s.epochs[server] {
+		return ErrFenced
+	}
+	if off > s.offsets[server] {
+		s.offsets[server] = off
+	}
+	return nil
+}
+
+// AddServer allocates a new slot by splitting an active slot's interval
+// at key `at`: splitFrom keeps [lo, at-1] and the new slot owns [at, hi].
+// The new slot's id equals the previous total slot count (slot i <-> WAL
+// partition i, so the caller must grow the log in step). Returns the new
+// schema and the new slot id.
+func (s *Server) AddServer(splitFrom int, at model.Key) (PartitionSchema, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.schema.slotIndex(splitFrom)
+	if j < 0 {
+		return PartitionSchema{}, 0, fmt.Errorf("meta: add server: slot %d not active", splitFrom)
+	}
+	kr := s.schema.IntervalOf(splitFrom)
+	if at <= kr.Lo || at > kr.Hi {
+		return PartitionSchema{}, 0, fmt.Errorf("meta: add server: split key %d outside (%d, %d]", at, kr.Lo, kr.Hi)
+	}
+	id := s.schema.Servers
+	slots := s.schema.ActiveSlots()
+	slots = append(slots, 0)
+	copy(slots[j+2:], slots[j+1:])
+	slots[j+1] = id
+	bounds := append([]model.Key(nil), s.schema.Bounds...)
+	bounds = append(bounds, 0)
+	copy(bounds[j+1:], bounds[j:])
+	bounds[j] = at
+	s.schema = PartitionSchema{
+		Version: s.schema.Version + 1,
+		Servers: id + 1,
+		Slots:   slots,
+		Bounds:  bounds,
+	}
+	s.offsets = append(s.offsets, 0)
+	s.epochs = append(s.epochs, 1)
+	s.handoffs = append(s.handoffs, 0)
+	s.actual = append(s.actual, s.schema.IntervalOf(id))
+	s.live = append(s.live, LiveRegion{Server: id, Keys: s.actual[id], Empty: true})
+	// splitFrom's nominal interval shrank, but its actual interval stays
+	// wide: the slot may hold buffered tuples from the old interval — or
+	// acked WAL backlog it has not consumed yet, which its live region
+	// cannot reflect — so narrowing here would hide them from queries
+	// (§III-D). The slot's next ReportLive shrinks the actual interval to
+	// nominal ∪ its measured in-memory key box.
+	return clonedSchema(s.schema), id, nil
+}
+
+// RemoveServer retires an active slot, merging its key interval into a
+// neighbor (the left one when it exists, else the right). The slot's
+// actual interval and live region are left untouched: the outgoing server
+// still holds buffered tuples it must flush, and its region stays
+// queryable until it reports its memtable drained. The epoch is not
+// bumped here — the caller fences the slot with TransferOwnership after
+// the final flush so the retiring server can register it.
+func (s *Server) RemoveServer(server int) (PartitionSchema, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j := s.schema.slotIndex(server)
+	if j < 0 {
+		return PartitionSchema{}, fmt.Errorf("meta: remove server: slot %d not active", server)
+	}
+	slots := s.schema.ActiveSlots()
+	if len(slots) < 2 {
+		return PartitionSchema{}, fmt.Errorf("meta: remove server: slot %d is the last active slot", server)
+	}
+	slots = append(slots[:j], slots[j+1:]...)
+	bounds := append([]model.Key(nil), s.schema.Bounds...)
+	if j > 0 {
+		// Merge into the left neighbor: drop the separator below us.
+		bounds = append(bounds[:j-1], bounds[j:]...)
+	} else {
+		// Leftmost slot: the right neighbor absorbs the interval.
+		bounds = bounds[1:]
+	}
+	s.schema = PartitionSchema{
+		Version: s.schema.Version + 1,
+		Servers: s.schema.Servers,
+		Slots:   slots,
+		Bounds:  bounds,
+	}
+	// The absorbing neighbors' nominal intervals grew; widen their
+	// actual intervals the same way SetSchema does (never snap here —
+	// the Empty flag may be stale against acked WAL backlog).
+	for _, id := range slots {
+		nom := s.schema.IntervalOf(id)
+		if nom.Lo < s.actual[id].Lo {
+			s.actual[id].Lo = nom.Lo
+		}
+		if nom.Hi > s.actual[id].Hi {
+			s.actual[id].Hi = nom.Hi
+		}
+		s.live[id].Keys = s.actual[id]
+	}
+	return clonedSchema(s.schema), nil
+}

@@ -50,8 +50,8 @@ func (c *testCluster) ingest(tuples []model.Tuple) {
 		c.is[schema.ServerFor(tp.Key)].Insert(tp)
 	}
 	for i, srv := range c.is {
-		min, ok := srv.MemMinTime()
-		c.ms.ReportLive(i, min, !ok)
+		min, keys, ok := srv.MemBounds()
+		c.ms.ReportLive(i, min, keys, !ok)
 	}
 }
 

@@ -346,7 +346,7 @@ func OpenLogDirConfig(dir string, n int, cfg Config) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("wal: log dir: %w", err)
 	}
-	l := &Log{parts: make([]*Partition, n)}
+	l := &Log{parts: make([]*Partition, n), dir: dir, cfg: cfg}
 	for i := range l.parts {
 		p, err := OpenPartition(filepath.Join(dir, fmt.Sprintf("p%d.wal", i)), cfg)
 		if err != nil {

@@ -1,0 +1,87 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+
+	"waterwheel/internal/transport"
+)
+
+// WAL shipping (log replication for hot standbys): a node exposes its log
+// over the cluster RPC transport so a standby elsewhere can tail an
+// owner's partition without sharing memory. One method carries everything
+// — "wal.read" maps a (partition, offset, max) request to the same
+// semantics as Partition.Read, including ErrCompacted when the requested
+// offset fell below the partition base.
+
+const shipMethod = "wal.read"
+
+type shipRequest struct {
+	Part   int
+	Offset int64
+	Max    int
+}
+
+type shipResponse struct {
+	Recs []Record
+}
+
+// RegisterShipping exposes every partition of l for remote tailing on the
+// given transport server.
+func RegisterShipping(srv *transport.Server, l *Log) {
+	srv.Handle(shipMethod, func(payload []byte) ([]byte, error) {
+		var req shipRequest
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&req); err != nil {
+			return nil, fmt.Errorf("wal: ship decode: %w", err)
+		}
+		if req.Part < 0 || req.Part >= l.Partitions() {
+			return nil, fmt.Errorf("wal: ship: no partition %d", req.Part)
+		}
+		recs, err := l.Partition(req.Part).Read(req.Offset, req.Max)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&shipResponse{Recs: recs}); err != nil {
+			return nil, fmt.Errorf("wal: ship encode: %w", err)
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+// RemoteTail tails one partition of a remote log over the transport — the
+// Tail a standby uses when the WAL owner lives on another node.
+type RemoteTail struct {
+	c    *transport.Client
+	part int
+}
+
+// NewRemoteTail builds a Tail reading partition part through client c.
+func NewRemoteTail(c *transport.Client, part int) *RemoteTail {
+	return &RemoteTail{c: c, part: part}
+}
+
+// Read fetches up to max records starting at offset, mirroring
+// Partition.Read. A remote ErrCompacted comes back as ErrCompacted so
+// callers can re-base the same way they would against a local partition.
+func (rt *RemoteTail) Read(offset int64, max int) ([]Record, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&shipRequest{Part: rt.part, Offset: offset, Max: max}); err != nil {
+		return nil, fmt.Errorf("wal: ship encode: %w", err)
+	}
+	payload, err := rt.c.Call(shipMethod, buf.Bytes())
+	if err != nil {
+		// Errors cross the wire as text; map the sentinel back.
+		if strings.Contains(err.Error(), ErrCompacted.Error()) {
+			return nil, ErrCompacted
+		}
+		return nil, err
+	}
+	var resp shipResponse
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("wal: ship decode: %w", err)
+	}
+	return resp.Recs, nil
+}

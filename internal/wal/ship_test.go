@@ -1,0 +1,111 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"waterwheel/internal/transport"
+)
+
+func TestShippingRoundTrip(t *testing.T) {
+	l := NewLog(2)
+	p := l.Partition(1)
+	for i := 0; i < 5; i++ {
+		if _, err := p.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv := transport.NewServer()
+	RegisterShipping(srv, l)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := transport.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tail := NewRemoteTail(c, 1)
+	recs, err := tail.Read(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("read %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.Offset != int64(i) || len(r.Data) != 1 || r.Data[0] != byte(i) {
+			t.Fatalf("record %d = %+v", i, r)
+		}
+	}
+	// Reading at the head returns no records and no error, like a local tail.
+	recs, err = tail.Read(5, 10)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("head read = %v, %v", recs, err)
+	}
+	// Compaction below the requested offset surfaces as ErrCompacted.
+	p.Truncate(3)
+	if _, err := tail.Read(0, 10); !errors.Is(err, ErrCompacted) {
+		t.Fatalf("compacted read err = %v, want ErrCompacted", err)
+	}
+	// Out-of-range partitions error without killing the connection.
+	if _, err := NewRemoteTail(c, 9).Read(0, 1); err == nil {
+		t.Fatal("read of unknown partition succeeded")
+	}
+}
+
+func TestLogAddPartition(t *testing.T) {
+	l := NewLog(1)
+	p, i, err := l.AddPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 1 || l.Partitions() != 2 || l.Partition(1) != p {
+		t.Fatalf("add partition: i=%d n=%d", i, l.Partitions())
+	}
+	if _, err := p.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Disk-backed logs grow with files beside their siblings and recover
+	// the added partition on reopen.
+	dir := t.TempDir()
+	dl, err := OpenLogDir(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp, di, err := dl.AddPartition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if di != 1 {
+		t.Fatalf("disk add partition index = %d", di)
+	}
+	if _, err := dp.Append([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	dl.Close()
+	for i := 0; i < dl.Partitions(); i++ {
+		if err := dl.Partition(i).CloseFile(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "p1.wal")); err != nil {
+		t.Fatalf("added partition file: %v", err)
+	}
+	re, err := OpenLogDir(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	recs, err := re.Partition(1).Read(0, 10)
+	if err != nil || len(recs) != 1 || string(recs[0].Data) != "y" {
+		t.Fatalf("reopened added partition read = %v, %v", recs, err)
+	}
+}

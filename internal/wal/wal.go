@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 )
@@ -25,6 +26,13 @@ var ErrClosed = errors.New("wal: partition closed")
 
 // ErrInjectedAppend is the transient failure armed by FailNextAppends.
 var ErrInjectedAppend = errors.New("wal: injected append fault")
+
+// ErrSealed is returned by appends to a sealed partition. Decommission
+// seals the retiring slot's partition after rerouting new traffic: an
+// in-flight append that raced past the reroute check fails here instead
+// of landing in a log nobody will ever replay, and the sink retries it
+// against the current schema. Reads and replay remain available.
+var ErrSealed = errors.New("wal: partition sealed")
 
 // Record is one log entry with its assigned offset.
 type Record struct {
@@ -43,6 +51,7 @@ type Partition struct {
 	records [][]byte
 	bytes   int64
 	closed  bool
+	sealed  bool
 	// waiting counts goroutines parked in ReadBlocking — a deterministic
 	// hook for tests that must act only once a reader is actually blocked,
 	// instead of sleeping and hoping.
@@ -99,6 +108,10 @@ func NewPartition() *Partition {
 func (p *Partition) Append(data []byte) (int64, error) {
 	cp := append([]byte(nil), data...)
 	p.mu.Lock()
+	if p.sealed {
+		p.mu.Unlock()
+		return 0, ErrSealed
+	}
 	if p.fileErr != nil {
 		err := p.fileErr
 		p.mu.Unlock()
@@ -170,6 +183,10 @@ func (p *Partition) AppendBatch(datas [][]byte) (int64, error) {
 		pos = end
 	}
 	p.mu.Lock()
+	if p.sealed {
+		p.mu.Unlock()
+		return 0, ErrSealed
+	}
 	if p.fileErr != nil {
 		err := p.fileErr
 		p.mu.Unlock()
@@ -332,6 +349,21 @@ func (p *Partition) Truncate(before int64) {
 	}
 }
 
+// Seal permanently rejects further appends with ErrSealed while keeping
+// reads and replay available. Idempotent.
+func (p *Partition) Seal() {
+	p.mu.Lock()
+	p.sealed = true
+	p.mu.Unlock()
+}
+
+// Sealed reports whether the partition rejects appends.
+func (p *Partition) Sealed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.sealed
+}
+
 // Closed reports whether the partition has been closed.
 func (p *Partition) Closed() bool {
 	p.mu.Lock()
@@ -361,9 +393,22 @@ func (p *Partition) Bytes() int64 {
 	return p.bytes
 }
 
-// Log is a topic: a fixed set of partitions.
+// Tail is the read side a standby replays a partition through: either a
+// *Partition directly (in-process) or a RemoteTail shipping records over
+// the cluster transport (see ship.go).
+type Tail interface {
+	Read(offset int64, max int) ([]Record, error)
+}
+
+// Log is a topic: a set of partitions, growable while live (elastic
+// scale-out adds one partition per new indexing server).
 type Log struct {
+	mu    sync.RWMutex
 	parts []*Partition
+	// dir/cfg remember how the log was opened so AddPartition can build
+	// new partitions the same way; dir empty means in-memory.
+	dir string
+	cfg Config
 }
 
 // NewLog creates a log with n partitions (minimum 1).
@@ -379,13 +424,44 @@ func NewLog(n int) *Log {
 }
 
 // Partitions returns the partition count.
-func (l *Log) Partitions() int { return len(l.parts) }
+func (l *Log) Partitions() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.parts)
+}
 
 // Partition returns partition i.
-func (l *Log) Partition(i int) *Partition { return l.parts[i] }
+func (l *Log) Partition(i int) *Partition {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.parts[i]
+}
+
+// AddPartition appends one partition to the log — disk-backed next to its
+// siblings when the log was opened from a directory, in-memory otherwise.
+// Returns the new partition and its index.
+func (l *Log) AddPartition() (*Partition, int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	i := len(l.parts)
+	var p *Partition
+	if l.dir != "" {
+		var err error
+		p, err = OpenPartition(filepath.Join(l.dir, fmt.Sprintf("p%d.wal", i)), l.cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+	} else {
+		p = NewPartition()
+	}
+	l.parts = append(l.parts, p)
+	return p, i, nil
+}
 
 // Close closes every partition.
 func (l *Log) Close() {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
 	for _, p := range l.parts {
 		p.Close()
 	}

@@ -107,6 +107,47 @@ func (db *DB) Serve(addr string) (*NetServer, error) {
 		}
 		return buf.Bytes(), nil
 	})
+	s.Handle("admin", func(payload []byte) ([]byte, error) {
+		var req adminRequest
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&req); err != nil {
+			return nil, fmt.Errorf("waterwheel: bad admin request: %w", err)
+		}
+		var resp adminResponse
+		switch req.Op {
+		case "add-server":
+			id, err := db.AddIndexServer()
+			if err != nil {
+				return nil, err
+			}
+			resp.Server = id
+		case "decommission":
+			if err := db.DecommissionIndexServer(req.Server); err != nil {
+				return nil, err
+			}
+		case "start-standby":
+			if err := db.StartStandby(req.Server); err != nil {
+				return nil, err
+			}
+		case "promote":
+			if err := db.PromoteStandby(req.Server); err != nil {
+				return nil, err
+			}
+		case "kill":
+			if err := db.KillIndexServer(req.Server); err != nil {
+				return nil, err
+			}
+		case "slots":
+			// Read-only: the response's slot list is the answer.
+		default:
+			return nil, fmt.Errorf("waterwheel: unknown admin op %q", req.Op)
+		}
+		resp.Slots = db.ActiveSlots()
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(resp); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	})
 	s.Handle("metrics", func([]byte) ([]byte, error) {
 		var buf bytes.Buffer
 		if reg := db.c.Telemetry(); reg != nil {
@@ -229,6 +270,76 @@ func (cl *Client) Metrics() (string, error) {
 		return "", err
 	}
 	return string(payload), nil
+}
+
+// adminRequest/adminResponse carry the elastic-operations admin verb.
+// Every mutation answers with the post-operation active slot list, so an
+// operator script can chain calls without a separate read.
+type adminRequest struct {
+	// Op is one of "add-server", "decommission", "start-standby",
+	// "promote", "kill", "slots".
+	Op string
+	// Server is the target slot (ignored by add-server and slots).
+	Server int
+}
+
+type adminResponse struct {
+	// Server is the new slot id (add-server only).
+	Server int
+	// Slots is the active slot set after the operation.
+	Slots []int
+}
+
+func (cl *Client) admin(op string, server int) (adminResponse, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(adminRequest{Op: op, Server: server}); err != nil {
+		return adminResponse{}, err
+	}
+	payload, err := cl.c.Call("admin", buf.Bytes())
+	if err != nil {
+		return adminResponse{}, err
+	}
+	var resp adminResponse
+	err = gob.NewDecoder(bytes.NewReader(payload)).Decode(&resp)
+	return resp, err
+}
+
+// AddIndexServer grows the remote cluster by one indexing server and
+// returns the new slot id.
+func (cl *Client) AddIndexServer() (int, error) {
+	resp, err := cl.admin("add-server", 0)
+	return resp.Server, err
+}
+
+// DecommissionIndexServer retires a remote slot, draining it out.
+func (cl *Client) DecommissionIndexServer(i int) error {
+	_, err := cl.admin("decommission", i)
+	return err
+}
+
+// StartStandby attaches a hot standby to a remote slot.
+func (cl *Client) StartStandby(i int) error {
+	_, err := cl.admin("start-standby", i)
+	return err
+}
+
+// PromoteStandby performs a planned handoff of a remote slot.
+func (cl *Client) PromoteStandby(i int) error {
+	_, err := cl.admin("promote", i)
+	return err
+}
+
+// KillIndexServer hard-fails a remote slot's owner (fault drill); its
+// standby or a cold replacement takes over.
+func (cl *Client) KillIndexServer(i int) error {
+	_, err := cl.admin("kill", i)
+	return err
+}
+
+// ActiveSlots fetches the remote cluster's active indexing slots.
+func (cl *Client) ActiveSlots() ([]int, error) {
+	resp, err := cl.admin("slots", 0)
+	return resp.Slots, err
 }
 
 // Stats fetches deployment counters.

@@ -224,3 +224,82 @@ func TestClientQueryAfterServerClose(t *testing.T) {
 		t.Error("query against closed server succeeded")
 	}
 }
+
+// TestNetAdminElasticOps drives the whole elastic lifecycle over the wire:
+// scale out, planned handoff, takeover, scale in — then proves the data
+// survived every step by querying through the same client.
+func TestNetAdminElasticOps(t *testing.T) {
+	db := openTestDB(t, Options{Nodes: 2, IndexServersPerNode: 2, HotStandby: true})
+	ns, err := db.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ns.Close()
+	cl, err := Dial(ns.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const n = 2000
+	tuples := make([]Tuple, n)
+	for i := range tuples {
+		tuples[i] = Tuple{Key: Key(uint64(i) * 0x9E3779B97F4A7C15), Time: Timestamp(i), Payload: []byte{byte(i)}}
+	}
+	if err := cl.InsertBatch(tuples[:n/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	slots, err := cl.ActiveSlots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := cl.AddIndexServer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id < len(slots) {
+		t.Errorf("new slot id %d collides with existing slots %v", id, slots)
+	}
+	if err := cl.StartStandby(slots[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.PromoteStandby(slots[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.KillIndexServer(slots[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.DecommissionIndexServer(id); err != nil {
+		t.Fatal(err)
+	}
+	after, err := cl.ActiveSlots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(slots) {
+		t.Errorf("active slots after add+decommission: %v, want %d slots", after, len(slots))
+	}
+
+	if err := cl.InsertBatch(tuples[n/2:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := cl.Query(Query{Keys: FullKeyRange(), Times: FullTimeRange()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tuples) != n {
+		t.Errorf("query after elastic churn returned %d tuples, want %d", len(res.Tuples), n)
+	}
+
+	// Bad requests fail cleanly and the connection survives.
+	if _, err := cl.admin("resize-flux-capacitor", 0); err == nil {
+		t.Error("unknown admin op accepted")
+	}
+	if _, err := cl.ActiveSlots(); err != nil {
+		t.Errorf("slots after bad op: %v", err)
+	}
+}

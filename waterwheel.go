@@ -175,6 +175,19 @@ type Options struct {
 	// FsyncIntervalMillis is the background fsync cadence for the
 	// "interval" durability policy (default 50).
 	FsyncIntervalMillis int64
+	// HotStandby keeps a passive shadow server tailing each slot's WAL
+	// partition, building a shadow memtable so a takeover (KillIndexServer,
+	// PromoteStandby) flips ownership without replaying the whole backlog.
+	HotStandby bool
+	// ShipStandbyWAL makes standbys tail their slot's WAL over the
+	// internal transport (the path a standby on a remote host would use)
+	// instead of reading the partition directly.
+	ShipStandbyWAL bool
+	// StandbyLagRecords is the catch-up gate for planned handoffs: a
+	// PromoteStandby waits until the standby's replay position is within
+	// this many records of the partition head before flipping ownership
+	// (default 64).
+	StandbyLagRecords int
 	// Seed makes placement and sampling deterministic.
 	Seed int64
 }
@@ -210,6 +223,9 @@ func Open(opts Options) (*DB, error) {
 		DataDir:               opts.DataDir,
 		Durability:            opts.Durability,
 		FsyncIntervalMillis:   opts.FsyncIntervalMillis,
+		HotStandby:            opts.HotStandby,
+		ShipStandbyWAL:        opts.ShipStandbyWAL,
+		StandbyLagRecords:     opts.StandbyLagRecords,
 		Seed:                  opts.Seed,
 		TraceCapacity:         opts.TraceCapacity,
 	}
@@ -360,6 +376,9 @@ func (db *DB) Stats() Stats {
 		SchemaVersion: db.c.Metadata().Schema().Version,
 	}
 	for _, srv := range db.c.IndexServers() {
+		if srv == nil { // retired slot
+			continue
+		}
 		st.BufferedBytes += srv.MemBytes()
 		st.Flushes += srv.Stats().Flushes.Load()
 		st.FlushBytes += srv.Stats().FlushBytes.Load()
@@ -422,6 +441,71 @@ type ExplainInfo = queryexec.ExplainInfo
 func (db *DB) Explain(q Query) ExplainInfo {
 	return db.c.Coordinator().Explain(q)
 }
+
+// --- Elastic scale-out (live region migration) ---
+
+// AddIndexServer grows the cluster by one indexing server: the widest
+// active key interval is split, a new WAL partition is allocated, and the
+// dispatchers start routing the upper half to the new slot — without
+// pausing ingest. Returns the new slot id.
+func (db *DB) AddIndexServer() (int, error) {
+	if db.closed {
+		return 0, ErrClosed
+	}
+	return db.c.AddIndexServer()
+}
+
+// DecommissionIndexServer retires slot i: its WAL partition is sealed,
+// buffered tuples are flushed out, its key interval merges into a
+// neighbor, and the slot is fenced so a straggling flush from the retired
+// server can never resurface.
+func (db *DB) DecommissionIndexServer(i int) error {
+	if db.closed {
+		return ErrClosed
+	}
+	return db.c.DecommissionIndexServer(i)
+}
+
+// StartStandby attaches a hot standby to slot i: a passive shadow server
+// that tails the slot's WAL partition (over the shipping transport when
+// ShipStandbyWAL is set) and builds a shadow memtable, ready for
+// PromoteStandby or a takeover after KillIndexServer. A no-op error-free
+// call when the slot already has one.
+func (db *DB) StartStandby(i int) error {
+	if db.closed {
+		return ErrClosed
+	}
+	return db.c.StartStandby(i)
+}
+
+// PromoteStandby performs a planned handoff of slot i: once the standby
+// has caught up to within StandbyLagRecords of the partition head,
+// ownership flips in one metadata CAS — new owner, bumped fencing epoch,
+// WAL handoff offset — and the deposed owner is fenced out.
+func (db *DB) PromoteStandby(i int) error {
+	if db.closed {
+		return ErrClosed
+	}
+	return db.c.PromoteStandby(i)
+}
+
+// KillIndexServer hard-fails slot i's owner (crash simulation / fault
+// drill): the owner detaches mid-whatever and the slot's standby — or a
+// cold replacement when none is attached — takes over via WAL replay
+// under a bumped fencing epoch.
+func (db *DB) KillIndexServer(i int) error {
+	if db.closed {
+		return ErrClosed
+	}
+	return db.c.KillIndexServer(i)
+}
+
+// ActiveSlots returns the ids of the currently active indexing slots.
+func (db *DB) ActiveSlots() []int { return db.c.ActiveSlots() }
+
+// StandbyLag returns how many WAL records slot i's standby is behind the
+// partition head, or -1 when the slot has no standby.
+func (db *DB) StandbyLag(i int) int64 { return db.c.StandbyLag(i) }
 
 // Cluster exposes the underlying cluster for advanced integrations and
 // the benchmark harness.

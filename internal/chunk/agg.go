@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"waterwheel/internal/core"
 	"waterwheel/internal/model"
 )
 
@@ -62,8 +63,8 @@ func floorDiv(a, b int64) int64 {
 	return q
 }
 
-// buildLeafAgg folds a leaf's tuples into time buckets.
-func buildLeafAgg(entries []model.Tuple, field uint32, width, minT, maxT int64) LeafAgg {
+// buildLeafAgg folds a leaf's columns into time buckets.
+func buildLeafAgg(lc *core.LeafCols, field uint32, width, minT, maxT int64) LeafAgg {
 	if width <= 0 {
 		width = 1000
 	}
@@ -77,11 +78,10 @@ func buildLeafAgg(entries []model.Tuple, field uint32, width, minT, maxT int64) 
 		First:   first,
 		Buckets: make([]AggBucket, (maxT-first)/width+1),
 	}
-	for j := range entries {
-		e := &entries[j]
-		b := &la.Buckets[(int64(e.Time)-first)/width]
+	for j := range lc.Times {
+		b := &la.Buckets[(int64(lc.Times[j])-first)/width]
 		b.Count++
-		if v, ok := payloadU64(e.Payload, field); ok {
+		if v, ok := payloadU64(lc.Payload(j), field); ok {
 			if b.Values == 0 || v < b.Min {
 				b.Min = v
 			}
@@ -235,14 +235,15 @@ func (h *Header) FoldLeafAgg(li int, tr model.TimeRange, countOnly bool, agg *mo
 // when the leaf's keys are fully covered and the filter is nil — the
 // bucket fold it complements has no key or predicate resolution.
 func (h *Header) AggregateLeaf(li int, body []byte, cols *LeafColumns, kr model.KeyRange, tr model.TimeRange, filter *model.Filter, exclude *model.TimeRange, field uint32, countOnly bool, agg *model.AggPartial) error {
-	return h.ScanLeafWith(cols, li, body, kr, tr, filter, func(t *model.Tuple) bool {
-		if exclude != nil && t.Time >= exclude.Lo && t.Time <= exclude.Hi {
+	return h.ScanLeafColsWith(cols, li, body, kr, tr, filter, func(_ model.Key, ts model.Timestamp, p []byte) bool {
+		if exclude != nil && ts >= exclude.Lo && ts <= exclude.Hi {
 			return true
 		}
-		if countOnly {
-			agg.Count++
-		} else {
-			agg.AddTuple(t, field)
+		agg.Count++
+		if !countOnly {
+			if v, ok := payloadU64(p, field); ok {
+				agg.AddValue(v)
+			}
 		}
 		return true
 	})

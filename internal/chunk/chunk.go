@@ -184,24 +184,27 @@ func buildV1(snap *core.FlushSnapshot, opts BuildOptions) ([]byte, Meta, error) 
 	sketches := make([][]byte, nLeaves)
 	secondary := make([][]byte, nLeaves)
 	var body []byte
-	for i, entries := range snap.Leaves {
+	for i := range snap.Leaves {
+		n := snap.Leaves[i].Len()
 		start := len(body)
-		info := LeafInfo{Count: len(entries)}
-		if len(entries) > 0 {
-			info.MinT, info.MaxT = entries[0].Time, entries[0].Time
+		info := LeafInfo{Count: n}
+		if n > 0 {
+			info.MinT, info.MaxT = snap.Leaves[i].Times[0], snap.Leaves[i].Times[0]
 		}
 		var sk *bloom.TimeSketch
-		if !opts.DisableBloom && len(entries) > 0 {
-			est := len(entries)/4 + 16
+		if !opts.DisableBloom && n > 0 {
+			est := n/4 + 16
 			sk = bloom.NewTimeSketch(opts.BucketMillis, est, opts.FPRate)
 		}
 		var sec *bloom.Filter
-		if opts.Secondary != nil && len(entries) > 0 {
-			sec = bloom.NewWithEstimates(len(entries), opts.FPRate)
+		if opts.Secondary != nil && n > 0 {
+			sec = bloom.NewWithEstimates(n, opts.FPRate)
 		}
-		for j := range entries {
-			e := &entries[j]
-			body = model.AppendTuple(body, e)
+		// The v1 row layout interleaves key/time/payload per tuple, so this
+		// is the one build path that materializes tuples from the columns
+		// (via the counted EachTuple iterator).
+		snap.EachTuple(i, func(e model.Tuple) bool {
+			body = model.AppendTuple(body, &e)
 			if e.Time < info.MinT {
 				info.MinT = e.Time
 			}
@@ -216,7 +219,8 @@ func buildV1(snap *core.FlushSnapshot, opts BuildOptions) ([]byte, Meta, error) 
 					sec.Add(v)
 				}
 			}
-		}
+			return true
+		})
 		info.Length = int64(len(body) - start)
 		dir[i] = info // Offset fixed up after the header size is known.
 		if sk != nil {
@@ -582,10 +586,25 @@ func (h *Header) ScanLeaf(li int, body []byte, kr model.KeyRange, tr model.TimeR
 }
 
 // ScanLeafWith is ScanLeaf with caller-owned column scratch, so a
-// multi-leaf scan decodes every leaf into the same buffers.
+// multi-leaf scan decodes every leaf into the same buffers. One tuple
+// value is reused across the whole scan — callers must not retain the
+// pointer past the callback (payloads alias body either way).
 func (h *Header) ScanLeafWith(cols *LeafColumns, li int, body []byte, kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn func(*model.Tuple) bool) error {
+	var t model.Tuple
+	return h.ScanLeafColsWith(cols, li, body, kr, tr, filter, func(k model.Key, ts model.Timestamp, p []byte) bool {
+		t.Key, t.Time, t.Payload = k, ts, p
+		return fn(&t)
+	})
+}
+
+// ScanLeafColsWith visits leaf li's matching tuples as raw (key, time,
+// payload) columns — the allocation-free scan primitive under ScanLeafWith
+// and the aggregate executor. Payloads alias body; filters evaluate
+// against the columns directly, so no model.Tuple is built anywhere on
+// this path.
+func (h *Header) ScanLeafColsWith(cols *LeafColumns, li int, body []byte, kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn func(model.Key, model.Timestamp, []byte) bool) error {
 	if h.Format == FormatV1 {
-		return ScanLeaf(body, kr, tr, filter, fn)
+		return scanLeafV1Cols(body, kr, tr, filter, fn)
 	}
 	if err := h.DecodeColumns(li, body, cols); err != nil {
 		return err
@@ -602,15 +621,11 @@ func (h *Header) ScanLeafWith(cols *LeafColumns, li int, body []byte, kr model.K
 		if cols.Times[j] < tr.Lo || cols.Times[j] > tr.Hi {
 			continue
 		}
-		t := model.Tuple{
-			Key:     cols.Keys[j],
-			Time:    cols.Times[j],
-			Payload: cols.Payload[cols.Starts[j]:cols.Starts[j+1]],
-		}
-		if !filter.Matches(&t) {
+		p := cols.Payload[cols.Starts[j]:cols.Starts[j+1]]
+		if !filter.MatchesCols(cols.Keys[j], cols.Times[j], p) {
 			continue
 		}
-		if !fn(&t) {
+		if !fn(cols.Keys[j], cols.Times[j], p) {
 			return nil
 		}
 	}
@@ -619,8 +634,18 @@ func (h *Header) ScanLeafWith(cols *LeafColumns, li int, body []byte, kr model.K
 
 // ScanLeaf visits a v1 row-encoded leaf's tuples matching the ranges and
 // filter in key order, stopping early when fn returns false. It decodes
-// incrementally, skipping payload copies for non-matching tuples.
+// incrementally, skipping payload copies for non-matching tuples. One
+// tuple value is reused across the scan.
 func ScanLeaf(buf []byte, kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn func(*model.Tuple) bool) error {
+	var t model.Tuple
+	return scanLeafV1Cols(buf, kr, tr, filter, func(k model.Key, ts model.Timestamp, p []byte) bool {
+		t.Key, t.Time, t.Payload = k, ts, p
+		return fn(&t)
+	})
+}
+
+// scanLeafV1Cols is the raw-column visitor over a v1 row-encoded leaf.
+func scanLeafV1Cols(buf []byte, kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn func(model.Key, model.Timestamp, []byte) bool) error {
 	for len(buf) > 0 {
 		t, n, err := model.DecodeTuple(buf)
 		if err != nil {
@@ -630,10 +655,10 @@ func ScanLeaf(buf []byte, kr model.KeyRange, tr model.TimeRange, filter *model.F
 		if t.Key > kr.Hi {
 			return nil // leaf is key-sorted; nothing further matches
 		}
-		if t.Key < kr.Lo || t.Time < tr.Lo || t.Time > tr.Hi || !filter.Matches(&t) {
+		if t.Key < kr.Lo || t.Time < tr.Lo || t.Time > tr.Hi || !filter.MatchesCols(t.Key, t.Time, t.Payload) {
 			continue
 		}
-		if !fn(&t) {
+		if !fn(t.Key, t.Time, t.Payload) {
 			return nil
 		}
 	}

@@ -302,3 +302,28 @@ func TestTruncatedChunkDataErrors(t *testing.T) {
 		t.Fatal("truncated leaf scanned without error")
 	}
 }
+
+// TestV2BuildZeroMaterialization hooks the snapshot's tuple-materialization
+// counter around both build paths. The v2 columnar encoder must transcode
+// snapshot columns straight into chunk columns without constructing a
+// single model.Tuple; the v1 row encoder still goes through the
+// materializing EachTuple iterator and proves the counter works.
+func TestV2BuildZeroMaterialization(t *testing.T) {
+	snap := buildSnapshot(t, 500, 8)
+
+	before := core.TupleMaterializations()
+	if _, _, err := Build(snap, BuildOptions{Format: FormatV2, Secondary: &SecondarySpec{Offset: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if d := core.TupleMaterializations() - before; d != 0 {
+		t.Fatalf("v2 build materialized %d tuples, want 0", d)
+	}
+
+	before = core.TupleMaterializations()
+	if _, _, err := Build(snap, BuildOptions{Format: FormatV1}); err != nil {
+		t.Fatal(err)
+	}
+	if d := core.TupleMaterializations() - before; d != 500 {
+		t.Fatalf("v1 build materialized %d tuples, want 500 (counter hook broken?)", d)
+	}
+}

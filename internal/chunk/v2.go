@@ -28,6 +28,7 @@ package chunk
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"waterwheel/internal/bloom"
 	"waterwheel/internal/core"
@@ -47,9 +48,12 @@ type leafScratch struct {
 	keys, ts, lens []byte
 }
 
-// appendLeafV2 appends the columnar encoding of one non-empty leaf.
-func appendLeafV2(dst []byte, entries []model.Tuple, sc *leafScratch) []byte {
-	n := len(entries)
+// appendLeafV2 appends the columnar encoding of one non-empty leaf,
+// transcoding the snapshot's columns directly — no model.Tuple is ever
+// built on this path (the acceptance test hooks core.TupleMaterializations
+// to prove it).
+func appendLeafV2(dst []byte, lc *core.LeafCols, sc *leafScratch) []byte {
+	n := lc.Len()
 	var vb [binary.MaxVarintLen64]byte
 
 	// Key column: try sorted-delta uvarints, fall back to fixed 8B words
@@ -57,24 +61,24 @@ func appendLeafV2(dst []byte, entries []model.Tuple, sc *leafScratch) []byte {
 	// uint64 keys varint-expand past fixed width).
 	sc.keys = append(sc.keys[:0], keyEncDelta)
 	prev := uint64(0)
-	for j := range entries {
-		k := uint64(entries[j].Key)
+	for _, key := range lc.Keys {
+		k := uint64(key)
 		m := binary.PutUvarint(vb[:], k-prev)
 		sc.keys = append(sc.keys, vb[:m]...)
 		prev = k
 	}
 	if len(sc.keys) > 1+8*n {
 		sc.keys = append(sc.keys[:0], keyEncFixed)
-		for j := range entries {
-			sc.keys = appendU64(sc.keys, uint64(entries[j].Key))
+		for _, key := range lc.Keys {
+			sc.keys = appendU64(sc.keys, uint64(key))
 		}
 	}
 
 	// Timestamp column: delta-of-delta zigzag varints.
 	sc.ts = sc.ts[:0]
 	var prevT, prevD int64
-	for j := range entries {
-		t := int64(entries[j].Time)
+	for j, ts := range lc.Times {
+		t := int64(ts)
 		var v int64
 		switch j {
 		case 0:
@@ -93,21 +97,23 @@ func appendLeafV2(dst []byte, entries []model.Tuple, sc *leafScratch) []byte {
 	}
 
 	// Payload-length column: fixed-schema payloads collapse to one word.
+	// Lengths come off the reference column without touching the arena.
+	first := lc.PayloadLen(0)
 	same := true
 	for j := 1; j < n; j++ {
-		if len(entries[j].Payload) != len(entries[0].Payload) {
+		if lc.PayloadLen(j) != first {
 			same = false
 			break
 		}
 	}
 	if same {
 		sc.lens = append(sc.lens[:0], lenEncConst)
-		m := binary.PutUvarint(vb[:], uint64(len(entries[0].Payload)))
+		m := binary.PutUvarint(vb[:], uint64(first))
 		sc.lens = append(sc.lens, vb[:m]...)
 	} else {
 		sc.lens = append(sc.lens[:0], lenEncVar)
-		for j := range entries {
-			m := binary.PutUvarint(vb[:], uint64(len(entries[j].Payload)))
+		for j := 0; j < n; j++ {
+			m := binary.PutUvarint(vb[:], uint64(lc.PayloadLen(j)))
 			sc.lens = append(sc.lens, vb[:m]...)
 		}
 	}
@@ -118,8 +124,8 @@ func appendLeafV2(dst []byte, entries []model.Tuple, sc *leafScratch) []byte {
 	dst = append(dst, sc.keys...)
 	dst = append(dst, sc.ts...)
 	dst = append(dst, sc.lens...)
-	for j := range entries {
-		dst = append(dst, entries[j].Payload...)
+	for j := 0; j < n; j++ {
+		dst = append(dst, lc.Payload(j)...)
 	}
 	return dst
 }
@@ -144,46 +150,51 @@ func buildV2(snap *core.FlushSnapshot, opts BuildOptions) ([]byte, Meta, error) 
 	}
 	var body []byte
 	var sc leafScratch
-	for i, entries := range snap.Leaves {
+	for i := range snap.Leaves {
+		lc := &snap.Leaves[i]
+		n := lc.Len()
 		start := len(body)
-		info := LeafInfo{Count: len(entries)}
-		if len(entries) > 0 {
-			info.MinT, info.MaxT = entries[0].Time, entries[0].Time
+		info := LeafInfo{Count: n}
+		if n > 0 {
+			info.MinT, info.MaxT = lc.Times[0], lc.Times[0]
 			leafKeys[i], _ = snap.LeafKeyRange(i)
 		}
 		var sk *bloom.TimeSketch
-		if !opts.DisableBloom && len(entries) > 0 {
-			est := len(entries)/4 + 16
+		if !opts.DisableBloom && n > 0 {
+			est := n/4 + 16
 			sk = bloom.NewTimeSketch(opts.BucketMillis, est, opts.FPRate)
 		}
 		var sec *bloom.Filter
-		if opts.Secondary != nil && len(entries) > 0 {
-			sec = bloom.NewWithEstimates(len(entries), opts.FPRate)
+		if opts.Secondary != nil && n > 0 {
+			sec = bloom.NewWithEstimates(n, opts.FPRate)
 		}
-		for j := range entries {
-			e := &entries[j]
-			if e.Time < info.MinT {
-				info.MinT = e.Time
+		for j := 0; j < n; j++ {
+			ts := lc.Times[j]
+			if ts < info.MinT {
+				info.MinT = ts
 			}
-			if e.Time > info.MaxT {
-				info.MaxT = e.Time
+			if ts > info.MaxT {
+				info.MaxT = ts
 			}
 			if sk != nil {
-				sk.AddTime(int64(e.Time))
+				sk.AddTime(int64(ts))
 			}
 			if sec != nil {
-				if v, ok := payloadU64(e.Payload, opts.Secondary.Offset); ok {
+				if v, ok := payloadU64(lc.Payload(j), opts.Secondary.Offset); ok {
 					sec.Add(v)
 				}
 			}
 			if chunkAgg != nil {
-				chunkAgg.AddTuple(e, aggField)
+				chunkAgg.Count++
+				if v, ok := payloadU64(lc.Payload(j), aggField); ok {
+					chunkAgg.AddValue(v)
+				}
 			}
 		}
-		if len(entries) > 0 {
-			body = appendLeafV2(body, entries, &sc)
+		if n > 0 {
+			body = appendLeafV2(body, lc, &sc)
 			if leafAggs != nil {
-				leafAggs[i] = buildLeafAgg(entries, aggField, opts.BucketMillis,
+				leafAggs[i] = buildLeafAgg(lc, aggField, opts.BucketMillis,
 					int64(info.MinT), int64(info.MaxT))
 			}
 		}
@@ -301,6 +312,27 @@ type LeafColumns struct {
 	Payload []byte
 }
 
+// colsPool recycles decoded column buffers across leaf scans. A fresh
+// LeafColumns per subquery made the v2 full scan allocate three column
+// slices per selected leaf; borrowing from the pool amortizes them to
+// zero in steady state.
+var colsPool = sync.Pool{New: func() any { return new(LeafColumns) }}
+
+// BorrowColumns returns reusable column scratch for DecodeColumns /
+// ScanLeafWith. Return it with ReturnColumns when the scan is done — and
+// only once nothing aliases its buffers.
+func BorrowColumns() *LeafColumns { return colsPool.Get().(*LeafColumns) }
+
+// ReturnColumns puts column scratch back in the pool. The Payload alias
+// into the leaf body is dropped so the pool never pins chunk bodies.
+func ReturnColumns(cols *LeafColumns) {
+	if cols == nil {
+		return
+	}
+	cols.Payload = nil
+	colsPool.Put(cols)
+}
+
 func growKeys(s []model.Key, n int) []model.Key {
 	if cap(s) < n {
 		return make([]model.Key, n)
@@ -374,9 +406,22 @@ func (h *Header) DecodeColumns(li int, body []byte, cols *LeafColumns) error {
 		p := keys[1:]
 		var acc uint64
 		for j := 0; j < n; j++ {
-			d, m := binary.Uvarint(p)
-			if m <= 0 {
-				return fmt.Errorf("%w: leaf %d key varint %d", ErrCorrupt, li, j)
+			// Sorted-key deltas are short varints — decode up to three
+			// bytes (21 bits) with straight-line loads and fall back to
+			// binary.Uvarint only for the rare wide gap.
+			var d uint64
+			var m int
+			switch {
+			case len(p) > 0 && p[0] < 0x80:
+				d, m = uint64(p[0]), 1
+			case len(p) > 1 && p[1] < 0x80:
+				d, m = uint64(p[0]&0x7f)|uint64(p[1])<<7, 2
+			case len(p) > 2 && p[2] < 0x80:
+				d, m = uint64(p[0]&0x7f)|uint64(p[1]&0x7f)<<7|uint64(p[2])<<14, 3
+			default:
+				if d, m = binary.Uvarint(p); m <= 0 {
+					return fmt.Errorf("%w: leaf %d key varint %d", ErrCorrupt, li, j)
+				}
 			}
 			p = p[m:]
 			acc += d
@@ -394,9 +439,22 @@ func (h *Header) DecodeColumns(li int, body []byte, cols *LeafColumns) error {
 		p := ts
 		var prevT, prevD int64
 		for j := 0; j < n; j++ {
-			v, m := binary.Varint(p)
-			if m <= 0 {
-				return fmt.Errorf("%w: leaf %d ts varint %d", ErrCorrupt, li, j)
+			// Near-constant cadence makes most delta-of-deltas one or two
+			// bytes; unzigzag inline and fall back to binary.Varint for
+			// the rest.
+			var v int64
+			var m int
+			switch {
+			case len(p) > 0 && p[0] < 0x80:
+				u := uint64(p[0])
+				v, m = int64(u>>1)^-int64(u&1), 1
+			case len(p) > 1 && p[1] < 0x80:
+				u := uint64(p[0]&0x7f) | uint64(p[1])<<7
+				v, m = int64(u>>1)^-int64(u&1), 2
+			default:
+				if v, m = binary.Varint(p); m <= 0 {
+					return fmt.Errorf("%w: leaf %d ts varint %d", ErrCorrupt, li, j)
+				}
 			}
 			p = p[m:]
 			switch j {

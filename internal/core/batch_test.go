@@ -100,6 +100,79 @@ func TestInsertBatchSerialEquivalence(t *testing.T) {
 	}
 }
 
+// TestMergeDirectionsPreserveEqualKeyOrder pins the equal-key contract on
+// both column-merge directions. A run whose median insertion point falls
+// in the left half of the leaf merges forward (into front slack); a run
+// landing in the right half merges backward (into back slack). In both
+// directions, and when the run's keys equal keys already resident, the
+// batch tuples must land after the resident equal-key group with the
+// run's own arrival order intact — exactly what serial insertion yields.
+func TestMergeDirectionsPreserveEqualKeyOrder(t *testing.T) {
+	cases := []struct {
+		name    string
+		resident []model.Key // inserted serially first
+		run      []model.Key // delivered as one InsertBatch
+	}{
+		// Run at the far left: median point 0, forward merge.
+		{"forward", []model.Key{500, 500, 500, 600, 600, 700}, []model.Key{10, 10, 10, 10}},
+		// Run at the far right: median point n, backward merge.
+		{"backward", []model.Key{500, 500, 500, 600, 600, 700}, []model.Key{900, 900, 900, 900}},
+		// Run equal to a resident group near the front: forward direction
+		// with the equal-key boundary exercised.
+		{"forward-equal", []model.Key{500, 500, 500, 600, 600, 700, 800, 900}, []model.Key{500, 500, 500}},
+		// Run equal to a resident group near the back: backward direction.
+		{"backward-equal", []model.Key{100, 200, 300, 400, 700, 700, 700}, []model.Key{700, 700, 700}},
+		// Straddling run: groups on both sides of the median.
+		{"straddle", []model.Key{400, 400, 500, 500, 600, 600}, []model.Key{300, 400, 500, 500, 600, 900}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := TemplateConfig{Keys: model.KeyRange{Lo: 0, Hi: 1 << 16}, Leaves: 2}
+			serial := NewTemplateTree(cfg)
+			batched := NewTemplateTree(cfg)
+			seq := uint64(0)
+			mk := func(k model.Key) model.Tuple {
+				p := make([]byte, 8)
+				binary.BigEndian.PutUint64(p, seq)
+				seq++
+				return model.Tuple{Key: k, Time: model.Timestamp(seq), Payload: p}
+			}
+			var resident, run []model.Tuple
+			for _, k := range tc.resident {
+				resident = append(resident, mk(k))
+			}
+			for _, k := range tc.run {
+				run = append(run, mk(k))
+			}
+			for _, tp := range append(append([]model.Tuple(nil), resident...), run...) {
+				serial.Insert(tp)
+			}
+			for _, tp := range resident {
+				batched.Insert(tp)
+			}
+			batched.InsertBatch(run)
+
+			var got, want []uint64
+			collect := func(tree *TemplateTree, out *[]uint64) {
+				tree.Range(model.FullKeyRange(), model.FullTimeRange(), nil, func(tp *model.Tuple) bool {
+					*out = append(*out, binary.BigEndian.Uint64(tp.Payload))
+					return true
+				})
+			}
+			collect(serial, &want)
+			collect(batched, &got)
+			if len(got) != len(want) {
+				t.Fatalf("batched yields %d tuples, serial %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("sequence order diverged at %d: batched %v, serial %v", i, got, want)
+				}
+			}
+		})
+	}
+}
+
 // TestInsertBatchConcurrentWithScans hammers InsertBatch from several
 // goroutines while scans and template updates run — the shared-gate
 // regime the per-leaf merge must survive. Run with -race.

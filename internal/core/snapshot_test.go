@@ -87,3 +87,87 @@ func TestSnapshotRangeEarlyStop(t *testing.T) {
 		return false
 	})
 }
+
+// TestSnapshotIsolationUnderMutation: after FlushReset, no amount of
+// mutation on the live tree — single inserts, batch merges, template
+// rebuilds, further flushes — may change a single byte of the snapshot's
+// columns or arena. The SoA swap hands the snapshot the leaf's buffers
+// wholesale and restarts the leaf from nil, so any sharing bug (a column
+// still referenced by the live leaf, an arena appended to in place) shows
+// up as a diff against the pinned copy.
+func TestSnapshotIsolationUnderMutation(t *testing.T) {
+	tree := NewTemplateTree(TemplateConfig{
+		Keys: model.KeyRange{Lo: 0, Hi: 1 << 16}, Leaves: 8,
+		SkewThreshold: 0.3, CheckEvery: 16, MinPerLeaf: 1,
+	})
+	rng := rand.New(rand.NewSource(11))
+	mkPayload := func(i int) []byte {
+		p := make([]byte, 3+i%5)
+		for j := range p {
+			p[j] = byte(i + j)
+		}
+		return p
+	}
+	for i := 0; i < 700; i++ {
+		tree.Insert(model.Tuple{
+			Key:     model.Key(rng.Intn(1 << 16)),
+			Time:    model.Timestamp(rng.Intn(10_000)),
+			Payload: mkPayload(i),
+		})
+	}
+	snap := tree.FlushReset()
+	if snap == nil {
+		t.Fatal("FlushReset returned nil")
+	}
+	// Deep-copy the snapshot's logical contents.
+	type row struct {
+		k model.Key
+		ts model.Timestamp
+		p string
+	}
+	capture := func() []row {
+		var rows []row
+		snap.RangeCols(model.FullKeyRange(), model.FullTimeRange(), nil, func(k model.Key, ts model.Timestamp, p []byte) bool {
+			rows = append(rows, row{k, ts, string(p)})
+			return true
+		})
+		return rows
+	}
+	before := capture()
+	if len(before) != 700 {
+		t.Fatalf("snapshot holds %d rows, want 700", len(before))
+	}
+
+	// Hammer the live tree: skewed inserts force template updates and
+	// column/arena regrowth; interleave batches and more flushes.
+	for round := 0; round < 5; round++ {
+		batch := make([]model.Tuple, 200)
+		for i := range batch {
+			batch[i] = model.Tuple{
+				Key:     model.Key(rng.Intn(64)), // skewed
+				Time:    model.Timestamp(rng.Intn(10_000)),
+				Payload: mkPayload(i * round),
+			}
+		}
+		tree.InsertBatch(batch)
+		tree.UpdateTemplate()
+		for i := 0; i < 100; i++ {
+			tree.Insert(model.Tuple{
+				Key:     model.Key(rng.Intn(1 << 16)),
+				Time:    model.Timestamp(rng.Intn(10_000)),
+				Payload: mkPayload(i),
+			})
+		}
+		tree.FlushReset() // later snapshots must not disturb this one
+	}
+
+	after := capture()
+	if len(after) != len(before) {
+		t.Fatalf("snapshot row count changed under live mutation: %d -> %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("snapshot row %d changed under live mutation: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+}

@@ -58,119 +58,133 @@ func (c *TemplateConfig) fill() {
 	}
 }
 
-// tleaf is a leaf node. Entries are kept sorted by key, with equal keys in
-// arrival order: inserting at the *end* of an equal-key run makes repeated
-// hot keys append-cheap instead of memmove-quadratic, which matters for
-// duplicate-heavy streams (sensor ids, discretized positions). The
-// template allows a leaf to overflow its nominal capacity — imbalance is
-// handled by template update, never by splitting.
+// tleaf is a leaf node, stored structure-of-arrays: parallel key,
+// timestamp and payload-reference columns plus an append-only payload
+// arena — four allocations per leaf, no per-tuple boxing. The columns are
+// kept sorted by key, with equal keys in arrival order: inserting at the
+// *end* of an equal-key run makes repeated hot keys append-cheap instead
+// of memmove-quadratic, which matters for duplicate-heavy streams (sensor
+// ids, discretized positions). Searches and merges stride a dense
+// 8-byte key column instead of 40-byte tuple structs. The template allows
+// a leaf to overflow its nominal capacity — imbalance is handled by
+// template update, never by splitting.
 type tleaf struct {
 	mu sync.Mutex
-	// entries is the live window buf[head:head+len(entries)], sorted by
-	// key. buf keeps slack on BOTH ends so a batch merge can shift
-	// whichever side of the insertion region is cheaper — on uniform keys
-	// that halves the bytes moved per merge versus always shifting the
-	// suffix right. Readers only ever see entries; buf/head are the
-	// mutators' bookkeeping.
-	entries []model.Tuple
-	buf     []model.Tuple
-	head    int
-	// n mirrors len(entries) for lock-free skew checks.
+	// The live window is [head, head+cnt) of each column buffer. The
+	// buffers keep slack on BOTH ends so a batch merge can shift whichever
+	// side of the insertion region is cheaper — on uniform keys that
+	// halves the bytes moved per merge versus always shifting the suffix
+	// right.
+	kbuf []model.Key
+	tbuf []model.Timestamp
+	rbuf []PayloadRef
+	head int
+	cnt  int
+	// arena holds every payload back to back, append-only: inserts copy
+	// payload bytes in (the tree never retains caller buffers) and merges
+	// move only the reference column, so written arena bytes are
+	// immutable until FlushReset hands the whole arena to a snapshot.
+	arena []byte
+	// n mirrors cnt for lock-free skew checks.
 	n atomic.Int32
 	// minT/maxT bound the timestamps in the leaf (valid when n > 0).
 	minT, maxT model.Timestamp
 }
 
-// growLocked reallocates the leaf buffer with room for at least extra more
-// tuples, recentering the live window so both ends regain slack.
-func (lf *tleaf) growLocked(extra int) {
-	n := len(lf.entries)
-	newCap := 2*(n+extra) + 8
-	buf := make([]model.Tuple, newCap)
-	head := (newCap - n - extra) / 2
-	copy(buf[head:head+n], lf.entries)
-	lf.buf, lf.head = buf, head
-	lf.entries = buf[head : head+n]
+// keyWin returns the live key window kbuf[head:head+cnt].
+func (lf *tleaf) keyWin() []model.Key { return lf.kbuf[lf.head : lf.head+lf.cnt] }
+
+// appendPayload copies p into the leaf arena and returns its reference.
+func (lf *tleaf) appendPayload(p []byte) PayloadRef {
+	arena, r := arenaAppend(lf.arena, p)
+	lf.arena = arena
+	return r
 }
 
-// insertOneLocked places a single tuple through the batch path: one
-// closure-free upper-bound search, then a one-slot shift of whichever
-// side of the insertion point is shorter. Equal-key placement matches
-// insertLocked exactly.
-func (lf *tleaf) insertOneLocked(tp model.Tuple) {
-	n := len(lf.entries)
+// growLocked reallocates the three column buffers with room for at least
+// extra more tuples, recentering the live window so both ends regain
+// slack. The arena is untouched — references stay valid across grows.
+func (lf *tleaf) growLocked(extra int) {
+	n := lf.cnt
+	newCap := 2*(n+extra) + 8
+	head := (newCap - n - extra) / 2
+	kb := make([]model.Key, newCap)
+	tb := make([]model.Timestamp, newCap)
+	rb := make([]PayloadRef, newCap)
+	copy(kb[head:head+n], lf.kbuf[lf.head:lf.head+n])
+	copy(tb[head:head+n], lf.tbuf[lf.head:lf.head+n])
+	copy(rb[head:head+n], lf.rbuf[lf.head:lf.head+n])
+	lf.kbuf, lf.tbuf, lf.rbuf, lf.head = kb, tb, rb, head
+}
+
+// insertOneLocked places a single tuple: one closure-free upper-bound
+// search over the key column, then a one-slot shift of whichever side of
+// the insertion point is shorter — three column copies per shift. Both
+// Insert and the batch path's runs-of-one land here, so the two paths
+// cannot diverge on equal-key placement.
+func (lf *tleaf) insertOneLocked(k model.Key, ts model.Timestamp, p []byte) {
+	r := lf.appendPayload(p)
+	n := lf.cnt
 	if n == 0 {
-		if len(lf.buf) == 0 {
+		if len(lf.kbuf) == 0 {
 			lf.growLocked(1)
 		}
-		lf.head = len(lf.buf) / 2
-		lf.entries = lf.buf[lf.head : lf.head+1]
-		lf.entries[0] = tp
-		lf.minT, lf.maxT = tp.Time, tp.Time
+		lf.head = len(lf.kbuf) / 2
+		lf.cnt = 1
+		lf.kbuf[lf.head], lf.tbuf[lf.head], lf.rbuf[lf.head] = k, ts, r
+		lf.minT, lf.maxT = ts, ts
 		return
 	}
-	if tp.Time < lf.minT {
-		lf.minT = tp.Time
+	if ts < lf.minT {
+		lf.minT = ts
 	}
-	if tp.Time > lf.maxT {
-		lf.maxT = tp.Time
+	if ts > lf.maxT {
+		lf.maxT = ts
 	}
-	pos := upperBound(lf.entries, tp.Key)
+	pos := upperBoundKeys(lf.keyWin(), k)
 	if 2*pos < n && lf.head > 0 {
-		copy(lf.buf[lf.head-1:], lf.buf[lf.head:lf.head+pos])
+		h := lf.head
+		copy(lf.kbuf[h-1:], lf.kbuf[h:h+pos])
+		copy(lf.tbuf[h-1:], lf.tbuf[h:h+pos])
+		copy(lf.rbuf[h-1:], lf.rbuf[h:h+pos])
 		lf.head--
-		lf.entries = lf.buf[lf.head : lf.head+n+1]
-		lf.entries[pos] = tp
+		lf.cnt = n + 1
+		i := lf.head + pos
+		lf.kbuf[i], lf.tbuf[i], lf.rbuf[i] = k, ts, r
 		return
 	}
-	if lf.head+n == len(lf.buf) {
+	if lf.head+n == len(lf.kbuf) {
 		lf.growLocked(1)
 	}
-	lf.entries = lf.buf[lf.head : lf.head+n+1]
-	copy(lf.entries[pos+1:], lf.entries[pos:n])
-	lf.entries[pos] = tp
-}
-
-func (lf *tleaf) insertLocked(t model.Tuple) {
-	i := sort.Search(len(lf.entries), func(i int) bool {
-		return lf.entries[i].Key > t.Key
-	})
-	n := len(lf.entries)
-	if lf.head+n == len(lf.buf) {
-		lf.growLocked(1)
-	}
-	lf.entries = lf.buf[lf.head : lf.head+n+1]
-	copy(lf.entries[i+1:], lf.entries[i:n])
-	lf.entries[i] = t
-	if n == 0 {
-		lf.minT, lf.maxT = t.Time, t.Time
-	} else {
-		if t.Time < lf.minT {
-			lf.minT = t.Time
-		}
-		if t.Time > lf.maxT {
-			lf.maxT = t.Time
-		}
-	}
+	i := lf.head + pos
+	end := lf.head + n
+	copy(lf.kbuf[i+1:end+1], lf.kbuf[i:end])
+	copy(lf.tbuf[i+1:end+1], lf.tbuf[i:end])
+	copy(lf.rbuf[i+1:end+1], lf.rbuf[i:end])
+	lf.cnt = n + 1
+	lf.kbuf[i], lf.tbuf[i], lf.rbuf[i] = k, ts, r
 }
 
 // mergeLocked merges a key-sorted run (equal keys in arrival order) into
 // the leaf. New tuples land *after* existing equal keys — the same
-// placement insertLocked's strict `>` search produces — and the run's
+// placement insertOneLocked's strict `>` search produces — and the run's
 // internal order is preserved, so a merged batch is indistinguishable from
-// inserting its tuples one at a time. The run must not alias lf.buf.
+// inserting its tuples one at a time. refs is caller scratch with room for
+// len(run) references; payload bytes are copied into the arena up front
+// (in run order), then the merge moves only column words.
 //
-// Existing entries move in block memmoves, one per equal-key group of the
-// run, and the merge runs toward whichever end of the buffer is closer to
-// the insertion region: a run landing in the lower half shifts the prefix
-// left into front slack instead of shifting the (larger) suffix right. A
-// run of m tuples costs O(m + moved) bulk copies instead of m searches and
-// m element shifts.
-func (lf *tleaf) mergeLocked(run []model.Tuple) {
-	if len(run) == 0 {
+// Existing entries move in block memmoves — one per column per equal-key
+// group of the run — and the merge runs toward whichever end of the
+// buffers is closer to the insertion region: a run landing in the lower
+// half shifts the prefix left into front slack instead of shifting the
+// (larger) suffix right. A run of m tuples costs O(m + moved) bulk copies
+// instead of m searches and m element shifts.
+func (lf *tleaf) mergeLocked(run []model.Tuple, refs []PayloadRef) {
+	m := len(run)
+	if m == 0 {
 		return
 	}
-	if len(lf.entries) == 0 {
+	if lf.cnt == 0 {
 		lf.minT, lf.maxT = run[0].Time, run[0].Time
 	}
 	for i := range run {
@@ -180,30 +194,35 @@ func (lf *tleaf) mergeLocked(run []model.Tuple) {
 		if run[i].Time > lf.maxT {
 			lf.maxT = run[i].Time
 		}
+		refs[i] = lf.appendPayload(run[i].Payload)
 	}
-	n, m := len(lf.entries), len(run)
+	n := lf.cnt
 	if n == 0 {
-		if len(lf.buf) < m {
+		if len(lf.kbuf) < m {
 			lf.growLocked(m)
 		}
-		lf.head = (len(lf.buf) - m) / 2
-		lf.entries = lf.buf[lf.head : lf.head+m]
-		copy(lf.entries, run)
+		lf.head = (len(lf.kbuf) - m) / 2
+		lf.cnt = m
+		for i := range run {
+			lf.kbuf[lf.head+i] = run[i].Key
+			lf.tbuf[lf.head+i] = run[i].Time
+		}
+		copy(lf.rbuf[lf.head:lf.head+m], refs[:m])
 		return
 	}
 	// Pick the merge direction by the run's median insertion point, then
 	// fall back to whichever side actually has room (growing recenters, so
 	// after a grow the back always has room).
-	pos := upperBound(lf.entries, run[m/2].Key)
+	pos := upperBoundKeys(lf.keyWin(), run[m/2].Key)
 	forward := 2*pos < n
 	if forward && lf.head < m {
-		if len(lf.buf)-lf.head-n >= m {
+		if len(lf.kbuf)-lf.head-n >= m {
 			forward = false
 		} else {
 			lf.growLocked(m)
 			forward = lf.head >= m
 		}
-	} else if !forward && len(lf.buf)-lf.head-n < m {
+	} else if !forward && len(lf.kbuf)-lf.head-n < m {
 		if lf.head >= m {
 			forward = true
 		} else {
@@ -212,41 +231,52 @@ func (lf *tleaf) mergeLocked(run []model.Tuple) {
 		}
 	}
 	if forward {
-		lf.mergeForwardLocked(run)
+		lf.mergeForwardLocked(run, refs)
 	} else {
-		lf.mergeBackwardLocked(run)
+		lf.mergeBackwardLocked(run, refs)
 	}
 }
 
-// upperBound returns the first index in the key-sorted entries whose key
-// is strictly greater than k — the slot where new arrivals of key k land,
-// after all existing equal keys.
-func upperBound(entries []model.Tuple, k model.Key) int {
-	lo, hi := 0, len(entries)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if entries[mid].Key > k {
-			hi = mid
-		} else {
-			lo = mid + 1
+// upperBoundKeys returns the first index in the sorted key column whose
+// key is strictly greater than k — the slot where new arrivals of key k
+// land, after all existing equal keys.
+func upperBoundKeys(keys []model.Key, k model.Key) int {
+	// Shrink-by-half form: the conditional advance compiles to a
+	// predicated move instead of a hard-to-predict branch, which matters
+	// at one search per inserted tuple over random keys.
+	base, n := 0, len(keys)
+	for n > 1 {
+		half := n >> 1
+		if keys[base+half-1] <= k {
+			base += half
 		}
+		n -= half
 	}
-	return lo
+	if n == 1 && keys[base] <= k {
+		base++
+	}
+	return base
 }
 
 // mergeBackwardLocked extends the window rightward and merges right to
 // left, moving the existing entries that sort above each equal-key group
 // of the run. Caller guarantees m free slots after the window.
-func (lf *tleaf) mergeBackwardLocked(run []model.Tuple) {
-	n, m := len(lf.entries), len(run)
-	lf.entries = lf.buf[lf.head : lf.head+n+m]
-	if lf.entries[n-1].Key <= run[0].Key {
+func (lf *tleaf) mergeBackwardLocked(run []model.Tuple, refs []PayloadRef) {
+	n, m := lf.cnt, len(run)
+	base := lf.head
+	kb, tb, rb := lf.kbuf, lf.tbuf, lf.rbuf
+	lf.cnt = n + m
+	if kb[base+n-1] <= run[0].Key {
 		// The whole run sorts after the existing tail (equal existing keys
 		// stay below the new arrivals).
-		copy(lf.entries[n:], run)
+		for x := 0; x < m; x++ {
+			kb[base+n+x] = run[x].Key
+			tb[base+n+x] = run[x].Time
+		}
+		copy(rb[base+n:base+n+m], refs[:m])
 		return
 	}
-	dst := n + m // exclusive write cursor, filled right to left
+	dst := n + m // exclusive write cursor (window-relative), right to left
 	src := n     // exclusive end of not-yet-merged existing entries
 	for j := m; j > 0; {
 		k := run[j-1].Key
@@ -254,14 +284,21 @@ func (lf *tleaf) mergeBackwardLocked(run []model.Tuple) {
 		for i > 0 && run[i-1].Key == k {
 			i--
 		}
-		lo := upperBound(lf.entries[:src], k)
+		lo := upperBoundKeys(kb[base:base+src], k)
 		if blk := src - lo; blk > 0 {
-			copy(lf.entries[dst-blk:dst], lf.entries[lo:src])
+			copy(kb[base+dst-blk:base+dst], kb[base+lo:base+src])
+			copy(tb[base+dst-blk:base+dst], tb[base+lo:base+src])
+			copy(rb[base+dst-blk:base+dst], rb[base+lo:base+src])
 			dst -= blk
 			src = lo
 		}
-		copy(lf.entries[dst-(j-i):dst], run[i:j])
-		dst -= j - i
+		g := j - i
+		for x := 0; x < g; x++ {
+			kb[base+dst-g+x] = run[i+x].Key
+			tb[base+dst-g+x] = run[i+x].Time
+		}
+		copy(rb[base+dst-g:base+dst], refs[i:j])
+		dst -= g
 		j = i
 	}
 }
@@ -271,12 +308,13 @@ func (lf *tleaf) mergeBackwardLocked(run []model.Tuple) {
 // (including existing equal keys, which must stay before new arrivals)
 // shift left by the room the pending run elements no longer need. Caller
 // guarantees m free slots before the window.
-func (lf *tleaf) mergeForwardLocked(run []model.Tuple) {
-	n, m := len(lf.entries), len(run)
+func (lf *tleaf) mergeForwardLocked(run []model.Tuple, refs []PayloadRef) {
+	n, m := lf.cnt, len(run)
 	base := lf.head
+	kb, tb, rb := lf.kbuf, lf.tbuf, lf.rbuf
 	lf.head -= m
-	lf.entries = lf.buf[lf.head : base+n]
-	d := lf.head // write cursor in buf, filled left to right
+	lf.cnt = n + m
+	d := lf.head // write cursor in the buffers, filled left to right
 	src := 0     // start of not-yet-merged existing entries
 	for i := 0; i < m; {
 		k := run[i].Key
@@ -289,19 +327,26 @@ func (lf *tleaf) mergeForwardLocked(run []model.Tuple) {
 		lo, hi := src, n
 		for lo < hi {
 			mid := int(uint(lo+hi) >> 1)
-			if lf.buf[base+mid].Key > k {
+			if kb[base+mid] > k {
 				hi = mid
 			} else {
 				lo = mid + 1
 			}
 		}
 		if blk := lo - src; blk > 0 {
-			copy(lf.buf[d:d+blk], lf.buf[base+src:base+lo])
+			copy(kb[d:d+blk], kb[base+src:base+lo])
+			copy(tb[d:d+blk], tb[base+src:base+lo])
+			copy(rb[d:d+blk], rb[base+src:base+lo])
 			d += blk
 			src = lo
 		}
-		copy(lf.buf[d:d+(j-i)], run[i:j])
-		d += j - i
+		g := j - i
+		for x := 0; x < g; x++ {
+			kb[d+x] = run[i+x].Key
+			tb[d+x] = run[i+x].Time
+		}
+		copy(rb[d:d+g], refs[i:j])
+		d += g
 		i = j
 	}
 }
@@ -358,7 +403,10 @@ type TemplateTree struct {
 // insertScratch is the reusable working set of one InsertBatch call.
 type insertScratch struct {
 	tags []uint64
+	out  []uint64 // counting-sort destination, swapped with tags
+	cnts []uint32 // per-leaf occupancy for the counting grouping
 	run  []model.Tuple
+	refs []PayloadRef
 }
 
 var _ Index = (*TemplateTree)(nil)
@@ -507,13 +555,14 @@ func (t *TemplateTree) route(k model.Key) *tleaf {
 }
 
 // Insert adds one tuple. Safe for concurrent use; only the target leaf is
-// latched.
+// latched. The payload bytes are copied into the leaf arena — the tree
+// never retains tp.Payload.
 func (t *TemplateTree) Insert(tp model.Tuple) {
 	t.gate.RLock()
 	lf := t.route(tp.Key)
 	lf.mu.Lock()
-	lf.insertLocked(tp)
-	lf.n.Store(int32(len(lf.entries)))
+	lf.insertOneLocked(tp.Key, tp.Time, tp.Payload)
+	lf.n.Store(int32(lf.cnt))
 	lf.mu.Unlock()
 	t.count.Add(1)
 	t.bytes.Add(int64(tp.Size()))
@@ -553,6 +602,7 @@ func (t *TemplateTree) InsertBatch(ts []model.Tuple) {
 	if cap(sc.tags) < len(ts) {
 		sc.tags = make([]uint64, len(ts))
 		sc.run = make([]model.Tuple, len(ts))
+		sc.refs = make([]PayloadRef, len(ts))
 	}
 	tags := sc.tags[:len(ts)]
 	scratch := sc.run[:len(ts)]
@@ -562,18 +612,56 @@ func (t *TemplateTree) InsertBatch(ts []model.Tuple) {
 	for i := range ts {
 		bytes += int64(ts[i].Size())
 		k := ts[i].Key
-		lo, hi := 0, len(bounds)
-		for lo < hi {
-			mid := int(uint(lo+hi) >> 1)
-			if k < bounds[mid] {
-				hi = mid
-			} else {
-				lo = mid + 1
+		// Same predicated shrink-by-half search as upperBoundKeys: leaf
+		// li covers [bounds[li-1], bounds[li]).
+		base, n := 0, len(bounds)
+		for n > 1 {
+			half := n >> 1
+			if bounds[base+half-1] <= k {
+				base += half
 			}
+			n -= half
 		}
-		tags[i] = uint64(lo)<<32 | uint64(uint32(i))
+		if n == 1 && bounds[base] <= k {
+			base++
+		}
+		tags[i] = uint64(base)<<32 | uint64(uint32(i))
 	}
-	slices.Sort(tags)
+	// Group the batch by destination leaf. Large batches use a counting
+	// scatter over leaf ids — O(n + leaves) with no comparisons, stable
+	// because equal leaf ids scatter in input order; small batches stay
+	// on the comparison sort, where the per-leaf counting passes would
+	// dominate. The position half of each tag keeps arrival order
+	// recoverable either way.
+	if len(ts) >= 64 {
+		nl := len(bounds) + 1
+		if cap(sc.cnts) < nl {
+			sc.cnts = make([]uint32, nl)
+		}
+		if cap(sc.out) < len(ts) {
+			sc.out = make([]uint64, len(ts))
+		}
+		cnts := sc.cnts[:nl]
+		for i := range tags {
+			cnts[tags[i]>>32]++
+		}
+		sum := uint32(0)
+		for li := range cnts {
+			c := cnts[li]
+			cnts[li] = sum
+			sum += c
+		}
+		out := sc.out[:len(ts)]
+		for i := range tags {
+			li := tags[i] >> 32
+			out[cnts[li]] = tags[i]
+			cnts[li]++
+		}
+		tags = out
+		clear(cnts)
+	} else {
+		slices.Sort(tags)
+	}
 	pos := 0
 	for pos < len(tags) {
 		li := int(tags[pos] >> 32)
@@ -585,9 +673,10 @@ func (t *TemplateTree) InsertBatch(ts []model.Tuple) {
 		if end == pos+1 {
 			// Runs of one dominate when the batch spreads over many
 			// leaves; skip the gather and merge machinery entirely.
+			tp := &ts[uint32(tags[pos])]
 			lf.mu.Lock()
-			lf.insertOneLocked(ts[uint32(tags[pos])])
-			lf.n.Store(int32(len(lf.entries)))
+			lf.insertOneLocked(tp.Key, tp.Time, tp.Payload)
+			lf.n.Store(int32(lf.cnt))
 			lf.mu.Unlock()
 			pos = end
 			continue
@@ -598,8 +687,8 @@ func (t *TemplateTree) InsertBatch(ts []model.Tuple) {
 		}
 		sortRunByKey(run)
 		lf.mu.Lock()
-		lf.mergeLocked(run)
-		lf.n.Store(int32(len(lf.entries)))
+		lf.mergeLocked(run, sc.refs[:len(run)])
+		lf.n.Store(int32(lf.cnt))
 		lf.mu.Unlock()
 		pos = end
 	}
@@ -693,70 +782,90 @@ func (t *TemplateTree) skewnessLocked() float64 {
 func (t *TemplateTree) UpdateTemplate() {
 	start := time.Now()
 	t.gate.Lock()
-	// Concatenating per-leaf entries yields a globally key-sorted list,
-	// because leaves own disjoint, ordered key intervals.
+	// Concatenating per-leaf columns yields globally key-sorted columns,
+	// because leaves own disjoint, ordered key intervals. Payloads are
+	// gathered as views into the old arenas; redistribution copies them
+	// into the fresh leaves' arenas below (arena ownership never spans
+	// leaves), so the old column buffers and arenas are dropped wholesale.
 	total := 0
 	for _, lf := range t.leaves {
-		total += len(lf.entries)
+		total += lf.cnt
 	}
-	all := make([]model.Tuple, 0, total)
+	allK := make([]model.Key, 0, total)
+	allT := make([]model.Timestamp, 0, total)
+	allP := make([][]byte, 0, total)
 	for _, lf := range t.leaves {
-		all = append(all, lf.entries...)
+		h, c := lf.head, lf.cnt
+		allK = append(allK, lf.kbuf[h:h+c]...)
+		allT = append(allT, lf.tbuf[h:h+c]...)
+		for j := h; j < h+c; j++ {
+			allP = append(allP, arenaPayload(lf.arena, lf.rbuf[j]))
+		}
 	}
-	keys := make([]model.Key, len(all))
-	for i := range all {
-		keys[i] = all[i].Key
-	}
-	bounds := boundariesFromSorted(keys, t.cfg.Leaves)
+	bounds := boundariesFromSorted(allK, t.cfg.Leaves)
 	if bounds == nil {
 		bounds = evenBoundaries(t.cfg.Keys, t.cfg.Leaves)
 	}
 	t.installPartition(bounds)
-	t.redistributeLocked(all)
+	t.redistributeLocked(allK, allT, allP)
 	t.floorSkew.Store(math.Float64bits(t.skewnessLocked()))
 	t.gate.Unlock()
 	t.stats.TemplateUpdates.Add(1)
 	t.stats.TemplateUpdateNanos.Add(time.Since(start).Nanoseconds())
 }
 
-// redistributeLocked assigns the key-sorted entries to the freshly built
-// leaves by the current separators. Caller holds the gate exclusively.
-func (t *TemplateTree) redistributeLocked(sorted []model.Tuple) {
+// redistributeLocked assigns the key-sorted columns to the freshly built
+// leaves by the current separators, copying each payload into its new
+// leaf's arena. Caller holds the gate exclusively.
+func (t *TemplateTree) redistributeLocked(allK []model.Key, allT []model.Timestamp, allP [][]byte) {
 	pos := 0
 	for i, lf := range t.leaves {
-		end := len(sorted)
+		end := len(allK)
 		if i < len(t.bounds) {
 			b := t.bounds[i]
-			end = pos + sort.Search(len(sorted)-pos, func(j int) bool {
-				return sorted[pos+j].Key >= b
+			end = pos + sort.Search(len(allK)-pos, func(j int) bool {
+				return allK[pos+j] >= b
 			})
 		}
 		if end > pos {
-			// Fresh centered buffer: redistribution owns the new leaves, and
+			// Fresh centered buffers: redistribution owns the new leaves, and
 			// centering re-arms the two-ended slack the batch merge exploits.
 			n := end - pos
-			lf.buf = make([]model.Tuple, 2*n+8)
-			lf.head = (len(lf.buf) - n) / 2
-			lf.entries = lf.buf[lf.head : lf.head+n]
-			copy(lf.entries, sorted[pos:end])
-			lf.minT, lf.maxT = lf.entries[0].Time, lf.entries[0].Time
-			for _, e := range lf.entries {
-				if e.Time < lf.minT {
-					lf.minT = e.Time
+			capn := 2*n + 8
+			lf.kbuf = make([]model.Key, capn)
+			lf.tbuf = make([]model.Timestamp, capn)
+			lf.rbuf = make([]PayloadRef, capn)
+			lf.head = (capn - n) / 2
+			lf.cnt = n
+			payBytes := 0
+			for j := pos; j < end; j++ {
+				payBytes += len(allP[j])
+			}
+			lf.arena = make([]byte, 0, payBytes)
+			copy(lf.kbuf[lf.head:], allK[pos:end])
+			copy(lf.tbuf[lf.head:], allT[pos:end])
+			lf.minT, lf.maxT = allT[pos], allT[pos]
+			for j := pos; j < end; j++ {
+				lf.rbuf[lf.head+j-pos] = lf.appendPayload(allP[j])
+				if allT[j] < lf.minT {
+					lf.minT = allT[j]
 				}
-				if e.Time > lf.maxT {
-					lf.maxT = e.Time
+				if allT[j] > lf.maxT {
+					lf.maxT = allT[j]
 				}
 			}
 		}
-		lf.n.Store(int32(len(lf.entries)))
+		lf.n.Store(int32(lf.cnt))
 		pos = end
 	}
 }
 
-// Range visits matching tuples in key order. Leaves whose time bounds miss
-// tr are skipped without latching their entries.
-func (t *TemplateTree) Range(kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn func(*model.Tuple) bool) {
+// RangeCols visits matching tuples in key order as raw (key, time,
+// payload) columns, without materializing model.Tuple values. Leaves whose
+// time bounds miss tr are skipped without latching their columns. The
+// payload slice aliases the leaf arena: treat it as read-only and copy it
+// to retain it beyond the callback.
+func (t *TemplateTree) RangeCols(kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn ColsVisitor) {
 	if !kr.IsValid() || !tr.IsValid() {
 		return
 	}
@@ -776,19 +885,24 @@ func (t *TemplateTree) Range(kr model.KeyRange, tr model.TimeRange, filter *mode
 			lf.mu.Unlock()
 			continue
 		}
-		start := sort.Search(len(lf.entries), func(j int) bool {
-			return lf.entries[j].Key >= kr.Lo
+		keys := lf.keyWin()
+		start := sort.Search(len(keys), func(j int) bool {
+			return keys[j] >= kr.Lo
 		})
 		stop := false
-		for j := start; j < len(lf.entries); j++ {
-			e := &lf.entries[j]
-			if e.Key > kr.Hi {
+		for j := start; j < len(keys); j++ {
+			if keys[j] > kr.Hi {
 				break
 			}
-			if e.Time < tr.Lo || e.Time > tr.Hi || !filter.Matches(e) {
+			ts := lf.tbuf[lf.head+j]
+			if ts < tr.Lo || ts > tr.Hi {
 				continue
 			}
-			if !fn(e) {
+			p := arenaPayload(lf.arena, lf.rbuf[lf.head+j])
+			if !filter.MatchesCols(keys[j], ts, p) {
+				continue
+			}
+			if !fn(keys[j], ts, p) {
 				stop = true
 				break
 			}
@@ -798,6 +912,17 @@ func (t *TemplateTree) Range(kr model.KeyRange, tr model.TimeRange, filter *mode
 			return
 		}
 	}
+}
+
+// Range visits matching tuples in key order — the core.Index compatibility
+// shim over RangeCols. One tuple value is reused across the whole scan;
+// callers must not retain the pointer (or its payload) past the callback.
+func (t *TemplateTree) Range(kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn func(*model.Tuple) bool) {
+	var tp model.Tuple
+	t.RangeCols(kr, tr, filter, func(k model.Key, ts model.Timestamp, p []byte) bool {
+		tp.Key, tp.Time, tp.Payload = k, ts, p
+		return fn(&tp)
+	})
 }
 
 // Len returns the number of tuples in the tree.
@@ -818,7 +943,7 @@ func (t *TemplateTree) TimeBounds() (lo, hi model.Timestamp, ok bool) {
 	first := true
 	for _, lf := range t.leaves {
 		lf.mu.Lock()
-		if len(lf.entries) > 0 {
+		if lf.cnt > 0 {
 			if first {
 				lo, hi, first = lf.minT, lf.maxT, false
 			} else {
@@ -836,14 +961,15 @@ func (t *TemplateTree) TimeBounds() (lo, hi model.Timestamp, ok bool) {
 }
 
 // FlushSnapshot is the content handed to the chunk builder by FlushReset:
-// the per-leaf sorted entries, the leaf partition that produced them, and
-// summary bounds.
+// the per-leaf columns, the leaf partition that produced them, and summary
+// bounds. The v2 chunk encoder consumes the columns directly — flush is a
+// column-to-column transcode with zero tuple materialization.
 type FlushSnapshot struct {
 	// Bounds are the l-1 separators of the partition at flush time.
 	Bounds []model.Key
-	// Leaves holds each leaf's entries, sorted by key (equal keys in
-	// arrival order).
-	Leaves [][]model.Tuple
+	// Leaves holds each leaf's columns, sorted by key (equal keys in
+	// arrival order). Each leaf owns its arena.
+	Leaves []LeafCols
 	// Count is the total number of tuples.
 	Count int
 	// Bytes is the approximate payload footprint.
@@ -860,19 +986,20 @@ type FlushSnapshot struct {
 // LeafKeyRange returns the exact key bounds of leaf i (ok=false when the
 // leaf is empty) — the per-leaf bounds the v2 chunk header records.
 func (s *FlushSnapshot) LeafKeyRange(i int) (model.KeyRange, bool) {
-	entries := s.Leaves[i]
-	if len(entries) == 0 {
+	keys := s.Leaves[i].Keys
+	if len(keys) == 0 {
 		return model.KeyRange{}, false
 	}
-	return model.KeyRange{Lo: entries[0].Key, Hi: entries[len(entries)-1].Key}, true
+	return model.KeyRange{Lo: keys[0], Hi: keys[len(keys)-1]}, true
 }
 
-// Range visits the snapshot's matching tuples in key order, mirroring
-// TemplateTree.Range. Snapshots are immutable once FlushReset returns, so
-// Range takes no locks and is safe for any number of concurrent readers —
-// this is what keeps tuples queryable while their chunk is still being
-// built and written by a background flusher.
-func (s *FlushSnapshot) Range(kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn func(*model.Tuple) bool) {
+// RangeCols visits the snapshot's matching tuples in key order as raw
+// (key, time, payload) columns, mirroring TemplateTree.RangeCols.
+// Snapshots are immutable once FlushReset returns, so RangeCols takes no
+// locks and is safe for any number of concurrent readers — this is what
+// keeps tuples queryable while their chunk is still being built and
+// written by a background flusher.
+func (s *FlushSnapshot) RangeCols(kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn ColsVisitor) {
 	if s == nil || s.Count == 0 || !kr.IsValid() || !tr.IsValid() {
 		return
 	}
@@ -884,29 +1011,65 @@ func (s *FlushSnapshot) Range(kr model.KeyRange, tr model.TimeRange, filter *mod
 		if i > 0 && s.Bounds[i-1] > kr.Hi {
 			break
 		}
-		leaf := s.Leaves[i]
-		if len(leaf) == 0 {
+		leaf := &s.Leaves[i]
+		keys := leaf.Keys
+		if len(keys) == 0 {
 			continue
 		}
-		start := sort.Search(len(leaf), func(j int) bool { return leaf[j].Key >= kr.Lo })
-		for j := start; j < len(leaf); j++ {
-			e := &leaf[j]
-			if e.Key > kr.Hi {
+		start := sort.Search(len(keys), func(j int) bool { return keys[j] >= kr.Lo })
+		for j := start; j < len(keys); j++ {
+			if keys[j] > kr.Hi {
 				break
 			}
-			if e.Time < tr.Lo || e.Time > tr.Hi || !filter.Matches(e) {
+			ts := leaf.Times[j]
+			if ts < tr.Lo || ts > tr.Hi {
 				continue
 			}
-			if !fn(e) {
+			p := leaf.Payload(j)
+			if !filter.MatchesCols(keys[j], ts, p) {
+				continue
+			}
+			if !fn(keys[j], ts, p) {
 				return
 			}
 		}
 	}
 }
 
+// Range visits the snapshot's matching tuples in key order — the
+// tuple-callback compatibility shim over RangeCols. One tuple value is
+// reused across the whole scan; callers must not retain the pointer (or
+// its payload) past the callback.
+func (s *FlushSnapshot) Range(kr model.KeyRange, tr model.TimeRange, filter *model.Filter, fn func(*model.Tuple) bool) {
+	var tp model.Tuple
+	s.RangeCols(kr, tr, filter, func(k model.Key, ts model.Timestamp, p []byte) bool {
+		tp.Key, tp.Time, tp.Payload = k, ts, p
+		return fn(&tp)
+	})
+}
+
+// EachTuple materializes leaf i's entries as model.Tuple values in key
+// order, stopping early when fn returns false. This is the snapshot's only
+// tuple-materializing iterator — the v1 row encoder uses it — and every
+// visit advances the TupleMaterializations counter, which is how the
+// zero-materialization guarantee of the v2 flush path is tested. Payloads
+// alias the snapshot arena.
+func (s *FlushSnapshot) EachTuple(i int, fn func(model.Tuple) bool) {
+	leaf := &s.Leaves[i]
+	for j := range leaf.Keys {
+		tupleMats.Add(1)
+		if !fn(model.Tuple{Key: leaf.Keys[j], Time: leaf.Times[j], Payload: leaf.Payload(j)}) {
+			return
+		}
+	}
+}
+
 // FlushReset atomically extracts the tree contents and resets the leaves,
 // retaining the inner template for the next chunk (paper §III-B: "we only
-// eliminate the leaf nodes of the tree"). Returns nil when empty.
+// eliminate the leaf nodes of the tree"). Returns nil when empty. The
+// snapshot takes ownership of each leaf's column buffers and arena
+// wholesale — the live leaf restarts from nil buffers, so no later insert
+// or template update can touch a snapshot's memory.
 func (t *TemplateTree) FlushReset() *FlushSnapshot {
 	t.gate.Lock()
 	defer t.gate.Unlock()
@@ -915,7 +1078,7 @@ func (t *TemplateTree) FlushReset() *FlushSnapshot {
 	}
 	snap := &FlushSnapshot{
 		Bounds:   append([]model.Key(nil), t.bounds...),
-		Leaves:   make([][]model.Tuple, len(t.leaves)),
+		Leaves:   make([]LeafCols, len(t.leaves)),
 		Count:    int(t.count.Load()),
 		Bytes:    t.bytes.Load(),
 		Keys:     t.cfg.Keys,
@@ -923,10 +1086,17 @@ func (t *TemplateTree) FlushReset() *FlushSnapshot {
 	}
 	first := true
 	for i, lf := range t.leaves {
-		// Cap the handed-off slice: the snapshot must not be able to see
-		// the buffer slack, and the leaf abandons buf wholesale below.
-		snap.Leaves[i] = lf.entries[:len(lf.entries):len(lf.entries)]
-		if len(lf.entries) > 0 {
+		// Cap the handed-off windows: the snapshot must not be able to see
+		// the buffer slack, and the leaf abandons its buffers wholesale
+		// below.
+		h, c := lf.head, lf.cnt
+		snap.Leaves[i] = LeafCols{
+			Keys:  lf.kbuf[h : h+c : h+c],
+			Times: lf.tbuf[h : h+c : h+c],
+			Refs:  lf.rbuf[h : h+c : h+c],
+			Arena: lf.arena,
+		}
+		if c > 0 {
 			if first {
 				snap.MinTime, snap.MaxTime, first = lf.minT, lf.maxT, false
 			} else {
@@ -938,7 +1108,8 @@ func (t *TemplateTree) FlushReset() *FlushSnapshot {
 				}
 			}
 		}
-		lf.entries, lf.buf, lf.head = nil, nil, 0
+		lf.kbuf, lf.tbuf, lf.rbuf, lf.arena = nil, nil, nil, nil
+		lf.head, lf.cnt = 0, 0
 		lf.n.Store(0)
 	}
 	t.count.Store(0)

@@ -158,12 +158,13 @@ func TestTemplateFlushReset(t *testing.T) {
 	total := 0
 	var prev model.Key
 	first := true
-	for _, leafEntries := range snap.Leaves {
-		for _, e := range leafEntries {
-			if !first && e.Key < prev {
+	for i := range snap.Leaves {
+		lc := &snap.Leaves[i]
+		for _, k := range lc.Keys {
+			if !first && k < prev {
 				t.Fatal("snapshot not globally key-sorted across leaves")
 			}
-			prev, first = e.Key, false
+			prev, first = k, false
 			total++
 		}
 	}

@@ -1,0 +1,35 @@
+// Generic typed views over the columnar scan paths. The SoA leaves expose
+// tuples as (key, time, payload) triples; ScanTree and ScanSnapshot
+// compose a model.PayloadView on top so callers consume typed payload
+// values — a counter field, a struct decode — without a model.Tuple ever
+// being built. (Methods cannot be generic, hence free functions.)
+package core
+
+import "waterwheel/internal/model"
+
+// ColsVisitor visits one tuple as raw columns. The payload slice aliases a
+// leaf arena: treat it as read-only and copy it to retain it beyond the
+// call. Return false to stop the scan.
+type ColsVisitor = func(model.Key, model.Timestamp, []byte) bool
+
+// Visitor visits one tuple with its payload decoded through a view.
+// Return false to stop the scan.
+type Visitor[P any] func(model.Key, model.Timestamp, P) bool
+
+// ScanTree visits the tree's tuples matching the ranges and filter in key
+// order, decoding each payload through view. The restrictions of
+// model.PayloadView apply: the raw bytes handed to view are only valid for
+// the duration of the call.
+func ScanTree[P any](t *TemplateTree, kr model.KeyRange, tr model.TimeRange, filter *model.Filter, view model.PayloadView[P], fn Visitor[P]) {
+	t.RangeCols(kr, tr, filter, func(k model.Key, ts model.Timestamp, p []byte) bool {
+		return fn(k, ts, view(p))
+	})
+}
+
+// ScanSnapshot is ScanTree over an immutable flush snapshot; it takes no
+// locks and is safe for any number of concurrent readers.
+func ScanSnapshot[P any](s *FlushSnapshot, kr model.KeyRange, tr model.TimeRange, filter *model.Filter, view model.PayloadView[P], fn Visitor[P]) {
+	s.RangeCols(kr, tr, filter, func(k model.Key, ts model.Timestamp, p []byte) bool {
+		return fn(k, ts, view(p))
+	})
+}

@@ -644,18 +644,19 @@ func (s *Server) FlushAll() {
 	s.DrainFlushes()
 }
 
-// boundingKeys computes the exact key bounding box of a snapshot.
+// boundingKeys computes the exact key bounding box of a snapshot from its
+// key columns.
 func boundingKeys(snap *core.FlushSnapshot) model.KeyRange {
 	kr := snap.Keys
-	for _, leaf := range snap.Leaves {
-		if len(leaf) > 0 {
-			kr.Lo = leaf[0].Key
+	for i := range snap.Leaves {
+		if keys := snap.Leaves[i].Keys; len(keys) > 0 {
+			kr.Lo = keys[0]
 			break
 		}
 	}
 	for i := len(snap.Leaves) - 1; i >= 0; i-- {
-		if leaf := snap.Leaves[i]; len(leaf) > 0 {
-			kr.Hi = leaf[len(leaf)-1].Key
+		if keys := snap.Leaves[i].Keys; len(keys) > 0 {
+			kr.Hi = keys[len(keys)-1]
 			break
 		}
 	}
@@ -674,16 +675,17 @@ func (s *Server) ExecuteSubQuery(sq *model.SubQuery) *model.Result {
 	defer s.pendMu.RUnlock()
 	res := &model.Result{QueryID: sq.QueryID}
 	if sq.Agg != nil {
-		// Aggregate subquery: fold matching tuples instead of copying them
-		// out. Limit does not apply to aggregates.
+		// Aggregate subquery: fold matching columns instead of copying
+		// tuples out. Limit does not apply to aggregates.
 		agg := &model.AggPartial{}
 		res.Agg = agg
 		s.scanSources(sq, func(rangeFn treeRange) {
-			rangeFn(sq.Region.Keys, sq.Region.Times, sq.Filter, func(t *model.Tuple) bool {
-				if sq.Agg.CountOnly {
-					agg.Count++
-				} else {
-					agg.AddTuple(t, sq.Agg.Field)
+			rangeFn(sq.Region.Keys, sq.Region.Times, sq.Filter, func(_ model.Key, _ model.Timestamp, p []byte) bool {
+				agg.Count++
+				if !sq.Agg.CountOnly {
+					if v, ok := model.PayloadU64Field(p, sq.Agg.Field); ok {
+						agg.AddValue(v)
+					}
 				}
 				return true
 			})
@@ -693,15 +695,28 @@ func (s *Server) ExecuteSubQuery(sq *model.SubQuery) *model.Result {
 	sources := 0
 	s.scanSources(sq, func(rangeFn treeRange) {
 		base := len(res.Tuples)
-		rangeFn(sq.Region.Keys, sq.Region.Times, sq.Filter, func(t *model.Tuple) bool {
-			cp := *t
-			cp.Payload = append([]byte(nil), t.Payload...)
-			res.Tuples = append(res.Tuples, cp)
+		payloadBytes := 0
+		rangeFn(sq.Region.Keys, sq.Region.Times, sq.Filter, func(k model.Key, ts model.Timestamp, p []byte) bool {
+			// Payloads alias leaf arenas during the scan (append-only, so
+			// the bytes stay valid) and are un-aliased into one arena per
+			// source below — a handful of allocations per scan instead of
+			// one per tuple.
+			res.Tuples = append(res.Tuples, model.Tuple{Key: k, Time: ts, Payload: p})
+			payloadBytes += len(p)
 			// Each source may hold lower keys than where the previous
 			// source's limit cut off, so every source scans with its own
 			// budget and the combined result is re-cut on sorted order below.
 			return sq.Limit <= 0 || len(res.Tuples)-base < sq.Limit
 		})
+		if payloadBytes > 0 {
+			arena := make([]byte, 0, payloadBytes)
+			for i := base; i < len(res.Tuples); i++ {
+				t := &res.Tuples[i]
+				off := len(arena)
+				arena = append(arena, t.Payload...)
+				t.Payload = arena[off:len(arena):len(arena)]
+			}
+		}
 		if len(res.Tuples) > base {
 			sources++
 		}
@@ -713,17 +728,18 @@ func (s *Server) ExecuteSubQuery(sq *model.SubQuery) *model.Result {
 	return res
 }
 
-// treeRange is the common range-scan signature of the in-memory sources.
-type treeRange = func(model.KeyRange, model.TimeRange, *model.Filter, func(*model.Tuple) bool)
+// treeRange is the common columnar range-scan signature of the in-memory
+// sources (TemplateTree.RangeCols / FlushSnapshot.RangeCols).
+type treeRange = func(model.KeyRange, model.TimeRange, *model.Filter, core.ColsVisitor)
 
 // scanSources invokes scan once per in-memory source a subquery must cover:
 // the live tree, the side store, and each pending snapshot the query's plan
 // could not have seen as a chunk (the AsOfChunk visibility rule). The
 // caller must hold pendMu.RLock so the source set is frozen for the scan.
 func (s *Server) scanSources(sq *model.SubQuery, scan func(treeRange)) {
-	scan(s.tree.Range)
+	scan(s.tree.RangeCols)
 	if s.side != nil {
-		scan(s.side.Range)
+		scan(s.side.RangeCols)
 	}
 	for _, pf := range s.pending {
 		if flushState(pf.state.Load()) == flushDone {
@@ -737,7 +753,7 @@ func (s *Server) scanSources(sq *model.SubQuery, scan func(treeRange)) {
 			}
 		}
 		for i := range pf.parts {
-			scan(pf.parts[i].snap.Range)
+			scan(pf.parts[i].snap.RangeCols)
 		}
 	}
 }

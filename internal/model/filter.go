@@ -127,6 +127,14 @@ type Filter struct {
 
 // Matches evaluates the filter against t. A nil filter matches everything.
 func (f *Filter) Matches(t *Tuple) bool {
+	return f.MatchesCols(t.Key, t.Time, t.Payload)
+}
+
+// MatchesCols evaluates the filter against a tuple given as its three
+// columns, so columnar scan paths (SoA leaves, v2 chunk columns) can apply
+// predicates without materializing a Tuple. A nil filter matches
+// everything. The payload is read but never retained.
+func (f *Filter) MatchesCols(key Key, ts Timestamp, payload []byte) bool {
 	if f == nil {
 		return true
 	}
@@ -137,14 +145,14 @@ func (f *Filter) Matches(t *Tuple) bool {
 		return false
 	case FilterAnd:
 		for _, c := range f.Children {
-			if !c.Matches(t) {
+			if !c.MatchesCols(key, ts, payload) {
 				return false
 			}
 		}
 		return true
 	case FilterOr:
 		for _, c := range f.Children {
-			if c.Matches(t) {
+			if c.MatchesCols(key, ts, payload) {
 				return true
 			}
 		}
@@ -153,29 +161,29 @@ func (f *Filter) Matches(t *Tuple) bool {
 		if len(f.Children) != 1 {
 			return false
 		}
-		return !f.Children[0].Matches(t)
+		return !f.Children[0].MatchesCols(key, ts, payload)
 	case FilterKeyCmp:
-		return f.Cmp.evalUint(uint64(t.Key), f.Uint)
+		return f.Cmp.evalUint(uint64(key), f.Uint)
 	case FilterTimeCmp:
-		return f.Cmp.evalInt(int64(t.Time), f.Int)
+		return f.Cmp.evalInt(int64(ts), f.Int)
 	case FilterPayloadU64:
 		end := int(f.Offset) + 8
-		if end > len(t.Payload) {
+		if end > len(payload) {
 			return false
 		}
-		v := binary.BigEndian.Uint64(t.Payload[f.Offset:end])
+		v := binary.BigEndian.Uint64(payload[f.Offset:end])
 		return f.Cmp.evalUint(v, f.Uint)
 	case FilterPayloadBytes:
 		end := int(f.Offset) + len(f.Bytes)
-		if end > len(t.Payload) {
+		if end > len(payload) {
 			return false
 		}
-		return f.Cmp.evalOrd(bytes.Compare(t.Payload[f.Offset:end], f.Bytes))
+		return f.Cmp.evalOrd(bytes.Compare(payload[f.Offset:end], f.Bytes))
 	case FilterKeyMod:
 		if f.Modulus == 0 {
 			return false
 		}
-		return uint64(t.Key)%f.Modulus == f.Uint
+		return uint64(key)%f.Modulus == f.Uint
 	}
 	return false
 }

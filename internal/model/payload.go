@@ -1,0 +1,35 @@
+// Zero-copy payload views: typed accessors over a tuple's raw payload
+// bytes. Columnar scan paths hand callbacks the payload slice directly
+// (aliasing an arena or a chunk body); these helpers extract typed fields
+// from it without copying, and PayloadView names the decode-function shape
+// the generic scan layer in internal/core composes over.
+package model
+
+import "encoding/binary"
+
+// PayloadView decodes a raw payload into a typed value. Views must treat p
+// as read-only and must not retain it beyond the call: the bytes alias a
+// leaf arena or chunk body owned by the scan.
+type PayloadView[P any] func(p []byte) P
+
+// RawPayload is the identity view: the payload bytes themselves.
+func RawPayload(p []byte) []byte { return p }
+
+// PayloadU64Field reads the big-endian uint64 payload field at byte offset
+// off, reporting ok=false when the payload is too short to carry it.
+func PayloadU64Field(p []byte, off uint32) (uint64, bool) {
+	if int64(off)+8 > int64(len(p)) {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(p[off:]), true
+}
+
+// U64Field returns a view extracting the big-endian uint64 at byte offset
+// off; short payloads yield 0. Use PayloadU64Field directly when presence
+// must be distinguished from a zero value.
+func U64Field(off uint32) PayloadView[uint64] {
+	return func(p []byte) uint64 {
+		v, _ := PayloadU64Field(p, off)
+		return v
+	}
+}

@@ -369,7 +369,8 @@ func (s *Server) ExecuteSubQueryTraced(sq *model.SubQuery, sp *telemetry.Span) (
 	}
 
 	scanSp := sp.StartChild("scan")
-	var cols chunk.LeafColumns
+	cols := chunk.BorrowColumns()
+	defer chunk.ReturnColumns(cols)
 	for _, li := range leaves {
 		res.LeavesRead++
 		// Matched payloads alias the (cached, shared) leaf body during the
@@ -377,9 +378,9 @@ func (s *Server) ExecuteSubQueryTraced(sq *model.SubQuery, sp *telemetry.Span) (
 		// single allocation instead of one per tuple.
 		arenaStart := len(res.Tuples)
 		payloadBytes := 0
-		err := h.ScanLeafWith(&cols, li, bodies[li], sq.Region.Keys, sq.Region.Times, sq.Filter, func(t *model.Tuple) bool {
-			res.Tuples = append(res.Tuples, *t)
-			payloadBytes += len(t.Payload)
+		err := h.ScanLeafColsWith(cols, li, bodies[li], sq.Region.Keys, sq.Region.Times, sq.Filter, func(k model.Key, ts model.Timestamp, p []byte) bool {
+			res.Tuples = append(res.Tuples, model.Tuple{Key: k, Time: ts, Payload: p})
+			payloadBytes += len(p)
 			return sq.Limit <= 0 || len(res.Tuples) < sq.Limit
 		})
 		if err != nil {
@@ -608,14 +609,15 @@ func (s *Server) executeAgg(sq *model.SubQuery, ci meta.ChunkInfo, h *chunk.Head
 			return err
 		}
 		scanSp := sp.StartChild("agg_scan")
-		var cols chunk.LeafColumns
+		cols := chunk.BorrowColumns()
+		defer chunk.ReturnColumns(cols)
 		for _, li := range scan {
 			res.LeavesRead++
 			var ex *model.TimeRange
 			if w, ok := exclude[li]; ok {
 				ex = &w
 			}
-			if err := h.AggregateLeaf(li, bodies[li], &cols, kr, tr, sq.Filter, ex, spec.Field, spec.CountOnly, agg); err != nil {
+			if err := h.AggregateLeaf(li, bodies[li], cols, kr, tr, sq.Filter, ex, spec.Field, spec.CountOnly, agg); err != nil {
 				err = fmt.Errorf("queryexec: chunk %d leaf %d: %w", ci.ID, li, err)
 				scanSp.SetStr("error", err.Error())
 				scanSp.End()

@@ -123,3 +123,43 @@ func TestTelemetryCacheHitSubQueryOverhead(t *testing.T) {
 		t.Errorf("cache-hit subquery allocates %.2f times, want <= 20", on)
 	}
 }
+
+// TestMemSubQueryAllocBudget guards the memtable scan path against the
+// same budget as the cache-hit chunk subquery: result assembly (the
+// Result value, the tuple slice, one payload arena per source) is all a
+// mem-scan may allocate. The columnar read path hands payloads out as
+// arena aliases, so per-tuple payload copies — which would blow the
+// budget immediately at this result size — must never come back.
+func TestMemSubQueryAllocBudget(t *testing.T) {
+	fs := dfs.New(dfs.Config{Nodes: 3, Replication: 2, Seed: 1, Sleep: func(time.Duration) {}})
+	ms := meta.NewServer(1)
+	is := ingest.NewServer(ingest.Config{
+		ID: 0, ChunkBytes: 1 << 30, Leaves: 16, SyncFlush: true,
+	}, fs, ms, 0)
+	t.Cleanup(is.Close)
+	for i := 0; i < 2000; i++ {
+		is.Insert(model.Tuple{
+			Key:     model.Key(uint64(i) * 2654435761),
+			Time:    model.Timestamp(1000 + i),
+			Payload: []byte{byte(i), byte(i >> 8), byte(i >> 16), byte(i >> 24)},
+		})
+	}
+	// No flush: every tuple is resident in the memtable. A narrow key
+	// window keeps the result small, as in the chunk-side guard.
+	sq := &model.SubQuery{
+		Region: model.Region{
+			Keys:  model.KeyRange{Lo: 0, Hi: 1 << 24},
+			Times: model.FullTimeRange(),
+		},
+	}
+	if res := is.ExecuteSubQuery(sq); len(res.Tuples) == 0 {
+		t.Fatal("mem subquery matched no tuples; key window too narrow")
+	}
+	allocs := testing.AllocsPerRun(2000, func() {
+		is.ExecuteSubQuery(sq)
+	})
+	t.Logf("mem subquery allocs: %.2f", allocs)
+	if allocs > 20 {
+		t.Errorf("mem subquery allocates %.2f times, want <= 20", allocs)
+	}
+}

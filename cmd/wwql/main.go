@@ -5,6 +5,7 @@
 //
 //	wwql -addr 127.0.0.1:7070 insert 42 1700000000000 hello
 //	wwql -addr 127.0.0.1:7070 query -keys 0:100 -times 0:2000000000000
+//	wwql -addr 127.0.0.1:7070 query -keys 0:100 -daily 09:00-17:00
 //	wwql -addr 127.0.0.1:7070 trace -keys 0:100 -times 0:2000000000000
 //	wwql -addr 127.0.0.1:7070 agg -kind sum -field 0 -keys 0:100 -times 0:2000000000000
 //	wwql -addr 127.0.0.1:7070 stats
@@ -44,12 +45,49 @@ func parseRange(s string) (lo, hi uint64, err error) {
 	return
 }
 
+// parseDaily parses a "hh:mm-hh:mm" recurring daily window ("between
+// 09:00 and 17:00 daily") into a Recurrence.
+func parseDaily(s string) (*waterwheel.Recurrence, error) {
+	parts := strings.SplitN(s, "-", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("want hh:mm-hh:mm, got %q", s)
+	}
+	minuteOfDay := func(v string) (int64, error) {
+		hm := strings.SplitN(v, ":", 2)
+		if len(hm) != 2 {
+			return 0, fmt.Errorf("want hh:mm, got %q", v)
+		}
+		h, err := strconv.Atoi(hm[0])
+		if err != nil || h < 0 || h > 24 {
+			return 0, fmt.Errorf("bad hour %q", hm[0])
+		}
+		m, err := strconv.Atoi(hm[1])
+		if err != nil || m < 0 || m > 59 {
+			return 0, fmt.Errorf("bad minute %q", hm[1])
+		}
+		return int64(h)*60 + int64(m), nil
+	}
+	from, err := minuteOfDay(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	to, err := minuteOfDay(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	if to <= from {
+		return nil, fmt.Errorf("window %q must end after it starts", s)
+	}
+	return waterwheel.Daily(from*60_000, (to-from)*60_000), nil
+}
+
 // parseQueryArgs parses the shared query/trace flags into a query and the
 // tuple print limit.
 func parseQueryArgs(cmd string, args []string) (waterwheel.Query, int) {
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	keys := fs.String("keys", "", "key range lo:hi (default: all)")
 	times := fs.String("times", "", "time range lo:hi in ms (default: all)")
+	daily := fs.String("daily", "", "recurring daily window hh:mm-hh:mm (UTC), e.g. 09:00-17:00")
 	limit := fs.Int("limit", 20, "max tuples to print (0 = all)")
 	fs.Parse(args)
 	q := waterwheel.Query{Keys: waterwheel.FullKeyRange(), Times: waterwheel.FullTimeRange()}
@@ -66,6 +104,13 @@ func parseQueryArgs(cmd string, args []string) (waterwheel.Query, int) {
 			fatalf("bad -times: %v", err)
 		}
 		q.Times = waterwheel.TimeRange{Lo: waterwheel.Timestamp(lo), Hi: waterwheel.Timestamp(hi)}
+	}
+	if *daily != "" {
+		rc, err := parseDaily(*daily)
+		if err != nil {
+			fatalf("bad -daily: %v", err)
+		}
+		q.Recur = rc
 	}
 	return q, *limit
 }

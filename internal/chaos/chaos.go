@@ -99,6 +99,13 @@ type Options struct {
 	// Telemetry, when set, is plumbed into the cluster so the run's
 	// handoff metrics (pause, lag, count) can be asserted afterwards.
 	Telemetry *telemetry.Registry
+	// Tiering runs the cluster with hierarchical time tiering: retention
+	// ops demote aging chunks and compact cold ones into downsampled
+	// chunks before dropping, so drops, demotions and merges interleave
+	// with concurrent queries. Oracle entries covered by a merge become
+	// optional (their raw tuples were replaced by downsampled rows);
+	// downsampled rows themselves are checked for region containment.
+	Tiering bool
 }
 
 func (o *Options) fill() {
@@ -326,6 +333,11 @@ type runner struct {
 const (
 	baseTime  model.Timestamp = 1_000_000 // virtual stream start, ms
 	keyDomain                 = 1 << 20
+	// Tiering thresholds for Options.Tiering runs, scaled to the virtual
+	// clock (a schedule advances it by tens of thousands of ms): chunks
+	// aging past these lags behind the stream's max time demote.
+	tierWarmAfter int64 = 20_000
+	tierColdAfter int64 = 60_000
 )
 
 // clusterConfig builds the small, flush-happy cluster the harness drives:
@@ -333,7 +345,7 @@ const (
 // flush queue so backpressure and mid-flight failures are reachable, and a
 // no-op sleeper so simulated DFS latency costs no wall-clock time.
 func clusterConfig(opts Options) cluster.Config {
-	return cluster.Config{
+	cfg := cluster.Config{
 		Nodes:                 opts.Nodes,
 		IndexServersPerNode:   2,
 		QueryServersPerNode:   2,
@@ -353,6 +365,13 @@ func clusterConfig(opts Options) cluster.Config {
 		StandbyLagRecords:     32,
 		Telemetry:             opts.Telemetry,
 	}
+	if opts.Tiering {
+		cfg.TierWarmAfterMillis = tierWarmAfter
+		cfg.TierColdAfterMillis = tierColdAfter
+		// CompactIntervalMillis stays 0: retention ops call TickCompact
+		// explicitly so the schedule remains deterministic.
+	}
+	return cfg
 }
 
 // newRunner opens the cluster for opts and returns a runner ready to
@@ -886,9 +905,28 @@ func (r *runner) queryConcurrent(i, k int) {
 }
 
 // retention drops chunks wholly before a horizon trailing the stream clock
-// and marks oracle entries older than it as optional-but-unique.
+// and marks oracle entries older than it as optional-but-unique. With
+// tiering on it first runs a compaction round — demote aging chunks,
+// merge cold ones into downsampled chunks — so the drop only ever
+// discards the coldest tier, and raw tuples replaced by downsampled rows
+// become optional in the oracle.
 func (r *runner) retention(i int) {
 	sub := r.subRNG(i)
+	if r.opts.Tiering {
+		demoted, merged := r.c.TickCompact()
+		r.trace(i, "tiering: %d demoted, %d merges", demoted, merged)
+		if merged > 0 {
+			// Every chunk eligible for merging had aged past the cold
+			// threshold; its raw tuples may now exist only as downsampled
+			// rows. Presence becomes optional, uniqueness still holds.
+			cutoff := r.c.Metadata().MaxTime() - model.Timestamp(tierColdAfter)
+			for j := range r.entries {
+				if r.entries[j].ts <= cutoff {
+					r.entries[j].maybeDropped = true
+				}
+			}
+		}
+	}
 	horizon := r.virtualNow - 100_000 + model.Timestamp(sub.Int63n(50_000))
 	for j := range r.entries {
 		if r.entries[j].ts < horizon {
@@ -920,7 +958,13 @@ func (r *runner) crashMidFlush(i, server int) {
 	stuck := false
 	deadline := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadline) {
-		if r.c.IndexServers()[server].PendingFlushes() > 0 {
+		// Retired slots appear as nil in the slot table; a slot this op
+		// targeted can retire under a concurrent schedule.
+		srv := r.c.IndexServers()[server]
+		if srv == nil {
+			break
+		}
+		if srv.PendingFlushes() > 0 {
 			stuck = true
 			break
 		}
@@ -985,6 +1029,13 @@ func (r *runner) checkResult(i int, q model.Query, res *model.Result, complete b
 		}
 		if !q.Keys.Contains(t.Key) || !q.Times.Contains(t.Time) {
 			r.violate(i, "tuple %v outside query region %v/%v", t, q.Keys, q.Times)
+		}
+		if r.opts.Tiering && len(t.Payload) == chunk.DownsampledPayloadLen {
+			// Downsampled row from a compacted chunk: it summarizes many
+			// raw tuples, so there is no oracle seq to match — region
+			// containment and sort order (checked above) are its
+			// invariants.
+			continue
 		}
 		if len(t.Payload) != 8 {
 			r.violate(i, "tuple %v carries a malformed payload", t)

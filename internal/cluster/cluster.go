@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"waterwheel/internal/chunk"
+	"waterwheel/internal/compact"
 	"waterwheel/internal/dfs"
 	"waterwheel/internal/dispatcher"
 	"waterwheel/internal/ingest"
@@ -146,6 +147,19 @@ type Config struct {
 	// loopback RPC server) instead of in-process partition reads —
 	// exercising the exact path a standby on another host would use.
 	ShipStandbyWAL bool
+	// TierWarmAfterMillis / TierColdAfterMillis age chunks through the
+	// retention tiers: a chunk whose max time lags the newest registered
+	// data by WarmAfter is demoted to warm, by ColdAfter to cold. Cold
+	// chunks are compaction candidates (merged into downsampled chunks).
+	// Both zero disables tiering entirely — TickCompact is then a no-op.
+	TierWarmAfterMillis int64
+	TierColdAfterMillis int64
+	// CompactIntervalMillis runs the compactor on a background ticker;
+	// zero means manual only (call TickCompact).
+	CompactIntervalMillis int64
+	// CompactMinInputs is the minimum number of cold chunks in one
+	// (server, day) group worth merging (default 2).
+	CompactMinInputs int
 }
 
 func (c *Config) fill() {
@@ -193,6 +207,8 @@ type Cluster struct {
 	qsrv  []*queryexec.Server
 	coord *queryexec.Coordinator
 	bal   *dispatcher.Balancer
+	comp  *compact.Compactor
+	ret   *retirer
 
 	// idx[i] is slot i's indexing server — nil once the slot is retired.
 	// retired[i] flips (permanently) when slot i is decommissioned; the WAL
@@ -439,6 +455,15 @@ func Open(cfg Config) (*Cluster, error) {
 			c.coord.AddQueryServer(qs)
 		}
 	}
+	c.ret = newRetirer(c)
+	compBuild := cfg.Bloom
+	c.comp = compact.New(compact.Config{
+		WarmAfterMillis: cfg.TierWarmAfterMillis,
+		ColdAfterMillis: cfg.TierColdAfterMillis,
+		MinInputs:       cfg.CompactMinInputs,
+		Leaves:          cfg.TemplateLeaves,
+		Build:           compBuild,
+	}, c.fs, c.ms, compact.NewMetrics(reg), c.ret.retire)
 	if cfg.DataDir != "" {
 		c.ckptOffsets = make([]int64, nTotal)
 		for i := range c.ckptOffsets {
@@ -738,6 +763,22 @@ func (c *Cluster) Start() {
 			}
 		}()
 	}
+	if c.comp.Enabled() && c.cfg.CompactIntervalMillis > 0 {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			tick := time.NewTicker(time.Duration(c.cfg.CompactIntervalMillis) * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-c.stop:
+					return
+				case <-tick.C:
+					c.TickCompact()
+				}
+			}
+		}()
+	}
 }
 
 // Stop drains and shuts the cluster down, checkpointing persistent state.
@@ -756,6 +797,9 @@ func (c *Cluster) Stop() {
 			srv.Close()
 		}
 	}
+	// Query traffic is over; force-delete any chunk files still parked
+	// behind in-flight-query horizons.
+	c.ret.drain()
 	if c.cfg.DataDir != "" {
 		c.Checkpoint() // best effort; state is also rebuildable from the WAL
 		for i := 0; i < c.log.Partitions(); i++ {
@@ -905,6 +949,9 @@ func (c *Cluster) Drain() {
 			srv.PublishLive()
 		}
 	}
+	// A quiet moment: whatever retired files were gated on queries that
+	// have since completed can go now.
+	c.ret.sweep()
 }
 
 // FlushAll forces every indexing server to flush its memtables.
@@ -962,10 +1009,15 @@ func (c *Cluster) TickBalance() bool {
 
 // DropChunksBefore removes every chunk whose temporal region ends before
 // the horizon — stream-store retention. The chunk leaves the metadata
-// registry first (no new subqueries can target it) and its file is then
-// deleted. Returns the number of chunks dropped.
+// registry first (no new subqueries can target it); its cached bytes are
+// evicted from every query server and the file delete is deferred until
+// queries planned before the drop have drained, so a concurrent query
+// never trips over a half-retired chunk. Returns the number of chunks
+// dropped. With tiering enabled, prefer letting the compactor demote and
+// merge chunks first: retention then only ever discards the coldest,
+// already-downsampled tier.
 func (c *Cluster) DropChunksBefore(horizon model.Timestamp) int {
-	dropped := 0
+	var dropped []meta.ChunkInfo
 	for _, ci := range c.ms.ChunksFor(model.FullRegion()) {
 		if ci.Region.Times.Hi >= horizon {
 			continue
@@ -973,11 +1025,25 @@ func (c *Cluster) DropChunksBefore(horizon model.Timestamp) int {
 		if !c.ms.DropChunk(ci.ID) {
 			continue
 		}
-		c.fs.Delete(ci.Path)
-		dropped++
+		dropped = append(dropped, ci)
 	}
-	return dropped
+	c.ret.retire(dropped)
+	return len(dropped)
 }
+
+// TickCompact runs one compaction round — demote aging chunks through
+// the tiers, merge groups of cold chunks into downsampled chunks — and
+// sweeps the retirement queue. No-op unless tiering is configured.
+// Returns (chunks demoted, merges completed).
+func (c *Cluster) TickCompact() (demoted, merged int) {
+	demoted, merged = c.comp.Tick()
+	c.ret.sweep()
+	return demoted, merged
+}
+
+// PendingRetiredDeletes reports how many retired chunk files are parked
+// awaiting in-flight-query drain.
+func (c *Cluster) PendingRetiredDeletes() int { return c.ret.pending() }
 
 // TruncateWALBefore advances each partition's retention horizon to its
 // indexing server's recorded flush offset: records already represented in
@@ -985,6 +1051,14 @@ func (c *Cluster) DropChunksBefore(horizon model.Timestamp) int {
 // additionally capped at the last durable checkpoint's offset — a hard
 // crash restores metadata from that snapshot, and records between its
 // offset and the in-memory one would be needed for replay.
+//
+// The horizon is also floored at any hot standby's replay position. A
+// planned promotion replays the partition from the standby's position at
+// handoff; truncating between its catch-up check and the ownership flip
+// would compact records the replay still needs, silently losing acked
+// tuples. The standby's position only moves forward, so the floor read
+// here is safe against a concurrent promotion: at worst we retain a few
+// extra records until the next truncation pass.
 func (c *Cluster) TruncateWALBefore() {
 	if c.cfg.SyncIngest {
 		return
@@ -1004,8 +1078,22 @@ func (c *Cluster) TruncateWALBefore() {
 			}
 			c.ckptMu.Unlock()
 		}
+		if sb := c.standbyFloor(i); sb >= 0 && sb < off {
+			off = sb
+		}
 		c.log.Partition(i).Truncate(off)
 	}
+}
+
+// standbyFloor returns slot i's standby replay position, or -1 when the
+// slot has no standby.
+func (c *Cluster) standbyFloor(i int) int64 {
+	c.standbyMu.Lock()
+	defer c.standbyMu.Unlock()
+	if h, ok := c.standbys[i]; ok {
+		return h.sb.Consumed()
+	}
+	return -1
 }
 
 // Accessors used by experiments, examples and the public API.

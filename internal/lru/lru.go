@@ -103,6 +103,24 @@ func (c *Cache) Remove(key string) {
 	c.removeLocked(key)
 }
 
+// RemoveFunc drops every entry whose key satisfies pred, returning the
+// number removed. Chunk retirement uses it to purge a dropped chunk's
+// header, leaf, and extent entries in one pass.
+func (c *Cache) RemoveFunc(pred func(key string) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var doomed []string
+	for key := range c.items {
+		if pred(key) {
+			doomed = append(doomed, key)
+		}
+	}
+	for _, key := range doomed {
+		c.removeLocked(key)
+	}
+	return len(doomed)
+}
+
 func (c *Cache) removeLocked(key string) {
 	if el, ok := c.items[key]; ok {
 		e := el.Value.(*entry)

@@ -140,3 +140,28 @@ func TestConcurrentAccess(t *testing.T) {
 		t.Errorf("over budget after concurrency: %d", c.Used())
 	}
 }
+
+func TestRemoveFunc(t *testing.T) {
+	c := New(1000)
+	c.Put("h5", 1, 10)
+	c.Put("l5:0", 2, 10)
+	c.Put("l5:1", 3, 10)
+	c.Put("l50:0", 4, 10) // different chunk; must survive a "l5:" purge
+	c.Put("e5:0:64", 5, 10)
+	n := c.RemoveFunc(func(key string) bool {
+		return key == "h5" || (len(key) > 3 && key[:3] == "l5:") ||
+			(len(key) > 3 && key[:3] == "e5:")
+	})
+	if n != 4 {
+		t.Fatalf("removed %d, want 4", n)
+	}
+	if _, ok := c.Get("l50:0"); !ok {
+		t.Fatal("unrelated entry removed")
+	}
+	if _, ok := c.Get("h5"); ok {
+		t.Fatal("matched entry survived")
+	}
+	if c.Used() != 10 {
+		t.Fatalf("used = %d, want 10", c.Used())
+	}
+}

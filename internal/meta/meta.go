@@ -46,6 +46,13 @@ type ChunkInfo struct {
 	// the coordinator answers aggregate queries over fully covered chunks
 	// from it without issuing a subquery.
 	Agg *model.ChunkAgg
+	// Tier is the chunk's retention tier (TierHot/TierWarm/TierCold). New
+	// chunks start hot; the compactor demotes them by age behind the
+	// newest registered data. Old snapshots decode to TierHot.
+	Tier int
+	// Downsampled marks a compactor output: its rows are the per-leaf
+	// pre-aggregate buckets of the retired inputs, not raw tuples.
+	Downsampled bool
 }
 
 // PartitionSchema is the global key partitioning. Slot ids are stable for
@@ -194,6 +201,8 @@ type Server struct {
 	queries   map[uint64]QueryInfo
 	nextChunk uint64
 	nextQuery uint64
+	tiers     *tierIndex
+	maxTime   model.Timestamp // max Region.Times.Hi ever registered
 }
 
 // NewServer creates a metadata server for the given number of indexing
@@ -212,6 +221,7 @@ func NewServer(indexServers int) *Server {
 		queries:  make(map[uint64]QueryInfo),
 		actual:   make([]model.KeyRange, indexServers),
 		live:     make([]LiveRegion, indexServers),
+		tiers:    newTierIndex(),
 	}
 	for i := range s.actual {
 		s.actual[i] = s.schema.IntervalOf(i)
@@ -335,6 +345,7 @@ func (s *Server) RegisterChunk(info ChunkInfo) ChunkInfo {
 	info.ID = model.ChunkID(s.nextChunk)
 	s.chunks[info.ID] = info
 	s.regions.Insert(info.Region, info.ID)
+	s.trackLocked(info)
 	return info
 }
 
@@ -352,6 +363,7 @@ func (s *Server) RegisterChunks(infos []ChunkInfo) []ChunkInfo {
 		info.ID = model.ChunkID(s.nextChunk)
 		s.chunks[info.ID] = info
 		s.regions.Insert(info.Region, info.ID)
+		s.trackLocked(info)
 		out[i] = info
 	}
 	return out
@@ -425,6 +437,7 @@ func (s *Server) DropChunk(id model.ChunkID) bool {
 	}
 	delete(s.chunks, id)
 	s.regions.Delete(info.Region, func(v any) bool { return v.(model.ChunkID) == id })
+	s.tiers.remove(info.Region.Times)
 	return true
 }
 
@@ -566,6 +579,7 @@ func Restore(data []byte) (*Server, error) {
 	for _, c := range st.Chunks {
 		s.chunks[c.ID] = c
 		s.regions.Insert(c.Region, c.ID)
+		s.trackLocked(c)
 	}
 	for _, q := range st.Queries {
 		s.queries[q.ID] = q

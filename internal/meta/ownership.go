@@ -76,6 +76,7 @@ func (s *Server) RegisterFlushOwned(server int, epoch int64, infos []ChunkInfo, 
 		info.ID = model.ChunkID(s.nextChunk)
 		s.chunks[info.ID] = info
 		s.regions.Insert(info.Region, info.ID)
+		s.trackLocked(info)
 		out[i] = info
 	}
 	if off > s.offsets[server] {

@@ -22,6 +22,91 @@ type Query struct {
 	// at the cut-off key, which ones are returned is unspecified. Each
 	// subquery also stops after Limit matches, bounding work.
 	Limit int
+	// Recur, when non-nil, restricts Times to a repeating window — "between
+	// 09:00 and 17:00 daily". The coordinator expands the recurrence into
+	// concrete windows inside Times and answers them through the metadata
+	// time-bucket hierarchy, pruning chunks outside every window.
+	Recur *Recurrence
+}
+
+// Recurrence is a repeating time-of-period window: within every period
+// [k·Period, (k+1)·Period), timestamps in [k·Period+Start,
+// k·Period+Start+Length) match. All fields are milliseconds; Start is the
+// offset within the period (epoch-aligned, like the rest of the time
+// domain). A daily 09:00–17:00 window is {Period: 86_400_000, Start:
+// 32_400_000, Length: 28_800_000}.
+type Recurrence struct {
+	PeriodMillis int64
+	StartMillis  int64
+	LengthMillis int64
+}
+
+// maxRecurWindows bounds recurrence expansion; spans needing more
+// windows fall back to the plain (unpruned) time range.
+const maxRecurWindows = 100_000
+
+// Windows expands the recurrence into the concrete windows intersecting
+// span, clipped to it and in ascending order. Returns nil (caller falls
+// back to the plain range) when the recurrence is malformed or the span
+// covers too many periods to enumerate.
+func (rc *Recurrence) Windows(span TimeRange) []TimeRange {
+	if rc == nil || rc.PeriodMillis <= 0 || rc.LengthMillis <= 0 ||
+		rc.LengthMillis > rc.PeriodMillis ||
+		rc.StartMillis < 0 || rc.StartMillis >= rc.PeriodMillis ||
+		span.Lo > span.Hi {
+		return nil
+	}
+	// Keep every intermediate well inside int64 (the time domain is
+	// milliseconds since the epoch; 2^61 ms is ~73M years).
+	if span.Lo < -(1<<61) || span.Hi > 1<<61 {
+		return nil
+	}
+	p, st, ln := rc.PeriodMillis, rc.StartMillis, rc.LengthMillis
+	// Bound the expansion (and keep the k·p arithmetic below well inside
+	// int64) before enumerating: a span covering more periods than
+	// maxRecurWindows gets no expansion.
+	if uint64(span.Hi-span.Lo)/uint64(p) > maxRecurWindows {
+		return nil
+	}
+	// First period whose window could end at or after span.Lo.
+	k := floorDivInt64(int64(span.Lo)-st-ln+1, p)
+	out := make([]TimeRange, 0, 8)
+	for ; ; k++ {
+		lo, hi := k*p+st, k*p+st+ln-1
+		if lo > int64(span.Hi) {
+			break
+		}
+		if hi < int64(span.Lo) {
+			continue
+		}
+		if lo < int64(span.Lo) {
+			lo = int64(span.Lo)
+		}
+		if hi > int64(span.Hi) {
+			hi = int64(span.Hi)
+		}
+		out = append(out, TimeRange{Lo: Timestamp(lo), Hi: Timestamp(hi)})
+	}
+	return out
+}
+
+// Contains reports whether ts falls inside the recurring window — the
+// exact membership test complementing the hour-granular bucket pruning.
+func (rc *Recurrence) Contains(ts Timestamp) bool {
+	if rc == nil || rc.PeriodMillis <= 0 || rc.LengthMillis <= 0 {
+		return false
+	}
+	off := int64(ts) - floorDivInt64(int64(ts), rc.PeriodMillis)*rc.PeriodMillis
+	return off >= rc.StartMillis && off < rc.StartMillis+rc.LengthMillis
+}
+
+// floorDivInt64 is integer division rounding toward negative infinity.
+func floorDivInt64(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
 }
 
 // Region returns the query region <Kq, Tq>.

@@ -90,3 +90,74 @@ func TestResultSortTieBreaksOnPayload(t *testing.T) {
 		t.Error("payload tie-break not applied")
 	}
 }
+
+func TestRecurrenceWindows(t *testing.T) {
+	day := int64(86_400_000)
+	rc := &Recurrence{PeriodMillis: day, StartMillis: 9 * 3_600_000, LengthMillis: 8 * 3_600_000}
+	span := TimeRange{Lo: 0, Hi: Timestamp(3*day - 1)}
+	ws := rc.Windows(span)
+	if len(ws) != 3 {
+		t.Fatalf("windows = %d, want 3", len(ws))
+	}
+	for i, w := range ws {
+		wantLo := Timestamp(int64(i)*day + 9*3_600_000)
+		wantHi := Timestamp(int64(i)*day + 17*3_600_000 - 1)
+		if w.Lo != wantLo || w.Hi != wantHi {
+			t.Fatalf("window %d = %v, want [%d,%d]", i, w, wantLo, wantHi)
+		}
+	}
+}
+
+func TestRecurrenceWindowsClipped(t *testing.T) {
+	rc := &Recurrence{PeriodMillis: 1000, StartMillis: 200, LengthMillis: 300}
+	ws := rc.Windows(TimeRange{Lo: 250, Hi: 1250})
+	// Period 0's window [200,499] clips to [250,499]; period 1's [1200,1499]
+	// clips to [1200,1250].
+	if len(ws) != 2 || ws[0].Lo != 250 || ws[0].Hi != 499 || ws[1].Lo != 1200 || ws[1].Hi != 1250 {
+		t.Fatalf("windows = %v", ws)
+	}
+}
+
+func TestRecurrenceWindowsMalformed(t *testing.T) {
+	span := TimeRange{Lo: 0, Hi: 10_000}
+	for _, rc := range []*Recurrence{
+		nil,
+		{PeriodMillis: 0, StartMillis: 0, LengthMillis: 1},
+		{PeriodMillis: 100, StartMillis: 0, LengthMillis: 0},
+		{PeriodMillis: 100, StartMillis: 0, LengthMillis: 200},
+		{PeriodMillis: 100, StartMillis: -1, LengthMillis: 10},
+		{PeriodMillis: 100, StartMillis: 100, LengthMillis: 10},
+	} {
+		if ws := rc.Windows(span); ws != nil {
+			t.Fatalf("malformed %+v expanded to %v", rc, ws)
+		}
+	}
+	// Too many periods: fall back to nil rather than enumerating millions.
+	wideSpan := FullTimeRange()
+	rc := &Recurrence{PeriodMillis: 1000, StartMillis: 0, LengthMillis: 1}
+	if ws := rc.Windows(wideSpan); ws != nil {
+		t.Fatalf("huge span expanded to %d windows", len(ws))
+	}
+}
+
+func TestRecurrenceContains(t *testing.T) {
+	day := int64(86_400_000)
+	rc := &Recurrence{PeriodMillis: day, StartMillis: 9 * 3_600_000, LengthMillis: 8 * 3_600_000}
+	in := Timestamp(2*day + 12*3_600_000)  // day 2, noon
+	out := Timestamp(2*day + 18*3_600_000) // day 2, 18:00
+	edgeLo := Timestamp(9 * 3_600_000)
+	edgeHi := Timestamp(17*3_600_000 - 1)
+	past := Timestamp(17 * 3_600_000)
+	if !rc.Contains(in) || rc.Contains(out) {
+		t.Fatalf("membership wrong: in=%v out=%v", rc.Contains(in), rc.Contains(out))
+	}
+	if !rc.Contains(edgeLo) || !rc.Contains(edgeHi) || rc.Contains(past) {
+		t.Fatal("window edges wrong")
+	}
+	// Windows and Contains agree on every enumerated window bound.
+	for _, w := range rc.Windows(TimeRange{Lo: 0, Hi: Timestamp(3 * day)}) {
+		if !rc.Contains(w.Lo) || !rc.Contains(w.Hi) {
+			t.Fatalf("window %v not contained by its own recurrence", w)
+		}
+	}
+}

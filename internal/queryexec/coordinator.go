@@ -57,6 +57,13 @@ type CoordinatorMetrics struct {
 	// header read.
 	AggQueries    *telemetry.Counter
 	AggMetaChunks *telemetry.Counter
+	// TierPruned counts chunk candidates a recurring-window query
+	// eliminated through the metadata time-bucket hierarchy before any
+	// header was read.
+	TierPruned *telemetry.Counter
+	// RetiredSubQueries counts chunk subqueries completed empty because
+	// their chunk was retired (dropped or compacted away) mid-flight.
+	RetiredSubQueries *telemetry.Counter
 
 	// Per-policy dispatch latency histograms, registered lazily the first
 	// time a policy dispatches.
@@ -78,6 +85,8 @@ func NewCoordinatorMetrics(r *telemetry.Registry) *CoordinatorMetrics {
 		WorkersBusy:     r.Gauge("waterwheel_query_workers_busy", "chunk subqueries currently executing on query servers"),
 		AggQueries:      r.Counter("waterwheel_agg_queries_total", "aggregate queries executed by the coordinator"),
 		AggMetaChunks:   r.Counter("waterwheel_agg_meta_chunks_total", "chunks answered from metadata summaries during aggregate queries"),
+		TierPruned:      r.Counter("waterwheel_tier_pruned_chunks_total", "chunk candidates pruned by the time-bucket hierarchy on recurring-window queries"),
+		RetiredSubQueries: r.Counter("waterwheel_query_retired_subqueries_total", "chunk subqueries completed empty because their chunk retired mid-flight"),
 		reg:             r,
 	}
 }
@@ -171,12 +180,31 @@ func (c *Coordinator) SetPolicy(p Policy) {
 func (c *Coordinator) Decompose(q model.Query) (memSubs, chunkSubs []*model.SubQuery) {
 	qRegion := q.Region()
 	seq := 0
+	subLimit := q.Limit
 	// The chunk candidates and the chunk-ID watermark come from one
 	// metadata critical section: a chunk registered by a concurrent flush
 	// is either in this plan or has ID >= watermark, in which case the
 	// producing indexing server still serves it from the pending snapshot
 	// (SubQuery.AsOfChunk below) — never both, never neither.
-	chunks, watermark := c.ms.ChunksForWithWatermark(qRegion)
+	var (
+		chunks    []meta.ChunkInfo
+		watermark uint64
+	)
+	if windows := q.Recur.Windows(q.Times); windows != nil {
+		// Recurring-window query: the metadata time-bucket hierarchy prunes
+		// candidates whose hour buckets meet no window before any header is
+		// read. The windows are hour-superset at this level; exactness comes
+		// from the coordinator's recurrence filter on collected tuples, so
+		// per-subquery limits are unsound here (a subquery's first Limit
+		// matches may all fall outside the windows) — the merge applies
+		// q.Limit after the filter instead.
+		var pruned int
+		chunks, pruned, watermark = c.ms.ChunksForWindowsWithWatermark(qRegion, windows)
+		c.m.TierPruned.Add(int64(pruned))
+		subLimit = 0
+	} else {
+		chunks, watermark = c.ms.ChunksForWithWatermark(qRegion)
+	}
 	for _, ci := range chunks {
 		r, ok := qRegion.Intersect(ci.Region)
 		if !ok {
@@ -184,7 +212,7 @@ func (c *Coordinator) Decompose(q model.Query) (memSubs, chunkSubs []*model.SubQ
 		}
 		chunkSubs = append(chunkSubs, &model.SubQuery{
 			QueryID: q.ID, Seq: seq, Region: r, Filter: q.Filter, Chunk: ci.ID,
-			Limit: q.Limit,
+			Limit: subLimit,
 			// Thread the chunk's file metadata through the plan: the
 			// dispatch loop needs Path for replica locality and the query
 			// server needs Path+HeaderLen to open the chunk — neither
@@ -213,7 +241,7 @@ func (c *Coordinator) Decompose(q model.Query) (memSubs, chunkSubs []*model.SubQ
 			Filter:      q.Filter,
 			Chunk:       model.MemChunk,
 			IndexServer: lr.Server,
-			Limit:       q.Limit,
+			Limit:       subLimit,
 			AsOfChunk:   watermark,
 		})
 		seq++
@@ -293,6 +321,17 @@ func (c *Coordinator) execute(q model.Query, root *telemetry.Span) (*model.Resul
 	collect := func(r *model.Result) {
 		if r == nil {
 			return
+		}
+		if q.Recur != nil {
+			// The recurrence is the query's exact time semantics; subquery
+			// regions are only pruned to it at hour-bucket granularity.
+			kept := r.Tuples[:0]
+			for _, t := range r.Tuples {
+				if q.Recur.Contains(t.Time) {
+					kept = append(kept, t)
+				}
+			}
+			r.Tuples = kept
 		}
 		r.SortTuples()
 		mu.Lock()
@@ -647,6 +686,23 @@ func (c *Coordinator) runChunkSubqueries(sqs []*model.SubQuery, deliver func(*mo
 		sqSp.SetInt("query_server", int64(s.ID()))
 		r, err := s.ExecuteSubQueryTraced(sqs[idx], sqSp)
 		if err != nil {
+			if errors.Is(err, ErrRetired) {
+				if _, ok := c.ms.Chunk(sqs[idx].Chunk); !ok {
+					// The chunk retired (retention drop or compaction) after
+					// this plan was built: its data aged out of the store.
+					// Complete the subquery empty instead of failing the
+					// query — the replacement data, if any, was registered
+					// atomically and is visible to the next plan.
+					sqSp.SetInt("retired", 1)
+					sqSp.End()
+					c.m.RetiredSubQueries.Inc()
+					states[idx].Store(stateDone)
+					b.finished()
+					return true
+				}
+				// Still registered: a replica hiccup, not retirement — fall
+				// through to the redispatch path.
+			}
 			// Return the subquery to the pending set; this worker stops.
 			sqSp.SetStr("error", err.Error())
 			sqSp.End()

@@ -1,0 +1,36 @@
+package queryexec
+
+import (
+	"errors"
+	"testing"
+
+	"waterwheel/internal/model"
+)
+
+// TestExecuteSubQueryRetiredChunk checks the typed retirement error: a
+// subquery whose chunk file was deleted mid-flight must surface
+// ErrRetired — the coordinator's signal to replan against fresh
+// metadata — not a raw DFS error.
+func TestExecuteSubQueryRetiredChunk(t *testing.T) {
+	c := newCluster(t, 1, 1, 1)
+	c.ingest(seqTuples(200, 1<<40, 1000))
+	c.flushAll()
+	ci, ok := c.ms.Chunk(model.ChunkID(1))
+	if !ok {
+		t.Fatal("chunk 1 not registered")
+	}
+	// Force-delete the file under the planned subquery — the window the
+	// drain-safe retirer normally closes, kept open here on purpose.
+	if err := c.fs.Delete(ci.Path); err != nil {
+		t.Fatal(err)
+	}
+	c.qs[0].EvictChunk(ci.ID)
+	sq := &model.SubQuery{
+		QueryID: 1, Region: model.FullRegion(), Chunk: ci.ID,
+		ChunkPath: ci.Path, ChunkHeaderLen: ci.HeaderLen,
+	}
+	_, err := c.qs[0].ExecuteSubQuery(sq)
+	if !errors.Is(err, ErrRetired) {
+		t.Fatalf("err = %v, want ErrRetired", err)
+	}
+}

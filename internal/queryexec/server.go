@@ -26,6 +26,14 @@ import (
 // ErrServerDown is returned by a query server with an injected failure.
 var ErrServerDown = errors.New("queryexec: query server down")
 
+// ErrRetired is returned when a subquery's chunk file has been deleted
+// from the DFS — the chunk was retired (retention drop or compaction)
+// while the subquery was in flight. The coordinator treats it as a
+// redispatch signal: if the chunk is still registered the subquery
+// retries, otherwise the data aged out of the store and the subquery
+// completes empty.
+var ErrRetired = errors.New("queryexec: chunk retired")
+
 // ServerConfig configures a query server.
 type ServerConfig struct {
 	// ID is the query-server index.
@@ -178,6 +186,23 @@ func (s *Server) Executed() int64 { return s.executed.Load() }
 // CacheMetrics exposes the LRU counters.
 func (s *Server) CacheMetrics() lru.Metrics { return s.cache.Metrics() }
 
+// EvictChunk drops every cached unit of a chunk — header, leaves, and
+// coalesced extents — returning the number of entries removed. Retirement
+// calls this on every query server after the metadata drop so no future
+// subquery is served stale bytes of a deleted file.
+func (s *Server) EvictChunk(id model.ChunkID) int {
+	hk := headerKey(id)
+	lp := leafKey(id, 0)
+	lp = lp[:len(lp)-1] // "l<chunk>:" prefix
+	ep := extentKey(id, 0, 0)
+	ep = ep[:len(ep)-3] // "e<chunk>:" prefix
+	return s.cache.RemoveFunc(func(key string) bool {
+		return key == hk ||
+			(len(key) > len(lp) && key[:len(lp)] == lp) ||
+			(len(key) > len(ep) && key[:len(ep)] == ep)
+	})
+}
+
 // Fail injects a failure: subsequent subqueries error until Recover.
 func (s *Server) Fail() { s.down.Store(true) }
 
@@ -230,6 +255,12 @@ func (s *Server) readAt(path string, off, length int64) ([]byte, error) {
 	s.m.InflightReads.Add(-1)
 	<-s.inflight
 	if err != nil {
+		if errors.Is(err, dfs.ErrNotFound) {
+			// Chunk files only vanish through retirement; surface the typed
+			// error so the coordinator can redispatch or drop the subquery
+			// instead of failing the query on a raw DFS error.
+			return nil, fmt.Errorf("%w: %v", ErrRetired, err)
+		}
 		return nil, err
 	}
 	s.m.BytesRead.Add(int64(len(b)))

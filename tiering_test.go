@@ -1,0 +1,104 @@
+package waterwheel
+
+import (
+	"fmt"
+	"testing"
+)
+
+const (
+	hourMs = int64(3_600_000)
+	dayMs  = 24 * hourMs
+)
+
+// TestTieringRecurringWindowAcceptance is the acceptance run for
+// hierarchical time tiering: three synthetic weeks of hour-bucketed
+// history, a "between 09:00 and 12:00 daily" query answered through the
+// time-bucket hierarchy, results identical to the per-window oracle, and
+// at least 80% of the chunk candidates pruned before the R-tree — read
+// back from the waterwheel_tier_pruned_chunks_total counter. A manual
+// compaction round then demotes and merges the aged weeks.
+func TestTieringRecurringWindowAcceptance(t *testing.T) {
+	db := openTestDB(t, Options{
+		ChunkBytes:          1 << 30, // flush manually, one chunk per block
+		TierWarmAfterMillis: 3 * dayMs,
+		TierColdAfterMillis: 7 * dayMs,
+	})
+	// 21 days in 3-hour blocks, each flushed to its own chunk: 168 chunks
+	// whose time spans tile the history.
+	const days, blocksPerDay = 21, 8
+	for b := 0; b < days*blocksPerDay; b++ {
+		start := int64(b) * 3 * hourMs
+		for i := 0; i < 4; i++ {
+			db.Insert(Tuple{
+				Key:  Key(uint64(b*4+i) << 40),
+				Time: Timestamp(start + int64(i)*40*60_000),
+			})
+		}
+		db.Drain()
+		db.Flush()
+	}
+	db.Drain()
+	chunks := db.Stats().Chunks
+	if chunks < days*blocksPerDay {
+		t.Fatalf("flushed %d chunks, want >= %d", chunks, days*blocksPerDay)
+	}
+
+	span := TimeRange{Lo: 0, Hi: Timestamp(int64(days)*dayMs - 1)}
+	res, err := db.Query(Query{Keys: FullKeyRange(), Times: span, Recur: Daily(9*hourMs, 3*hourMs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Oracle: the same 21 windows queried one by one, untiered.
+	want := make(map[string]bool)
+	for d := 0; d < days; d++ {
+		lo := int64(d)*dayMs + 9*hourMs
+		or, err := db.QueryRange(FullKeyRange(), TimeRange{Lo: Timestamp(lo), Hi: Timestamp(lo + 3*hourMs - 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range or.Tuples {
+			want[fmt.Sprintf("%d/%d", or.Tuples[i].Key, or.Tuples[i].Time)] = true
+		}
+	}
+	if len(want) != days*4 {
+		t.Fatalf("oracle found %d tuples, want %d", len(want), days*4)
+	}
+	if len(res.Tuples) != len(want) {
+		t.Fatalf("recurring query returned %d tuples, oracle %d", len(res.Tuples), len(want))
+	}
+	for i := range res.Tuples {
+		k := fmt.Sprintf("%d/%d", res.Tuples[i].Key, res.Tuples[i].Time)
+		if !want[k] {
+			t.Fatalf("recurring query returned %s, absent from oracle", k)
+		}
+	}
+
+	// ≥80% of the candidates were pruned at the bucket level, per the
+	// metric the dashboards watch.
+	pruned := db.Telemetry().Counter("waterwheel_tier_pruned_chunks_total", "").Value()
+	if pruned*5 < int64(chunks)*4 {
+		t.Fatalf("bucket hierarchy pruned %d of %d candidates, want >= 80%%", pruned, chunks)
+	}
+
+	// One manual compaction round over the aged history: the old weeks
+	// demote, cold days merge into downsampled chunks, and the merge
+	// shrinks the bytes it touched.
+	demoted, merged := db.Compact()
+	if demoted == 0 || merged == 0 {
+		t.Fatalf("compaction did nothing: demoted=%d merged=%d", demoted, merged)
+	}
+	if counts := db.TierCounts(); counts[2] == 0 {
+		t.Fatalf("no cold chunks after compaction: %v", counts)
+	}
+	in := db.Telemetry().Counter("waterwheel_compaction_input_bytes_total", "").Value()
+	out := db.Telemetry().Counter("waterwheel_compaction_output_bytes_total", "").Value()
+	if in == 0 || out >= in {
+		t.Fatalf("compaction did not shrink its inputs: in=%d out=%d", in, out)
+	}
+	// The store still answers full-history queries over the mixed
+	// raw/downsampled chunk set.
+	if _, err := db.QueryRange(FullKeyRange(), FullTimeRange()); err != nil {
+		t.Fatalf("query after compaction: %v", err)
+	}
+}

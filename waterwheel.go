@@ -62,7 +62,18 @@ type (
 	AggResult = model.AggResult
 	// AggKind selects the aggregate function.
 	AggKind = model.AggKind
+	// Recurrence restricts a query's time range to a repeating window —
+	// "between 09:00 and 17:00 daily". Set Query.Recur to one; the
+	// coordinator prunes chunks outside every concrete window through the
+	// metadata time-bucket hierarchy.
+	Recurrence = model.Recurrence
 )
+
+// Daily builds a Recurrence matching [start, start+length) within every
+// UTC day, both arguments in milliseconds-of-day.
+func Daily(startMillis, lengthMillis int64) *Recurrence {
+	return &Recurrence{PeriodMillis: 24 * 3_600_000, StartMillis: startMillis, LengthMillis: lengthMillis}
+}
 
 // Aggregate kinds.
 const (
@@ -188,6 +199,20 @@ type Options struct {
 	// this many records of the partition head before flipping ownership
 	// (default 64).
 	StandbyLagRecords int
+	// TierWarmAfterMillis / TierColdAfterMillis age chunks through the
+	// hot → warm → cold retention tiers, measured as the lag of a chunk's
+	// max time behind the newest registered data. Cold chunks are merged
+	// by the compactor into downsampled chunks (one row per pre-aggregate
+	// bucket) and their raw files retired. Both zero (the default)
+	// disables tiering.
+	TierWarmAfterMillis int64
+	TierColdAfterMillis int64
+	// CompactIntervalMillis runs compaction on a background cadence
+	// (0 = manual; call Compact).
+	CompactIntervalMillis int64
+	// CompactMinInputs is the minimum cold chunks per (server, day) group
+	// worth merging (default 2).
+	CompactMinInputs int
 	// Seed makes placement and sampling deterministic.
 	Seed int64
 }
@@ -226,6 +251,10 @@ func Open(opts Options) (*DB, error) {
 		HotStandby:            opts.HotStandby,
 		ShipStandbyWAL:        opts.ShipStandbyWAL,
 		StandbyLagRecords:     opts.StandbyLagRecords,
+		TierWarmAfterMillis:   opts.TierWarmAfterMillis,
+		TierColdAfterMillis:   opts.TierColdAfterMillis,
+		CompactIntervalMillis: opts.CompactIntervalMillis,
+		CompactMinInputs:      opts.CompactMinInputs,
 		Seed:                  opts.Seed,
 		TraceCapacity:         opts.TraceCapacity,
 	}
@@ -426,12 +455,26 @@ func (db *DB) Traces() []*QueryTrace { return db.c.TraceRing().Recent() }
 
 // DropBefore removes all chunks that end before the horizon (retention),
 // returning how many were dropped, and releases the WAL records already
-// covered by flushed chunks.
+// covered by flushed chunks. Chunk files are deleted only after queries
+// planned before the drop have drained; WAL truncation is floored at any
+// hot standby's replay position so a planned handoff never loses acked
+// records.
 func (db *DB) DropBefore(horizon Timestamp) int {
 	n := db.c.DropChunksBefore(horizon)
 	db.c.TruncateWALBefore()
 	return n
 }
+
+// Compact runs one tiering round: chunks aging past the configured
+// warm/cold thresholds are demoted, and groups of cold chunks are merged
+// into downsampled chunks (their raw files retired drain-safely). No-op
+// unless Options tiering knobs are set. Returns (chunks demoted, merges
+// completed).
+func (db *DB) Compact() (demoted, merged int) { return db.c.TickCompact() }
+
+// TierCounts reports registered chunks per retention tier
+// [hot, warm, cold].
+func (db *DB) TierCounts() [3]int { return db.c.Metadata().TierCounts() }
 
 // ExplainInfo describes how a query would decompose, for tooling.
 type ExplainInfo = queryexec.ExplainInfo
